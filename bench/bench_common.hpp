@@ -1,0 +1,40 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Every bench prints the paper's table or figure series as an aligned
+// ASCII table (plus optional CSV via --csv) and, where the paper reports
+// numbers, a side-by-side "paper" column so the reproduction quality is
+// visible at a glance.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "ldpc/util/args.hpp"
+#include "ldpc/util/table.hpp"
+
+namespace bench {
+
+struct Options {
+  bool csv = false;
+  long long frames = 0;   // Monte-Carlo budget override (0 = default)
+  std::uint64_t seed = 1;
+};
+
+inline Options parse(int argc, char** argv) {
+  const ldpc::util::Args args(argc, argv, {"csv", "frames", "seed"});
+  Options opt;
+  opt.csv = args.get_or("csv", false);
+  opt.frames = args.get_or("frames", 0LL);
+  opt.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
+  return opt;
+}
+
+inline void emit(const ldpc::util::Table& table, const Options& opt) {
+  if (opt.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace bench

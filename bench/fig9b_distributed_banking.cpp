@@ -1,0 +1,38 @@
+// Reproduces Fig. 9(b): power consumption vs LDPC block size under the
+// distributed SISO decoding and memory banking scheme.
+//
+// The chip instantiates z_max = 96 SISO cores and banks; a code with
+// z < 96 deactivates the surplus, so power scales with the active lane
+// count. The paper's figure runs block sizes 576..2304 (z = 24..96,
+// 802.16e rate 1/2); expected shape: roughly linear from ~260 mW at 576
+// bits to ~410-450 mW at 2304 bits.
+#include "bench_common.hpp"
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/power/power_model.hpp"
+
+using namespace ldpc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse(argc, argv);
+
+  const power::PowerModel pwr(450.0, 1.0);
+  const arch::ChipDimensions dims{};
+  arch::DecoderChip chip(dims, {});
+
+  util::Table t("Fig. 9(b): distributed banking power vs block size");
+  t.header({"block size", "z", "active SISOs", "idle SISOs", "power mW"});
+  for (int z : codes::supported_z(codes::Standard::kWimax80216e)) {
+    const auto code = codes::make_code(
+        {codes::Standard::kWimax80216e, codes::Rate::kR12, z});
+    chip.configure(code);  // activates z banks, gates the rest
+    const double mw = pwr.peak(dims, z).total_mw();
+    t.row({std::to_string(code.n()), std::to_string(z), std::to_string(z),
+           std::to_string(dims.z_max - z), util::fmt_fixed(mw, 0)});
+  }
+  bench::emit(t, opt);
+
+  std::cout << "paper reference: ~260 mW at 576 bits rising roughly "
+               "linearly to ~410-450 mW at 2304 bits\n";
+  return 0;
+}

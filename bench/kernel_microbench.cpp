@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the datapath kernels and the full
+// decoders: simulation-throughput numbers for this library itself (how
+// fast the *model* runs on a host CPU, not the modelled chip throughput).
+#include <benchmark/benchmark.h>
+
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/baseline/layered_bp.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/core/decoder.hpp"
+#include "ldpc/core/siso.hpp"
+#include "ldpc/enc/encoder.hpp"
+
+namespace {
+
+using namespace ldpc;
+
+const fixed::QFormat kFmt{8, 2};
+
+void BM_FOp(benchmark::State& state) {
+  const core::CorrectionLut flut(core::CorrectionLut::Kind::kFPlus, kFmt);
+  std::int32_t a = 37, b = -55;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::f_op(a, b, flut, kFmt));
+    a = (a * 13 + 7) % 127;
+    b = (b * 11 - 3) % 127;
+  }
+}
+BENCHMARK(BM_FOp);
+
+void BM_GOp(benchmark::State& state) {
+  const core::CorrectionLut glut(core::CorrectionLut::Kind::kGMinus, kFmt);
+  std::int32_t a = 37, b = -55;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::g_op(a, b, glut, kFmt));
+    a = (a * 13 + 7) % 127;
+    b = (b * 11 - 3) % 127;
+  }
+}
+BENCHMARK(BM_GOp);
+
+void BM_SisoRow(benchmark::State& state) {
+  const auto radix = static_cast<core::Radix>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  core::SisoR2 r2(kFmt);
+  core::SisoR4 r4(kFmt);
+  std::vector<std::int32_t> lam(static_cast<std::size_t>(d)), out(lam.size());
+  for (int i = 0; i < d; ++i) lam[static_cast<std::size_t>(i)] = 3 * i - 40;
+  for (auto _ : state) {
+    if (radix == core::Radix::kR2)
+      benchmark::DoNotOptimize(r2.process(lam, out));
+    else
+      benchmark::DoNotOptimize(r4.process(lam, out));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_SisoRow)
+    ->Args({0, 7})
+    ->Args({1, 7})
+    ->Args({0, 20})
+    ->Args({1, 20});
+
+struct DecodeFixture {
+  codes::QCCode code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+  std::vector<double> llr;
+
+  DecodeFixture() {
+    auto encoder = enc::make_encoder(code);
+    util::Xoshiro256 rng(7);
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    enc::random_bits(rng, info);
+    const auto cw = encoder->encode(info);
+    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+    const double sigma = channel::ebn0_to_sigma(2.5, code.rate(),
+                                                channel::Modulation::kBpsk);
+    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+    llr = channel::demap_llr(mod, sigma);
+  }
+};
+
+void BM_FixedDecode2304(benchmark::State& state) {
+  DecodeFixture fx;
+  core::ReconfigurableDecoder dec(fx.code, {.stop_on_codeword = true});
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(fx.llr));
+  state.SetItemsProcessed(state.iterations() * fx.code.k_info());
+}
+BENCHMARK(BM_FixedDecode2304);
+
+void BM_FloatLayeredDecode2304(benchmark::State& state) {
+  DecodeFixture fx;
+  baseline::LayeredBP dec(fx.code);
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(fx.llr, 10));
+  state.SetItemsProcessed(state.iterations() * fx.code.k_info());
+}
+BENCHMARK(BM_FloatLayeredDecode2304);
+
+void BM_ChipDecode2304(benchmark::State& state) {
+  DecodeFixture fx;
+  arch::DecoderChip chip({}, {.stop_on_codeword = true});
+  chip.configure(fx.code);
+  for (auto _ : state) benchmark::DoNotOptimize(chip.decode(fx.llr));
+  state.SetItemsProcessed(state.iterations() * fx.code.k_info());
+}
+BENCHMARK(BM_ChipDecode2304);
+
+void BM_Encode2304(benchmark::State& state) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+  const auto encoder = enc::make_encoder(code);
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+  std::vector<std::uint8_t> cw(static_cast<std::size_t>(code.n()));
+  enc::random_bits(rng, info);
+  for (auto _ : state) {
+    encoder->encode(info, cw);
+    benchmark::DoNotOptimize(cw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * code.k_info());
+}
+BENCHMARK(BM_Encode2304);
+
+void BM_CodeExpansion(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto code = codes::make_code(
+        {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+    benchmark::DoNotOptimize(code.edges());
+  }
+}
+BENCHMARK(BM_CodeExpansion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

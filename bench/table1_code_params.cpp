@@ -1,0 +1,64 @@
+// Reproduces Table 1: design parameters for H in several standards.
+//
+// Prints the paper's summary rows (j, k, z ranges per standard) from the
+// code registry, then a per-standard mode inventory with the derived
+// quantities (n, information bits, E non-zero blocks) the later benches
+// rely on.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "ldpc/codes/registry.hpp"
+
+using namespace ldpc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse(argc, argv);
+
+  util::Table t1("Table 1: design parameters for H in several standards");
+  t1.header({"LDPC Code", "j", "k", "z", "paper j", "paper k", "paper z"});
+  struct PaperRow {
+    codes::Standard standard;
+    std::string j, k, z;
+  };
+  const PaperRow paper[] = {
+      {codes::Standard::kWlan80211n, "4-12", "24", "27-81"},
+      {codes::Standard::kWimax80216e, "4-12", "24", "24-96"},
+      {codes::Standard::kDmbT, "24-48", "60", "127"},
+  };
+  for (const auto& row : paper) {
+    int jmin = 1 << 30, jmax = 0, k = 0;
+    for (codes::Rate r : codes::supported_rates(row.standard)) {
+      // Base-matrix shape is z-independent; use the smallest z.
+      const auto code = codes::make_code(
+          {row.standard, r, codes::supported_z(row.standard).front()});
+      jmin = std::min(jmin, code.block_rows());
+      jmax = std::max(jmax, code.block_rows());
+      k = code.block_cols();
+    }
+    const auto zs = codes::supported_z(row.standard);
+    const std::string zr =
+        zs.size() == 1 ? std::to_string(zs.front())
+                       : std::to_string(zs.front()) + "-" +
+                             std::to_string(zs.back());
+    t1.row({to_string(row.standard),
+            std::to_string(jmin) + "-" + std::to_string(jmax),
+            std::to_string(k), zr, row.j, row.k, row.z});
+  }
+  bench::emit(t1, opt);
+
+  util::Table modes("Mode inventory (derived)");
+  modes.header({"mode", "n", "k_info", "rate", "j", "k", "z", "E blocks",
+                "edges"});
+  for (const auto& id : codes::all_modes()) {
+    const auto code = codes::make_code(id);
+    modes.row({code.name(), std::to_string(code.n()),
+               std::to_string(code.k_info()),
+               util::fmt_fixed(code.rate(), 3),
+               std::to_string(code.block_rows()),
+               std::to_string(code.block_cols()), std::to_string(code.z()),
+               std::to_string(code.nonzero_blocks()),
+               std::to_string(code.edges())});
+  }
+  bench::emit(modes, opt);
+  return 0;
+}

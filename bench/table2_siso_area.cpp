@@ -1,0 +1,55 @@
+// Reproduces Table 2: comparison of the two SISO decoder architectures.
+//
+// Prints the modelled Radix-2 / Radix-4 SISO areas and the efficiency
+// factor eta = speedup / area-overhead at the paper's three synthesis
+// clock targets, next to the published values.
+#include "bench_common.hpp"
+#include "ldpc/power/area_model.hpp"
+
+using namespace ldpc;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse(argc, argv);
+  const power::AreaModel model;
+
+  struct Anchor {
+    double f;
+    double r2_paper, r4_paper, eta_paper;
+  };
+  const Anchor anchors[] = {
+      {450.0, 6978, 12774, 1.09},
+      {325.0, 6367, 10077, 1.26},
+      {200.0, 6197, 8944, 1.39},
+  };
+
+  util::Table t("Table 2: comparison of two SISO decoder architectures");
+  t.header({"clock", "R2 area um2", "paper", "R4 area um2", "paper",
+            "eta = speedup/overhead", "paper eta"});
+  for (const auto& a : anchors) {
+    t.row({util::fmt_fixed(a.f, 0) + " MHz",
+           util::fmt_group(static_cast<long long>(
+               model.siso_area_um2(core::Radix::kR2, a.f))),
+           util::fmt_group(static_cast<long long>(a.r2_paper)),
+           util::fmt_group(static_cast<long long>(
+               model.siso_area_um2(core::Radix::kR4, a.f))),
+           util::fmt_group(static_cast<long long>(a.r4_paper)),
+           util::fmt_fixed(model.efficiency_eta(a.f), 2),
+           util::fmt_fixed(a.eta_paper, 2)});
+  }
+  bench::emit(t, opt);
+
+  // Extended sweep: where does Radix-4 stop paying off?
+  util::Table sweep("Efficiency sweep (model extrapolation)");
+  sweep.header({"clock MHz", "R2 um2", "R4 um2", "overhead", "eta"});
+  for (double f = 100; f <= 550; f += 50) {
+    const double r2 = model.siso_area_um2(core::Radix::kR2, f);
+    const double r4 = model.siso_area_um2(core::Radix::kR4, f);
+    sweep.row({util::fmt_fixed(f, 0),
+               util::fmt_group(static_cast<long long>(r2)),
+               util::fmt_group(static_cast<long long>(r4)),
+               util::fmt_fixed(r4 / r2, 2),
+               util::fmt_fixed(model.efficiency_eta(f), 2)});
+  }
+  bench::emit(sweep, opt);
+  return 0;
+}

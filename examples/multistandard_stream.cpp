@@ -1,0 +1,109 @@
+// Multi-standard streaming: the paper's headline feature in action.
+//
+// A single DecoderChip instance serves an interleaved stream of frames
+// from different standards and modes — 802.16e rate 1/2, 802.11n rate
+// 3/4, 802.16e rate 5/6 — reconfiguring dynamically between frames like a
+// 4G handset switching networks, while tracking per-mode statistics and
+// the power saved by deactivating unused SISO lanes.
+//
+//   ./multistandard_stream [--frames 12] [--snr 3.0] [--seed 7]
+#include <iostream>
+
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/enc/encoder.hpp"
+#include "ldpc/power/power_model.hpp"
+#include "ldpc/util/args.hpp"
+#include "ldpc/util/stats.hpp"
+#include "ldpc/util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+struct Mode {
+  codes::QCCode code;
+  std::unique_ptr<enc::Encoder> encoder;
+  double snr_db;
+  int frames_ok = 0, frames = 0;
+  util::RunningStats iterations;
+
+  Mode(const codes::CodeId& id, double snr)
+      : code(codes::make_code(id)), encoder(enc::make_encoder(code)),
+        snr_db(snr) {}
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"frames", "snr", "seed"});
+  const int rounds = static_cast<int>(args.get_or("frames", 12LL));
+  const double base_snr = args.get_or("snr", 3.0);
+  util::Xoshiro256 rng(
+      static_cast<std::uint64_t>(args.get_or("seed", 7LL)));
+
+  // The traffic mix: a WiMax data burst, a WLAN frame, a high-rate burst.
+  std::vector<Mode> modes;
+  modes.reserve(3);  // encoders reference their Mode's code: no relocation
+  modes.emplace_back(
+      codes::CodeId{codes::Standard::kWimax80216e, codes::Rate::kR12, 96},
+      base_snr);
+  modes.emplace_back(
+      codes::CodeId{codes::Standard::kWlan80211n, codes::Rate::kR34, 81},
+      base_snr + 1.5);
+  modes.emplace_back(
+      codes::CodeId{codes::Standard::kWimax80216e, codes::Rate::kR56, 24},
+      base_snr + 2.5);
+
+  arch::DecoderChip chip(
+      {}, {.max_iterations = 10,
+           .early_termination = {.enabled = true, .threshold_raw = 8}});
+  const power::PowerModel pwr(450.0, 1.0);
+
+  std::cout << "streaming " << rounds
+            << " rounds across 3 standards/modes on one chip...\n\n";
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& mode : modes) {
+      // Dynamic reconfiguration (the chip re-programs its layer schedule
+      // and gates unused SISO lanes).
+      chip.configure(mode.code);
+
+      std::vector<std::uint8_t> info(
+          static_cast<std::size_t>(mode.code.k_info()));
+      enc::random_bits(rng, info);
+      const auto cw = mode.encoder->encode(info);
+      auto frame = channel::modulate(cw, channel::Modulation::kBpsk);
+      const double sigma = channel::ebn0_to_sigma(
+          mode.snr_db, mode.code.rate(), channel::Modulation::kBpsk);
+      channel::AwgnChannel(sigma).transmit(frame.samples, rng);
+
+      const auto r = chip.decode(channel::demap_llr(frame, sigma));
+      bool ok = r.functional.converged;
+      for (std::size_t i = 0; ok && i < info.size(); ++i)
+        ok = r.functional.bits[i] == info[i];
+      ++mode.frames;
+      mode.frames_ok += ok ? 1 : 0;
+      mode.iterations.add(r.functional.iterations);
+    }
+  }
+
+  util::Table t("per-mode results (one shared chip)");
+  t.header({"mode", "Eb/N0", "frames ok", "avg iter", "active SISOs",
+            "avg power mW"});
+  for (auto& mode : modes) {
+    chip.configure(mode.code);
+    const double mw = pwr.average_mw({}, mode.code.z(),
+                                     mode.iterations.mean(), 10);
+    t.row({mode.code.name(), util::fmt_fixed(mode.snr_db, 1),
+           std::to_string(mode.frames_ok) + "/" +
+               std::to_string(mode.frames),
+           util::fmt_fixed(mode.iterations.mean(), 2),
+           std::to_string(mode.code.z()), util::fmt_fixed(mw, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nnote how the small-z mode draws less power (fewer active"
+               " lanes, Fig. 9b) and good channels finish in fewer"
+               " iterations (early termination, Fig. 9a).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// z x z circular shifter (the routing network of Fig. 7).
+//
+// Routes one L-memory word ([1 x z] APP messages) to the z SISO decoders
+// with an arbitrary cyclic rotation. Modelled as a logarithmic barrel
+// shifter: ceil(log2(z_max)) mux stages, each stage rotating by a power of
+// two. The model is functional (performs the rotation) and structural
+// (reports stage count / latency and mux counts for the area and
+// throughput models; section III-E notes the shifter latency degrades
+// throughput by 5-15%).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ldpc::arch {
+
+class CircularShifter {
+ public:
+  /// A shifter sized for words of up to `z_max` lanes (96 for the paper's
+  /// 802.16e/.11n chip).
+  explicit CircularShifter(int z_max);
+
+  int z_max() const noexcept { return z_max_; }
+  /// Number of mux stages = ceil(log2(z_max)) (a structural figure for
+  /// the area model; the mux tree is combinational).
+  int stages() const noexcept { return stages_; }
+  /// Pipeline latency in cycles: the mux tree sits between an input and an
+  /// output register bank (7 cascaded 2:1 muxes easily close 450 MHz at
+  /// 90 nm), so a routed word appears two cycles after the L-memory read.
+  int latency_cycles() const noexcept { return 2; }
+  /// Total 2:1 mux count (z_max per stage) — feeds the area model.
+  long long mux_count() const noexcept {
+    return static_cast<long long>(stages_) * z_max_;
+  }
+
+  /// Rotates `word` left by `shift` within the first `z` lanes:
+  /// out[i] = word[(i + shift) mod z]. `z <= z_max`; lanes beyond z are
+  /// untouched (deactivated, like the chip's unused banks).
+  void rotate(std::span<const std::int32_t> word, int shift, int z,
+              std::span<std::int32_t> out) const;
+
+  /// In-place convenience overload.
+  std::vector<std::int32_t> rotate(std::span<const std::int32_t> word,
+                                   int shift) const;
+
+  /// Inverse rotation (write-back path): rotate_back(rotate(w, s)) == w.
+  void rotate_back(std::span<const std::int32_t> word, int shift, int z,
+                   std::span<std::int32_t> out) const;
+
+ private:
+  int z_max_;
+  int stages_;
+};
+
+}  // namespace ldpc::arch

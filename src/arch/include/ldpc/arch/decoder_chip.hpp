@@ -1,0 +1,108 @@
+// Structural (chip-level) model of the full decoder of Fig. 7/8.
+//
+// Wires together the architectural components — central L-memory, z x z
+// circular shifter, z distributed SISO cores with their Lambda memory
+// banks, and the early-termination monitor — and executes the block-serial
+// schedule through them, counting every memory access and every cycle
+// (including pipeline stalls and shifter latency). The arithmetic is the
+// same bit-accurate datapath as core::ReconfigurableDecoder; tests verify
+// the two produce identical hard decisions, which validates the
+// memory-bank addressing and shifter routing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "ldpc/arch/circular_shifter.hpp"
+#include "ldpc/arch/memory.hpp"
+#include "ldpc/arch/pipeline.hpp"
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/decoder.hpp"
+
+namespace ldpc::arch {
+
+/// Hardware capacity of a chip instance (the paper's chip: z up to 96, 24
+/// block columns, 12 layers — enough for every 802.11n and 802.16e mode).
+struct ChipDimensions {
+  int z_max = 96;
+  int block_cols_max = 24;
+  int layers_max = 12;
+  int row_degree_max = 24;
+
+  /// True if `code` fits this chip.
+  bool fits(const codes::QCCode& code) const;
+
+  /// Dimensions able to host every registered mode of all standards
+  /// (covers DMB-T's k = 60, j up to 36, z = 127).
+  static ChipDimensions universal();
+};
+
+struct ChipDecodeStats {
+  long long cycles = 0;           // total, incl. stalls and shifter latency
+  long long l_mem_reads = 0;
+  long long l_mem_writes = 0;
+  long long lambda_reads = 0;
+  long long lambda_writes = 0;
+  int active_sisos = 0;           // z of the configured code
+  int idle_sisos = 0;             // z_max - z (power-gated, Fig. 9b)
+  int stalls_per_iteration = 0;
+};
+
+struct ChipDecodeResult {
+  core::FixedDecodeResult functional;  // bits / iterations / convergence
+  ChipDecodeStats stats;
+};
+
+class DecoderChip {
+ public:
+  DecoderChip(ChipDimensions dims, core::DecoderConfig config = {});
+
+  /// Loads a code (the dynamic reconfiguration step): activates z SISO
+  /// cores and banks, programs the layer schedule (optimised order).
+  /// Throws std::invalid_argument if the code exceeds the chip dimensions.
+  void configure(const codes::QCCode& code);
+
+  bool configured() const noexcept { return code_ != nullptr; }
+  const codes::QCCode& code() const;
+  const ChipDimensions& dimensions() const noexcept { return dims_; }
+  const core::DecoderConfig& decoder_config() const noexcept {
+    return config_;
+  }
+  /// Layer execution order after optimisation.
+  std::span<const int> layer_order() const noexcept { return order_; }
+
+  /// Overrides the layer schedule (e.g. natural order to compare against
+  /// the functional decoder bit-for-bit, or an externally computed
+  /// schedule). Must be a permutation of 0..j-1 of the configured code.
+  void set_layer_order(std::span<const int> order);
+
+  /// Decodes one frame through the structural datapath.
+  ChipDecodeResult decode(std::span<const double> llr);
+
+ private:
+  void process_layer(int layer);
+
+  ChipDimensions dims_;
+  core::DecoderConfig config_;
+  fixed::QFormat app_fmt_;
+  const codes::QCCode* code_ = nullptr;
+
+  CircularShifter shifter_;
+  LMemory l_mem_;
+  LambdaMemoryBanks lambda_banks_;
+  core::SisoR2 siso_r2_;
+  core::SisoR4 siso_r4_;
+  core::EarlyTermination et_;
+  std::optional<PipelineModel> pipeline_;
+  std::vector<int> order_;
+  IterationTiming timing_;
+
+  // Scratch: rot_buf_ holds the d rotated L-words of the current layer
+  // (degree_max x z_max), the rest are per-row working vectors.
+  std::vector<std::int32_t> rot_buf_;
+  std::vector<std::int32_t> word_, lam_, lam_full_, lam_new_, out_word_;
+};
+
+}  // namespace ldpc::arch

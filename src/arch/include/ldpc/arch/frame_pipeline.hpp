@@ -1,0 +1,77 @@
+// Frame-level pipeline: the In/Out Buffer of the chip floorplan (Fig. 8).
+//
+// The decoder core processes frame i while the input buffer receives
+// frame i+1 and the output buffer drains frame i-1 (double buffering).
+// Sustained throughput is then limited by max(decode time, I/O time); the
+// model tracks core-busy vs core-idle cycles so the utilisation loss of
+// short frames (where reconfiguration and I/O dominate) is visible.
+#pragma once
+
+#include <cstdint>
+
+#include "ldpc/arch/decoder_chip.hpp"
+
+namespace ldpc::arch {
+
+struct FramePipelineConfig {
+  /// Bits transferred per cycle on the input/output interfaces (the
+  /// paper's SoC context suggests a wide on-chip bus).
+  int io_bits_per_cycle = 64;
+  /// Cycles to reprogram the control (layer schedule, bank activation)
+  /// when the code changes between frames.
+  int reconfigure_cycles = 32;
+};
+
+struct FramePipelineStats {
+  long long frames = 0;
+  long long decode_cycles = 0;     // core busy
+  long long io_cycles = 0;         // input load + output drain demand
+  long long stall_cycles = 0;      // core idle waiting for I/O or config
+  long long reconfigurations = 0;
+
+  /// Total elapsed cycles with double buffering.
+  long long elapsed_cycles() const {
+    return decode_cycles + stall_cycles;
+  }
+  /// Fraction of elapsed time the decoder core computes.
+  double core_utilization() const {
+    const long long total = elapsed_cycles();
+    return total ? static_cast<double>(decode_cycles) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  /// Sustained information throughput at `f_clk_hz`.
+  double sustained_bps(double f_clk_hz, long long info_bits) const {
+    const long long total = elapsed_cycles();
+    return total ? static_cast<double>(info_bits) * f_clk_hz /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Runs frames through a DecoderChip while accounting for the double-
+/// buffered I/O overlap.
+class FramePipeline {
+ public:
+  FramePipeline(DecoderChip& chip, FramePipelineConfig config = {});
+
+  /// Decodes one frame of channel LLRs for `code`, reconfiguring first if
+  /// the chip currently holds a different code. Returns the chip result;
+  /// pipeline accounting accumulates in stats().
+  ChipDecodeResult decode_frame(const codes::QCCode& code,
+                                std::span<const double> llr);
+
+  const FramePipelineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Info bits decoded so far (for sustained_bps).
+  long long info_bits() const noexcept { return info_bits_; }
+
+ private:
+  DecoderChip& chip_;
+  FramePipelineConfig config_;
+  FramePipelineStats stats_;
+  long long info_bits_ = 0;
+};
+
+}  // namespace ldpc::arch

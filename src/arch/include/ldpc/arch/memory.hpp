@@ -1,0 +1,92 @@
+// Memory-bank models: the central L-memory and the distributed Lambda
+// memories of Fig. 7.
+//
+// These are functional models with port-accounting: every read/write is
+// counted per bank and per cycle so the pipeline model can verify the
+// dual-port constraint (section III-C: overlapped layers need simultaneous
+// read and write) and the power model can convert access counts and active
+// bank counts into energy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ldpc::arch {
+
+/// Access statistics for one bank.
+struct BankStats {
+  long long reads = 0;
+  long long writes = 0;
+};
+
+/// Central L-memory: one word holds the [1 x z] APP messages of a block
+/// column, enabling parallel access by all z SISO decoders (Fig. 7).
+class LMemory {
+ public:
+  /// `words` = number of block columns (k), `z_max` lanes per word.
+  LMemory(int words, int z_max);
+
+  int words() const noexcept { return words_; }
+  int z_max() const noexcept { return z_max_; }
+
+  /// Reads word `w` (first `z` lanes) into `out`; counts one read port use.
+  void read(int w, int z, std::span<std::int32_t> out);
+  /// Writes the first `z` lanes of word `w`; counts one write port use.
+  void write(int w, int z, std::span<const std::int32_t> values);
+
+  /// Direct lane accessors (no port accounting) for initialisation and
+  /// decision readout.
+  std::int32_t lane(int w, int i) const;
+  void set_lane(int w, int i, std::int32_t v);
+
+  const BankStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  int words_;
+  int z_max_;
+  std::vector<std::int32_t> data_;  // words_ x z_max_
+  BankStats stats_;
+};
+
+/// Distributed Lambda memory: one bank per SISO decoder. Bank b stores the
+/// extrinsic messages of check rows congruent to b, addressed by (layer,
+/// edge index within the layer). Unused banks (b >= z of the active code)
+/// can be deactivated — the power-saving mechanism of Fig. 9(b).
+class LambdaMemoryBanks {
+ public:
+  /// `z_max` banks, each sized for `layers_max` layers of up to
+  /// `row_degree_max` messages.
+  LambdaMemoryBanks(int z_max, int layers_max, int row_degree_max);
+
+  int banks() const noexcept { return z_max_; }
+  int active_banks() const noexcept { return active_; }
+
+  /// Activates the first `z` banks, deactivating the rest (reconfiguration
+  /// on a code switch). Contents of all banks are cleared.
+  void activate(int z);
+
+  /// Reads/writes message `e` of layer `l` in bank `b`. Throws if the bank
+  /// is deactivated (the control logic must never touch idle banks).
+  std::int32_t read(int b, int l, int e);
+  void write(int b, int l, int e, std::int32_t v);
+
+  const BankStats& stats(int b) const;
+  long long total_reads() const noexcept;
+  long long total_writes() const noexcept;
+  void reset_stats() noexcept;
+
+ private:
+  std::size_t index(int b, int l, int e) const;
+
+  int z_max_;
+  int layers_max_;
+  int degree_max_;
+  int active_ = 0;
+  std::vector<std::int32_t> data_;
+  std::vector<BankStats> stats_;
+};
+
+}  // namespace ldpc::arch

@@ -1,0 +1,38 @@
+// Decoding throughput models (section III-E).
+//
+// The paper's closed-form pipelined Radix-4 throughput is
+//     T = 2 * k * z * R * f_clk / (E * I)
+// with k block columns, z sub-matrix size, R code rate, E non-zero
+// sub-matrices and I full iterations; the circular shifter latency (not in
+// the formula) degrades this by "about 5-15%". This module provides the
+// closed-form value and a cycle-accurate value derived from the pipeline
+// model so the two can be compared.
+#pragma once
+
+#include "ldpc/arch/pipeline.hpp"
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/decoder.hpp"
+
+namespace ldpc::arch {
+
+struct ThroughputReport {
+  double formula_bps = 0.0;   // paper's closed form
+  double modeled_bps = 0.0;   // from cycle-accurate pipeline analysis
+  double degradation = 0.0;   // 1 - modeled/formula (stalls + shifter)
+  long long cycles_per_frame = 0;
+  int stalls_per_iteration = 0;
+};
+
+/// Paper's closed-form throughput in bits/s. Radix-2 halves the Radix-4
+/// value (one element per cycle instead of two).
+double formula_throughput(const codes::QCCode& code, core::Radix radix,
+                          double f_clk_hz, int iterations);
+
+/// Cycle-accurate throughput using the pipeline model with the given layer
+/// order (`optimize` = true first runs the layer-reordering optimiser).
+ThroughputReport modeled_throughput(const codes::QCCode& code,
+                                    const PipelineConfig& config,
+                                    double f_clk_hz, int iterations,
+                                    bool optimize_order = true);
+
+}  // namespace ldpc::arch

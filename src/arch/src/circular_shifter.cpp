@@ -1,0 +1,43 @@
+#include "ldpc/arch/circular_shifter.hpp"
+
+#include <stdexcept>
+
+namespace ldpc::arch {
+
+CircularShifter::CircularShifter(int z_max) : z_max_(z_max), stages_(0) {
+  if (z_max <= 0) throw std::invalid_argument("CircularShifter: z_max");
+  int span = 1;
+  while (span < z_max_) {
+    span <<= 1;
+    ++stages_;
+  }
+}
+
+void CircularShifter::rotate(std::span<const std::int32_t> word, int shift,
+                             int z, std::span<std::int32_t> out) const {
+  if (z <= 0 || z > z_max_)
+    throw std::invalid_argument("CircularShifter::rotate: z");
+  if (word.size() < static_cast<std::size_t>(z) ||
+      out.size() < static_cast<std::size_t>(z))
+    throw std::invalid_argument("CircularShifter::rotate: word size");
+  if (shift < 0 || shift >= z)
+    throw std::invalid_argument("CircularShifter::rotate: shift");
+  for (int i = 0; i < z; ++i) out[i] = word[(i + shift) % z];
+}
+
+std::vector<std::int32_t> CircularShifter::rotate(
+    std::span<const std::int32_t> word, int shift) const {
+  std::vector<std::int32_t> out(word.size());
+  rotate(word, shift, static_cast<int>(word.size()), out);
+  return out;
+}
+
+void CircularShifter::rotate_back(std::span<const std::int32_t> word,
+                                  int shift, int z,
+                                  std::span<std::int32_t> out) const {
+  if (shift < 0 || shift >= z)
+    throw std::invalid_argument("CircularShifter::rotate_back: shift");
+  rotate(word, (z - shift) % z, z, out);
+}
+
+}  // namespace ldpc::arch

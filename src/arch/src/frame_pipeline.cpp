@@ -1,0 +1,46 @@
+#include "ldpc/arch/frame_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpc::arch {
+
+FramePipeline::FramePipeline(DecoderChip& chip, FramePipelineConfig config)
+    : chip_(chip), config_(config) {
+  if (config_.io_bits_per_cycle <= 0 || config_.reconfigure_cycles < 0)
+    throw std::invalid_argument("FramePipeline: config");
+}
+
+ChipDecodeResult FramePipeline::decode_frame(const codes::QCCode& code,
+                                             std::span<const double> llr) {
+  long long overhead = 0;
+  const bool needs_config = !chip_.configured() || &chip_.code() != &code;
+  if (needs_config) {
+    chip_.configure(code);
+    ++stats_.reconfigurations;
+    // Reconfiguration cannot overlap decoding: the schedule and bank
+    // activation change under the core.
+    overhead += config_.reconfigure_cycles;
+  }
+
+  ChipDecodeResult result = chip_.decode(llr);
+
+  // I/O demand for this frame: soft input (message-width LLRs) in, hard
+  // decisions out. With double buffering this overlaps the *next* frame's
+  // decode; the core stalls only when I/O takes longer than decoding.
+  const int msg_bits = chip_.decoder_config().format.total_bits();
+  const long long in_bits = static_cast<long long>(code.n()) * msg_bits;
+  const long long out_bits = code.n();
+  const long long io =
+      (in_bits + out_bits + config_.io_bits_per_cycle - 1) /
+      config_.io_bits_per_cycle;
+
+  ++stats_.frames;
+  stats_.decode_cycles += result.stats.cycles;
+  stats_.io_cycles += io;
+  stats_.stall_cycles += overhead + std::max(0LL, io - result.stats.cycles);
+  info_bits_ += code.k_info();
+  return result;
+}
+
+}  // namespace ldpc::arch

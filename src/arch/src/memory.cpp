@@ -1,0 +1,101 @@
+#include "ldpc/arch/memory.hpp"
+
+namespace ldpc::arch {
+
+LMemory::LMemory(int words, int z_max)
+    : words_(words), z_max_(z_max),
+      data_(static_cast<std::size_t>(words) * z_max, 0) {
+  if (words <= 0 || z_max <= 0)
+    throw std::invalid_argument("LMemory: dimensions");
+}
+
+void LMemory::read(int w, int z, std::span<std::int32_t> out) {
+  if (w < 0 || w >= words_) throw std::out_of_range("LMemory::read: word");
+  if (z <= 0 || z > z_max_ || out.size() < static_cast<std::size_t>(z))
+    throw std::invalid_argument("LMemory::read: lanes");
+  const auto* src = &data_[static_cast<std::size_t>(w) * z_max_];
+  for (int i = 0; i < z; ++i) out[i] = src[i];
+  ++stats_.reads;
+}
+
+void LMemory::write(int w, int z, std::span<const std::int32_t> values) {
+  if (w < 0 || w >= words_) throw std::out_of_range("LMemory::write: word");
+  if (z <= 0 || z > z_max_ || values.size() < static_cast<std::size_t>(z))
+    throw std::invalid_argument("LMemory::write: lanes");
+  auto* dst = &data_[static_cast<std::size_t>(w) * z_max_];
+  for (int i = 0; i < z; ++i) dst[i] = values[i];
+  ++stats_.writes;
+}
+
+std::int32_t LMemory::lane(int w, int i) const {
+  if (w < 0 || w >= words_ || i < 0 || i >= z_max_)
+    throw std::out_of_range("LMemory::lane");
+  return data_[static_cast<std::size_t>(w) * z_max_ + i];
+}
+
+void LMemory::set_lane(int w, int i, std::int32_t v) {
+  if (w < 0 || w >= words_ || i < 0 || i >= z_max_)
+    throw std::out_of_range("LMemory::set_lane");
+  data_[static_cast<std::size_t>(w) * z_max_ + i] = v;
+}
+
+LambdaMemoryBanks::LambdaMemoryBanks(int z_max, int layers_max,
+                                     int row_degree_max)
+    : z_max_(z_max), layers_max_(layers_max), degree_max_(row_degree_max),
+      data_(static_cast<std::size_t>(z_max) * layers_max * row_degree_max,
+            0),
+      stats_(static_cast<std::size_t>(z_max)) {
+  if (z_max <= 0 || layers_max <= 0 || row_degree_max <= 0)
+    throw std::invalid_argument("LambdaMemoryBanks: dimensions");
+}
+
+void LambdaMemoryBanks::activate(int z) {
+  if (z <= 0 || z > z_max_)
+    throw std::invalid_argument("LambdaMemoryBanks::activate: z");
+  active_ = z;
+  std::fill(data_.begin(), data_.end(), 0);
+}
+
+std::size_t LambdaMemoryBanks::index(int b, int l, int e) const {
+  if (b < 0 || b >= active_)
+    throw std::out_of_range("LambdaMemoryBanks: inactive or invalid bank");
+  if (l < 0 || l >= layers_max_ || e < 0 || e >= degree_max_)
+    throw std::out_of_range("LambdaMemoryBanks: address");
+  return (static_cast<std::size_t>(b) * layers_max_ + l) * degree_max_ + e;
+}
+
+std::int32_t LambdaMemoryBanks::read(int b, int l, int e) {
+  const std::size_t i = index(b, l, e);
+  ++stats_[static_cast<std::size_t>(b)].reads;
+  return data_[i];
+}
+
+void LambdaMemoryBanks::write(int b, int l, int e, std::int32_t v) {
+  const std::size_t i = index(b, l, e);
+  ++stats_[static_cast<std::size_t>(b)].writes;
+  data_[i] = v;
+}
+
+const BankStats& LambdaMemoryBanks::stats(int b) const {
+  if (b < 0 || b >= z_max_)
+    throw std::out_of_range("LambdaMemoryBanks::stats");
+  return stats_[static_cast<std::size_t>(b)];
+}
+
+long long LambdaMemoryBanks::total_reads() const noexcept {
+  long long total = 0;
+  for (const auto& s : stats_) total += s.reads;
+  return total;
+}
+
+long long LambdaMemoryBanks::total_writes() const noexcept {
+  long long total = 0;
+  for (const auto& s : stats_) total += s.writes;
+  return total;
+}
+
+void LambdaMemoryBanks::reset_stats() noexcept {
+  for (auto& s : stats_) s = {};
+}
+
+}  // namespace ldpc::arch

@@ -1,0 +1,254 @@
+#include "ldpc/arch/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ldpc::arch {
+
+namespace {
+
+/// Cycle offset (within a stage) at which the e-th entry of a layer is
+/// processed: one entry per cycle for R2, two per cycle for R4.
+int entry_cycle(int e, core::Radix radix) {
+  return radix == core::Radix::kR2 ? e : e / 2;
+}
+
+}  // namespace
+
+PipelineModel::PipelineModel(const codes::QCCode& code, PipelineConfig config)
+    : code_(&code), config_(config) {
+  if (config_.read_after_write_margin < 0)
+    throw std::invalid_argument("PipelineModel: margin");
+  if (config_.shifter_stages < 0)
+    throw std::invalid_argument("PipelineModel: shifter_stages");
+}
+
+int PipelineModel::stage_cycles(int layer) const {
+  const int d = static_cast<int>(code_->layers().at(layer).size());
+  return config_.radix == core::Radix::kR2 ? d : (d + 1) / 2;
+}
+
+namespace {
+
+std::vector<int> canonical_order(std::size_t n) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace
+
+int PipelineModel::stall_between(int prev, int next) const {
+  const auto po = canonical_order(code_->layers().at(prev).size());
+  const auto no = canonical_order(code_->layers().at(next).size());
+  return stall_between(prev, next, po, no);
+}
+
+int PipelineModel::stall_between(int prev, int next,
+                                 std::span<const int> prev_order,
+                                 std::span<const int> next_order) const {
+  if (!config_.overlap) return 0;
+  const auto& lp = code_->layers().at(prev);
+  const auto& ln = code_->layers().at(next);
+  if (prev_order.size() != lp.size() || next_order.size() != ln.size())
+    throw std::invalid_argument("stall_between: entry order size");
+  const int margin =
+      config_.read_after_write_margin +
+      (config_.include_shifter_latency ? config_.shifter_stages : 0);
+  int stall = 0;
+  // For every block column both layers touch: `next` reads it at cycle
+  // rt of its stage 1, `prev` writes it at cycle wt of its stage 2. The
+  // two stages start together when the stall is zero.
+  for (std::size_t rpos = 0; rpos < next_order.size(); ++rpos) {
+    const int col = ln[static_cast<std::size_t>(next_order[rpos])].block_col;
+    for (std::size_t wpos = 0; wpos < prev_order.size(); ++wpos) {
+      if (lp[static_cast<std::size_t>(prev_order[wpos])].block_col != col)
+        continue;
+      const int wt = entry_cycle(static_cast<int>(wpos), config_.radix);
+      const int rt = entry_cycle(static_cast<int>(rpos), config_.radix);
+      stall = std::max(stall, wt - rt + margin);
+    }
+  }
+  return stall;
+}
+
+std::vector<std::vector<int>> PipelineModel::optimize_entry_orders(
+    std::span<const int> layer_order) const {
+  const int j = code_->block_rows();
+  std::vector<std::vector<int>> orders(static_cast<std::size_t>(j));
+  for (int l = 0; l < j; ++l)
+    orders[static_cast<std::size_t>(l)] =
+        canonical_order(code_->layers()[static_cast<std::size_t>(l)].size());
+  if (!config_.reorder_reads || j <= 1) return orders;
+
+  // Greedy sweeps around the schedule ring: given the predecessor's write
+  // order, read each shared column as late after its write as possible by
+  // sorting this layer's entries ascending by the predecessor's write
+  // cycle (non-shared columns first). Two sweeps let the wrap-around pair
+  // settle.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < layer_order.size(); ++i) {
+      const int b = layer_order[i];
+      const int a = layer_order[(i + layer_order.size() - 1) %
+                                layer_order.size()];
+      const auto& la = code_->layers()[static_cast<std::size_t>(a)];
+      const auto& lb = code_->layers()[static_cast<std::size_t>(b)];
+      const auto& ao = orders[static_cast<std::size_t>(a)];
+
+      // Write cycle of each column in layer a (or -1 if not present).
+      auto write_cycle = [&](int col) {
+        for (std::size_t wpos = 0; wpos < ao.size(); ++wpos)
+          if (la[static_cast<std::size_t>(ao[wpos])].block_col == col)
+            return entry_cycle(static_cast<int>(wpos), config_.radix);
+        return -1;
+      };
+      auto& bo = orders[static_cast<std::size_t>(b)];
+      std::stable_sort(bo.begin(), bo.end(), [&](int x, int y) {
+        return write_cycle(lb[static_cast<std::size_t>(x)].block_col) <
+               write_cycle(lb[static_cast<std::size_t>(y)].block_col);
+      });
+    }
+  }
+
+  // Local-search refinement: each layer's single order serves as both its
+  // read order (vs its predecessor) and its write order (vs its
+  // successor), so the greedy pass leaves conflicts. Hill-climb on entry
+  // swaps, scoring the two schedule edges each layer participates in.
+  auto edge_stall = [&](std::size_t i) {
+    const int b = layer_order[i];
+    const int a = layer_order[(i + layer_order.size() - 1) %
+                              layer_order.size()];
+    return stall_between(a, b, orders[static_cast<std::size_t>(a)],
+                         orders[static_cast<std::size_t>(b)]);
+  };
+  bool improved = true;
+  for (int round = 0; round < 6 && improved; ++round) {
+    improved = false;
+    for (std::size_t i = 0; i < layer_order.size(); ++i) {
+      const int b = layer_order[i];
+      auto& bo = orders[static_cast<std::size_t>(b)];
+      const std::size_t succ = (i + 1) % layer_order.size();
+      for (std::size_t x = 0; x < bo.size(); ++x)
+        for (std::size_t y = x + 1; y < bo.size(); ++y) {
+          const int before = edge_stall(i) + edge_stall(succ);
+          std::swap(bo[x], bo[y]);
+          const int after = edge_stall(i) + edge_stall(succ);
+          if (after < before)
+            improved = true;
+          else
+            std::swap(bo[x], bo[y]);
+        }
+    }
+  }
+  return orders;
+}
+
+IterationTiming PipelineModel::analyze(std::span<const int> order) const {
+  const int j = code_->block_rows();
+  if (static_cast<int>(order.size()) != j)
+    throw std::invalid_argument("PipelineModel::analyze: order size");
+  std::vector<bool> seen(static_cast<std::size_t>(j), false);
+  for (int l : order) {
+    if (l < 0 || l >= j || seen[static_cast<std::size_t>(l)])
+      throw std::invalid_argument(
+          "PipelineModel::analyze: not a permutation");
+    seen[static_cast<std::size_t>(l)] = true;
+  }
+
+  const auto entry_orders = optimize_entry_orders(order);
+  IterationTiming timing;
+  timing.schedule.reserve(static_cast<std::size_t>(j));
+  for (int i = 0; i < j; ++i) {
+    const int layer = order[static_cast<std::size_t>(i)];
+    const int prev = order[static_cast<std::size_t>((i + j - 1) % j)];
+    LayerTiming lt;
+    lt.layer = layer;
+    lt.stage_cycles = stage_cycles(layer);
+    lt.stall = stall_between(  // wrap-around dependency for i == 0
+        prev, layer, entry_orders[static_cast<std::size_t>(prev)],
+        entry_orders[static_cast<std::size_t>(layer)]);
+    timing.schedule.push_back(lt);
+    timing.total_stalls += lt.stall;
+    timing.cycles_per_iteration += lt.stage_cycles + lt.stall;
+    if (!config_.overlap) timing.cycles_per_iteration += lt.stage_cycles;
+  }
+  timing.drain_cycles =
+      config_.overlap ? stage_cycles(order[static_cast<std::size_t>(j - 1)])
+                      : 0;
+  return timing;
+}
+
+IterationTiming PipelineModel::analyze_natural() const {
+  std::vector<int> order(static_cast<std::size_t>(code_->block_rows()));
+  std::iota(order.begin(), order.end(), 0);
+  return analyze(order);
+}
+
+std::vector<int> PipelineModel::optimize_order() const {
+  const int j = code_->block_rows();
+  std::vector<int> order(static_cast<std::size_t>(j));
+  std::iota(order.begin(), order.end(), 0);
+  if (j <= 1) return order;
+
+  auto cost = [this](const std::vector<int>& o) {
+    long long total = 0;
+    for (std::size_t i = 0; i < o.size(); ++i)
+      total += stall_between(o[(i + o.size() - 1) % o.size()], o[i]);
+    return total;
+  };
+
+  if (j <= 8) {
+    // Exhaustive over (j-1)! cyclic orders (fix the first layer).
+    std::vector<int> best = order;
+    long long best_cost = cost(order);
+    std::vector<int> perm(order.begin() + 1, order.end());
+    std::sort(perm.begin(), perm.end());
+    do {
+      std::vector<int> cand(1, order[0]);
+      cand.insert(cand.end(), perm.begin(), perm.end());
+      const long long c = cost(cand);
+      if (c < best_cost) {
+        best_cost = c;
+        best = cand;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+  }
+
+  // Greedy nearest-neighbour construction, then pairwise (swap) descent.
+  std::vector<int> result;
+  std::vector<bool> used(static_cast<std::size_t>(j), false);
+  result.push_back(0);
+  used[0] = true;
+  while (static_cast<int>(result.size()) < j) {
+    int best = -1, best_stall = 1 << 30;
+    for (int cand = 0; cand < j; ++cand) {
+      if (used[static_cast<std::size_t>(cand)]) continue;
+      const int s = stall_between(result.back(), cand);
+      if (s < best_stall) {
+        best_stall = s;
+        best = cand;
+      }
+    }
+    result.push_back(best);
+    used[static_cast<std::size_t>(best)] = true;
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t a = 1; a < result.size(); ++a)
+      for (std::size_t b = a + 1; b < result.size(); ++b) {
+        const long long before = cost(result);
+        std::swap(result[a], result[b]);
+        if (cost(result) < before) {
+          improved = true;
+        } else {
+          std::swap(result[a], result[b]);
+        }
+      }
+  }
+  return result;
+}
+
+}  // namespace ldpc::arch

@@ -1,0 +1,43 @@
+#include "ldpc/arch/throughput.hpp"
+
+#include <stdexcept>
+
+namespace ldpc::arch {
+
+double formula_throughput(const codes::QCCode& code, core::Radix radix,
+                          double f_clk_hz, int iterations) {
+  if (f_clk_hz <= 0 || iterations <= 0)
+    throw std::invalid_argument("formula_throughput: params");
+  const double k = code.block_cols();
+  const double z = code.z();
+  const double rate = code.rate();
+  const double e = code.nonzero_blocks();
+  const double radix_factor = radix == core::Radix::kR4 ? 2.0 : 1.0;
+  return radix_factor * k * z * rate * f_clk_hz / (e * iterations);
+}
+
+ThroughputReport modeled_throughput(const codes::QCCode& code,
+                                    const PipelineConfig& config,
+                                    double f_clk_hz, int iterations,
+                                    bool optimize_order) {
+  if (f_clk_hz <= 0 || iterations <= 0)
+    throw std::invalid_argument("modeled_throughput: params");
+  const PipelineModel model(code, config);
+  const IterationTiming timing = optimize_order
+                                     ? model.analyze(model.optimize_order())
+                                     : model.analyze_natural();
+
+  ThroughputReport report;
+  report.formula_bps =
+      formula_throughput(code, config.radix, f_clk_hz, iterations);
+  report.cycles_per_frame =
+      timing.cycles_per_iteration * iterations + timing.drain_cycles;
+  report.stalls_per_iteration = timing.total_stalls;
+  const double info_bits = code.k_info();
+  report.modeled_bps =
+      info_bits * f_clk_hz / static_cast<double>(report.cycles_per_frame);
+  report.degradation = 1.0 - report.modeled_bps / report.formula_bps;
+  return report;
+}
+
+}  // namespace ldpc::arch

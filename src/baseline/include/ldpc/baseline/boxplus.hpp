@@ -1,0 +1,37 @@
+// Exact and approximate check-node kernels in floating point.
+//
+// boxplus (the paper's "circled +") combines two LLRs through the check
+// constraint; boxminus (the "circled -") removes one contribution and is
+// the algebraic inverse used by the paper's g(.) unit:
+//   f(a,b) = log((1 + e^a e^b) / (e^a + e^b))
+//   g(a,b) = log((1 - e^a e^b) / (e^a - e^b))        (g(f(a,b), b) = a)
+#pragma once
+
+#include <span>
+
+namespace ldpc::baseline {
+
+/// Exact boxplus via the numerically robust min + log1p form (Eq. 2).
+double boxplus(double a, double b);
+
+/// Exact boxminus; the result diverges as |a| -> |b| (hardware saturates
+/// there), so the return value is clamped to +/- `clamp`.
+double boxminus(double a, double b, double clamp = 1e3);
+
+/// Min-sum approximation of boxplus: sign(a)sign(b) * min(|a|,|b|),
+/// optionally scaled (normalised min-sum) and offset-corrected.
+double minsum_kernel(double a, double b, double alpha = 1.0,
+                     double beta = 0.0);
+
+/// Piecewise-linear approximation of the correction term log(1 + e^-x)
+/// ~= max(0, (log2 - x/4)) used by the [4]-class linear-approximation CNU.
+double linear_correction(double x);
+
+/// Boxplus with the linear correction instead of the exact log1p terms.
+double boxplus_linear(double a, double b);
+
+/// Folds an entire span with `boxplus` (order-independent within fp
+/// tolerance).
+double boxplus_all(std::span<const double> values);
+
+}  // namespace ldpc::baseline

@@ -1,0 +1,38 @@
+// Common interface for the floating-point reference decoders.
+//
+// These are the comparators the paper's Table 3 and the min-sum discussion
+// in section III-B refer to: flooding/layered belief propagation (the
+// "Full BP" this work implements in hardware), min-sum and its normalised/
+// offset variants (the [3]-class baseline), and a piecewise-linear
+// approximation of the BP kernel (the [4]-class baseline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+
+namespace ldpc::baseline {
+
+struct DecodeResult {
+  std::vector<std::uint8_t> bits;  // hard decisions, size n
+  int iterations = 0;              // full iterations actually run
+  bool converged = false;          // true iff bits is a codeword
+};
+
+/// Soft-input decoder over channel LLRs (positive = bit 0).
+class SoftDecoder {
+ public:
+  virtual ~SoftDecoder() = default;
+
+  /// Decodes `llr` (size n). Runs at most `max_iter` full iterations,
+  /// stopping early when the hard decisions satisfy all parity checks.
+  virtual DecodeResult decode(std::span<const double> llr,
+                              int max_iter) const = 0;
+
+  virtual const codes::QCCode& code() const noexcept = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ldpc::baseline

@@ -1,0 +1,27 @@
+// Piecewise-linear approximation CNU — the [4]-class (Mansour & Shanbhag)
+// baseline of the paper's Table 3 ("Linear Apprx." algorithm row).
+#pragma once
+
+#include "ldpc/baseline/layered_bp.hpp"
+
+namespace ldpc::baseline {
+
+class LinearApprox final : public SoftDecoder {
+ public:
+  explicit LinearApprox(const codes::QCCode& code)
+      : engine_(code, CheckKernel::kLinearApprox) {}
+
+  DecodeResult decode(std::span<const double> llr,
+                      int max_iter) const override {
+    return engine_.decode(llr, max_iter);
+  }
+  const codes::QCCode& code() const noexcept override {
+    return engine_.code();
+  }
+  std::string name() const override { return engine_.name(); }
+
+ private:
+  LayeredBP engine_;
+};
+
+}  // namespace ldpc::baseline

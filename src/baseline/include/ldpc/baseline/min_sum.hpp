@@ -1,0 +1,25 @@
+// Min-sum decoder family (plain, normalised, offset) — the [3]-class
+// baseline the paper argues against in section III-B.
+#pragma once
+
+#include "ldpc/baseline/layered_bp.hpp"
+
+namespace ldpc::baseline {
+
+/// Layered min-sum; alpha < 1 gives normalised min-sum, beta > 0 offset
+/// min-sum.
+class MinSum final : public SoftDecoder {
+ public:
+  explicit MinSum(const codes::QCCode& code, double alpha = 1.0,
+                  double beta = 0.0);
+
+  DecodeResult decode(std::span<const double> llr,
+                      int max_iter) const override;
+  const codes::QCCode& code() const noexcept override;
+  std::string name() const override;
+
+ private:
+  LayeredBP engine_;
+};
+
+}  // namespace ldpc::baseline

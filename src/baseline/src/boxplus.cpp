@@ -1,0 +1,56 @@
+#include "ldpc/baseline/boxplus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldpc::baseline {
+
+double boxplus(double a, double b) {
+  const double sign = (a < 0) == (b < 0) ? 1.0 : -1.0;
+  const double aa = std::abs(a);
+  const double ab = std::abs(b);
+  return sign * (std::min(aa, ab) + std::log1p(std::exp(-(aa + ab))) -
+                 std::log1p(std::exp(-std::abs(aa - ab))));
+}
+
+double boxminus(double a, double b, double clamp) {
+  // g(a,b) = sign(a)sign(b) (min(|a|,|b|) + log(1-e^-(|a|+|b|))
+  //                                       - log(1-e^-||a|-|b||)).
+  const double sign = (a < 0) == (b < 0) ? 1.0 : -1.0;
+  const double aa = std::abs(a);
+  const double ab = std::abs(b);
+  const double diff = std::abs(aa - ab);
+  if (diff < 1e-12) return sign * clamp;  // divergent point: saturate
+  const double v = std::min(aa, ab) + std::log1p(-std::exp(-(aa + ab))) -
+                   std::log1p(-std::exp(-diff));
+  return sign * std::clamp(v, -clamp, clamp);
+}
+
+double minsum_kernel(double a, double b, double alpha, double beta) {
+  const double sign = (a < 0) == (b < 0) ? 1.0 : -1.0;
+  const double mag = std::min(std::abs(a), std::abs(b));
+  return sign * std::max(0.0, alpha * mag - beta);
+}
+
+double linear_correction(double x) {
+  constexpr double kLog2 = 0.6931471805599453;
+  return std::max(0.0, kLog2 - 0.25 * x);
+}
+
+double boxplus_linear(double a, double b) {
+  const double sign = (a < 0) == (b < 0) ? 1.0 : -1.0;
+  const double aa = std::abs(a);
+  const double ab = std::abs(b);
+  return sign * std::max(0.0, std::min(aa, ab) + linear_correction(aa + ab) -
+                                  linear_correction(std::abs(aa - ab)));
+}
+
+double boxplus_all(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = values[0];
+  for (std::size_t i = 1; i < values.size(); ++i)
+    acc = boxplus(acc, values[i]);
+  return acc;
+}
+
+}  // namespace ldpc::baseline

@@ -1,0 +1,83 @@
+#include "ldpc/baseline/flooding_bp.hpp"
+
+#include <stdexcept>
+
+#include "ldpc/baseline/boxplus.hpp"
+
+namespace ldpc::baseline {
+
+DecodeResult FloodingBP::decode(std::span<const double> llr,
+                                int max_iter) const {
+  const int n = code_.n();
+  const int m = code_.m();
+  if (llr.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("FloodingBP::decode: llr size");
+
+  const int edges = code_.edges();
+  // Messages indexed by the code's canonical edge enumeration (row-major
+  // over check rows).
+  std::vector<double> check_msg(edges, 0.0);  // check -> var
+  std::vector<double> var_msg(edges);         // var -> check
+  // Initial variable-to-check messages are the channel LLRs.
+  for (int r = 0; r < m; ++r) {
+    const auto vars = code_.check_vars(r);
+    for (std::size_t e = 0; e < vars.size(); ++e)
+      var_msg[code_.edge_index(r, static_cast<int>(e))] = llr[vars[e]];
+  }
+
+  DecodeResult result;
+  result.bits.assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> app(llr.begin(), llr.end());
+  std::vector<double> prefix, suffix;
+
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    // Check-node update with prefix/suffix boxplus products to exclude
+    // each edge's own contribution.
+    for (int r = 0; r < m; ++r) {
+      const int deg = code_.check_degree(r);
+      const int e0 = code_.edge_index(r, 0);
+      prefix.assign(static_cast<std::size_t>(deg), 0.0);
+      suffix.assign(static_cast<std::size_t>(deg), 0.0);
+      prefix[0] = var_msg[e0];
+      for (int e = 1; e < deg; ++e)
+        prefix[e] = boxplus(prefix[e - 1], var_msg[e0 + e]);
+      suffix[deg - 1] = var_msg[e0 + deg - 1];
+      for (int e = deg - 2; e >= 0; --e)
+        suffix[e] = boxplus(suffix[e + 1], var_msg[e0 + e]);
+      for (int e = 0; e < deg; ++e) {
+        if (e == 0)
+          check_msg[e0] = deg > 1 ? suffix[1] : 0.0;
+        else if (e == deg - 1)
+          check_msg[e0 + e] = prefix[deg - 2];
+        else
+          check_msg[e0 + e] = boxplus(prefix[e - 1], suffix[e + 1]);
+      }
+    }
+
+    // Variable-node update + APP.
+    for (int v = 0; v < n; ++v) app[v] = llr[v];
+    for (int r = 0; r < m; ++r) {
+      const auto vars = code_.check_vars(r);
+      for (std::size_t e = 0; e < vars.size(); ++e)
+        app[vars[e]] += check_msg[code_.edge_index(r, static_cast<int>(e))];
+    }
+    for (int r = 0; r < m; ++r) {
+      const auto vars = code_.check_vars(r);
+      for (std::size_t e = 0; e < vars.size(); ++e) {
+        const int idx = code_.edge_index(r, static_cast<int>(e));
+        var_msg[idx] = app[vars[e]] - check_msg[idx];
+      }
+    }
+
+    for (int v = 0; v < n; ++v)
+      result.bits[static_cast<std::size_t>(v)] = app[v] < 0.0 ? 1 : 0;
+    result.iterations = iter;
+    if (code_.is_codeword(result.bits)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ldpc::baseline

@@ -1,0 +1,5 @@
+// LinearApprox is header-only over the LayeredBP engine; this translation
+// unit anchors the class's vtable.
+#include "ldpc/baseline/linear_approx.hpp"
+
+namespace ldpc::baseline {}  // namespace ldpc::baseline

@@ -1,0 +1,16 @@
+#include "ldpc/baseline/min_sum.hpp"
+
+namespace ldpc::baseline {
+
+MinSum::MinSum(const codes::QCCode& code, double alpha, double beta)
+    : engine_(code, CheckKernel::kMinSum, alpha, beta) {}
+
+DecodeResult MinSum::decode(std::span<const double> llr, int max_iter) const {
+  return engine_.decode(llr, max_iter);
+}
+
+const codes::QCCode& MinSum::code() const noexcept { return engine_.code(); }
+
+std::string MinSum::name() const { return engine_.name(); }
+
+}  // namespace ldpc::baseline

@@ -1,0 +1,61 @@
+// Modulation, AWGN channel and LLR demapping.
+//
+// The paper's Fig. 9(a) sweeps Eb/N0 for a rate-1/2 block-2304 WiMax code;
+// this module provides the transmit/receive chain those experiments need.
+// QPSK with Gray mapping factors into two independent binary channels, so
+// both modulations share the same per-dimension LLR rule L = 2 a y / sigma^2
+// (the paper's initialisation L_n = 2 y_n / sigma^2 for unit-amplitude
+// BPSK).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/util/rng.hpp"
+
+namespace ldpc::channel {
+
+enum class Modulation { kBpsk, kQpsk };
+
+/// Real-valued samples carrying one code bit each (QPSK produces two
+/// samples per symbol: I then Q).
+struct ModulatedFrame {
+  std::vector<double> samples;
+  double amplitude = 1.0;  // per-dimension signal amplitude
+};
+
+/// Maps code bits to channel samples. Bit 0 -> +amplitude, bit 1 ->
+/// -amplitude (the usual LDPC sign convention: positive LLR means bit 0).
+ModulatedFrame modulate(std::span<const std::uint8_t> bits, Modulation mod);
+
+/// Noise standard deviation per real dimension for a given Eb/N0 (dB), code
+/// rate and modulation, assuming unit symbol energy.
+double ebn0_to_sigma(double ebn0_db, double code_rate, Modulation mod);
+
+/// Additive white Gaussian noise with per-dimension standard deviation
+/// sigma, driven by a caller-owned deterministic generator.
+class AwgnChannel {
+ public:
+  explicit AwgnChannel(double sigma);
+
+  double sigma() const noexcept { return sigma_; }
+
+  /// Adds noise in place.
+  void transmit(std::span<double> samples, util::Xoshiro256& rng) const;
+
+ private:
+  double sigma_;
+};
+
+/// Computes per-bit channel LLRs L = 2 a y / sigma^2 (positive = bit 0).
+std::vector<double> demap_llr(const ModulatedFrame& frame, double sigma);
+
+/// Hard decision helper: LLR >= 0 -> bit 0.
+std::vector<std::uint8_t> hard_decision(std::span<const double> llr);
+
+/// Counts positions where decisions differ from a reference word.
+int count_bit_errors(std::span<const std::uint8_t> a,
+                     std::span<const std::uint8_t> b);
+
+}  // namespace ldpc::channel

@@ -1,0 +1,72 @@
+#include "ldpc/channel/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpc::channel {
+
+namespace {
+
+int bits_per_symbol(Modulation mod) {
+  return mod == Modulation::kBpsk ? 1 : 2;
+}
+
+}  // namespace
+
+ModulatedFrame modulate(std::span<const std::uint8_t> bits, Modulation mod) {
+  ModulatedFrame frame;
+  // Unit symbol energy: BPSK amplitude 1, QPSK 1/sqrt(2) per dimension.
+  frame.amplitude = mod == Modulation::kBpsk ? 1.0 : 1.0 / std::sqrt(2.0);
+  frame.samples.reserve(bits.size());
+  for (std::uint8_t b : bits)
+    frame.samples.push_back(b ? -frame.amplitude : frame.amplitude);
+  return frame;
+}
+
+double ebn0_to_sigma(double ebn0_db, double code_rate, Modulation mod) {
+  if (code_rate <= 0.0 || code_rate > 1.0)
+    throw std::invalid_argument("ebn0_to_sigma: rate");
+  const double ebn0 = std::pow(10.0, ebn0_db / 10.0);
+  // Per real dimension carrying one code bit with amplitude
+  // a = 1/sqrt(bits_per_symbol): Eb = a^2 / rate, so
+  // sigma^2 = N0/2 = a^2 / (2 * rate * Eb/N0).
+  const double a2 = 1.0 / bits_per_symbol(mod);
+  return std::sqrt(a2 / (2.0 * code_rate * ebn0));
+}
+
+AwgnChannel::AwgnChannel(double sigma) : sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("AwgnChannel: sigma <= 0");
+}
+
+void AwgnChannel::transmit(std::span<double> samples,
+                           util::Xoshiro256& rng) const {
+  for (double& s : samples) s += sigma_ * rng.gaussian();
+}
+
+std::vector<double> demap_llr(const ModulatedFrame& frame, double sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("demap_llr: sigma <= 0");
+  const double scale = 2.0 * frame.amplitude / (sigma * sigma);
+  std::vector<double> llr;
+  llr.reserve(frame.samples.size());
+  for (double y : frame.samples) llr.push_back(scale * y);
+  return llr;
+}
+
+std::vector<std::uint8_t> hard_decision(std::span<const double> llr) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(llr.size());
+  for (double l : llr) bits.push_back(l < 0.0 ? 1 : 0);
+  return bits;
+}
+
+int count_bit_errors(std::span<const std::uint8_t> a,
+                     std::span<const std::uint8_t> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("count_bit_errors: size mismatch");
+  int errors = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    errors += (a[i] & 1) != (b[i] & 1) ? 1 : 0;
+  return errors;
+}
+
+}  // namespace ldpc::channel

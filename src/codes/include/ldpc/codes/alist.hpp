@@ -1,0 +1,47 @@
+// alist import/export — the de-facto interchange format for LDPC parity
+// matrices (MacKay's format, used by most research codebases), so codes
+// built here can be consumed by other tools and external matrices can be
+// decoded by the flooding baselines.
+//
+// Note: alist describes a flat binary matrix; the QC block structure is
+// not part of the format. `write_alist` expands a QCCode; `read_alist`
+// returns the flat adjacency (`FlatCode`) usable by parity checking and
+// flooding decoders, plus a best-effort QC reconstruction when the matrix
+// happens to be quasi-cyclic with a known z.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ldpc/codes/qc_code.hpp"
+
+namespace ldpc::codes {
+
+/// Writes the expanded H of `code` in alist format.
+void write_alist(const QCCode& code, std::ostream& os);
+std::string to_alist(const QCCode& code);
+
+/// A flat parity-check matrix parsed from alist.
+struct FlatCode {
+  int n = 0;  // variables (columns)
+  int m = 0;  // checks (rows)
+  /// Row adjacency: vars_of_check[r] lists variable indices (ascending).
+  std::vector<std::vector<std::int32_t>> vars_of_check;
+
+  int max_row_degree() const;
+  int max_col_degree() const;
+  /// True iff `bits` satisfies every check.
+  bool is_codeword(std::span<const std::uint8_t> bits) const;
+};
+
+/// Parses alist text. Throws std::invalid_argument on malformed input
+/// (wrong counts, out-of-range indices, inconsistent row/column lists).
+FlatCode read_alist(std::istream& is);
+FlatCode read_alist_string(const std::string& text);
+
+/// Attempts to reconstruct a QC structure from a flat matrix with the
+/// given sub-matrix size z. Throws std::invalid_argument if (n, m) are
+/// not multiples of z or the blocks are not (shifted-identity | zero).
+QCCode to_qc_code(const FlatCode& flat, int z, std::string name = {});
+
+}  // namespace ldpc::codes

@@ -1,0 +1,74 @@
+// Block-structured (quasi-cyclic) parity-check base matrix.
+//
+// A base matrix is the j x k array of the paper's Fig. 1: each entry is
+// either -1 (the all-zero z x z block) or a shift value x in [0, z) denoting
+// the cyclically shifted identity I_x. The same base matrix serves several
+// expansion factors z via the per-standard shift-scaling rules.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace ldpc::codes {
+
+/// Entry marking an all-zero sub-matrix.
+inline constexpr int kZeroBlock = -1;
+
+class BaseMatrix {
+ public:
+  BaseMatrix() = default;
+
+  /// Builds a rows x cols matrix from row-major entries.
+  /// Throws std::invalid_argument on shape mismatch or entry < -1.
+  BaseMatrix(int rows, int cols, std::vector<int> entries);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  /// Shift value at (r, c); kZeroBlock if the block is zero.
+  int at(int r, int c) const;
+  void set(int r, int c, int shift);
+
+  bool is_zero(int r, int c) const { return at(r, c) == kZeroBlock; }
+
+  /// Number of non-zero blocks in row r (the block row degree).
+  int row_degree(int r) const;
+  /// Number of non-zero blocks in column c.
+  int col_degree(int c) const;
+  /// Total number of non-zero blocks (the paper's E).
+  int nonzero_blocks() const;
+
+  /// Largest shift value present (used to validate against z).
+  int max_shift() const;
+
+  /// Returns a copy with every non-zero shift mapped through `fn(shift)`.
+  template <typename Fn>
+  BaseMatrix map_shifts(Fn&& fn) const {
+    BaseMatrix out = *this;
+    for (auto& e : out.entries_)
+      if (e != kZeroBlock) e = fn(e);
+    return out;
+  }
+
+  friend bool operator==(const BaseMatrix&, const BaseMatrix&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> entries_;  // row-major, size rows_*cols_
+};
+
+/// Shift-scaling rules used when one canonical table serves several z.
+enum class ShiftScaling {
+  kFloor,   // x' = floor(x * z / z0)        (802.16e default, 802.11n here)
+  kModulo,  // x' = x mod z                  (802.16e rate 2/3A)
+};
+
+/// Applies a scaling rule to every shift of `base` defined at expansion z0,
+/// producing the table for expansion z. Shifts of 0 stay 0 under both rules,
+/// preserving the dual-diagonal parity structure.
+BaseMatrix scale_base_matrix(const BaseMatrix& base, int z0, int z,
+                             ShiftScaling rule);
+
+}  // namespace ldpc::codes

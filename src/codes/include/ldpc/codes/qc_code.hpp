@@ -1,0 +1,95 @@
+// Expanded quasi-cyclic LDPC code with layered and flat (CSR) views.
+//
+// The layered view drives the paper's block-serial scheduling: layer l is
+// block row l of the base matrix; each non-zero block contributes one column
+// group processed in one "macro" step by z parallel SISO decoders. The flat
+// CSR view serves the flooding baseline decoders and parity checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ldpc/codes/base_matrix.hpp"
+
+namespace ldpc::codes {
+
+/// One non-zero z x z block within a layer.
+struct BlockEntry {
+  int block_col = 0;  // column group index in [0, k)
+  int shift = 0;      // cyclic shift x in [0, z)
+};
+
+/// All non-zero blocks of one block row, in column order.
+using Layer = std::vector<BlockEntry>;
+
+class QCCode {
+ public:
+  /// Expands `base` by factor z. Throws std::invalid_argument if any shift
+  /// is >= z or the matrix has an empty row/column (such a code is
+  /// degenerate: a variable with no checks or a vacuous check).
+  QCCode(BaseMatrix base, int z, std::string name = {});
+
+  const std::string& name() const noexcept { return name_; }
+  const BaseMatrix& base() const noexcept { return base_; }
+
+  int z() const noexcept { return z_; }
+  int block_rows() const noexcept { return base_.rows(); }   // j
+  int block_cols() const noexcept { return base_.cols(); }   // k
+  int n() const noexcept { return base_.cols() * z_; }       // codeword bits
+  int m() const noexcept { return base_.rows() * z_; }       // checks
+  int k_info() const noexcept { return n() - m(); }          // info bits
+  double rate() const noexcept {
+    return static_cast<double>(k_info()) / n();
+  }
+  /// Number of non-zero sub-matrices (the paper's E in the throughput
+  /// formula).
+  int nonzero_blocks() const noexcept { return nonzero_blocks_; }
+  /// Total Tanner-graph edges = E * z.
+  int edges() const noexcept { return nonzero_blocks_ * z_; }
+
+  /// Layered view: layers()[l] lists the non-zero blocks of block row l.
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  /// Check-node adjacency in CSR form: variable indices of check row r are
+  /// check_vars(r). Within a row, entries appear in ascending block-column
+  /// order (matching the block-serial processing order).
+  std::span<const std::int32_t> check_vars(int r) const;
+  /// Degree of check row r. All z rows of a layer share one degree.
+  int check_degree(int r) const;
+
+  /// Variable-node adjacency: check indices of variable n.
+  std::span<const std::int32_t> var_checks(int v) const;
+  int var_degree(int v) const;
+
+  /// Edge index of the e-th entry of check row r; edge indices enumerate
+  /// (check,var) pairs row by row and are used to address message storage.
+  int edge_index(int r, int e) const;
+
+  /// True iff `bits` (size n, 0/1) satisfies every parity check.
+  bool is_codeword(std::span<const std::uint8_t> bits) const;
+  /// Number of unsatisfied parity checks (0 for a codeword).
+  int syndrome_weight(std::span<const std::uint8_t> bits) const;
+
+  /// Maximum check-row degree (sizing FIFOs in the SISO model).
+  int max_check_degree() const noexcept { return max_check_degree_; }
+
+ private:
+  std::string name_;
+  BaseMatrix base_;
+  int z_ = 0;
+  int nonzero_blocks_ = 0;
+  int max_check_degree_ = 0;
+
+  std::vector<Layer> layers_;
+
+  // CSR over expanded H (checks x vars).
+  std::vector<std::int32_t> row_ptr_;   // size m+1
+  std::vector<std::int32_t> col_idx_;   // size edges
+  // CSC-like transpose (vars -> check indices).
+  std::vector<std::int32_t> var_ptr_;   // size n+1
+  std::vector<std::int32_t> var_adj_;   // size edges
+};
+
+}  // namespace ldpc::codes

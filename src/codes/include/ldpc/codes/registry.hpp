@@ -1,0 +1,72 @@
+// Registry of the block-structured LDPC codes the decoder supports.
+//
+// Covers the paper's Table 1: IEEE 802.11n (WLAN), IEEE 802.16e (WiMax) and
+// a DMB-T-class code family. Each (standard, rate, z) triple maps to a
+// QCCode built from the canonical base matrix plus the standard's shift
+// scaling rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+
+namespace ldpc::codes {
+
+enum class Standard { kWlan80211n, kWimax80216e, kDmbT };
+
+/// Code rate variants. WiMax distinguishes A/B constructions for 2/3 and
+/// 3/4; WLAN has a single construction per rate.
+enum class Rate { kR12, kR23, kR23A, kR23B, kR34, kR34A, kR34B, kR56, kR25, kR35, kR45 };
+
+std::string to_string(Standard s);
+std::string to_string(Rate r);
+/// Numeric value of a rate ("5/6" -> 0.8333...).
+double rate_value(Rate r);
+
+/// Identifies one decodable mode.
+struct CodeId {
+  Standard standard = Standard::kWimax80216e;
+  Rate rate = Rate::kR12;
+  int z = 96;
+
+  friend bool operator==(const CodeId&, const CodeId&) = default;
+};
+
+std::string to_string(const CodeId& id);
+
+/// Builds the expanded code for `id`. Throws std::invalid_argument for
+/// unsupported combinations (e.g. 802.11n z=30).
+QCCode make_code(const CodeId& id);
+
+/// Convenience: builds a code from standard, rate and codeword length n.
+QCCode make_code_by_length(Standard s, Rate r, int n);
+
+/// All z values a standard supports (19 values for 802.16e; 3 for 802.11n;
+/// 1 for DMB-T).
+std::vector<int> supported_z(Standard s);
+/// All rates a standard supports.
+std::vector<Rate> supported_rates(Standard s);
+
+/// Every mode of every standard — the sweep set used by property tests and
+/// the throughput bench.
+std::vector<CodeId> all_modes();
+/// Every mode of one standard.
+std::vector<CodeId> all_modes(Standard s);
+
+// --- canonical base matrices (exposed for tests) --------------------------
+
+/// 802.11n base matrix for `rate` at z0 = 27 (the canonical table; larger z
+/// derived by floor scaling).
+BaseMatrix wlan_base_matrix(Rate rate);
+
+/// 802.16e base matrix for `rate` at z0 = 96.
+BaseMatrix wimax_base_matrix(Rate rate);
+
+/// Deterministically generated DMB-T-class base matrix (j block rows,
+/// k = 60 block columns, z = 127) with a dual-diagonal parity part. The real
+/// DMB-T tables are not public in machine-readable form; see DESIGN.md for
+/// the substitution rationale.
+BaseMatrix dmbt_base_matrix(Rate rate);
+
+}  // namespace ldpc::codes

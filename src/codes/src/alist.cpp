@@ -1,0 +1,186 @@
+#include "ldpc/codes/alist.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ldpc::codes {
+
+namespace {
+
+/// Reads one whitespace-separated integer, failing loudly at EOF.
+int next_int(std::istream& is, const char* what) {
+  int v = 0;
+  if (!(is >> v))
+    throw std::invalid_argument(std::string("alist: missing ") + what);
+  return v;
+}
+
+}  // namespace
+
+void write_alist(const QCCode& code, std::ostream& os) {
+  const int n = code.n();
+  const int m = code.m();
+
+  // Column adjacency from the code's transpose view.
+  int max_col = 0, max_row = 0;
+  for (int v = 0; v < n; ++v) max_col = std::max(max_col, code.var_degree(v));
+  for (int r = 0; r < m; ++r)
+    max_row = std::max(max_row, code.check_degree(r));
+
+  // alist convention: n m / max_col max_row / per-column degrees /
+  // per-row degrees / column lists (1-based, zero-padded to max) /
+  // row lists.
+  os << n << ' ' << m << '\n' << max_col << ' ' << max_row << '\n';
+  for (int v = 0; v < n; ++v)
+    os << code.var_degree(v) << (v + 1 < n ? ' ' : '\n');
+  for (int r = 0; r < m; ++r)
+    os << code.check_degree(r) << (r + 1 < m ? ' ' : '\n');
+  for (int v = 0; v < n; ++v) {
+    const auto checks = code.var_checks(v);
+    for (int i = 0; i < max_col; ++i) {
+      os << (i < static_cast<int>(checks.size()) ? checks[i] + 1 : 0);
+      os << (i + 1 < max_col ? ' ' : '\n');
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const auto vars = code.check_vars(r);
+    for (int i = 0; i < max_row; ++i) {
+      os << (i < static_cast<int>(vars.size()) ? vars[i] + 1 : 0);
+      os << (i + 1 < max_row ? ' ' : '\n');
+    }
+  }
+}
+
+std::string to_alist(const QCCode& code) {
+  std::ostringstream os;
+  write_alist(code, os);
+  return os.str();
+}
+
+int FlatCode::max_row_degree() const {
+  std::size_t d = 0;
+  for (const auto& row : vars_of_check) d = std::max(d, row.size());
+  return static_cast<int>(d);
+}
+
+int FlatCode::max_col_degree() const {
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  for (const auto& row : vars_of_check)
+    for (std::int32_t v : row) ++deg[static_cast<std::size_t>(v)];
+  return deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+}
+
+bool FlatCode::is_codeword(std::span<const std::uint8_t> bits) const {
+  if (bits.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("FlatCode::is_codeword: size");
+  for (const auto& row : vars_of_check) {
+    unsigned parity = 0;
+    for (std::int32_t v : row) parity ^= bits[static_cast<std::size_t>(v)];
+    if (parity & 1u) return false;
+  }
+  return true;
+}
+
+FlatCode read_alist(std::istream& is) {
+  FlatCode flat;
+  flat.n = next_int(is, "n");
+  flat.m = next_int(is, "m");
+  if (flat.n <= 0 || flat.m <= 0)
+    throw std::invalid_argument("alist: non-positive dimensions");
+  const int max_col = next_int(is, "max column degree");
+  const int max_row = next_int(is, "max row degree");
+
+  std::vector<int> col_deg(static_cast<std::size_t>(flat.n));
+  for (auto& d : col_deg) {
+    d = next_int(is, "column degree");
+    if (d < 0 || d > max_col)
+      throw std::invalid_argument("alist: column degree out of range");
+  }
+  std::vector<int> row_deg(static_cast<std::size_t>(flat.m));
+  for (auto& d : row_deg) {
+    d = next_int(is, "row degree");
+    if (d < 0 || d > max_row)
+      throw std::invalid_argument("alist: row degree out of range");
+  }
+
+  // Column lists: parse and remember for the consistency cross-check.
+  std::vector<std::vector<std::int32_t>> checks_of_var(
+      static_cast<std::size_t>(flat.n));
+  for (int v = 0; v < flat.n; ++v) {
+    for (int i = 0; i < max_col; ++i) {
+      const int c = next_int(is, "column entry");
+      if (c == 0) continue;  // padding
+      if (c < 1 || c > flat.m)
+        throw std::invalid_argument("alist: check index out of range");
+      checks_of_var[static_cast<std::size_t>(v)].push_back(c - 1);
+    }
+    if (static_cast<int>(checks_of_var[static_cast<std::size_t>(v)].size()) !=
+        col_deg[static_cast<std::size_t>(v)])
+      throw std::invalid_argument("alist: column degree mismatch");
+  }
+
+  flat.vars_of_check.resize(static_cast<std::size_t>(flat.m));
+  for (int r = 0; r < flat.m; ++r) {
+    for (int i = 0; i < max_row; ++i) {
+      const int v = next_int(is, "row entry");
+      if (v == 0) continue;
+      if (v < 1 || v > flat.n)
+        throw std::invalid_argument("alist: variable index out of range");
+      flat.vars_of_check[static_cast<std::size_t>(r)].push_back(v - 1);
+    }
+    auto& row = flat.vars_of_check[static_cast<std::size_t>(r)];
+    std::sort(row.begin(), row.end());
+    if (static_cast<int>(row.size()) != row_deg[static_cast<std::size_t>(r)])
+      throw std::invalid_argument("alist: row degree mismatch");
+  }
+
+  // Cross-check: row and column lists must describe the same matrix.
+  for (int v = 0; v < flat.n; ++v)
+    for (std::int32_t r : checks_of_var[static_cast<std::size_t>(v)]) {
+      const auto& row = flat.vars_of_check[static_cast<std::size_t>(r)];
+      if (!std::binary_search(row.begin(), row.end(), v))
+        throw std::invalid_argument(
+            "alist: row/column lists are inconsistent");
+    }
+  return flat;
+}
+
+FlatCode read_alist_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_alist(is);
+}
+
+QCCode to_qc_code(const FlatCode& flat, int z, std::string name) {
+  if (z <= 0 || flat.n % z != 0 || flat.m % z != 0)
+    throw std::invalid_argument("to_qc_code: dimensions not multiples of z");
+  const int j = flat.m / z;
+  const int k = flat.n / z;
+  BaseMatrix base(j, k,
+                  std::vector<int>(static_cast<std::size_t>(j) * k,
+                                   kZeroBlock));
+
+  // Infer each block from the first check row of its block row: an entry
+  // at variable (c*z + q) in check (l*z + 0) implies shift q; all other
+  // rows of the block must agree with the cyclic pattern.
+  for (int l = 0; l < j; ++l) {
+    for (std::int32_t v : flat.vars_of_check[static_cast<std::size_t>(l * z)])
+      base.set(l, v / z, v % z);
+    // Validate the whole block row against the inferred shifts.
+    for (int t = 0; t < z; ++t) {
+      const auto& row =
+          flat.vars_of_check[static_cast<std::size_t>(l * z + t)];
+      std::vector<std::int32_t> expect;
+      for (int c = 0; c < k; ++c)
+        if (!base.is_zero(l, c))
+          expect.push_back(c * z + (t + base.at(l, c)) % z);
+      std::sort(expect.begin(), expect.end());
+      if (expect != row)
+        throw std::invalid_argument(
+            "to_qc_code: matrix is not quasi-cyclic with this z");
+    }
+  }
+  return QCCode(std::move(base), z, std::move(name));
+}
+
+}  // namespace ldpc::codes

@@ -1,0 +1,72 @@
+#include "ldpc/codes/base_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpc::codes {
+
+BaseMatrix::BaseMatrix(int rows, int cols, std::vector<int> entries)
+    : rows_(rows), cols_(cols), entries_(std::move(entries)) {
+  if (rows_ <= 0 || cols_ <= 0 ||
+      entries_.size() != static_cast<std::size_t>(rows_) * cols_)
+    throw std::invalid_argument("BaseMatrix: shape/entry-count mismatch");
+  for (int e : entries_)
+    if (e < kZeroBlock)
+      throw std::invalid_argument("BaseMatrix: entry below -1");
+}
+
+int BaseMatrix::at(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("BaseMatrix::at");
+  return entries_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+void BaseMatrix::set(int r, int c, int shift) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("BaseMatrix::set");
+  if (shift < kZeroBlock)
+    throw std::invalid_argument("BaseMatrix::set: shift below -1");
+  entries_[static_cast<std::size_t>(r) * cols_ + c] = shift;
+}
+
+int BaseMatrix::row_degree(int r) const {
+  int d = 0;
+  for (int c = 0; c < cols_; ++c)
+    if (!is_zero(r, c)) ++d;
+  return d;
+}
+
+int BaseMatrix::col_degree(int c) const {
+  int d = 0;
+  for (int r = 0; r < rows_; ++r)
+    if (!is_zero(r, c)) ++d;
+  return d;
+}
+
+int BaseMatrix::nonzero_blocks() const {
+  return static_cast<int>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](int e) { return e != kZeroBlock; }));
+}
+
+int BaseMatrix::max_shift() const {
+  int m = 0;
+  for (int e : entries_) m = std::max(m, e);
+  return m;
+}
+
+BaseMatrix scale_base_matrix(const BaseMatrix& base, int z0, int z,
+                             ShiftScaling rule) {
+  if (z <= 0 || z0 <= 0) throw std::invalid_argument("scale_base_matrix: z");
+  return base.map_shifts([&](int x) {
+    switch (rule) {
+      case ShiftScaling::kModulo:
+        return x % z;
+      case ShiftScaling::kFloor:
+        return static_cast<int>(static_cast<long long>(x) * z / z0);
+    }
+    throw std::logic_error("unreachable");
+  });
+}
+
+}  // namespace ldpc::codes

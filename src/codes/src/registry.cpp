@@ -1,0 +1,163 @@
+#include "ldpc/codes/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpc::codes {
+
+std::string to_string(Standard s) {
+  switch (s) {
+    case Standard::kWlan80211n:
+      return "802.11n";
+    case Standard::kWimax80216e:
+      return "802.16e";
+    case Standard::kDmbT:
+      return "DMB-T";
+  }
+  return "?";
+}
+
+std::string to_string(Rate r) {
+  switch (r) {
+    case Rate::kR12:
+      return "1/2";
+    case Rate::kR23:
+      return "2/3";
+    case Rate::kR23A:
+      return "2/3A";
+    case Rate::kR23B:
+      return "2/3B";
+    case Rate::kR34:
+      return "3/4";
+    case Rate::kR34A:
+      return "3/4A";
+    case Rate::kR34B:
+      return "3/4B";
+    case Rate::kR56:
+      return "5/6";
+    case Rate::kR25:
+      return "2/5";
+    case Rate::kR35:
+      return "3/5";
+    case Rate::kR45:
+      return "4/5";
+  }
+  return "?";
+}
+
+double rate_value(Rate r) {
+  switch (r) {
+    case Rate::kR12:
+      return 1.0 / 2.0;
+    case Rate::kR23:
+    case Rate::kR23A:
+    case Rate::kR23B:
+      return 2.0 / 3.0;
+    case Rate::kR34:
+    case Rate::kR34A:
+    case Rate::kR34B:
+      return 3.0 / 4.0;
+    case Rate::kR56:
+      return 5.0 / 6.0;
+    case Rate::kR25:
+      return 2.0 / 5.0;
+    case Rate::kR35:
+      return 3.0 / 5.0;
+    case Rate::kR45:
+      return 4.0 / 5.0;
+  }
+  return 0.0;
+}
+
+std::string to_string(const CodeId& id) {
+  return to_string(id.standard) + " R" + to_string(id.rate) +
+         " z=" + std::to_string(id.z);
+}
+
+std::vector<int> supported_z(Standard s) {
+  switch (s) {
+    case Standard::kWlan80211n:
+      return {27, 54, 81};
+    case Standard::kWimax80216e: {
+      std::vector<int> zs;
+      for (int z = 24; z <= 96; z += 4) zs.push_back(z);  // 19 values
+      return zs;
+    }
+    case Standard::kDmbT:
+      return {127};
+  }
+  return {};
+}
+
+std::vector<Rate> supported_rates(Standard s) {
+  switch (s) {
+    case Standard::kWlan80211n:
+      return {Rate::kR12, Rate::kR23, Rate::kR34, Rate::kR56};
+    case Standard::kWimax80216e:
+      return {Rate::kR12,  Rate::kR23A, Rate::kR23B,
+              Rate::kR34A, Rate::kR34B, Rate::kR56};
+    case Standard::kDmbT:
+      return {Rate::kR25, Rate::kR12, Rate::kR35, Rate::kR45};
+  }
+  return {};
+}
+
+QCCode make_code(const CodeId& id) {
+  const auto zs = supported_z(id.standard);
+  if (std::find(zs.begin(), zs.end(), id.z) == zs.end())
+    throw std::invalid_argument("unsupported z for " + to_string(id));
+
+  switch (id.standard) {
+    case Standard::kWlan80211n: {
+      // Canonical tables at z0 = 27, scaled by floor for z = 54, 81.
+      BaseMatrix base = wlan_base_matrix(id.rate);
+      if (id.z != 27)
+        base = scale_base_matrix(base, 27, id.z, ShiftScaling::kFloor);
+      return QCCode(std::move(base), id.z, to_string(id));
+    }
+    case Standard::kWimax80216e: {
+      // Canonical tables at z0 = 96; rate 2/3A scales by modulo, all other
+      // constructions by floor (802.16e 8.4.9.2.5).
+      BaseMatrix base = wimax_base_matrix(id.rate);
+      if (id.z != 96) {
+        const ShiftScaling rule = id.rate == Rate::kR23A
+                                      ? ShiftScaling::kModulo
+                                      : ShiftScaling::kFloor;
+        base = scale_base_matrix(base, 96, id.z, rule);
+      }
+      return QCCode(std::move(base), id.z, to_string(id));
+    }
+    case Standard::kDmbT:
+      return QCCode(dmbt_base_matrix(id.rate), id.z, to_string(id));
+  }
+  throw std::logic_error("unreachable");
+}
+
+QCCode make_code_by_length(Standard s, Rate r, int n) {
+  for (int z : supported_z(s)) {
+    CodeId id{s, r, z};
+    const int k = s == Standard::kDmbT ? 60 : 24;
+    if (k * z == n) return make_code(id);
+  }
+  throw std::invalid_argument("no mode with n=" + std::to_string(n) +
+                              " in " + to_string(s));
+}
+
+std::vector<CodeId> all_modes(Standard s) {
+  std::vector<CodeId> out;
+  for (Rate r : supported_rates(s))
+    for (int z : supported_z(s)) out.push_back({s, r, z});
+  return out;
+}
+
+std::vector<CodeId> all_modes() {
+  std::vector<CodeId> out;
+  for (Standard s : {Standard::kWlan80211n, Standard::kWimax80216e,
+                     Standard::kDmbT}) {
+    auto modes = all_modes(s);
+    out.insert(out.end(), modes.begin(), modes.end());
+  }
+  return out;
+}
+
+}  // namespace ldpc::codes

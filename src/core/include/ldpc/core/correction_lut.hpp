@@ -1,0 +1,51 @@
+// 3-bit non-linear correction lookup tables (paper section III-B).
+//
+// The f(.) and g(.) units of Eq. (2) need the correction terms
+//   phi+(x) = log(1 + e^-x)      (for boxplus f)
+//   phi-(x) = -log(1 - e^-x)     (for boxminus g; stored positive)
+// In hardware these are "low-complexity 3-bit lookup tables" (Hu et al.,
+// GLOBECOM'01): the input is the fixed-point magnitude |a|+|b| or
+// ||a|-|b||, the output a 3-bit quantity in message LSBs (0 .. 7 LSB =
+// 0 .. 1.75 for the Q5.2 format). This class precomputes that table
+// bit-exactly so software decoding matches the modelled datapath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/fixed/qformat.hpp"
+
+namespace ldpc::core {
+
+class CorrectionLut {
+ public:
+  enum class Kind {
+    kFPlus,   // log(1 + e^-x), bounded by log 2
+    kGMinus,  // -log(1 - e^-x), diverges at x -> 0 (clamped to 3-bit max)
+  };
+
+  /// Builds the table for `format` message LSBs with `out_bits`-wide
+  /// outputs (the paper uses 3).
+  explicit CorrectionLut(Kind kind,
+                         fixed::QFormat format = fixed::kMessageFormat,
+                         int out_bits = 3);
+
+  /// Correction in raw LSBs for a non-negative raw input. Inputs beyond the
+  /// table (where the true correction rounds to 0) return 0.
+  std::int32_t lookup(std::int32_t raw_input) const noexcept;
+
+  Kind kind() const noexcept { return kind_; }
+  int out_bits() const noexcept { return out_bits_; }
+  /// Largest representable output (2^out_bits - 1 LSBs).
+  std::int32_t out_max() const noexcept { return out_max_; }
+  /// Number of explicit table entries (diagnostics / tests).
+  std::size_t table_size() const noexcept { return table_.size(); }
+
+ private:
+  Kind kind_;
+  int out_bits_;
+  std::int32_t out_max_;
+  std::vector<std::int32_t> table_;  // indexed by raw input
+};
+
+}  // namespace ldpc::core

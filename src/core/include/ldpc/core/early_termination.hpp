@@ -1,0 +1,45 @@
+// Early termination unit (paper section IV, Fig. 9a).
+//
+// Decoding stops when BOTH of the paper's conditions hold:
+//   1) the hard decisions of the information bits are unchanged over two
+//      successive iterations, and
+//   2) the minimum |LLR| over the information bits exceeds a predefined
+//      threshold.
+// This is a pure hardware-style monitor: it never inspects the parity
+// checks, so it can (rarely) accept a non-codeword — exactly the trade the
+// chip makes for its up-to-65% power saving.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ldpc::core {
+
+class EarlyTermination {
+ public:
+  struct Config {
+    bool enabled = false;
+    /// Threshold on min |L| of the information bits, in message LSBs.
+    std::int32_t threshold_raw = 8;  // 2.0 in the Q5.2 format
+  };
+
+  EarlyTermination() : EarlyTermination(Config{}) {}
+  explicit EarlyTermination(Config config);
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Resets the stability history (call at the start of each frame).
+  void reset();
+
+  /// Feeds the APP values of the information bits after one full
+  /// iteration; returns true when both stop conditions are met.
+  bool update(std::span<const std::int32_t> info_app);
+
+ private:
+  Config config_;
+  std::vector<std::uint8_t> prev_hard_;
+  bool has_prev_ = false;
+};
+
+}  // namespace ldpc::core

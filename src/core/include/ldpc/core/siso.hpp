@@ -1,0 +1,100 @@
+// Bit-accurate models of the paper's Radix-2 and Radix-4 SISO decoders.
+//
+// A SISO decoder processes one check row m: it folds all incoming variable
+// messages lambda_mj through the f(.) recursion into the row sum S_m, then
+// emits each extrinsic message Lambda_mn = g(S_m, lambda_mn) (Eq. 1). The
+// Radix-2 core (Fig. 3) handles one element per cycle in each stage; the
+// Radix-4 core (Fig. 5-6) applies a one-level look-ahead transform so two
+// elements enter the f cascade and two g units emit per cycle — the results
+// are bit-identical (the cascade preserves the fold order), only the cycle
+// count halves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ldpc/core/correction_lut.hpp"
+#include "ldpc/fixed/qformat.hpp"
+
+namespace ldpc::core {
+
+/// Pairwise fixed-point boxplus f(a, b) per Eq. (2): sign(a)sign(b) *
+/// (min(|a|,|b|) + LUT(|a|+|b|) - LUT(||a|-|b||)), saturating.
+std::int32_t f_op(std::int32_t a, std::int32_t b, const CorrectionLut& flut,
+                  const fixed::QFormat& fmt) noexcept;
+
+/// Pairwise fixed-point boxminus g(s, b): removes contribution b from the
+/// full row sum s. At the divergent point |s| == |b| the 3-bit LUT clamp
+/// bounds the overshoot to out_max LSBs (the hardware behaviour).
+std::int32_t g_op(std::int32_t s, std::int32_t b, const CorrectionLut& glut,
+                  const fixed::QFormat& fmt) noexcept;
+
+/// Check-node computation architecture.
+///
+/// kSumSubtract is the paper's Eq. (1): fold everything into S_m with f,
+/// then divide out each input with g. The division is exact algebra but
+/// numerically lossy at the row-minimum edge: the quantised S cannot encode
+/// the all-but-one combination there, so g either explodes (float clamp)
+/// or is capped by the 3-bit LUT — measurably weaker below ~3 dB (see the
+/// ablation_cnu_arch bench). kForwardBackward computes each output as a
+/// prefix/suffix combination of f folds (Hu et al.'s formulation): same f
+/// hardware, the same two-stage d_m + d_m cycle schedule, but exact
+/// all-but-one information. It is the library default.
+enum class CnuArch { kForwardBackward, kSumSubtract };
+
+std::string to_string(CnuArch arch);
+
+/// Outcome of one check-row pass through a SISO core.
+struct SisoRowStats {
+  int cycles = 0;        // datapath cycles for this row (both stages)
+  std::int32_t row_sum = 0;  // S_m after the f recursion (diagnostics)
+};
+
+/// Radix-2 SISO core: d cycles of f recursion + d cycles of emission.
+class SisoR2 {
+ public:
+  explicit SisoR2(fixed::QFormat format = fixed::kMessageFormat,
+                  CnuArch arch = CnuArch::kForwardBackward);
+
+  /// Computes Lambda_new[e] = g(S, lambda[e]) for every edge of the row.
+  /// lambda and lambda_new may not alias.
+  SisoRowStats process(std::span<const std::int32_t> lambda,
+                       std::span<std::int32_t> lambda_new) const;
+
+  const fixed::QFormat& format() const noexcept { return fmt_; }
+  CnuArch arch() const noexcept { return arch_; }
+  const CorrectionLut& f_lut() const noexcept { return flut_; }
+  const CorrectionLut& g_lut() const noexcept { return glut_; }
+
+ private:
+  fixed::QFormat fmt_;
+  CnuArch arch_;
+  CorrectionLut flut_;
+  CorrectionLut glut_;
+  mutable std::vector<std::int32_t> prefix_, suffix_;  // fwd/bwd scratch
+};
+
+/// Radix-4 SISO core: two elements per cycle through a cascaded f pair and
+/// two parallel output units; bit-identical to SisoR2 on the same row.
+class SisoR4 {
+ public:
+  explicit SisoR4(fixed::QFormat format = fixed::kMessageFormat,
+                  CnuArch arch = CnuArch::kForwardBackward);
+
+  SisoRowStats process(std::span<const std::int32_t> lambda,
+                       std::span<std::int32_t> lambda_new) const;
+
+  const fixed::QFormat& format() const noexcept { return fmt_; }
+  CnuArch arch() const noexcept { return arch_; }
+
+ private:
+  fixed::QFormat fmt_;
+  CnuArch arch_;
+  CorrectionLut flut_;
+  CorrectionLut glut_;
+  mutable std::vector<std::int32_t> prefix_, suffix_;
+};
+
+}  // namespace ldpc::core

@@ -1,0 +1,47 @@
+#include "ldpc/core/correction_lut.hpp"
+
+#include <cmath>
+
+namespace ldpc::core {
+
+CorrectionLut::CorrectionLut(Kind kind, fixed::QFormat format, int out_bits)
+    : kind_(kind), out_bits_(out_bits),
+      out_max_((std::int32_t{1} << out_bits) - 1) {
+  const double lsb = format.lsb();
+  // Table covers inputs until the true correction rounds to zero; beyond
+  // that lookup() returns 0 without storage. phi+(x) < lsb/2 and
+  // phi-(x) < lsb/2 both happen near x ~= -log(lsb/2), i.e. raw index
+  // ~= -log(lsb/2)/lsb; add headroom for safety.
+  const int limit =
+      static_cast<int>(std::ceil(-std::log(lsb / 2.0) / lsb)) + 2;
+  table_.reserve(static_cast<std::size_t>(limit));
+  for (int r = 0; r < limit; ++r) {
+    const double x = r * lsb;
+    double value = 0.0;
+    switch (kind_) {
+      case Kind::kFPlus:
+        value = std::log1p(std::exp(-x));
+        break;
+      case Kind::kGMinus:
+        // Diverges at x = 0; the 3-bit output clamps it (hardware does the
+        // same; the g unit additionally saturates the total magnitude).
+        value = r == 0 ? 1e9 : -std::log1p(-std::exp(-x));
+        break;
+    }
+    const double raw = std::floor(value / lsb + 0.5);
+    table_.push_back(
+        raw >= static_cast<double>(out_max_)
+            ? out_max_
+            : static_cast<std::int32_t>(raw < 0.0 ? 0.0 : raw));
+  }
+  // Trim trailing zeros so table_size() reflects the active region.
+  while (!table_.empty() && table_.back() == 0) table_.pop_back();
+}
+
+std::int32_t CorrectionLut::lookup(std::int32_t raw_input) const noexcept {
+  if (raw_input < 0) raw_input = 0;
+  if (static_cast<std::size_t>(raw_input) >= table_.size()) return 0;
+  return table_[static_cast<std::size_t>(raw_input)];
+}
+
+}  // namespace ldpc::core

@@ -1,0 +1,34 @@
+#include "ldpc/core/early_termination.hpp"
+
+#include <limits>
+
+namespace ldpc::core {
+
+EarlyTermination::EarlyTermination(Config config) : config_(config) {}
+
+void EarlyTermination::reset() {
+  prev_hard_.clear();
+  has_prev_ = false;
+}
+
+bool EarlyTermination::update(std::span<const std::int32_t> info_app) {
+  if (!config_.enabled) return false;
+
+  std::int32_t min_abs = std::numeric_limits<std::int32_t>::max();
+  bool stable = has_prev_ && prev_hard_.size() == info_app.size();
+  if (prev_hard_.size() != info_app.size())
+    prev_hard_.assign(info_app.size(), 0);
+
+  for (std::size_t i = 0; i < info_app.size(); ++i) {
+    const std::int32_t v = info_app[i];
+    const std::uint8_t hard = v < 0 ? 1 : 0;
+    const std::int32_t mag = v < 0 ? -v : v;
+    if (mag < min_abs) min_abs = mag;
+    if (hard != prev_hard_[i]) stable = false;
+    prev_hard_[i] = hard;
+  }
+  has_prev_ = true;
+  return stable && min_abs > config_.threshold_raw;
+}
+
+}  // namespace ldpc::core

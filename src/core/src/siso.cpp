@@ -1,0 +1,131 @@
+#include "ldpc/core/siso.hpp"
+
+#include <stdexcept>
+
+namespace ldpc::core {
+
+std::int32_t f_op(std::int32_t a, std::int32_t b, const CorrectionLut& flut,
+                  const fixed::QFormat& fmt) noexcept {
+  const bool neg = (a < 0) != (b < 0);  // XOR of sign bits (Fig. 3)
+  const std::int32_t aa = fmt.abs(a);
+  const std::int32_t ab = fmt.abs(b);
+  const std::int32_t mn = aa < ab ? aa : ab;
+  const std::int32_t sum_c = flut.lookup(fmt.saturate(std::int64_t{aa} + ab));
+  const std::int32_t diff_c = flut.lookup(aa > ab ? aa - ab : ab - aa);
+  std::int64_t mag = std::int64_t{mn} + sum_c - diff_c;
+  if (mag < 0) mag = 0;  // |f(a,b)| can never be negative
+  const std::int32_t m = fmt.saturate(mag);
+  return neg ? -m : m;
+}
+
+std::int32_t g_op(std::int32_t s, std::int32_t b, const CorrectionLut& glut,
+                  const fixed::QFormat& fmt) noexcept {
+  const bool neg = (s < 0) != (b < 0);
+  const std::int32_t as = fmt.abs(s);
+  const std::int32_t ab = fmt.abs(b);
+  const std::int32_t diff = as > ab ? as - ab : ab - as;
+  const std::int32_t mn = as < ab ? as : ab;
+  // g magnitude = min - phi-(|s|+|b|) + phi-(||s|-|b||); phi- is stored
+  // positive. At the divergent point ||s|-|b|| -> 0 the true result blows
+  // up, but the 3-bit LUT clamp bounds the overshoot to out_max LSBs —
+  // exactly what the hardware table does, and essential for stability (a
+  // full-scale saturation here would erase the whole row's information on
+  // the next lambda = L - Lambda subtraction).
+  std::int64_t mag = std::int64_t{mn} -
+                     glut.lookup(fmt.saturate(std::int64_t{as} + ab)) +
+                     glut.lookup(diff);
+  if (mag < 0) mag = 0;
+  const std::int32_t m = fmt.saturate(mag);
+  return neg ? -m : m;
+}
+
+std::string to_string(CnuArch arch) {
+  switch (arch) {
+    case CnuArch::kForwardBackward:
+      return "forward-backward";
+    case CnuArch::kSumSubtract:
+      return "sum-subtract";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared row computation for both radices (R4's cascaded f pair preserves
+/// the fold order, so the arithmetic is radix-independent). Returns S_m.
+std::int32_t compute_row(std::span<const std::int32_t> lambda,
+                         std::span<std::int32_t> lambda_new, CnuArch arch,
+                         const CorrectionLut& flut, const CorrectionLut& glut,
+                         const fixed::QFormat& fmt,
+                         std::vector<std::int32_t>& prefix,
+                         std::vector<std::int32_t>& suffix) {
+  const int d = static_cast<int>(lambda.size());
+  if (d == 1) {
+    // Degenerate degree-1 check: no extrinsic information.
+    lambda_new[0] = 0;
+    return lambda[0];
+  }
+  if (arch == CnuArch::kSumSubtract) {
+    // Paper Eq. (1): S_m = f-fold of all inputs, then divide out with g.
+    std::int32_t s = lambda[0];
+    for (int e = 1; e < d; ++e) s = f_op(s, lambda[e], flut, fmt);
+    for (int e = 0; e < d; ++e)
+      lambda_new[e] = g_op(s, lambda[e], glut, fmt);
+    return s;
+  }
+  // Forward/backward: prefix and suffix f folds, outputs combine the two.
+  prefix.resize(static_cast<std::size_t>(d));
+  suffix.resize(static_cast<std::size_t>(d));
+  prefix[0] = lambda[0];
+  for (int e = 1; e < d; ++e)
+    prefix[e] = f_op(prefix[e - 1], lambda[e], flut, fmt);
+  suffix[d - 1] = lambda[d - 1];
+  for (int e = d - 2; e >= 0; --e)
+    suffix[e] = f_op(suffix[e + 1], lambda[e], flut, fmt);
+  lambda_new[0] = suffix[1];
+  lambda_new[d - 1] = prefix[d - 2];
+  for (int e = 1; e < d - 1; ++e)
+    lambda_new[e] = f_op(prefix[e - 1], suffix[e + 1], flut, fmt);
+  return prefix[d - 1];
+}
+
+}  // namespace
+
+SisoR2::SisoR2(fixed::QFormat format, CnuArch arch)
+    : fmt_(format), arch_(arch),
+      flut_(CorrectionLut::Kind::kFPlus, format),
+      glut_(CorrectionLut::Kind::kGMinus, format) {}
+
+SisoRowStats SisoR2::process(std::span<const std::int32_t> lambda,
+                             std::span<std::int32_t> lambda_new) const {
+  const int d = static_cast<int>(lambda.size());
+  if (lambda_new.size() != lambda.size())
+    throw std::invalid_argument("SisoR2::process: size mismatch");
+  if (d == 0) return {};
+  // Two-stage schedule of Fig. 4: d cycles of recursion to absorb the row,
+  // then d cycles emitting one message per cycle — identical for both CNU
+  // architectures (the backward fold runs concurrently with emission).
+  const std::int32_t s = compute_row(lambda, lambda_new, arch_, flut_, glut_,
+                                     fmt_, prefix_, suffix_);
+  return {.cycles = 2 * d, .row_sum = s};
+}
+
+SisoR4::SisoR4(fixed::QFormat format, CnuArch arch)
+    : fmt_(format), arch_(arch),
+      flut_(CorrectionLut::Kind::kFPlus, format),
+      glut_(CorrectionLut::Kind::kGMinus, format) {}
+
+SisoRowStats SisoR4::process(std::span<const std::int32_t> lambda,
+                             std::span<std::int32_t> lambda_new) const {
+  const int d = static_cast<int>(lambda.size());
+  if (lambda_new.size() != lambda.size())
+    throw std::invalid_argument("SisoR4::process: size mismatch");
+  if (d == 0) return {};
+  const std::int32_t s = compute_row(lambda, lambda_new, arch_, flut_, glut_,
+                                     fmt_, prefix_, suffix_);
+  // Look-ahead transform: two elements per cycle in, two messages per
+  // cycle out — ceil(d/2) cycles per stage (Fig. 4's d_m/2).
+  return {.cycles = 2 * ((d + 1) / 2), .row_sum = s};
+}
+
+}  // namespace ldpc::core

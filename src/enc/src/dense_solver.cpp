@@ -1,0 +1,119 @@
+// Dense GF(2) encoder: precomputes the inverse of the parity part of H.
+#include <stdexcept>
+
+#include "ldpc/enc/encoder.hpp"
+
+namespace ldpc::enc {
+
+namespace {
+
+/// Row-major bit matrix helpers over packed 64-bit words.
+class BitMatrix {
+ public:
+  BitMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), words_((cols + 63) / 64),
+        data_(static_cast<std::size_t>(rows) * words_, 0) {}
+
+  void set(int r, int c) {
+    data_[static_cast<std::size_t>(r) * words_ + c / 64] |=
+        std::uint64_t{1} << (c % 64);
+  }
+  bool get(int r, int c) const {
+    return (data_[static_cast<std::size_t>(r) * words_ + c / 64] >>
+            (c % 64)) & 1u;
+  }
+  /// dst_row ^= src_row
+  void xor_rows(int dst, int src) {
+    auto* d = &data_[static_cast<std::size_t>(dst) * words_];
+    const auto* s = &data_[static_cast<std::size_t>(src) * words_];
+    for (int w = 0; w < words_; ++w) d[w] ^= s[w];
+  }
+  void swap_rows(int a, int b) {
+    if (a == b) return;
+    auto* pa = &data_[static_cast<std::size_t>(a) * words_];
+    auto* pb = &data_[static_cast<std::size_t>(b) * words_];
+    for (int w = 0; w < words_; ++w) std::swap(pa[w], pb[w]);
+  }
+  int words() const noexcept { return words_; }
+  const std::uint64_t* row(int r) const {
+    return &data_[static_cast<std::size_t>(r) * words_];
+  }
+  std::vector<std::uint64_t> release() && { return std::move(data_); }
+
+ private:
+  int rows_, cols_, words_;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace
+
+DenseEncoder::DenseEncoder(const codes::QCCode& code) : code_(code) {
+  const int m = code.m();
+  const int n = code.n();
+  const int kb = n - m;  // first parity variable index
+
+  // Gauss-Jordan on [Hp | I] to obtain Hp^{-1}.
+  BitMatrix hp(m, m);
+  for (int r = 0; r < m; ++r)
+    for (std::int32_t v : code.check_vars(r))
+      if (v >= kb) hp.set(r, v - kb);
+  BitMatrix inv(m, m);
+  for (int r = 0; r < m; ++r) inv.set(r, r);
+
+  for (int col = 0; col < m; ++col) {
+    int pivot = -1;
+    for (int r = col; r < m; ++r)
+      if (hp.get(r, col)) {
+        pivot = r;
+        break;
+      }
+    if (pivot < 0)
+      throw std::invalid_argument(
+          "DenseEncoder: parity part of H is singular: " + code.name());
+    hp.swap_rows(col, pivot);
+    inv.swap_rows(col, pivot);
+    for (int r = 0; r < m; ++r)
+      if (r != col && hp.get(r, col)) {
+        hp.xor_rows(r, col);
+        inv.xor_rows(r, col);
+      }
+  }
+  words_per_row_ = inv.words();
+  inv_ = std::move(inv).release();
+}
+
+void DenseEncoder::encode(std::span<const std::uint8_t> info,
+                          std::span<std::uint8_t> codeword) const {
+  const int m = code_.m();
+  const int n = code_.n();
+  const int kb = n - m;
+  if (info.size() != static_cast<std::size_t>(kb))
+    throw std::invalid_argument("encode: info size");
+  if (codeword.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("encode: codeword size");
+
+  std::copy(info.begin(), info.end(), codeword.begin());
+
+  // Syndrome of the information part, packed into words: s = H_i * info.
+  std::vector<std::uint64_t> synd(static_cast<std::size_t>(words_per_row_),
+                                  0);
+  for (int r = 0; r < m; ++r) {
+    unsigned parity = 0;
+    for (std::int32_t v : code_.check_vars(r))
+      if (v < kb) parity ^= info[v] & 1u;
+    if (parity)
+      synd[static_cast<std::size_t>(r / 64)] |= std::uint64_t{1} << (r % 64);
+  }
+
+  // p = Hp^{-1} * s  (row-by-row dot products over GF(2)).
+  for (int r = 0; r < m; ++r) {
+    const std::uint64_t* row =
+        &inv_[static_cast<std::size_t>(r) * words_per_row_];
+    std::uint64_t acc = 0;
+    for (int w = 0; w < words_per_row_; ++w) acc ^= row[w] & synd[w];
+    codeword[static_cast<std::size_t>(kb + r)] =
+        static_cast<std::uint8_t>(__builtin_popcountll(acc) & 1);
+  }
+}
+
+}  // namespace ldpc::enc

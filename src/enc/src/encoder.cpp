@@ -1,0 +1,135 @@
+#include "ldpc/enc/encoder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ldpc::enc {
+
+namespace {
+
+using codes::BaseMatrix;
+using codes::kZeroBlock;
+using codes::QCCode;
+
+/// Accumulates the rotated block `src` into `dst`:
+/// dst[t] ^= src[(t + shift) mod z]. This matches the expansion convention
+/// of QCCode (check row t of a block touches variable (t + shift) mod z).
+void xor_rotated(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                 int shift, int z) {
+  for (int t = 0; t < z; ++t) dst[t] ^= src[(t + shift) % z];
+}
+
+/// Collects the non-zero rows of block column c as (row, shift) pairs.
+std::vector<std::pair<int, int>> column_entries(const BaseMatrix& base,
+                                                int c) {
+  std::vector<std::pair<int, int>> out;
+  for (int r = 0; r < base.rows(); ++r)
+    if (!base.is_zero(r, c)) out.emplace_back(r, base.at(r, c));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Encoder::encode(
+    std::span<const std::uint8_t> info) const {
+  std::vector<std::uint8_t> cw(static_cast<std::size_t>(code().n()));
+  encode(info, cw);
+  return cw;
+}
+
+bool DualDiagonalEncoder::structure_ok(const QCCode& code) {
+  const BaseMatrix& base = code.base();
+  const int j = base.rows();
+  const int k = base.cols();
+  const int kb = k - j;
+  if (kb <= 0) return false;
+
+  // h column: exactly three entries with equal first/last shifts.
+  const auto h = column_entries(base, kb);
+  if (h.size() != 3) return false;
+  if (h[0].second != h[2].second) return false;
+
+  // Dual diagonal: column kb+i has zero-shift entries at rows i-1 and i.
+  for (int i = 1; i < j; ++i) {
+    const auto col = column_entries(base, kb + i);
+    if (col.size() != 2) return false;
+    if (col[0] != std::make_pair(i - 1, 0) ||
+        col[1] != std::make_pair(i, 0))
+      return false;
+  }
+  return true;
+}
+
+DualDiagonalEncoder::DualDiagonalEncoder(const QCCode& code) : code_(code) {
+  if (!structure_ok(code))
+    throw std::invalid_argument(
+        "DualDiagonalEncoder: code lacks dual-diagonal structure: " +
+        code.name());
+  const auto h = column_entries(code.base(), code.block_cols() -
+                                                 code.block_rows());
+  for (int i = 0; i < 3; ++i) {
+    h_rows_[i] = h[i].first;
+    h_shifts_[i] = h[i].second;
+  }
+}
+
+void DualDiagonalEncoder::encode(std::span<const std::uint8_t> info,
+                                 std::span<std::uint8_t> codeword) const {
+  const BaseMatrix& base = code_.base();
+  const int j = base.rows();
+  const int k = base.cols();
+  const int z = code_.z();
+  const int kb = k - j;
+  if (info.size() != static_cast<std::size_t>(code_.k_info()))
+    throw std::invalid_argument("encode: info size");
+  if (codeword.size() != static_cast<std::size_t>(code_.n()))
+    throw std::invalid_argument("encode: codeword size");
+
+  // Systematic part.
+  std::copy(info.begin(), info.end(), codeword.begin());
+  std::fill(codeword.begin() + kb * z, codeword.end(), std::uint8_t{0});
+
+  // v[i] = information contribution to block row i.
+  std::vector<std::vector<std::uint8_t>> v(
+      static_cast<std::size_t>(j), std::vector<std::uint8_t>(z, 0));
+  for (int i = 0; i < j; ++i)
+    for (int c = 0; c < kb; ++c)
+      if (!base.is_zero(i, c))
+        xor_rotated(v[i], info.subspan(static_cast<std::size_t>(c) * z, z),
+                    base.at(i, c), z);
+
+  // Summing all block rows cancels the dual diagonal and the paired h
+  // entries, leaving P_b * p0 = sum_i v[i] with b the middle h shift.
+  std::vector<std::uint8_t> s(z, 0);
+  for (const auto& vi : v)
+    for (int t = 0; t < z; ++t) s[t] ^= vi[t];
+  const int b = h_shifts_[1];
+  auto p = codeword.subspan(static_cast<std::size_t>(kb) * z, z);
+  for (int t = 0; t < z; ++t) p[(t + b) % z] = s[t];  // p0 = P_b^{-1} s
+
+  // Back-substitution down the dual diagonal:
+  // row i: v[i] + (h entry at row i) * p0 + p_i + p_{i+1} = 0.
+  std::vector<std::uint8_t> acc(z, 0);  // running p_i (p_0 term excluded)
+  for (int i = 0; i + 1 < j; ++i) {
+    for (int t = 0; t < z; ++t) acc[t] ^= v[i][t];
+    for (int e = 0; e < 3; ++e)
+      if (h_rows_[e] == i)
+        xor_rotated(acc, codeword.subspan(static_cast<std::size_t>(kb) * z, z),
+                    h_shifts_[e], z);
+    auto pi = codeword.subspan(static_cast<std::size_t>(kb + 1 + i) * z, z);
+    std::copy(acc.begin(), acc.end(), pi.begin());
+  }
+  assert(code_.is_codeword(codeword));
+}
+
+std::unique_ptr<Encoder> make_encoder(const QCCode& code) {
+  if (DualDiagonalEncoder::structure_ok(code))
+    return std::make_unique<DualDiagonalEncoder>(code);
+  return std::make_unique<DenseEncoder>(code);
+}
+
+void random_bits(util::Xoshiro256& rng, std::span<std::uint8_t> bits) {
+  for (auto& b : bits) b = rng.bit() ? 1 : 0;
+}
+
+}  // namespace ldpc::enc

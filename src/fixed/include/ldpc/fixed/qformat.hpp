@@ -1,0 +1,101 @@
+// Saturating two's-complement fixed-point arithmetic.
+//
+// The paper's datapath carries 8-bit soft messages (Fig. 3 labels every bus
+// "8"). We model a message as a signed integer held in `int32_t` whose value
+// is interpreted as value = raw * 2^-frac_bits, with saturation to the
+// representable range on every arithmetic step — exactly what a hardware
+// adder with saturation logic does. A `QFormat` describes the width split and
+// provides quantization, saturation and arithmetic helpers so that every
+// module (SISO datapath, LUTs, memories) shares one numeric convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldpc::fixed {
+
+/// Description of a Qm.f fixed-point format with saturating arithmetic.
+///
+/// Invariant: 2 <= total_bits <= 16, 0 <= frac_bits < total_bits.
+class QFormat {
+ public:
+  /// `total_bits` includes the sign bit. The default (8, 2) is the paper's
+  /// 8-bit message format with quarter-LSB resolution: range [-32, +31.75].
+  constexpr QFormat(int total_bits = 8, int frac_bits = 2)
+      : total_bits_(total_bits), frac_bits_(frac_bits) {
+    // Constructed at namespace scope in several modules, so validation is a
+    // compile-time friendly check rather than an exception.
+    if (total_bits_ < 2 || total_bits_ > 16 || frac_bits_ < 0 ||
+        frac_bits_ >= total_bits_) {
+      total_bits_ = 8;
+      frac_bits_ = 2;
+    }
+  }
+
+  constexpr int total_bits() const noexcept { return total_bits_; }
+  constexpr int frac_bits() const noexcept { return frac_bits_; }
+
+  /// Largest representable raw value, e.g. +127 for 8 bits.
+  constexpr std::int32_t raw_max() const noexcept {
+    return (std::int32_t{1} << (total_bits_ - 1)) - 1;
+  }
+  /// Most negative representable raw value, e.g. -128 for 8 bits.
+  ///
+  /// Note: hardware datapaths often use symmetric saturation (-127..+127) so
+  /// that |x| never overflows; we follow that convention, matching the ABS
+  /// blocks in the paper's Fig. 3.
+  constexpr std::int32_t raw_min() const noexcept { return -raw_max(); }
+
+  /// Real value of one LSB.
+  constexpr double lsb() const noexcept {
+    return 1.0 / static_cast<double>(std::int64_t{1} << frac_bits_);
+  }
+  /// Largest representable real value.
+  constexpr double value_max() const noexcept { return raw_max() * lsb(); }
+
+  /// Clamps an arbitrary integer to the representable raw range.
+  constexpr std::int32_t saturate(std::int64_t raw) const noexcept {
+    if (raw > raw_max()) return raw_max();
+    if (raw < raw_min()) return raw_min();
+    return static_cast<std::int32_t>(raw);
+  }
+
+  /// Rounds a real value to the nearest representable level (round-half-away
+  /// -from-zero, as a hardware rounder built from add-half + truncate does
+  /// on the magnitude path) and saturates.
+  std::int32_t quantize(double value) const noexcept;
+
+  /// Real value of a raw code.
+  constexpr double to_double(std::int32_t raw) const noexcept {
+    return raw * lsb();
+  }
+
+  /// Saturating add/subtract of raw codes.
+  constexpr std::int32_t add(std::int32_t a, std::int32_t b) const noexcept {
+    return saturate(std::int64_t{a} + b);
+  }
+  constexpr std::int32_t sub(std::int32_t a, std::int32_t b) const noexcept {
+    return saturate(std::int64_t{a} - b);
+  }
+
+  /// |a| — cannot overflow because saturation is symmetric.
+  constexpr std::int32_t abs(std::int32_t a) const noexcept {
+    return a < 0 ? -a : a;
+  }
+
+  std::string to_string() const;  // "Q5.2 (8b)"
+
+  friend constexpr bool operator==(const QFormat& a,
+                                   const QFormat& b) noexcept {
+    return a.total_bits_ == b.total_bits_ && a.frac_bits_ == b.frac_bits_;
+  }
+
+ private:
+  int total_bits_;
+  int frac_bits_;
+};
+
+/// The paper's 8-bit message format (sign + 5 integer + 2 fraction).
+inline constexpr QFormat kMessageFormat{8, 2};
+
+}  // namespace ldpc::fixed

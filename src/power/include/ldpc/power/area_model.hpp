@@ -1,0 +1,50 @@
+// Analytic silicon-area model (90 nm), calibrated to the paper's numbers.
+//
+// We cannot run the authors' TSMC 90 nm synthesis flow, so areas come from
+// a structural inventory (gate-equivalent counts per datapath unit, SRAM
+// bit counts per memory) combined with a timing-pressure term calibrated
+// to Table 2's synthesis results: tighter clock targets force synthesis to
+// upsize gates, and the Radix-4 core suffers more because its look-ahead
+// cascade doubles the critical path through the f units. The model
+// reproduces Table 2 at the calibration endpoints exactly and lands within
+// a few percent at the 325 MHz midpoint; the chip-level roll-up reproduces
+// Table 3's 3.5 mm^2 budget. See DESIGN.md ("hardware substitutions").
+#pragma once
+
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/core/decoder.hpp"
+
+namespace ldpc::power {
+
+struct ChipAreaBreakdown {
+  double sisos_mm2 = 0.0;        // z_max SISO cores incl. FIFOs
+  double lambda_mem_mm2 = 0.0;   // distributed extrinsic banks
+  double l_mem_mm2 = 0.0;        // central APP memory
+  double shifter_mm2 = 0.0;      // z x z logarithmic circular shifter
+  double io_buffers_mm2 = 0.0;   // in/out frame buffers
+  double control_mm2 = 0.0;      // control, ROM, clock, routing overhead
+
+  double total_mm2() const {
+    return sisos_mm2 + lambda_mem_mm2 + l_mem_mm2 + shifter_mm2 +
+           io_buffers_mm2 + control_mm2;
+  }
+};
+
+class AreaModel {
+ public:
+  /// One SISO core's area in um^2 at the given synthesis clock target
+  /// (Table 2 reproduces at 200/325/450 MHz).
+  double siso_area_um2(core::Radix radix, double f_clk_mhz) const;
+
+  /// Table 2's efficiency factor: Radix-4 speed-up (2x) divided by its
+  /// area overhead relative to Radix-2 at the same clock.
+  double efficiency_eta(double f_clk_mhz) const;
+
+  /// Full-chip breakdown for a chip of the given dimensions (Table 3's
+  /// 3.5 mm^2 for the paper's z_max = 96 Radix-4 chip at 450 MHz).
+  ChipAreaBreakdown chip_area(const arch::ChipDimensions& dims,
+                              core::Radix radix, double f_clk_mhz,
+                              int message_bits = 8, int app_bits = 10) const;
+};
+
+}  // namespace ldpc::power

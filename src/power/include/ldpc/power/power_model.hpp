@@ -1,0 +1,66 @@
+// Analytic power model (90 nm, 1.0 V), calibrated to the paper's 410 mW
+// peak at 450 MHz and reproducing both power-saving mechanisms:
+//
+//  - early termination (Fig. 9a): dynamic power scales with the average
+//    number of decoding iterations actually executed;
+//  - distributed SISO decoding and memory banking (Fig. 9b): idle SISO
+//    cores and Lambda banks are deactivated (clock-gated) when the
+//    configured code's z is smaller than the chip's z_max, so dynamic
+//    power scales with the active-lane count.
+//
+// Dynamic power splits into a per-lane part (SISO cores, Lambda banks,
+// their share of the shifter and L-memory word) and a fixed part (control,
+// clock trunk, I/O); leakage is proportional to area and does not gate.
+#pragma once
+
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/core/decoder.hpp"
+
+namespace ldpc::power {
+
+struct PowerBreakdown {
+  double siso_mw = 0.0;
+  double lambda_mem_mw = 0.0;
+  double l_mem_mw = 0.0;
+  double shifter_mw = 0.0;
+  double control_mw = 0.0;  // control + clock trunk + I/O (not gated)
+  double leakage_mw = 0.0;
+
+  double total_mw() const {
+    return siso_mw + lambda_mem_mw + l_mem_mw + shifter_mw + control_mw +
+           leakage_mw;
+  }
+};
+
+class PowerModel {
+ public:
+  /// `f_clk_mhz` scales all dynamic terms linearly; `vdd` quadratically
+  /// (calibration point: 450 MHz, 1.0 V).
+  explicit PowerModel(double f_clk_mhz = 450.0, double vdd = 1.0);
+
+  double f_clk_mhz() const noexcept { return f_clk_mhz_; }
+
+  /// Peak (all-iterations, full-activity) power with `active_z` of the
+  /// chip's `z_max` lanes running. active_z == z_max gives the paper's
+  /// 410 mW calibration point.
+  PowerBreakdown peak(const arch::ChipDimensions& dims, int active_z) const;
+
+  /// Average power when decoding stops after `avg_iterations` of the
+  /// `max_iterations` budget (early termination, Fig. 9a): all dynamic
+  /// power scales with the iteration duty cycle (the chip gates fully
+  /// between frames); only leakage remains.
+  double average_mw(const arch::ChipDimensions& dims, int active_z,
+                    double avg_iterations, int max_iterations) const;
+
+  /// Energy per decoded information bit (nJ/bit) at the given operating
+  /// point — a common derived figure of merit.
+  double energy_per_bit_nj(const arch::ChipDimensions& dims, int active_z,
+                           double avg_iterations, int max_iterations,
+                           double throughput_bps) const;
+
+ private:
+  double scale_;  // (f/450) * vdd^2 applied to dynamic terms
+  double f_clk_mhz_;
+};
+
+}  // namespace ldpc::power

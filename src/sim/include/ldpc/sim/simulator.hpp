@@ -1,0 +1,88 @@
+// Monte-Carlo simulation harness: BER / FER / average-iteration curves.
+//
+// Drives the full chain (random information bits -> QC encoder -> BPSK or
+// QPSK -> AWGN -> LLR demapper -> decoder) with reproducible seeding and
+// adaptive stopping (runs until enough frame errors are observed or the
+// frame budget is exhausted). Works with any decoder through a small
+// adapter so the fixed-point chip model and the floating-point baselines
+// can be swept side by side.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ldpc/baseline/decoder.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/decoder.hpp"
+#include "ldpc/util/stats.hpp"
+
+namespace ldpc::sim {
+
+/// What the harness needs back from one decode call.
+struct DecodeOutcome {
+  std::vector<std::uint8_t> bits;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Adapter: channel LLRs in, outcome out. Captures the decoder by
+/// reference; the harness calls it sequentially.
+using DecodeFn = std::function<DecodeOutcome(std::span<const double>)>;
+
+/// Wraps a core::ReconfigurableDecoder (fixed-point datapath).
+DecodeFn adapt(core::ReconfigurableDecoder& decoder);
+/// Wraps any floating-point baseline decoder.
+DecodeFn adapt(const baseline::SoftDecoder& decoder, int max_iter);
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  channel::Modulation modulation = channel::Modulation::kBpsk;
+  /// Stop once this many frame errors were seen (confidence control)...
+  int target_frame_errors = 25;
+  /// ...but always run at least `min_frames` and at most `max_frames`.
+  int min_frames = 50;
+  int max_frames = 2000;
+};
+
+struct SweepPoint {
+  double ebn0_db = 0.0;
+  util::ErrorCounter info_errors;   // BER/FER over information bits
+  util::RunningStats iterations;    // per-frame decoder iterations
+  long long frames = 0;
+  /// Frames the decoder believed it decoded (converged to a codeword /
+  /// early termination fired) that still carry information-bit errors —
+  /// undetected errors / miscorrections. A hard-decision-based early
+  /// termination rule (the paper's) can accept such frames; tracking them
+  /// quantifies that risk.
+  long long undetected_errors = 0;
+  double ber() const { return info_errors.ber(); }
+  double fer() const { return info_errors.fer(); }
+  double avg_iterations() const { return iterations.mean(); }
+  double undetected_rate() const {
+    return frames ? static_cast<double>(undetected_errors) /
+                        static_cast<double>(frames)
+                  : 0.0;
+  }
+};
+
+class Simulator {
+ public:
+  /// The simulator references `code`; the caller keeps it alive.
+  Simulator(const codes::QCCode& code, DecodeFn decode, SimConfig config);
+
+  /// Runs one Eb/N0 point.
+  SweepPoint run_point(double ebn0_db);
+
+  /// Runs a sweep; each point is independently seeded from config.seed so
+  /// adding points does not perturb existing ones.
+  std::vector<SweepPoint> sweep(const std::vector<double>& ebn0_dbs);
+
+ private:
+  const codes::QCCode& code_;
+  DecodeFn decode_;
+  SimConfig config_;
+};
+
+}  // namespace ldpc::sim

@@ -1,0 +1,83 @@
+#include "ldpc/sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "ldpc/enc/encoder.hpp"
+
+namespace ldpc::sim {
+
+DecodeFn adapt(core::ReconfigurableDecoder& decoder) {
+  return [&decoder](std::span<const double> llr) {
+    core::FixedDecodeResult r = decoder.decode(llr);
+    return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+  };
+}
+
+DecodeFn adapt(const baseline::SoftDecoder& decoder, int max_iter) {
+  return [&decoder, max_iter](std::span<const double> llr) {
+    baseline::DecodeResult r = decoder.decode(llr, max_iter);
+    return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+  };
+}
+
+Simulator::Simulator(const codes::QCCode& code, DecodeFn decode,
+                     SimConfig config)
+    : code_(code), decode_(std::move(decode)), config_(config) {
+  if (!decode_) throw std::invalid_argument("Simulator: null decoder");
+  if (config_.min_frames <= 0 || config_.max_frames < config_.min_frames)
+    throw std::invalid_argument("Simulator: frame budget");
+}
+
+SweepPoint Simulator::run_point(double ebn0_db) {
+  // Derive a per-point seed so each Eb/N0 point is an independent,
+  // reproducible stream.
+  const auto ebn0_key =
+      static_cast<std::uint64_t>(static_cast<long long>(ebn0_db * 1000.0));
+  util::Xoshiro256 rng(config_.seed ^ (0x9E37'79B9'7F4A'7C15ULL * ebn0_key));
+
+  const auto encoder = enc::make_encoder(code_);
+  const double sigma =
+      channel::ebn0_to_sigma(ebn0_db, code_.rate(), config_.modulation);
+  const channel::AwgnChannel chan(sigma);
+
+  SweepPoint point;
+  point.ebn0_db = ebn0_db;
+  std::vector<std::uint8_t> info(static_cast<std::size_t>(code_.k_info()));
+
+  for (int frame = 0; frame < config_.max_frames; ++frame) {
+    if (frame >= config_.min_frames &&
+        point.info_errors.frame_errors() >=
+            static_cast<std::uint64_t>(config_.target_frame_errors))
+      break;
+
+    enc::random_bits(rng, info);
+    const auto cw = encoder->encode(info);
+    auto mod = channel::modulate(cw, config_.modulation);
+    chan.transmit(mod.samples, rng);
+    const auto llr = channel::demap_llr(mod, sigma);
+
+    const DecodeOutcome out = decode_(llr);
+    if (out.bits.size() != cw.size())
+      throw std::logic_error("Simulator: decoder returned wrong size");
+
+    // Information-bit errors only (systematic prefix).
+    std::uint64_t errors = 0;
+    for (std::size_t i = 0; i < info.size(); ++i)
+      errors += (out.bits[i] & 1) != (info[i] & 1) ? 1 : 0;
+    point.info_errors.add_frame(errors, info.size());
+    if (out.converged && errors > 0) ++point.undetected_errors;
+    point.iterations.add(static_cast<double>(out.iterations));
+    ++point.frames;
+  }
+  return point;
+}
+
+std::vector<SweepPoint> Simulator::sweep(
+    const std::vector<double>& ebn0_dbs) {
+  std::vector<SweepPoint> points;
+  points.reserve(ebn0_dbs.size());
+  for (double db : ebn0_dbs) points.push_back(run_point(db));
+  return points;
+}
+
+}  // namespace ldpc::sim

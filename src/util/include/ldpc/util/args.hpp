@@ -1,0 +1,38 @@
+// Minimal command-line flag parser for the example programs and benches.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Unknown flags raise std::invalid_argument so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ldpc::util {
+
+class Args {
+ public:
+  /// Parses argv. `known` lists every accepted flag name (without "--");
+  /// an empty list disables the unknown-flag check.
+  Args(int argc, const char* const* argv, std::vector<std::string> known = {});
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_or(const std::string& name, std::string def) const;
+  long long get_or(const std::string& name, long long def) const;
+  double get_or(const std::string& name, double def) const;
+  bool get_or(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ldpc::util

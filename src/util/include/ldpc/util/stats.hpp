@@ -1,0 +1,57 @@
+// Statistics accumulators used by the Monte-Carlo simulation harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ldpc::util {
+
+/// Streaming mean/variance/min/max (Welford's algorithm). Numerically stable
+/// for long Monte-Carlo runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Bit/frame error bookkeeping for BER/FER curves.
+class ErrorCounter {
+ public:
+  /// Records one decoded frame: number of wrong bits out of `bits` total.
+  void add_frame(std::uint64_t bit_errors, std::uint64_t bits) noexcept;
+
+  std::uint64_t frames() const noexcept { return frames_; }
+  std::uint64_t frame_errors() const noexcept { return frame_errors_; }
+  std::uint64_t bits() const noexcept { return bits_; }
+  std::uint64_t bit_errors() const noexcept { return bit_errors_; }
+
+  double ber() const noexcept;
+  double fer() const noexcept;
+
+  void merge(const ErrorCounter& other) noexcept;
+
+ private:
+  std::uint64_t frames_ = 0;
+  std::uint64_t frame_errors_ = 0;
+  std::uint64_t bits_ = 0;
+  std::uint64_t bit_errors_ = 0;
+};
+
+}  // namespace ldpc::util

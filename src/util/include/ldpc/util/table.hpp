@@ -1,0 +1,41 @@
+// Plain-text table printer used by the benchmark harness to render the
+// paper's tables and figure series in a diff-friendly fixed-width format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ldpc::util {
+
+/// Builds an aligned ASCII table: add a header row, then data rows; `print`
+/// computes column widths and writes the result. Cells are free-form strings;
+/// helpers format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment padding) for plotting scripts.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` significant decimal places ("3.50").
+std::string fmt_fixed(double v, int digits);
+/// Formats `v` in scientific notation with 2 decimals ("1.23e-05").
+std::string fmt_sci(double v);
+/// Formats an integer with thousands separators ("12,774").
+std::string fmt_group(long long v);
+
+}  // namespace ldpc::util

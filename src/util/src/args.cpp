@@ -1,0 +1,64 @@
+#include "ldpc/util/args.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpc::util {
+
+Args::Args(int argc, const char* const* argv, std::vector<std::string> known) {
+  auto is_known = [&known](const std::string& name) {
+    return known.empty() ||
+           std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    std::string value = "true";  // bare switch
+    if (auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (!is_known(token))
+      throw std::invalid_argument("unknown flag: --" + token);
+    values_[token] = std::move(value);
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name, std::string def) const {
+  auto v = get(name);
+  return v ? *v : std::move(def);
+}
+
+long long Args::get_or(const std::string& name, long long def) const {
+  auto v = get(name);
+  return v ? std::stoll(*v) : def;
+}
+
+double Args::get_or(const std::string& name, double def) const {
+  auto v = get(name);
+  return v ? std::stod(*v) : def;
+}
+
+bool Args::get_or(const std::string& name, bool def) const {
+  auto v = get(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+}  // namespace ldpc::util

@@ -1,0 +1,66 @@
+#include "ldpc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldpc::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void ErrorCounter::add_frame(std::uint64_t bit_errors,
+                             std::uint64_t bits) noexcept {
+  ++frames_;
+  frame_errors_ += bit_errors > 0 ? 1 : 0;
+  bits_ += bits;
+  bit_errors_ += bit_errors;
+}
+
+double ErrorCounter::ber() const noexcept {
+  return bits_ ? static_cast<double>(bit_errors_) / static_cast<double>(bits_)
+               : 0.0;
+}
+
+double ErrorCounter::fer() const noexcept {
+  return frames_ ? static_cast<double>(frame_errors_) /
+                       static_cast<double>(frames_)
+                 : 0.0;
+}
+
+void ErrorCounter::merge(const ErrorCounter& other) noexcept {
+  frames_ += other.frames_;
+  frame_errors_ += other.frame_errors_;
+  bits_ += other.bits_;
+  bit_errors_ += other.bit_errors_;
+}
+
+}  // namespace ldpc::util

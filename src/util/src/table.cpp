@@ -1,0 +1,90 @@
+#include "ldpc/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ldpc::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size(), ' ')
+         << (i + 1 < widths.size() ? " | " : " |\n");
+    }
+  };
+
+  if (!title_.empty()) os << "=== " << title_ << " ===\n";
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  os << rule << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os << rule << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << cells[i] << (i + 1 < cells.size() ? "," : "");
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+std::string fmt_group(long long v) {
+  const bool neg = v < 0;
+  unsigned long long mag = neg ? static_cast<unsigned long long>(-(v + 1)) + 1
+                               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ldpc::util

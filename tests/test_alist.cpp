@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ldpc/codes/alist.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/enc/encoder.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace {
+
+using namespace ldpc;
+using codes::FlatCode;
+using codes::QCCode;
+using codes::Rate;
+using codes::Standard;
+
+TEST(Alist, RoundTripPreservesMatrix) {
+  const QCCode code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                        24});
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  EXPECT_EQ(flat.n, code.n());
+  EXPECT_EQ(flat.m, code.m());
+  for (int r = 0; r < code.m(); ++r) {
+    const auto vars = code.check_vars(r);
+    std::vector<std::int32_t> sorted(vars.begin(), vars.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(flat.vars_of_check[static_cast<std::size_t>(r)], sorted)
+        << "row " << r;
+  }
+}
+
+TEST(Alist, HeaderFieldsCorrect) {
+  const QCCode code = codes::make_code({Standard::kWlan80211n, Rate::kR56,
+                                        27});
+  std::istringstream is(codes::to_alist(code));
+  int n = 0, m = 0, max_col = 0, max_row = 0;
+  is >> n >> m >> max_col >> max_row;
+  EXPECT_EQ(n, code.n());
+  EXPECT_EQ(m, code.m());
+  EXPECT_EQ(max_row, code.max_check_degree());
+  int max_var_deg = 0;
+  for (int v = 0; v < code.n(); ++v)
+    max_var_deg = std::max(max_var_deg, code.var_degree(v));
+  EXPECT_EQ(max_col, max_var_deg);
+}
+
+TEST(Alist, FlatCodewordCheckMatchesQc) {
+  const QCCode code = codes::make_code({Standard::kWimax80216e, Rate::kR34B,
+                                        28});
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  auto encoder = enc::make_encoder(code);
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+  enc::random_bits(rng, info);
+  auto cw = encoder->encode(info);
+  EXPECT_TRUE(flat.is_codeword(cw));
+  cw[17] ^= 1;
+  EXPECT_FALSE(flat.is_codeword(cw));
+}
+
+TEST(Alist, QcReconstructionRecoversBaseMatrix) {
+  const QCCode code = codes::make_code({Standard::kWimax80216e, Rate::kR23A,
+                                        24});
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  const QCCode rebuilt = codes::to_qc_code(flat, code.z(), "rebuilt");
+  EXPECT_EQ(rebuilt.base(), code.base());
+  EXPECT_EQ(rebuilt.z(), code.z());
+}
+
+TEST(Alist, QcReconstructionRejectsWrongZ) {
+  const QCCode code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                        24});
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  EXPECT_THROW(codes::to_qc_code(flat, 7), std::invalid_argument);   // not a divisor
+  EXPECT_THROW(codes::to_qc_code(flat, 12), std::invalid_argument);  // divisor, not QC
+}
+
+TEST(Alist, MalformedInputsThrow) {
+  // Truncated.
+  EXPECT_THROW(codes::read_alist_string("4 2\n"), std::invalid_argument);
+  // Negative dimension.
+  EXPECT_THROW(codes::read_alist_string("-1 2\n1 1\n"),
+               std::invalid_argument);
+  // Index out of range: a 2x1 matrix whose column list names check 3.
+  const std::string bad =
+      "1 2\n2 1\n2\n1 1\n1 3\n1\n1\n";
+  EXPECT_THROW(codes::read_alist_string(bad), std::invalid_argument);
+}
+
+TEST(Alist, InconsistentRowColumnListsThrow) {
+  // n=2 m=1; column list says var1 in check1, var2 in check1, but the row
+  // list names only var 1 => degree mismatch.
+  const std::string bad = "2 1\n1 2\n1 1\n2\n1\n1\n1 0\n";
+  EXPECT_THROW(codes::read_alist_string(bad), std::invalid_argument);
+}
+
+TEST(Alist, HandlesIrregularDegrees) {
+  // 802.16e rate 1/2 has irregular column degrees (2, 3 and 6); the
+  // zero-padding convention must round-trip them.
+  const QCCode code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                        96});
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  EXPECT_EQ(flat.max_row_degree(), code.max_check_degree());
+  int deg2 = 0, deg6 = 0;
+  std::vector<int> col_deg(static_cast<std::size_t>(flat.n), 0);
+  for (const auto& row : flat.vars_of_check)
+    for (std::int32_t v : row) ++col_deg[static_cast<std::size_t>(v)];
+  for (int d : col_deg) {
+    deg2 += d == 2 ? 1 : 0;
+    deg6 += d == 6 ? 1 : 0;
+  }
+  EXPECT_GT(deg2, 0);
+  EXPECT_GT(deg6, 0);
+}
+
+class AlistAllModes : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(AlistAllModes, RoundTripAndQcReconstruction) {
+  const QCCode code = codes::make_code(GetParam());
+  const FlatCode flat = codes::read_alist_string(codes::to_alist(code));
+  EXPECT_EQ(flat.n, code.n());
+  const QCCode rebuilt = codes::to_qc_code(flat, code.z());
+  EXPECT_EQ(rebuilt.base(), code.base());
+}
+
+// A spread of modes across standards/rates (full 130-mode sweep would
+// re-serialise megabytes of text for little extra coverage).
+INSTANTIATE_TEST_SUITE_P(
+    Spread, AlistAllModes,
+    ::testing::Values(
+        codes::CodeId{Standard::kWimax80216e, Rate::kR12, 24},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR23B, 52},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR56, 96},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR12, 54},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR34, 81},
+        codes::CodeId{Standard::kDmbT, Rate::kR35, 127}),
+    [](const auto& info) {
+      std::string n = to_string(info.param);
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+}  // namespace

@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ldpc/arch/circular_shifter.hpp"
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/arch/frame_pipeline.hpp"
+#include "ldpc/arch/memory.hpp"
+#include "ldpc/arch/pipeline.hpp"
+#include "ldpc/arch/throughput.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/enc/encoder.hpp"
+
+namespace {
+
+using namespace ldpc;
+using arch::ChipDimensions;
+using arch::CircularShifter;
+using arch::PipelineConfig;
+using arch::PipelineModel;
+using codes::Rate;
+using codes::Standard;
+
+// ---- circular shifter -------------------------------------------------------
+
+TEST(CircularShifter, StageCountIsLog2) {
+  EXPECT_EQ(CircularShifter(96).stages(), 7);
+  EXPECT_EQ(CircularShifter(64).stages(), 6);
+  EXPECT_EQ(CircularShifter(1).stages(), 0);
+  EXPECT_EQ(CircularShifter(127).stages(), 7);
+}
+
+TEST(CircularShifter, RotatesWithinActiveLanes) {
+  CircularShifter sh(8);
+  std::vector<std::int32_t> in{10, 20, 30, 40, 50, -1, -1, -1};
+  std::vector<std::int32_t> out(8, 99);
+  sh.rotate(in, 2, 5, out);
+  EXPECT_EQ(out[0], 30);
+  EXPECT_EQ(out[4], 20);  // (4+2) mod 5 = 1
+  EXPECT_EQ(out[5], 99);  // untouched beyond z
+}
+
+TEST(CircularShifter, ZeroShiftIsIdentity) {
+  CircularShifter sh(16);
+  std::vector<std::int32_t> in{1, 2, 3, 4};
+  EXPECT_EQ(sh.rotate(in, 0), in);
+}
+
+TEST(CircularShifter, RotateBackInverts) {
+  CircularShifter sh(96);
+  std::vector<std::int32_t> in(96), fwd(96), back(96);
+  std::iota(in.begin(), in.end(), 100);
+  for (int shift : {0, 1, 17, 95}) {
+    sh.rotate(in, shift, 96, fwd);
+    sh.rotate_back(fwd, shift, 96, back);
+    EXPECT_EQ(back, in) << shift;
+  }
+}
+
+TEST(CircularShifter, InvalidArgsThrow) {
+  CircularShifter sh(8);
+  std::vector<std::int32_t> buf(8);
+  EXPECT_THROW(CircularShifter(0), std::invalid_argument);
+  EXPECT_THROW(sh.rotate(buf, 0, 9, buf), std::invalid_argument);
+  EXPECT_THROW(sh.rotate(buf, 8, 8, buf), std::invalid_argument);
+  EXPECT_THROW(sh.rotate(buf, -1, 8, buf), std::invalid_argument);
+}
+
+TEST(CircularShifter, MuxCountForAreaModel) {
+  EXPECT_EQ(CircularShifter(96).mux_count(), 7 * 96);
+}
+
+// ---- memories ---------------------------------------------------------------
+
+TEST(LMemory, ReadWriteRoundTripAndStats) {
+  arch::LMemory mem(4, 8);
+  std::vector<std::int32_t> word{1, 2, 3, 4, 5, 6};
+  mem.write(2, 6, word);
+  std::vector<std::int32_t> out(6);
+  mem.read(2, 6, out);
+  EXPECT_EQ(out, word);
+  EXPECT_EQ(mem.stats().reads, 1);
+  EXPECT_EQ(mem.stats().writes, 1);
+  mem.reset_stats();
+  EXPECT_EQ(mem.stats().reads, 0);
+}
+
+TEST(LMemory, LaneAccessorsBypassStats) {
+  arch::LMemory mem(2, 4);
+  mem.set_lane(1, 3, -7);
+  EXPECT_EQ(mem.lane(1, 3), -7);
+  EXPECT_EQ(mem.stats().reads + mem.stats().writes, 0);
+}
+
+TEST(LMemory, BoundsChecked) {
+  arch::LMemory mem(2, 4);
+  std::vector<std::int32_t> buf(4);
+  EXPECT_THROW(mem.read(2, 4, buf), std::out_of_range);
+  EXPECT_THROW(mem.read(0, 5, buf), std::invalid_argument);
+  EXPECT_THROW(mem.lane(0, 4), std::out_of_range);
+}
+
+TEST(LambdaBanks, ActivationGatesAccess) {
+  arch::LambdaMemoryBanks banks(8, 4, 6);
+  banks.activate(4);
+  EXPECT_EQ(banks.active_banks(), 4);
+  banks.write(3, 0, 0, 42);
+  EXPECT_EQ(banks.read(3, 0, 0), 42);
+  // Banks 4..7 are deactivated: the control logic must never touch them.
+  EXPECT_THROW(banks.read(4, 0, 0), std::out_of_range);
+  EXPECT_THROW(banks.write(7, 0, 0, 1), std::out_of_range);
+}
+
+TEST(LambdaBanks, ActivationClearsContents) {
+  arch::LambdaMemoryBanks banks(4, 2, 3);
+  banks.activate(4);
+  banks.write(0, 1, 2, 99);
+  banks.activate(4);
+  EXPECT_EQ(banks.read(0, 1, 2), 0);
+}
+
+TEST(LambdaBanks, PerBankStats) {
+  arch::LambdaMemoryBanks banks(4, 2, 3);
+  banks.activate(2);
+  banks.write(0, 0, 0, 1);
+  banks.read(0, 0, 0);
+  banks.read(1, 1, 1);
+  EXPECT_EQ(banks.stats(0).reads, 1);
+  EXPECT_EQ(banks.stats(0).writes, 1);
+  EXPECT_EQ(banks.stats(1).reads, 1);
+  EXPECT_EQ(banks.total_reads(), 2);
+  EXPECT_EQ(banks.total_writes(), 1);
+}
+
+// ---- pipeline ---------------------------------------------------------------
+
+TEST(Pipeline, StageCyclesMatchRadix) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineModel r2(code, {.radix = core::Radix::kR2});
+  PipelineModel r4(code, {.radix = core::Radix::kR4});
+  for (int l = 0; l < code.block_rows(); ++l) {
+    const int d = static_cast<int>(code.layers()[l].size());
+    EXPECT_EQ(r2.stage_cycles(l), d);
+    EXPECT_EQ(r4.stage_cycles(l), (d + 1) / 2);
+  }
+}
+
+TEST(Pipeline, NoOverlapHasNoStalls) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineModel model(code, {.overlap = false});
+  const auto t = model.analyze_natural();
+  EXPECT_EQ(t.total_stalls, 0);
+  // Without overlap each layer pays both stages.
+  long long expect = 0;
+  for (int l = 0; l < code.block_rows(); ++l)
+    expect += 2LL * model.stage_cycles(l);
+  EXPECT_EQ(t.cycles_per_iteration, expect);
+}
+
+TEST(Pipeline, OverlapHalvesCyclesUpToStalls) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineModel overlap(code, {.overlap = true});
+  PipelineModel serial(code, {.overlap = false});
+  const auto to = overlap.analyze_natural();
+  const auto ts = serial.analyze_natural();
+  EXPECT_LT(to.cycles_per_iteration, ts.cycles_per_iteration);
+  EXPECT_EQ(to.cycles_per_iteration,
+            ts.cycles_per_iteration / 2 + to.total_stalls);
+}
+
+TEST(Pipeline, ReorderingReducesStalls) {
+  // The paper cites [10]: shuffling the layer order avoids stalls.
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineModel model(code, {});
+  const auto natural = model.analyze_natural();
+  const auto optimized = model.analyze(model.optimize_order());
+  EXPECT_LE(optimized.total_stalls, natural.total_stalls);
+  EXPECT_GT(natural.total_stalls, 0);  // rate-1/2 layers share columns
+}
+
+TEST(Pipeline, AnalyzeValidatesPermutation) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  PipelineModel model(code, {});
+  std::vector<int> bad{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_THROW(model.analyze(bad), std::invalid_argument);
+  std::vector<int> small{0, 1};
+  EXPECT_THROW(model.analyze(small), std::invalid_argument);
+}
+
+TEST(Pipeline, ShifterLatencyWidensStallWindow) {
+  // The pipelined shifter adds its depth to the read-after-write window,
+  // showing up as extra stalls between overlapped layers (not as a flat
+  // per-layer cost).
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineModel with(code,
+                     {.include_shifter_latency = true, .shifter_stages = 7});
+  PipelineModel without(code, {});
+  const auto tw = with.analyze_natural();
+  const auto to = without.analyze_natural();
+  EXPECT_GT(tw.total_stalls, to.total_stalls);
+  EXPECT_EQ(tw.cycles_per_iteration - to.cycles_per_iteration,
+            tw.total_stalls - to.total_stalls);
+}
+
+TEST(Pipeline, OptimizeOrderIsPermutation) {
+  for (const auto& id :
+       {codes::CodeId{Standard::kWimax80216e, Rate::kR56, 96},
+        codes::CodeId{Standard::kDmbT, Rate::kR35, 127}}) {
+    const auto code = codes::make_code(id);
+    PipelineModel model(code, {});
+    auto order = model.optimize_order();
+    std::sort(order.begin(), order.end());
+    for (int l = 0; l < code.block_rows(); ++l) EXPECT_EQ(order[l], l);
+  }
+}
+
+// ---- throughput -------------------------------------------------------------
+
+TEST(Throughput, FormulaMatchesPaperOneGbps) {
+  // Paper headline: 1 Gbps pipelined R4 at 450 MHz. For 802.16e rate-1/2
+  // z=96 (E=76, k=24): T = 2*24*96*0.5*450e6/(76*I). With I~10 that is
+  // ~1.36 Gbps-per-iteration/13.6; the 1 Gbps figure corresponds to the
+  // effective iteration count the chip sustains. Verify the formula value
+  // itself and its scaling.
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  const double t10 =
+      arch::formula_throughput(code, core::Radix::kR4, 450e6, 10);
+  const double expected = 2.0 * 24 * 96 * 0.5 * 450e6 /
+                          (code.nonzero_blocks() * 10.0);
+  EXPECT_DOUBLE_EQ(t10, expected);
+  // Rate-5/6 hits >1 Gbps at 10 iterations (the multi-mode chip's peak).
+  const auto high = codes::make_code({Standard::kWimax80216e, Rate::kR56,
+                                      96});
+  EXPECT_GT(arch::formula_throughput(high, core::Radix::kR4, 450e6, 10),
+            1e9);
+}
+
+TEST(Throughput, R4DoublesR2) {
+  const auto code = codes::make_code({Standard::kWlan80211n, Rate::kR12,
+                                      81});
+  EXPECT_DOUBLE_EQ(
+      arch::formula_throughput(code, core::Radix::kR4, 450e6, 10),
+      2.0 * arch::formula_throughput(code, core::Radix::kR2, 450e6, 10));
+}
+
+TEST(Throughput, ModeledWithinPaperDegradationBand) {
+  // Section III-E: shifter latency (plus stalls) degrades throughput by
+  // about 5-15%.
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      96});
+  PipelineConfig pc;
+  pc.include_shifter_latency = true;
+  pc.shifter_stages = 7;
+  const auto report = arch::modeled_throughput(code, pc, 450e6, 10);
+  EXPECT_GT(report.degradation, 0.03);
+  EXPECT_LT(report.degradation, 0.25);
+  EXPECT_LT(report.modeled_bps, report.formula_bps);
+}
+
+TEST(Throughput, InvalidParamsThrow) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  EXPECT_THROW(arch::formula_throughput(code, core::Radix::kR4, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(arch::formula_throughput(code, core::Radix::kR4, 1e6, 0),
+               std::invalid_argument);
+}
+
+// ---- decoder chip -----------------------------------------------------------
+
+struct ChipChain {
+  codes::QCCode code;
+  std::unique_ptr<enc::Encoder> encoder;
+  util::Xoshiro256 rng;
+
+  explicit ChipChain(const codes::CodeId& id, std::uint64_t seed = 1)
+      : code(codes::make_code(id)), encoder(enc::make_encoder(code)),
+        rng(seed) {}
+
+  std::pair<std::vector<std::uint8_t>, std::vector<double>> frame(
+      double ebn0_db) {
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    enc::random_bits(rng, info);
+    auto cw = encoder->encode(info);
+    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
+                                                channel::Modulation::kBpsk);
+    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+    return {std::move(cw), channel::demap_llr(mod, sigma)};
+  }
+};
+
+TEST(ChipDimensions, FitsChecksAllLimits) {
+  const ChipDimensions paper{};  // z<=96, k<=24, j<=12
+  EXPECT_TRUE(paper.fits(
+      codes::make_code({Standard::kWimax80216e, Rate::kR12, 96})));
+  EXPECT_TRUE(paper.fits(
+      codes::make_code({Standard::kWlan80211n, Rate::kR56, 81})));
+  EXPECT_FALSE(paper.fits(
+      codes::make_code({Standard::kDmbT, Rate::kR35, 127})));
+  EXPECT_TRUE(ChipDimensions::universal().fits(
+      codes::make_code({Standard::kDmbT, Rate::kR25, 127})));
+}
+
+TEST(DecoderChip, MatchesFunctionalDecoderBitExactly) {
+  // The structural model (memories + shifter + banks) must reproduce the
+  // functional decoder exactly when running the same layer order. This
+  // validates the shifter routing and bank addressing.
+  ChipChain chain({Standard::kWimax80216e, Rate::kR34A, 48}, 77);
+  core::DecoderConfig cfg{.max_iterations = 5};
+  arch::DecoderChip chip({}, cfg);
+  chip.configure(chain.code);
+  std::vector<int> natural(chain.code.block_rows());
+  std::iota(natural.begin(), natural.end(), 0);
+  chip.set_layer_order(natural);
+  core::ReconfigurableDecoder functional(chain.code, cfg);
+
+  for (int f = 0; f < 5; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    const auto rc = chip.decode(llr);
+    const auto rf = functional.decode(llr);
+    EXPECT_EQ(rc.functional.bits, rf.bits) << "frame " << f;
+    EXPECT_EQ(rc.functional.iterations, rf.iterations);
+  }
+}
+
+TEST(DecoderChip, DecodesWithOptimizedOrder) {
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 31);
+  arch::DecoderChip chip({}, {.stop_on_codeword = true});
+  chip.configure(chain.code);
+  for (int f = 0; f < 3; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    const auto r = chip.decode(llr);
+    EXPECT_TRUE(r.functional.converged);
+    EXPECT_EQ(r.functional.bits, cw);
+  }
+}
+
+TEST(DecoderChip, CountsMemoryAccesses) {
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 5);
+  arch::DecoderChip chip({}, {.max_iterations = 1});
+  chip.configure(chain.code);
+  auto [cw, llr] = chain.frame(8.0);
+  const auto r = chip.decode(llr);
+  const long long e = chain.code.nonzero_blocks();
+  // Per iteration: one L read + one L write per non-zero block.
+  EXPECT_EQ(r.stats.l_mem_reads, e);
+  EXPECT_EQ(r.stats.l_mem_writes, e);
+  // Each of z SISO lanes reads and writes one Lambda message per block.
+  EXPECT_EQ(r.stats.lambda_reads, e * 24);
+  EXPECT_EQ(r.stats.lambda_writes, e * 24);
+  EXPECT_EQ(r.stats.active_sisos, 24);
+  EXPECT_EQ(r.stats.idle_sisos, 96 - 24);
+  EXPECT_GT(r.stats.cycles, 0);
+}
+
+TEST(DecoderChip, ReconfiguresAcrossStandards) {
+  ChipChain wimax({Standard::kWimax80216e, Rate::kR12, 96}, 11);
+  ChipChain wlan({Standard::kWlan80211n, Rate::kR34, 81}, 12);
+  arch::DecoderChip chip({}, {.stop_on_codeword = true});
+  for (int round = 0; round < 2; ++round) {
+    chip.configure(wimax.code);
+    auto [cw1, llr1] = wimax.frame(3.0);
+    EXPECT_EQ(chip.decode(llr1).functional.bits, cw1);
+    chip.configure(wlan.code);
+    auto [cw2, llr2] = wlan.frame(4.0);
+    EXPECT_EQ(chip.decode(llr2).functional.bits, cw2);
+  }
+}
+
+TEST(DecoderChip, RejectsOversizedCode) {
+  arch::DecoderChip chip({}, {});
+  const auto big = codes::make_code({Standard::kDmbT, Rate::kR35, 127});
+  EXPECT_THROW(chip.configure(big), std::invalid_argument);
+}
+
+TEST(DecoderChip, UniversalDimensionsHostDmbt) {
+  ChipChain chain({Standard::kDmbT, Rate::kR35, 127}, 21);
+  arch::DecoderChip chip(ChipDimensions::universal(),
+                         {.stop_on_codeword = true});
+  chip.configure(chain.code);
+  auto [cw, llr] = chain.frame(4.0);
+  const auto r = chip.decode(llr);
+  EXPECT_TRUE(r.functional.converged);
+  EXPECT_EQ(r.functional.bits, cw);
+}
+
+// Structural-vs-functional equivalence across a spread of modes: the
+// memory/shifter plumbing must be invisible to the arithmetic everywhere.
+class ChipEquivalence : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(ChipEquivalence, MatchesFunctionalDecoder) {
+  ChipChain chain(GetParam(), 0xC41B + GetParam().z);
+  core::DecoderConfig cfg{.max_iterations = 4};
+  arch::DecoderChip chip(arch::ChipDimensions::universal(), cfg);
+  chip.configure(chain.code);
+  std::vector<int> natural(chain.code.block_rows());
+  std::iota(natural.begin(), natural.end(), 0);
+  chip.set_layer_order(natural);
+  core::ReconfigurableDecoder functional(chain.code, cfg);
+  for (int f = 0; f < 2; ++f) {
+    auto [cw, llr] = chain.frame(2.5);
+    EXPECT_EQ(chip.decode(llr).functional.bits, functional.decode(llr).bits)
+        << chain.code.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spread, ChipEquivalence,
+    ::testing::Values(
+        codes::CodeId{Standard::kWimax80216e, Rate::kR12, 96},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR23A, 40},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR23B, 68},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR34A, 52},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR34B, 84},
+        codes::CodeId{Standard::kWimax80216e, Rate::kR56, 28},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR12, 27},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR23, 54},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR34, 81},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR56, 54},
+        codes::CodeId{Standard::kDmbT, Rate::kR25, 127},
+        codes::CodeId{Standard::kDmbT, Rate::kR45, 127}),
+    [](const auto& info) {
+      std::string n = to_string(info.param);
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(DecoderChip, UnconfiguredUseThrows) {
+  arch::DecoderChip chip({}, {});
+  std::vector<double> llr(10);
+  EXPECT_THROW(chip.decode(llr), std::logic_error);
+  EXPECT_THROW(chip.code(), std::logic_error);
+}
+
+// ---- frame pipeline (In/Out buffer, Fig. 8) ---------------------------------
+
+TEST(FramePipeline, AccountsDecodeAndIo) {
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 61);
+  arch::DecoderChip chip({}, {.max_iterations = 5});
+  arch::FramePipeline pipe(chip, {.io_bits_per_cycle = 64,
+                                  .reconfigure_cycles = 32});
+  auto [cw, llr] = chain.frame(3.0);
+  pipe.decode_frame(chain.code, llr);
+  const auto& s = pipe.stats();
+  EXPECT_EQ(s.frames, 1);
+  EXPECT_EQ(s.reconfigurations, 1);
+  EXPECT_GT(s.decode_cycles, 0);
+  // Input: 2304 LLRs x 8 bits / 64 bits per cycle + output word.
+  EXPECT_EQ(s.io_cycles, (2304LL * 8 + 2304 + 63) / 64);
+  EXPECT_EQ(pipe.info_bits(), chain.code.k_info());
+}
+
+TEST(FramePipeline, NoReconfigurationForSameCode) {
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 62);
+  arch::DecoderChip chip({}, {.max_iterations = 3});
+  arch::FramePipeline pipe(chip);
+  for (int f = 0; f < 3; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    pipe.decode_frame(chain.code, llr);
+  }
+  EXPECT_EQ(pipe.stats().reconfigurations, 1);  // only the first frame
+  EXPECT_EQ(pipe.stats().frames, 3);
+}
+
+TEST(FramePipeline, ReconfiguresOnCodeSwitch) {
+  ChipChain a({Standard::kWimax80216e, Rate::kR12, 96}, 63);
+  ChipChain b({Standard::kWlan80211n, Rate::kR34, 81}, 64);
+  arch::DecoderChip chip({}, {.max_iterations = 3});
+  arch::FramePipeline pipe(chip);
+  for (int round = 0; round < 2; ++round) {
+    auto [cw1, llr1] = a.frame(3.0);
+    pipe.decode_frame(a.code, llr1);
+    auto [cw2, llr2] = b.frame(4.0);
+    pipe.decode_frame(b.code, llr2);
+  }
+  EXPECT_EQ(pipe.stats().reconfigurations, 4);  // every frame switches
+}
+
+TEST(FramePipeline, UtilizationHighWhenDecodeBound) {
+  // Long decode (10 iterations) vs wide bus: the core should dominate.
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 65);
+  arch::DecoderChip chip({}, {.max_iterations = 10});
+  arch::FramePipeline pipe(chip, {.io_bits_per_cycle = 128,
+                                  .reconfigure_cycles = 0});
+  for (int f = 0; f < 3; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    pipe.decode_frame(chain.code, llr);
+  }
+  EXPECT_GT(pipe.stats().core_utilization(), 0.9);
+  EXPECT_GT(pipe.stats().sustained_bps(450e6, pipe.info_bits()), 0.0);
+}
+
+TEST(FramePipeline, StallsWhenIoBound) {
+  // A 1-bit-per-cycle interface starves the core.
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 66);
+  arch::DecoderChip chip({}, {.max_iterations = 1});
+  arch::FramePipeline pipe(chip, {.io_bits_per_cycle = 1,
+                                  .reconfigure_cycles = 0});
+  auto [cw, llr] = chain.frame(6.0);
+  pipe.decode_frame(chain.code, llr);
+  EXPECT_GT(pipe.stats().stall_cycles, 0);
+  EXPECT_LT(pipe.stats().core_utilization(), 0.5);
+}
+
+TEST(FramePipeline, InvalidConfigThrows) {
+  arch::DecoderChip chip({}, {});
+  EXPECT_THROW(arch::FramePipeline(chip, {.io_bits_per_cycle = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(arch::FramePipeline(chip, {.reconfigure_cycles = -1}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldpc/baseline/boxplus.hpp"
+#include "ldpc/baseline/flooding_bp.hpp"
+#include "ldpc/baseline/layered_bp.hpp"
+#include "ldpc/baseline/linear_approx.hpp"
+#include "ldpc/baseline/min_sum.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/enc/encoder.hpp"
+
+namespace {
+
+using namespace ldpc;
+using baseline::boxminus;
+using baseline::boxplus;
+using codes::Rate;
+using codes::Standard;
+
+double boxplus_reference(double a, double b) {
+  // Direct evaluation of log((1 + e^a e^b)/(e^a + e^b)) via tanh identity.
+  return 2.0 * std::atanh(std::tanh(a / 2.0) * std::tanh(b / 2.0));
+}
+
+TEST(Boxplus, MatchesTanhFormula) {
+  for (double a = -6.0; a <= 6.0; a += 0.7)
+    for (double b = -6.0; b <= 6.0; b += 0.9) {
+      if (std::abs(a) < 1e-9 || std::abs(b) < 1e-9) continue;
+      EXPECT_NEAR(boxplus(a, b), boxplus_reference(a, b), 1e-9)
+          << a << " " << b;
+    }
+}
+
+TEST(Boxplus, Commutative) {
+  EXPECT_DOUBLE_EQ(boxplus(1.3, -2.7), boxplus(-2.7, 1.3));
+}
+
+TEST(Boxplus, ZeroAnnihilates) {
+  // boxplus(a, 0) = 0: a check with an erased participant gives no info.
+  EXPECT_NEAR(boxplus(3.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(Boxplus, MagnitudeBoundedByMin) {
+  for (double a : {0.5, 2.0, 7.5})
+    for (double b : {-0.7, 1.0, -4.0})
+      EXPECT_LE(std::abs(boxplus(a, b)),
+                std::min(std::abs(a), std::abs(b)) + 1e-12);
+}
+
+TEST(Boxplus, AssociativeWithinTolerance) {
+  const double x = boxplus(boxplus(1.1, -2.2), 3.3);
+  const double y = boxplus(1.1, boxplus(-2.2, 3.3));
+  EXPECT_NEAR(x, y, 1e-9);
+}
+
+TEST(Boxminus, InvertsBoxplus) {
+  for (double a = -5.0; a <= 5.0; a += 0.63)
+    for (double b = -5.0; b <= 5.0; b += 0.77) {
+      if (std::abs(a) < 0.05 || std::abs(b) < 0.05) continue;
+      if (std::abs(std::abs(a) - std::abs(b)) < 0.05) continue;
+      const double s = boxplus(a, b);
+      EXPECT_NEAR(boxminus(s, b), a, 1e-6) << a << " " << b;
+    }
+}
+
+TEST(Boxminus, DivergentPointSaturates) {
+  EXPECT_DOUBLE_EQ(std::abs(boxminus(2.0, 2.0, 100.0)), 100.0);
+}
+
+TEST(MinsumKernel, UnderestimatesExactBoxplus) {
+  // |min-sum| >= |exact| (min-sum overestimates reliability), which is why
+  // normalisation alpha < 1 helps.
+  for (double a : {0.8, 2.0, 5.0})
+    for (double b : {1.1, 3.0}) {
+      EXPECT_GE(std::abs(baseline::minsum_kernel(a, b)),
+                std::abs(boxplus(a, b)));
+    }
+}
+
+TEST(MinsumKernel, AlphaBetaApplied) {
+  EXPECT_DOUBLE_EQ(baseline::minsum_kernel(3.0, -2.0, 0.75, 0.0), -1.5);
+  EXPECT_DOUBLE_EQ(baseline::minsum_kernel(3.0, 2.0, 1.0, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(baseline::minsum_kernel(0.2, 0.3, 1.0, 0.5), 0.0);
+}
+
+TEST(LinearCorrection, ApproximatesLog1pExp) {
+  // max error of the max(0, log2 - x/4) fit is ~0.12 near x = 1.5.
+  for (double x = 0.0; x <= 4.0; x += 0.25) {
+    const double exact = std::log1p(std::exp(-x));
+    EXPECT_NEAR(baseline::linear_correction(x), exact, 0.13) << x;
+  }
+}
+
+TEST(BoxplusAll, FoldsSpan) {
+  const std::vector<double> v{1.0, -2.0, 3.0};
+  const double direct = boxplus(boxplus(1.0, -2.0), 3.0);
+  EXPECT_NEAR(baseline::boxplus_all(v), direct, 1e-12);
+  EXPECT_EQ(baseline::boxplus_all({}), 0.0);
+}
+
+// ---- decoder behaviour ----------------------------------------------------
+
+struct Chain {
+  codes::QCCode code;
+  std::unique_ptr<enc::Encoder> encoder;
+  util::Xoshiro256 rng;
+
+  explicit Chain(const codes::CodeId& id, std::uint64_t seed = 99)
+      : code(codes::make_code(id)), encoder(enc::make_encoder(code)),
+        rng(seed) {}
+
+  /// Returns (tx bits, channel LLRs) at the given Eb/N0.
+  std::pair<std::vector<std::uint8_t>, std::vector<double>> frame(
+      double ebn0_db) {
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    enc::random_bits(rng, info);
+    auto cw = encoder->encode(info);
+    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
+                                                channel::Modulation::kBpsk);
+    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+    return {std::move(cw), channel::demap_llr(mod, sigma)};
+  }
+};
+
+TEST(FloodingBP, DecodesCleanChannel) {
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 24});
+  auto [cw, llr] = chain.frame(20.0);
+  baseline::FloodingBP dec(chain.code);
+  const auto res = dec.decode(llr, 10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_EQ(res.bits, cw);
+}
+
+TEST(FloodingBP, CorrectsErrorsAtModerateSnr) {
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 48});
+  baseline::FloodingBP dec(chain.code);
+  int decoded = 0;
+  for (int f = 0; f < 10; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    const auto res = dec.decode(llr, 50);
+    decoded += (res.converged && res.bits == cw) ? 1 : 0;
+  }
+  EXPECT_EQ(decoded, 10);
+}
+
+TEST(LayeredBP, ConvergesFasterThanFlooding) {
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 48}, 7);
+  baseline::FloodingBP flooding(chain.code);
+  baseline::LayeredBP layered(chain.code);
+  double it_flood = 0, it_layer = 0;
+  const int frames = 20;
+  for (int f = 0; f < frames; ++f) {
+    auto [cw, llr] = chain.frame(2.5);
+    const auto rf = flooding.decode(llr, 50);
+    const auto rl = layered.decode(llr, 50);
+    EXPECT_TRUE(rf.converged);
+    EXPECT_TRUE(rl.converged);
+    it_flood += rf.iterations;
+    it_layer += rl.iterations;
+  }
+  // The paper's motivation for LBP: about half the iterations of flooding.
+  EXPECT_LT(it_layer, it_flood * 0.75);
+}
+
+TEST(LayeredBP, InvalidParamsThrow) {
+  const codes::QCCode code =
+      codes::make_code({Standard::kWimax80216e, Rate::kR12, 24});
+  EXPECT_THROW(baseline::LayeredBP(code, baseline::CheckKernel::kMinSum,
+                                   0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(baseline::LayeredBP(code, baseline::CheckKernel::kMinSum,
+                                   1.0, -0.5),
+               std::invalid_argument);
+}
+
+TEST(LayeredBP, LlrSizeValidated) {
+  const codes::QCCode code =
+      codes::make_code({Standard::kWimax80216e, Rate::kR12, 24});
+  baseline::LayeredBP dec(code);
+  std::vector<double> llr(3);
+  EXPECT_THROW(dec.decode(llr, 5), std::invalid_argument);
+}
+
+TEST(MinSum, DecodesButNeedsMoreHelpThanBP) {
+  // At a moderately low SNR, count frames where min-sum fails but BP
+  // succeeds; expect BP at least as good.
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 48}, 31);
+  baseline::LayeredBP bp(chain.code);
+  baseline::MinSum ms(chain.code);
+  int bp_ok = 0, ms_ok = 0;
+  for (int f = 0; f < 30; ++f) {
+    auto [cw, llr] = chain.frame(2.0);
+    bp_ok += bp.decode(llr, 15).converged ? 1 : 0;
+    ms_ok += ms.decode(llr, 15).converged ? 1 : 0;
+  }
+  EXPECT_GE(bp_ok, ms_ok);
+  EXPECT_GT(bp_ok, 25);
+}
+
+TEST(MinSum, NormalizedBeatsPlainAtLowSnr) {
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 48}, 77);
+  baseline::MinSum plain(chain.code);
+  baseline::MinSum norm(chain.code, 0.75);
+  double it_plain = 0, it_norm = 0;
+  int ok_plain = 0, ok_norm = 0;
+  for (int f = 0; f < 30; ++f) {
+    auto [cw, llr] = chain.frame(2.2);
+    auto rp = plain.decode(llr, 20);
+    auto rn = norm.decode(llr, 20);
+    ok_plain += rp.converged;
+    ok_norm += rn.converged;
+    it_plain += rp.iterations;
+    it_norm += rn.iterations;
+  }
+  EXPECT_GE(ok_norm, ok_plain);
+}
+
+TEST(LinearApprox, CloseToExactBP) {
+  Chain chain({Standard::kWimax80216e, Rate::kR12, 48}, 41);
+  baseline::LayeredBP bp(chain.code);
+  baseline::LinearApprox lin(chain.code);
+  int bp_ok = 0, lin_ok = 0;
+  for (int f = 0; f < 20; ++f) {
+    auto [cw, llr] = chain.frame(2.5);
+    bp_ok += bp.decode(llr, 20).converged ? 1 : 0;
+    lin_ok += lin.decode(llr, 20).converged ? 1 : 0;
+  }
+  // Linear approximation should track BP within a small gap.
+  EXPECT_GE(lin_ok, bp_ok - 2);
+}
+
+TEST(Decoders, NamesAreDescriptive) {
+  const codes::QCCode code =
+      codes::make_code({Standard::kWimax80216e, Rate::kR12, 24});
+  EXPECT_EQ(baseline::FloodingBP(code).name(), "flooding-bp");
+  EXPECT_EQ(baseline::LayeredBP(code).name(), "layered-full-bp");
+  EXPECT_EQ(baseline::MinSum(code).name(), "layered-min-sum");
+  EXPECT_NE(baseline::MinSum(code, 0.75).name().find("a=0.75"),
+            std::string::npos);
+  EXPECT_EQ(baseline::LinearApprox(code).name(), "layered-linear-approx");
+}
+
+TEST(Decoders, AllZeroLlrDoesNotCrash) {
+  const codes::QCCode code =
+      codes::make_code({Standard::kWimax80216e, Rate::kR12, 24});
+  std::vector<double> llr(static_cast<std::size_t>(code.n()), 0.0);
+  baseline::LayeredBP dec(code);
+  const auto res = dec.decode(llr, 3);
+  // All-zero LLR decodes to the all-zero codeword (hard decision of 0).
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/util/stats.hpp"
+
+namespace {
+
+using namespace ldpc::channel;
+using ldpc::util::RunningStats;
+using ldpc::util::Xoshiro256;
+
+TEST(Modulate, BpskMapsSigns) {
+  const std::vector<std::uint8_t> bits{0, 1, 1, 0};
+  const auto frame = modulate(bits, Modulation::kBpsk);
+  EXPECT_DOUBLE_EQ(frame.amplitude, 1.0);
+  ASSERT_EQ(frame.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(frame.samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(frame.samples[1], -1.0);
+}
+
+TEST(Modulate, QpskUnitSymbolEnergy) {
+  const std::vector<std::uint8_t> bits{0, 0};
+  const auto frame = modulate(bits, Modulation::kQpsk);
+  // One QPSK symbol = two dimensions of amplitude 1/sqrt(2):
+  double es = 0;
+  for (double s : frame.samples) es += s * s;
+  EXPECT_NEAR(es, 1.0, 1e-12);
+}
+
+TEST(Ebn0ToSigma, KnownBpskValue) {
+  // Rate 1/2 BPSK at 0 dB: sigma^2 = 1/(2*0.5*1) = 1.
+  EXPECT_NEAR(ebn0_to_sigma(0.0, 0.5, Modulation::kBpsk), 1.0, 1e-12);
+  // Rate 1 BPSK at 3.010 dB: sigma^2 = 1/(2*2) = 0.25.
+  EXPECT_NEAR(ebn0_to_sigma(10 * std::log10(2.0), 1.0, Modulation::kBpsk),
+              0.5, 1e-9);
+}
+
+TEST(Ebn0ToSigma, HigherSnrMeansLessNoise) {
+  double prev = 1e9;
+  for (double db = 0.0; db <= 6.0; db += 1.0) {
+    const double s = ebn0_to_sigma(db, 0.5, Modulation::kBpsk);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Ebn0ToSigma, InvalidRateThrows) {
+  EXPECT_THROW(ebn0_to_sigma(0.0, 0.0, Modulation::kBpsk),
+               std::invalid_argument);
+  EXPECT_THROW(ebn0_to_sigma(0.0, 1.5, Modulation::kBpsk),
+               std::invalid_argument);
+}
+
+TEST(Ebn0ToSigma, QpskMatchesBpskPerBit) {
+  // With unit-energy symbols and Gray mapping, QPSK is two independent
+  // BPSK channels: Eb and the per-dimension SNR relation must match.
+  const double sb = ebn0_to_sigma(2.0, 0.5, Modulation::kBpsk);
+  const double sq = ebn0_to_sigma(2.0, 0.5, Modulation::kQpsk);
+  // Per-dimension amplitude drops by sqrt(2), so sigma must too.
+  EXPECT_NEAR(sq * std::sqrt(2.0), sb, 1e-12);
+}
+
+TEST(AwgnChannel, NoiseMomentsMatchSigma) {
+  Xoshiro256 rng(17);
+  AwgnChannel chan(0.8);
+  std::vector<double> samples(200000, 0.0);
+  chan.transmit(samples, rng);
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.8, 0.01);
+}
+
+TEST(AwgnChannel, InvalidSigmaThrows) {
+  EXPECT_THROW(AwgnChannel(0.0), std::invalid_argument);
+  EXPECT_THROW(AwgnChannel(-1.0), std::invalid_argument);
+}
+
+TEST(AwgnChannel, DeterministicGivenSeed) {
+  AwgnChannel chan(1.0);
+  std::vector<double> a(16, 0.0), b(16, 0.0);
+  Xoshiro256 r1(5), r2(5);
+  chan.transmit(a, r1);
+  chan.transmit(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DemapLlr, SignAndScale) {
+  ModulatedFrame frame;
+  frame.amplitude = 1.0;
+  frame.samples = {2.0, -1.0};
+  const auto llr = demap_llr(frame, 1.0);  // scale = 2
+  EXPECT_DOUBLE_EQ(llr[0], 4.0);
+  EXPECT_DOUBLE_EQ(llr[1], -2.0);
+  EXPECT_THROW(demap_llr(frame, 0.0), std::invalid_argument);
+}
+
+TEST(DemapLlr, NoiselessLlrRecoversBits) {
+  const std::vector<std::uint8_t> bits{0, 1, 0, 1, 1};
+  const auto frame = modulate(bits, Modulation::kQpsk);
+  const auto llr = demap_llr(frame, 0.5);
+  EXPECT_EQ(hard_decision(llr), bits);
+}
+
+TEST(HardDecision, ZeroLlrIsBitZero) {
+  const std::vector<double> llr{0.0, -0.0, 1e-9, -1e-9};
+  const auto bits = hard_decision(llr);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[2], 0);
+  EXPECT_EQ(bits[3], 1);
+}
+
+TEST(CountBitErrors, CountsAndValidates) {
+  const std::vector<std::uint8_t> a{0, 1, 1, 0};
+  const std::vector<std::uint8_t> b{0, 0, 1, 1};
+  EXPECT_EQ(count_bit_errors(a, b), 2);
+  const std::vector<std::uint8_t> c{0};
+  EXPECT_THROW(count_bit_errors(a, c), std::invalid_argument);
+}
+
+TEST(Chain, QpskEndToEndMatchesBpskPerformance) {
+  // Gray-mapped QPSK with unit symbol energy is two independent binary
+  // channels: at equal Eb/N0 the per-bit error rate matches BPSK.
+  Xoshiro256 rng(29);
+  const int n = 100000;
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bit();
+  double ber[2] = {0, 0};
+  int idx = 0;
+  for (auto mod : {Modulation::kBpsk, Modulation::kQpsk}) {
+    const double sigma = ebn0_to_sigma(4.0, 1.0, mod);
+    auto frame = modulate(bits, mod);
+    AwgnChannel(sigma).transmit(frame.samples, rng);
+    const auto rx = hard_decision(demap_llr(frame, sigma));
+    ber[idx++] = static_cast<double>(count_bit_errors(bits, rx)) / n;
+  }
+  EXPECT_NEAR(ber[0], ber[1], 4e-3);
+  EXPECT_NEAR(ber[1], 1.25e-2, 4e-3);  // Q(sqrt(2*10^0.4))
+}
+
+TEST(Chain, UncodedBpskBerMatchesTheory) {
+  // BER = Q(sqrt(2 Eb/N0)); at 4 dB ~ 1.25e-2.
+  Xoshiro256 rng(23);
+  const double sigma = ebn0_to_sigma(4.0, 1.0, Modulation::kBpsk);
+  AwgnChannel chan(sigma);
+  const int n = 200000;
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bit();
+  auto frame = modulate(bits, Modulation::kBpsk);
+  chan.transmit(frame.samples, rng);
+  const auto rx = hard_decision(demap_llr(frame, sigma));
+  const double ber =
+      static_cast<double>(count_bit_errors(bits, rx)) / n;
+  EXPECT_NEAR(ber, 1.25e-2, 2.5e-3);
+}
+
+}  // namespace

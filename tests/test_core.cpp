@@ -1,0 +1,586 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldpc/baseline/boxplus.hpp"
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/core/correction_lut.hpp"
+#include "ldpc/core/decoder.hpp"
+#include "ldpc/core/early_termination.hpp"
+#include "ldpc/core/siso.hpp"
+#include "ldpc/enc/encoder.hpp"
+
+namespace {
+
+using namespace ldpc;
+using codes::Rate;
+using codes::Standard;
+using core::CorrectionLut;
+using fixed::QFormat;
+
+constexpr QFormat kFmt{8, 2};
+
+TEST(CorrectionLut, FPlusMatchesAnalyticWithinHalfLsb) {
+  const CorrectionLut lut(CorrectionLut::Kind::kFPlus, kFmt);
+  for (std::int32_t r = 0; r < 40; ++r) {
+    const double x = kFmt.to_double(r);
+    const double exact = std::log1p(std::exp(-x));
+    EXPECT_NEAR(kFmt.to_double(lut.lookup(r)), exact, kFmt.lsb() / 2 + 1e-9)
+        << "r=" << r;
+  }
+}
+
+TEST(CorrectionLut, FPlusAtZeroIsLog2) {
+  const CorrectionLut lut(CorrectionLut::Kind::kFPlus, kFmt);
+  EXPECT_EQ(lut.lookup(0), kFmt.quantize(std::log(2.0)));
+}
+
+TEST(CorrectionLut, GMinusClampsAtDivergence) {
+  const CorrectionLut lut(CorrectionLut::Kind::kGMinus, kFmt);
+  EXPECT_EQ(lut.lookup(0), lut.out_max());  // x -> 0 diverges, 3-bit clamp
+  // Monotone non-increasing.
+  for (std::int32_t r = 1; r < 30; ++r)
+    EXPECT_LE(lut.lookup(r), lut.lookup(r - 1)) << r;
+}
+
+TEST(CorrectionLut, ThreeBitOutputRange) {
+  for (auto kind :
+       {CorrectionLut::Kind::kFPlus, CorrectionLut::Kind::kGMinus}) {
+    const CorrectionLut lut(kind, kFmt, 3);
+    EXPECT_EQ(lut.out_max(), 7);
+    for (std::int32_t r = 0; r < 200; ++r) {
+      EXPECT_GE(lut.lookup(r), 0);
+      EXPECT_LE(lut.lookup(r), 7);
+    }
+  }
+}
+
+TEST(CorrectionLut, LargeInputsGiveZero) {
+  const CorrectionLut lut(CorrectionLut::Kind::kFPlus, kFmt);
+  EXPECT_EQ(lut.lookup(1000), 0);
+  EXPECT_EQ(lut.lookup(kFmt.raw_max()), 0);
+  // Negative raw treated as zero distance (defensive clamp).
+  EXPECT_EQ(lut.lookup(-3), lut.lookup(0));
+}
+
+TEST(CorrectionLut, TableIsCompact) {
+  const CorrectionLut lut(CorrectionLut::Kind::kFPlus, kFmt);
+  // The paper calls these "low-complexity 3-bit LUTs": a handful of
+  // entries, not hundreds.
+  EXPECT_LE(lut.table_size(), 32u);
+  EXPECT_GE(lut.table_size(), 4u);
+}
+
+TEST(CorrectionLut, KnownAnswerTable) {
+  // Golden contents of the paper-default 3-bit LUTs (Q5.2 input LSBs).
+  // Locking these guards the bit-exactness of every decoder result.
+  const CorrectionLut f(CorrectionLut::Kind::kFPlus, kFmt);
+  EXPECT_EQ(f.table_size(), 9u);
+  const int f_expect[] = {3, 2, 2, 2, 1, 1, 1, 1, 1, 0, 0};
+  for (int r = 0; r < 11; ++r) EXPECT_EQ(f.lookup(r), f_expect[r]) << r;
+
+  const CorrectionLut g(CorrectionLut::Kind::kGMinus, kFmt);
+  EXPECT_EQ(g.table_size(), 9u);
+  const int g_expect[] = {7, 6, 4, 3, 2, 1, 1, 1, 1, 0, 0};
+  for (int r = 0; r < 11; ++r) EXPECT_EQ(g.lookup(r), g_expect[r]) << r;
+}
+
+// ---- f/g datapath ops -----------------------------------------------------
+
+class FgOps : public ::testing::Test {
+ protected:
+  CorrectionLut flut_{CorrectionLut::Kind::kFPlus, kFmt};
+  CorrectionLut glut_{CorrectionLut::Kind::kGMinus, kFmt};
+};
+
+TEST_F(FgOps, FMatchesFloatBoxplusWithinQuantisation) {
+  for (double a = -8.0; a <= 8.0; a += 0.731)
+    for (double b = -8.0; b <= 8.0; b += 0.917) {
+      const std::int32_t fa = kFmt.quantize(a);
+      const std::int32_t fb = kFmt.quantize(b);
+      const double got = kFmt.to_double(core::f_op(fa, fb, flut_, kFmt));
+      const double want = baseline::boxplus(kFmt.to_double(fa),
+                                            kFmt.to_double(fb));
+      // 3-bit LUT + rounding: allow a couple of LSBs of error.
+      EXPECT_NEAR(got, want, 2.5 * kFmt.lsb()) << a << " " << b;
+    }
+}
+
+TEST_F(FgOps, FIsCommutative) {
+  for (std::int32_t a = -100; a <= 100; a += 17)
+    for (std::int32_t b = -100; b <= 100; b += 23)
+      EXPECT_EQ(core::f_op(a, b, flut_, kFmt),
+                core::f_op(b, a, flut_, kFmt));
+}
+
+TEST_F(FgOps, FWithZeroIsZero) {
+  // A zero (erasure) input forces the combined message to zero.
+  for (std::int32_t a : {-100, -5, 3, 127})
+    EXPECT_EQ(core::f_op(a, 0, flut_, kFmt), 0);
+}
+
+TEST_F(FgOps, FMagnitudeBoundedByMin) {
+  for (std::int32_t a = -127; a <= 127; a += 13)
+    for (std::int32_t b = -127; b <= 127; b += 19)
+      EXPECT_LE(kFmt.abs(core::f_op(a, b, flut_, kFmt)),
+                std::min(kFmt.abs(a), kFmt.abs(b)));
+}
+
+TEST_F(FgOps, FSignIsXorOfSigns) {
+  EXPECT_GE(core::f_op(10, 20, flut_, kFmt), 0);
+  EXPECT_GE(core::f_op(-10, -20, flut_, kFmt), 0);
+  EXPECT_LE(core::f_op(-10, 20, flut_, kFmt), 0);
+  EXPECT_LE(core::f_op(10, -20, flut_, kFmt), 0);
+}
+
+TEST_F(FgOps, GDivergentPointBoundedByLutClamp) {
+  // |s| == |b|: true boxminus diverges; the 3-bit LUT bounds the result to
+  // min + out_max - phi-(|s|+|b|) instead of full-scale saturation.
+  const std::int32_t got = core::g_op(8, 8, glut_, kFmt);
+  EXPECT_EQ(got, 8 + glut_.out_max() - glut_.lookup(16));
+  EXPECT_EQ(core::g_op(8, -8, glut_, kFmt), -got);
+  EXPECT_LT(got, kFmt.raw_max());
+}
+
+TEST_F(FgOps, GApproximatelyInvertsF) {
+  // g(f(a,b), b) ~= a when |a| is clearly below |b| (away from the
+  // divergence the inversion is well conditioned).
+  int close = 0, total = 0;
+  for (std::int32_t a = -60; a <= 60; a += 11)
+    for (std::int32_t b = -120; b <= 120; b += 17) {
+      if (kFmt.abs(a) + 8 >= kFmt.abs(b)) continue;
+      if (a == 0 || b == 0) continue;
+      const std::int32_t s = core::f_op(a, b, flut_, kFmt);
+      const std::int32_t back = core::g_op(s, b, glut_, kFmt);
+      ++total;
+      if (std::abs(back - a) <= 6) ++close;  // within 1.5 in real value
+    }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(static_cast<double>(close) / total, 0.9);
+}
+
+// ---- SISO cores ------------------------------------------------------------
+
+TEST(Siso, R2AndR4AreBitIdentical) {
+  core::SisoR2 r2(kFmt);
+  core::SisoR4 r4(kFmt);
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 2 + static_cast<int>(rng.bounded(18));
+    std::vector<std::int32_t> lam(d), out2(d), out4(d);
+    for (auto& x : lam)
+      x = static_cast<std::int32_t>(rng.bounded(255)) - 127;
+    const auto s2 = r2.process(lam, out2);
+    const auto s4 = r4.process(lam, out4);
+    EXPECT_EQ(out2, out4) << "d=" << d;
+    EXPECT_EQ(s2.row_sum, s4.row_sum);
+  }
+}
+
+TEST(Siso, R4HalvesCycles) {
+  core::SisoR2 r2(kFmt);
+  core::SisoR4 r4(kFmt);
+  std::vector<std::int32_t> lam(10, 5), out(10);
+  EXPECT_EQ(r2.process(lam, out).cycles, 20);  // 2*d
+  EXPECT_EQ(r4.process(lam, out).cycles, 10);  // ~d
+  // Odd degree.
+  std::vector<std::int32_t> lam7(7, 5), out7(7);
+  EXPECT_EQ(r2.process(lam7, out7).cycles, 14);
+  EXPECT_EQ(r4.process(lam7, out7).cycles, 8);  // ceil(7/2)+ceil(7/2)=4+4
+}
+
+TEST(Siso, RowSumIsFoldOfInputs) {
+  core::SisoR2 r2(kFmt);
+  std::vector<std::int32_t> lam{20, -12, 40};
+  std::vector<std::int32_t> out(3);
+  const auto stats = r2.process(lam, out);
+  const auto& flut = r2.f_lut();
+  std::int32_t s = core::f_op(core::f_op(20, -12, flut, kFmt), 40, flut,
+                              kFmt);
+  EXPECT_EQ(stats.row_sum, s);
+}
+
+TEST(Siso, SizeMismatchThrows) {
+  core::SisoR2 r2(kFmt);
+  std::vector<std::int32_t> lam(4), out(3);
+  EXPECT_THROW(r2.process(lam, out), std::invalid_argument);
+}
+
+TEST(Siso, EmptyRowIsNoop) {
+  core::SisoR2 r2(kFmt);
+  core::SisoR4 r4(kFmt);
+  EXPECT_EQ(r2.process({}, {}).cycles, 0);
+  EXPECT_EQ(r4.process({}, {}).cycles, 0);
+}
+
+TEST(Siso, SumSubtractArchProcessesRows) {
+  core::SisoR2 ss(kFmt, core::CnuArch::kSumSubtract);
+  core::SisoR2 fb(kFmt, core::CnuArch::kForwardBackward);
+  // Strong, well-separated inputs: both architectures agree closely.
+  std::vector<std::int32_t> lam{100, -80, 120, -90};
+  std::vector<std::int32_t> out_ss(4), out_fb(4);
+  EXPECT_EQ(ss.process(lam, out_ss).cycles, 8);
+  fb.process(lam, out_fb);
+  for (int e = 0; e < 4; ++e) {
+    // Same sign; magnitudes within a few LSBs.
+    EXPECT_EQ(out_ss[e] < 0, out_fb[e] < 0) << e;
+    EXPECT_NEAR(out_ss[e], out_fb[e], 8) << e;
+  }
+}
+
+TEST(Siso, SumSubtractWeakestEdgeIsCapped) {
+  // The information-theoretic limit of the paper's Eq. (1) division: the
+  // row-minimum edge's extrinsic cannot exceed its own magnitude plus the
+  // LUT clamp, whereas forward/backward recovers the true (large) value.
+  core::SisoR2 ss(kFmt, core::CnuArch::kSumSubtract);
+  core::SisoR2 fb(kFmt, core::CnuArch::kForwardBackward);
+  std::vector<std::int32_t> lam{4, 100, 100, 100};
+  std::vector<std::int32_t> out_ss(4), out_fb(4);
+  ss.process(lam, out_ss);
+  fb.process(lam, out_fb);
+  EXPECT_LE(out_ss[0], 4 + ss.g_lut().out_max());
+  EXPECT_GT(out_fb[0], 50);  // true fold of three strong messages
+}
+
+TEST(Siso, ArchNamesAreDescriptive) {
+  EXPECT_EQ(to_string(core::CnuArch::kForwardBackward), "forward-backward");
+  EXPECT_EQ(to_string(core::CnuArch::kSumSubtract), "sum-subtract");
+}
+
+TEST(Siso, DegreeOneRowGivesZeroExtrinsic) {
+  core::SisoR2 r2(kFmt);
+  std::vector<std::int32_t> lam{42}, out(1);
+  r2.process(lam, out);
+  EXPECT_EQ(out[0], 0);
+}
+
+// ---- early termination -----------------------------------------------------
+
+TEST(EarlyTermination, DisabledNeverFires) {
+  core::EarlyTermination et;
+  std::vector<std::int32_t> app(16, 100);
+  EXPECT_FALSE(et.update(app));
+  EXPECT_FALSE(et.update(app));
+}
+
+TEST(EarlyTermination, RequiresTwoStableIterations) {
+  core::EarlyTermination et({.enabled = true, .threshold_raw = 8});
+  std::vector<std::int32_t> app(16, 100);
+  EXPECT_FALSE(et.update(app));  // first iteration: no history yet
+  EXPECT_TRUE(et.update(app));   // stable + above threshold
+}
+
+TEST(EarlyTermination, FlippedBitBlocksStop) {
+  core::EarlyTermination et({.enabled = true, .threshold_raw = 8});
+  std::vector<std::int32_t> app(16, 100);
+  et.update(app);
+  app[3] = -100;  // hard decision changed
+  EXPECT_FALSE(et.update(app));
+  EXPECT_TRUE(et.update(app));  // stable again after one more iteration
+}
+
+TEST(EarlyTermination, LowConfidenceBlocksStop) {
+  core::EarlyTermination et({.enabled = true, .threshold_raw = 8});
+  std::vector<std::int32_t> app(16, 100);
+  app[7] = 5;  // |LLR| below threshold, hard decisions stable
+  et.update(app);
+  EXPECT_FALSE(et.update(app));
+  app[7] = 9;  // now above threshold (strictly greater)
+  EXPECT_TRUE(et.update(app));
+}
+
+TEST(EarlyTermination, ThresholdIsStrict) {
+  core::EarlyTermination et({.enabled = true, .threshold_raw = 8});
+  std::vector<std::int32_t> app(4, 8);  // exactly at threshold
+  et.update(app);
+  EXPECT_FALSE(et.update(app));
+}
+
+TEST(EarlyTermination, ResetClearsHistory) {
+  core::EarlyTermination et({.enabled = true, .threshold_raw = 8});
+  std::vector<std::int32_t> app(16, 100);
+  et.update(app);
+  et.reset();
+  EXPECT_FALSE(et.update(app));  // needs a fresh pair of iterations
+  EXPECT_TRUE(et.update(app));
+}
+
+// ---- the reconfigurable decoder ---------------------------------------------
+
+struct FixedChain {
+  codes::QCCode code;
+  std::unique_ptr<enc::Encoder> encoder;
+  util::Xoshiro256 rng;
+
+  explicit FixedChain(const codes::CodeId& id, std::uint64_t seed = 1)
+      : code(codes::make_code(id)), encoder(enc::make_encoder(code)),
+        rng(seed) {}
+
+  std::pair<std::vector<std::uint8_t>, std::vector<double>> frame(
+      double ebn0_db) {
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    enc::random_bits(rng, info);
+    auto cw = encoder->encode(info);
+    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
+                                                channel::Modulation::kBpsk);
+    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+    return {std::move(cw), channel::demap_llr(mod, sigma)};
+  }
+};
+
+TEST(Decoder, DecodesCleanFrame) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24});
+  core::ReconfigurableDecoder dec(chain.code, {.stop_on_codeword = true});
+  auto [cw, llr] = chain.frame(15.0);
+  const auto res = dec.decode(llr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.bits, cw);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_GT(res.datapath_cycles, 0);
+}
+
+TEST(Decoder, CorrectsNoisyFramesAtModerateSnr) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 21);
+  core::ReconfigurableDecoder dec(chain.code,
+                                  {.max_iterations = 10,
+                                   .stop_on_codeword = true});
+  int ok = 0;
+  for (int f = 0; f < 10; ++f) {
+    auto [cw, llr] = chain.frame(2.5);
+    const auto res = dec.decode(llr);
+    ok += (res.converged && res.bits == cw) ? 1 : 0;
+  }
+  EXPECT_EQ(ok, 10);
+}
+
+TEST(Decoder, RadixChoiceDoesNotChangeResults) {
+  FixedChain chain({Standard::kWlan80211n, Rate::kR12, 27}, 5);
+  core::ReconfigurableDecoder d2(chain.code,
+                                 {.radix = core::Radix::kR2,
+                                  .stop_on_codeword = true});
+  core::ReconfigurableDecoder d4(chain.code,
+                                 {.radix = core::Radix::kR4,
+                                  .stop_on_codeword = true});
+  for (int f = 0; f < 5; ++f) {
+    auto [cw, llr] = chain.frame(2.0);
+    const auto r2 = d2.decode(llr);
+    const auto r4 = d4.decode(llr);
+    EXPECT_EQ(r2.bits, r4.bits);
+    EXPECT_EQ(r2.iterations, r4.iterations);
+    EXPECT_GT(r2.datapath_cycles, r4.datapath_cycles);
+  }
+}
+
+TEST(Decoder, EarlyTerminationStopsOnGoodChannel) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 9);
+  core::ReconfigurableDecoder dec(
+      chain.code,
+      {.max_iterations = 10,
+       .early_termination = {.enabled = true, .threshold_raw = 8}});
+  auto [cw, llr] = chain.frame(5.0);
+  const auto res = dec.decode(llr);
+  EXPECT_TRUE(res.early_terminated);
+  EXPECT_LT(res.iterations, 10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.bits, cw);
+}
+
+TEST(Decoder, WithoutEtRunsAllIterations) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 13);
+  core::ReconfigurableDecoder dec(chain.code, {.max_iterations = 10});
+  auto [cw, llr] = chain.frame(6.0);
+  const auto res = dec.decode(llr);
+  EXPECT_EQ(res.iterations, 10);  // chip behaviour without ET
+  EXPECT_FALSE(res.early_terminated);
+}
+
+TEST(Decoder, ReconfiguresBetweenStandardsMidStream) {
+  // The paper's headline feature: one decoder instance serving both
+  // 802.16e and 802.11n frames.
+  FixedChain wimax({Standard::kWimax80216e, Rate::kR12, 96}, 31);
+  FixedChain wlan({Standard::kWlan80211n, Rate::kR34, 81}, 32);
+  core::ReconfigurableDecoder dec(wimax.code, {.stop_on_codeword = true});
+  for (int round = 0; round < 3; ++round) {
+    auto [cw1, llr1] = wimax.frame(3.0);
+    dec.reconfigure(wimax.code);
+    EXPECT_EQ(dec.decode(llr1).bits, cw1);
+    auto [cw2, llr2] = wlan.frame(4.0);
+    dec.reconfigure(wlan.code);
+    EXPECT_EQ(dec.decode(llr2).bits, cw2);
+  }
+}
+
+TEST(Decoder, MinSumKernelDecodesButBpIsStronger) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 48}, 17);
+  core::ReconfigurableDecoder bp(chain.code,
+                                 {.kernel = core::CnuKernel::kFullBp,
+                                  .stop_on_codeword = true});
+  core::ReconfigurableDecoder ms(chain.code,
+                                 {.kernel = core::CnuKernel::kMinSum,
+                                  .stop_on_codeword = true});
+  int bp_ok = 0, ms_ok = 0;
+  for (int f = 0; f < 30; ++f) {
+    auto [cw, llr] = chain.frame(2.0);
+    bp_ok += bp.decode(llr).converged ? 1 : 0;
+    ms_ok += ms.decode(llr).converged ? 1 : 0;
+  }
+  EXPECT_GE(bp_ok, ms_ok);
+  EXPECT_GT(bp_ok, 24);
+}
+
+TEST(Decoder, SumSubtractArchWorksAtHighSnr) {
+  // The paper's literal Eq. (1) architecture at its operating point (high
+  // rate / high SNR): decodes cleanly.
+  FixedChain chain({Standard::kWimax80216e, Rate::kR56, 96}, 51);
+  core::ReconfigurableDecoder dec(chain.code,
+                                  {.cnu_arch = core::CnuArch::kSumSubtract,
+                                   .stop_on_codeword = true});
+  int ok = 0;
+  for (int f = 0; f < 10; ++f) {
+    auto [cw, llr] = chain.frame(6.5);
+    ok += dec.decode(llr).converged ? 1 : 0;
+  }
+  EXPECT_GE(ok, 9);  // near its operating point; weaker than FB (see F1)
+}
+
+TEST(Decoder, ForwardBackwardBeatsSumSubtractAtLowSnr) {
+  // The numerical-robustness ablation (DESIGN.md section 5, finding F1).
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 53);
+  core::ReconfigurableDecoder fb(chain.code, {.stop_on_codeword = true});
+  core::ReconfigurableDecoder ss(chain.code,
+                                 {.cnu_arch = core::CnuArch::kSumSubtract,
+                                  .stop_on_codeword = true});
+  int fb_ok = 0, ss_ok = 0;
+  for (int f = 0; f < 15; ++f) {
+    auto [cw, llr] = chain.frame(2.5);
+    fb_ok += fb.decode(llr).converged ? 1 : 0;
+    ss_ok += ss.decode(llr).converged ? 1 : 0;
+  }
+  EXPECT_GT(fb_ok, ss_ok);
+  EXPECT_GE(fb_ok, 14);
+}
+
+TEST(Decoder, ZeroLlrErasureRecoversWithForwardBackward) {
+  // A punctured/erased bit (channel LLR exactly 0) must be recoverable
+  // from the other bits in its checks.
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 55);
+  core::ReconfigurableDecoder dec(chain.code, {.stop_on_codeword = true});
+  auto [cw, llr] = chain.frame(8.0);
+  llr[10] = 0.0;
+  llr[100] = 0.0;
+  const auto res = dec.decode(llr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.bits, cw);
+}
+
+TEST(Decoder, InvalidConfigThrows) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24});
+  EXPECT_THROW(core::ReconfigurableDecoder(chain.code, {.max_iterations = 0}),
+               std::invalid_argument);
+}
+
+TEST(Decoder, LlrSizeValidated) {
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24});
+  core::ReconfigurableDecoder dec(chain.code);
+  std::vector<double> llr(7);
+  EXPECT_THROW(dec.decode(llr), std::invalid_argument);
+  std::vector<std::int32_t> raw(7);
+  EXPECT_THROW(dec.decode_raw(raw), std::invalid_argument);
+}
+
+TEST(Decoder, CycleCountMatchesFormulaPerIteration) {
+  // Idealised R2 cycles per iteration = sum over layers of 2*d_l; R4 uses
+  // ceil(d/2)+1 + ceil(d/2).
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 3);
+  core::ReconfigurableDecoder dec(chain.code,
+                                  {.max_iterations = 1,
+                                   .radix = core::Radix::kR2});
+  auto [cw, llr] = chain.frame(8.0);
+  const auto res = dec.decode(llr);
+  long long expect = 0;
+  for (const auto& layer : chain.code.layers())
+    expect += 2 * static_cast<long long>(layer.size());
+  EXPECT_EQ(res.datapath_cycles, expect);
+}
+
+// Property sweep: the decoder works across message formats (the paper's
+// 8-bit choice is a design point, not a requirement of the architecture).
+class DecoderFormatSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DecoderFormatSweep, DecodesAtModerateSnr) {
+  const auto [total, frac] = GetParam();
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 48},
+                   0xA0 + static_cast<std::uint64_t>(total * 16 + frac));
+  core::ReconfigurableDecoder dec(
+      chain.code, {.format = fixed::QFormat(total, frac),
+                   .stop_on_codeword = true});
+  int ok = 0;
+  for (int f = 0; f < 6; ++f) {
+    auto [cw, llr] = chain.frame(3.5);
+    ok += dec.decode(llr).converged ? 1 : 0;
+  }
+  // Wider formats must not be worse than a 6-bit datapath's floor.
+  EXPECT_GE(ok, 5) << "format Q" << total - 1 - frac << "." << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, DecoderFormatSweep,
+    ::testing::Values(std::make_pair(6, 1), std::make_pair(7, 2),
+                      std::make_pair(8, 2), std::make_pair(8, 3),
+                      std::make_pair(10, 3), std::make_pair(12, 4)),
+    [](const auto& info) {
+      return "Q" + std::to_string(info.param.first) + "_" +
+             std::to_string(info.param.second);
+    });
+
+// Property sweep: raising the ET threshold can only delay stopping (more
+// iterations) — the paper's threshold knob trades power for confidence.
+class EtThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EtThresholdSweep, HigherThresholdNeverStopsEarlier) {
+  const int threshold = GetParam();
+  FixedChain chain({Standard::kWimax80216e, Rate::kR12, 48}, 0xE7);
+  core::ReconfigurableDecoder low(
+      chain.code,
+      {.early_termination = {.enabled = true, .threshold_raw = threshold}});
+  core::ReconfigurableDecoder high(
+      chain.code, {.early_termination = {.enabled = true,
+                                         .threshold_raw = threshold + 8}});
+  for (int f = 0; f < 5; ++f) {
+    auto [cw, llr] = chain.frame(4.0);
+    const auto rl = low.decode(llr);
+    const auto rh = high.decode(llr);
+    EXPECT_LE(rl.iterations, rh.iterations) << "threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EtThresholdSweep,
+                         ::testing::Values(0, 4, 8, 16, 32));
+
+// Property sweep: the fixed-point decoder fixes every frame at high SNR in
+// every registered mode.
+class DecoderAllModes : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(DecoderAllModes, DecodesHighSnrFrame) {
+  FixedChain chain(GetParam(), 0xF00D + GetParam().z);
+  core::ReconfigurableDecoder dec(chain.code, {.stop_on_codeword = true});
+  auto [cw, llr] = chain.frame(7.0);
+  const auto res = dec.decode(llr);
+  EXPECT_TRUE(res.converged) << chain.code.name();
+  EXPECT_EQ(res.bits, cw) << chain.code.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DecoderAllModes,
+                         ::testing::ValuesIn(codes::all_modes()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "ldpc/power/area_model.hpp"
+#include "ldpc/power/power_model.hpp"
+
+namespace {
+
+using namespace ldpc;
+using arch::ChipDimensions;
+using power::AreaModel;
+using power::PowerModel;
+
+// ---- area model (Table 2 / Table 3) ----------------------------------------
+
+TEST(AreaModel, ReproducesTable2Anchors) {
+  const AreaModel m;
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR2, 450), 6978, 1);
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR2, 200), 6197, 1);
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR4, 450), 12774, 1);
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR4, 200), 8944, 1);
+}
+
+TEST(AreaModel, MidpointWithinFivePercentOfTable2) {
+  const AreaModel m;
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR2, 325), 6367, 6367 * 0.05);
+  EXPECT_NEAR(m.siso_area_um2(core::Radix::kR4, 325), 10077, 10077 * 0.05);
+}
+
+TEST(AreaModel, EtaMatchesTable2Trend) {
+  // Table 2: eta = 1.09 / 1.26 / 1.39 at 450 / 325 / 200 MHz.
+  const AreaModel m;
+  EXPECT_NEAR(m.efficiency_eta(450), 1.09, 0.02);
+  EXPECT_NEAR(m.efficiency_eta(200), 1.39, 0.02);
+  EXPECT_NEAR(m.efficiency_eta(325), 1.26, 0.07);
+  // Efficiency improves as the clock relaxes.
+  EXPECT_GT(m.efficiency_eta(200), m.efficiency_eta(325));
+  EXPECT_GT(m.efficiency_eta(325), m.efficiency_eta(450));
+}
+
+TEST(AreaModel, AreaGrowsWithClockTarget) {
+  const AreaModel m;
+  double prev = 0;
+  for (double f : {100.0, 200.0, 325.0, 450.0, 500.0}) {
+    const double a = m.siso_area_um2(core::Radix::kR4, f);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  EXPECT_THROW(m.siso_area_um2(core::Radix::kR2, 0), std::invalid_argument);
+}
+
+TEST(AreaModel, ChipTotalMatchesTable3) {
+  // Paper chip: z_max=96, Radix-4, 450 MHz -> 3.5 mm^2.
+  const AreaModel m;
+  const auto a = m.chip_area(ChipDimensions{}, core::Radix::kR4, 450);
+  EXPECT_NEAR(a.total_mm2(), 3.5, 0.2);
+  // SISO array is the single largest datapath block (Fig. 8).
+  EXPECT_GT(a.sisos_mm2, a.lambda_mem_mm2);
+  EXPECT_GT(a.sisos_mm2, a.shifter_mm2);
+  EXPECT_GT(a.sisos_mm2, 1.0);
+}
+
+TEST(AreaModel, SmallerChipIsSmaller) {
+  const AreaModel m;
+  ChipDimensions half{.z_max = 48, .block_cols_max = 24, .layers_max = 12,
+                      .row_degree_max = 24};
+  EXPECT_LT(m.chip_area(half, core::Radix::kR4, 450).total_mm2(),
+            m.chip_area(ChipDimensions{}, core::Radix::kR4, 450).total_mm2());
+  EXPECT_THROW(m.chip_area(ChipDimensions{}, core::Radix::kR4, 450, 0, 10),
+               std::invalid_argument);
+}
+
+// ---- power model (Table 3 / Fig. 9) -----------------------------------------
+
+TEST(PowerModel, PeakMatchesPaper410mW) {
+  const PowerModel m;  // 450 MHz, 1.0 V
+  const auto p = m.peak(ChipDimensions{}, 96);
+  EXPECT_NEAR(p.total_mw(), 410, 2);
+}
+
+TEST(PowerModel, BankingEndpointMatchesFig9b) {
+  // Fig. 9(b): smallest WiMax block (576 bits, z=24) sits around 260 mW.
+  const PowerModel m;
+  const auto p = m.peak(ChipDimensions{}, 24);
+  EXPECT_NEAR(p.total_mw(), 260, 10);
+}
+
+TEST(PowerModel, PowerMonotoneInActiveLanes) {
+  const PowerModel m;
+  double prev = 0;
+  for (int z = 24; z <= 96; z += 4) {
+    const double p = m.peak(ChipDimensions{}, z).total_mw();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, EarlyTerminationReachesPaperSavings) {
+  // Fig. 9(a): up to 65% reduction when the channel is good (avg ~3 of 10
+  // iterations).
+  const PowerModel m;
+  const double full = m.average_mw(ChipDimensions{}, 96, 10, 10);
+  const double good = m.average_mw(ChipDimensions{}, 96, 3, 10);
+  EXPECT_NEAR(full, 410, 2);
+  const double saving = 1.0 - good / full;
+  EXPECT_GT(saving, 0.60);
+  EXPECT_LT(saving, 0.70);
+}
+
+TEST(PowerModel, LeakageFloorsTheGating) {
+  const PowerModel m;
+  // Even at a hypothetical zero-iteration duty the leakage remains.
+  const double idle = m.average_mw(ChipDimensions{}, 96, 0, 10);
+  EXPECT_GT(idle, 20);
+  EXPECT_LT(idle, 35);
+}
+
+TEST(PowerModel, FrequencyAndVoltageScaling) {
+  const PowerModel half(225.0, 1.0);
+  const PowerModel lowv(450.0, 0.9);
+  const PowerModel base(450.0, 1.0);
+  const auto dims = ChipDimensions{};
+  const double pb = base.peak(dims, 96).total_mw();
+  const double ph = half.peak(dims, 96).total_mw();
+  const double pv = lowv.peak(dims, 96).total_mw();
+  // Dynamic power halves with frequency (leakage does not scale here).
+  EXPECT_LT(ph, pb * 0.55);
+  // 0.9 V saves ~19% of dynamic power.
+  EXPECT_LT(pv, pb * 0.85 + 27);
+  EXPECT_THROW(PowerModel(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(PowerModel, InvalidArgsThrow) {
+  const PowerModel m;
+  EXPECT_THROW(m.peak(ChipDimensions{}, 0), std::invalid_argument);
+  EXPECT_THROW(m.peak(ChipDimensions{}, 97), std::invalid_argument);
+  EXPECT_THROW(m.average_mw(ChipDimensions{}, 96, 11, 10),
+               std::invalid_argument);
+  EXPECT_THROW(m.average_mw(ChipDimensions{}, 96, 5, 0),
+               std::invalid_argument);
+}
+
+TEST(PowerModel, EnergyPerBitDerivedConsistently) {
+  const PowerModel m;
+  // 410 mW at 1 Gbps = 0.41 nJ/bit.
+  const double e =
+      m.energy_per_bit_nj(ChipDimensions{}, 96, 10, 10, 1e9);
+  EXPECT_NEAR(e, 0.41, 0.01);
+  EXPECT_THROW(m.energy_per_bit_nj(ChipDimensions{}, 96, 10, 10, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

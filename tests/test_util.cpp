@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "ldpc/util/args.hpp"
+#include "ldpc/util/rng.hpp"
+#include "ldpc/util/stats.hpp"
+#include "ldpc/util/table.hpp"
+
+namespace {
+
+using ldpc::util::Args;
+using ldpc::util::ErrorCounter;
+using ldpc::util::RunningStats;
+using ldpc::util::Table;
+using ldpc::util::Xoshiro256;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRangeAndHitsAllValues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.bounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BitIsRoughlyFair) {
+  Xoshiro256 rng(21);
+  int ones = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ones += rng.bit() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.01);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(ErrorCounter, RatesComputedCorrectly) {
+  ErrorCounter c;
+  c.add_frame(0, 100);
+  c.add_frame(3, 100);
+  EXPECT_EQ(c.frames(), 2u);
+  EXPECT_EQ(c.frame_errors(), 1u);
+  EXPECT_DOUBLE_EQ(c.ber(), 3.0 / 200.0);
+  EXPECT_DOUBLE_EQ(c.fer(), 0.5);
+}
+
+TEST(ErrorCounter, MergeAccumulates) {
+  ErrorCounter a, b;
+  a.add_frame(1, 10);
+  b.add_frame(0, 10);
+  b.add_frame(2, 10);
+  a.merge(b);
+  EXPECT_EQ(a.frames(), 3u);
+  EXPECT_EQ(a.bit_errors(), 3u);
+  EXPECT_EQ(a.frame_errors(), 2u);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t("demo");
+  t.header({"a", "bee"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bee"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.header({"x", "y"}).row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(ldpc::util::fmt_fixed(3.456, 2), "3.46");
+  EXPECT_EQ(ldpc::util::fmt_group(12774), "12,774");
+  EXPECT_EQ(ldpc::util::fmt_group(-1234567), "-1,234,567");
+  EXPECT_EQ(ldpc::util::fmt_sci(0.000123), "1.23e-04");
+}
+
+TEST(Args, FlagFormsAndTypes) {
+  const char* argv[] = {"prog", "pos1", "--iters", "10",
+                        "--snr=2.5", "--name", "x", "--et"};
+  Args args(8, argv, {"iters", "snr", "et", "name"});
+  EXPECT_EQ(args.get_or("iters", 0LL), 10);
+  EXPECT_DOUBLE_EQ(args.get_or("snr", 0.0), 2.5);
+  EXPECT_TRUE(args.get_or("et", false));
+  EXPECT_EQ(args.get_or("name", std::string{}), "x");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Args, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(Args(2, argv, {"known"}), std::invalid_argument);
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv, {"x"});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get_or("x", 7LL), 7);
+}
+
+}  // namespace
