@@ -28,17 +28,21 @@ int main(int argc, char** argv) {
 
   for (const auto& sc : scenarios) {
     const auto code = codes::make_code(sc.id);
-    core::ReconfigurableDecoder fb(code, {.stop_on_codeword = true});
-    core::ReconfigurableDecoder ss(code,
-                                   {.cnu_arch = core::CnuArch::kSumSubtract,
-                                    .stop_on_codeword = true});
     sim::SimConfig cfg;
     cfg.seed = opt.seed;
     cfg.min_frames = opt.frames > 0 ? static_cast<int>(opt.frames) : 60;
     cfg.max_frames = cfg.min_frames * 8;
     cfg.target_frame_errors = 25;
-    sim::Simulator s_fb(code, sim::adapt(fb), cfg);
-    sim::Simulator s_ss(code, sim::adapt(ss), cfg);
+    cfg.threads = opt.threads;
+    sim::Simulator s_fb(
+        code, sim::fixed_decoder_factory(code, {.stop_on_codeword = true}),
+        cfg);
+    sim::Simulator s_ss(
+        code,
+        sim::fixed_decoder_factory(
+            code, {.cnu_arch = core::CnuArch::kSumSubtract,
+                   .stop_on_codeword = true}),
+        cfg);
 
     util::Table t("CNU architecture ablation — " + code.name());
     t.header({"Eb/N0 dB", "FER fwd-bwd", "FER sum-subtract", "BER fwd-bwd",

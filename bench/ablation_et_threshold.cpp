@@ -24,22 +24,26 @@ int main(int argc, char** argv) {
   t.header({"threshold (LSB)", "avg iter", "power mW", "FER",
             "undetected/frame"});
   for (int threshold : {0, 2, 4, 8, 16, 32, 64}) {
-    core::ReconfigurableDecoder dec(
-        code, {.max_iterations = max_iter,
-               .early_termination = {.enabled = true,
-                                     .threshold_raw = threshold}});
     // Chip-faithful adapter: "done" means ET fired (no syndrome checker).
-    sim::DecodeFn fn = [&dec](std::span<const double> llr) {
-      auto r = dec.decode(llr);
-      return sim::DecodeOutcome{std::move(r.bits), r.iterations,
-                                r.early_terminated};
+    // Each worker builds a private decoder around that rule.
+    const core::DecoderConfig dc{
+        .max_iterations = max_iter,
+        .early_termination = {.enabled = true, .threshold_raw = threshold}};
+    sim::DecoderFactory factory = [&code, dc]() {
+      auto dec = std::make_shared<core::ReconfigurableDecoder>(code, dc);
+      return sim::DecodeFn([dec](std::span<const double> llr) {
+        auto r = dec->decode(llr);
+        return sim::DecodeOutcome{std::move(r.bits), r.iterations,
+                                  r.early_terminated};
+      });
     };
     sim::SimConfig sc;
     sc.seed = opt.seed;
     sc.min_frames = opt.frames > 0 ? static_cast<int>(opt.frames) : 120;
     sc.max_frames = sc.min_frames;
     sc.target_frame_errors = 1 << 30;
-    sim::Simulator s(code, fn, sc);
+    sc.threads = opt.threads;
+    sim::Simulator s(code, factory, sc);
     const auto p = s.run_point(1.25);
     t.row({std::to_string(threshold),
            util::fmt_fixed(p.avg_iterations(), 2),

@@ -18,14 +18,19 @@ struct Options {
   bool csv = false;
   long long frames = 0;   // Monte-Carlo budget override (0 = default)
   std::uint64_t seed = 1;
+  /// Simulation worker threads (0 = hardware concurrency). Monte-Carlo
+  /// results are bit-identical for any value; it only changes wall-clock.
+  int threads = 0;
 };
 
 inline Options parse(int argc, char** argv) {
-  const ldpc::util::Args args(argc, argv, {"csv", "frames", "seed"});
+  const ldpc::util::Args args(argc, argv,
+                              {"csv", "frames", "seed", "threads"});
   Options opt;
   opt.csv = args.get_or("csv", false);
   opt.frames = args.get_or("frames", 0LL);
   opt.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
+  opt.threads = static_cast<int>(args.get_or("threads", 0LL));
   return opt;
 }
 

@@ -8,6 +8,8 @@
 // [4]-class linear approximation. Expected shape: full BP tracks the
 // float reference within ~0.1-0.2 dB; min-sum needs ~0.3-0.8 dB more for
 // the same error rate on this rate-1/2 code.
+#include <memory>
+
 #include "bench_common.hpp"
 #include "ldpc/baseline/layered_bp.hpp"
 #include "ldpc/baseline/linear_approx.hpp"
@@ -23,38 +25,51 @@ int main(int argc, char** argv) {
       {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
   const int max_iter = 10;
 
-  core::ReconfigurableDecoder fixed_bp(code, {.max_iterations = max_iter,
-                                              .stop_on_codeword = true});
-  core::ReconfigurableDecoder fixed_ms(code,
-                                       {.max_iterations = max_iter,
-                                        .kernel = core::CnuKernel::kMinSum,
-                                        .stop_on_codeword = true});
-  baseline::LayeredBP float_bp(code);
-  baseline::MinSum norm_ms(code, 0.75);
-  baseline::LinearApprox lin(code);
-
   sim::SimConfig sc;
   sc.seed = opt.seed;
   sc.min_frames = opt.frames > 0 ? static_cast<int>(opt.frames) : 60;
   sc.max_frames = sc.min_frames * 8;
   sc.target_frame_errors = 30;
+  sc.threads = opt.threads;
 
+  // Each worker thread owns its decoder instance, built by the factory.
   struct Entry {
     std::string name;
-    sim::DecodeFn fn;
+    sim::DecoderFactory factory;
   };
   std::vector<Entry> entries;
-  entries.push_back({"fixed full-BP 8b", sim::adapt(fixed_bp)});
-  entries.push_back({"fixed min-sum 8b", sim::adapt(fixed_ms)});
-  entries.push_back({"float layered BP", sim::adapt(float_bp, max_iter)});
-  entries.push_back({"float norm-MS 0.75", sim::adapt(norm_ms, max_iter)});
-  entries.push_back({"float linear-apprx", sim::adapt(lin, max_iter)});
+  entries.push_back({"fixed full-BP 8b",
+                     sim::fixed_decoder_factory(
+                         code, {.max_iterations = max_iter,
+                                .stop_on_codeword = true})});
+  entries.push_back({"fixed min-sum 8b",
+                     sim::fixed_decoder_factory(
+                         code, {.max_iterations = max_iter,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .stop_on_codeword = true})});
+  entries.push_back(
+      {"float layered BP",
+       sim::baseline_decoder_factory(
+           [&code]() { return std::make_unique<baseline::LayeredBP>(code); },
+           max_iter)});
+  entries.push_back({"float norm-MS 0.75",
+                     sim::baseline_decoder_factory(
+                         [&code]() {
+                           return std::make_unique<baseline::MinSum>(code,
+                                                                     0.75);
+                         },
+                         max_iter)});
+  entries.push_back(
+      {"float linear-apprx",
+       sim::baseline_decoder_factory(
+           [&code]() { return std::make_unique<baseline::LinearApprox>(code); },
+           max_iter)});
 
   util::Table t("BER/FER: full BP vs min-sum (802.16e 2304 r1/2, 10 iter)");
   t.header({"Eb/N0 dB", "decoder", "BER", "FER", "avg iter", "frames"});
   for (double db = 1.0; db <= 3.0; db += 0.5) {
     for (auto& e : entries) {
-      sim::Simulator s(code, e.fn, sc);
+      sim::Simulator s(code, e.factory, sc);
       const auto p = s.run_point(db);
       t.row({util::fmt_fixed(db, 1), e.name, util::fmt_sci(p.ber()),
              util::fmt_sci(p.fer()),

@@ -22,20 +22,22 @@ int main(int argc, char** argv) {
       {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
   const int max_iter = 10;
 
-  core::ReconfigurableDecoder with_et(
-      code, {.max_iterations = max_iter,
-             .early_termination = {.enabled = true, .threshold_raw = 8}});
-  core::ReconfigurableDecoder without_et(code,
-                                         {.max_iterations = max_iter});
-
   sim::SimConfig sc;
   sc.seed = opt.seed;
   sc.min_frames = opt.frames > 0 ? static_cast<int>(opt.frames) : 60;
   sc.max_frames = sc.min_frames;
   sc.target_frame_errors = 1 << 30;  // fixed frame budget per point
+  sc.threads = opt.threads;
 
-  sim::Simulator sim_et(code, sim::adapt(with_et), sc);
-  sim::Simulator sim_no(code, sim::adapt(without_et), sc);
+  sim::Simulator sim_et(
+      code,
+      sim::fixed_decoder_factory(
+          code, {.max_iterations = max_iter,
+                 .early_termination = {.enabled = true, .threshold_raw = 8}}),
+      sc);
+  sim::Simulator sim_no(
+      code, sim::fixed_decoder_factory(code, {.max_iterations = max_iter}),
+      sc);
 
   const power::PowerModel pwr(450.0, 1.0);
   const arch::ChipDimensions dims{};

@@ -3,15 +3,18 @@
 //   ./ber_sweep --standard wimax --rate 1/2 --z 96
 //               --from 1.0 --to 3.0 --step 0.5
 //               --decoder fixed|minsum|float|flooding
-//               [--iters 10] [--frames 100] [--csv]
+//               [--iters 10] [--frames 100] [--threads 0] [--csv]
 //
 // Prints BER, FER and average iterations per point; --csv emits a
-// plot-ready table.
+// plot-ready table. Frames are decoded by a pool of worker threads
+// (--threads 0 = one per hardware thread), each owning a private decoder;
+// the counter-seeded simulation engine makes the numbers bit-identical for
+// any thread count.
 #include <iostream>
+#include <memory>
 
 #include "ldpc/baseline/flooding_bp.hpp"
 #include "ldpc/baseline/layered_bp.hpp"
-#include "ldpc/baseline/min_sum.hpp"
 #include "ldpc/codes/registry.hpp"
 #include "ldpc/sim/simulator.hpp"
 #include "ldpc/util/args.hpp"
@@ -34,7 +37,8 @@ int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
                           {"standard", "rate", "z", "from", "to", "step",
-                           "decoder", "iters", "frames", "csv", "seed"});
+                           "decoder", "iters", "frames", "csv", "seed",
+                           "threads"});
     const std::string std_name =
         args.get_or("standard", std::string{"wimax"});
     const codes::Standard standard =
@@ -53,25 +57,26 @@ int main(int argc, char** argv) {
 
     const auto code = codes::make_code({standard, rate, z});
 
-    // Decoder zoo: fixed-point chip datapath and floating baselines.
-    core::ReconfigurableDecoder fixed(code, {.max_iterations = iters,
-                                             .stop_on_codeword = true});
-    core::ReconfigurableDecoder fixed_ms(
-        code, {.max_iterations = iters,
-               .kernel = core::CnuKernel::kMinSum,
-               .stop_on_codeword = true});
-    baseline::LayeredBP float_bp(code);
-    baseline::FloodingBP flooding(code);
-
-    sim::DecodeFn fn;
+    // Decoder zoo: each worker thread builds its own instance from the
+    // factory (the decoders are not thread-safe).
+    sim::DecoderFactory factory;
     if (dec_name == "fixed")
-      fn = sim::adapt(fixed);
+      factory = sim::fixed_decoder_factory(code,
+                                           {.max_iterations = iters,
+                                            .stop_on_codeword = true});
     else if (dec_name == "minsum")
-      fn = sim::adapt(fixed_ms);
+      factory = sim::fixed_decoder_factory(
+          code, {.max_iterations = iters,
+                 .kernel = core::CnuKernel::kMinSum,
+                 .stop_on_codeword = true});
     else if (dec_name == "float")
-      fn = sim::adapt(float_bp, iters);
+      factory = sim::baseline_decoder_factory(
+          [&code]() { return std::make_unique<baseline::LayeredBP>(code); },
+          iters);
     else if (dec_name == "flooding")
-      fn = sim::adapt(flooding, iters);
+      factory = sim::baseline_decoder_factory(
+          [&code]() { return std::make_unique<baseline::FloodingBP>(code); },
+          iters);
     else
       throw std::invalid_argument("unknown decoder '" + dec_name + "'");
 
@@ -80,7 +85,8 @@ int main(int argc, char** argv) {
     sc.min_frames = frames;
     sc.max_frames = frames * 8;
     sc.target_frame_errors = 30;
-    sim::Simulator sim(code, fn, sc);
+    sc.threads = static_cast<int>(args.get_or("threads", 0LL));
+    sim::Simulator sim(code, factory, sc);
 
     const double from = args.get_or("from", 1.0);
     const double to = args.get_or("to", 3.0);
@@ -89,7 +95,8 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("bad sweep range");
 
     util::Table t(code.name() + " — " + dec_name + " decoder, " +
-                  std::to_string(iters) + " iterations");
+                  std::to_string(iters) + " iterations, " +
+                  std::to_string(sim.threads()) + " worker thread(s)");
     t.header({"Eb/N0 dB", "BER", "FER", "avg iter", "frames"});
     for (double db = from; db <= to + 1e-9; db += step) {
       const auto p = sim.run_point(db);

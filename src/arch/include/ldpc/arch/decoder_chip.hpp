@@ -1,22 +1,22 @@
 // Structural (chip-level) model of the full decoder of Fig. 7/8.
 //
-// Wires together the architectural components — central L-memory, z x z
-// circular shifter, z distributed SISO cores with their Lambda memory
-// banks, and the early-termination monitor — and executes the block-serial
-// schedule through them, counting every memory access and every cycle
-// (including pipeline stalls and shifter latency). The arithmetic is the
-// same bit-accurate datapath as core::ReconfigurableDecoder; tests verify
-// the two produce identical hard decisions, which validates the
-// memory-bank addressing and shifter routing.
+// Runs the shared core::LayerEngine — the same block-serial datapath the
+// functional decoder executes — under the chip's optimised layer schedule,
+// with an arch::HardwareObserver attached that counts every memory-port
+// use, the shifter word traffic, and the pipeline cycles (including stalls
+// and shifter latency) from the cycle-level pipeline model. Because the
+// arithmetic is the single engine implementation, the chip's hard decisions
+// are bit-identical to core::ReconfigurableDecoder by construction; tests
+// lock this across every registered code mode.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "ldpc/arch/circular_shifter.hpp"
-#include "ldpc/arch/memory.hpp"
+#include "ldpc/arch/hardware_observer.hpp"
 #include "ldpc/arch/pipeline.hpp"
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/decoder.hpp"
@@ -45,6 +45,7 @@ struct ChipDecodeStats {
   long long l_mem_writes = 0;
   long long lambda_reads = 0;
   long long lambda_writes = 0;
+  long long shifter_words = 0;    // L words rotated (forward + inverse)
   int active_sisos = 0;           // z of the configured code
   int idle_sisos = 0;             // z_max - z (power-gated, Fig. 9b)
   int stalls_per_iteration = 0;
@@ -68,7 +69,7 @@ class DecoderChip {
   const codes::QCCode& code() const;
   const ChipDimensions& dimensions() const noexcept { return dims_; }
   const core::DecoderConfig& decoder_config() const noexcept {
-    return config_;
+    return engine_.config();
   }
   /// Layer execution order after optimisation.
   std::span<const int> layer_order() const noexcept { return order_; }
@@ -81,28 +82,24 @@ class DecoderChip {
   /// Decodes one frame through the structural datapath.
   ChipDecodeResult decode(std::span<const double> llr);
 
+  /// Decodes a batch of frames stored back to back (`llrs.size()` must be
+  /// a non-zero multiple of n). One reconfiguration serves the whole
+  /// batch; scratch is reused across frames.
+  std::vector<ChipDecodeResult> decode_batch(std::span<const double> llrs);
+
  private:
-  void process_layer(int layer);
+  ChipDecodeResult decode_quantized();
 
   ChipDimensions dims_;
-  core::DecoderConfig config_;
-  fixed::QFormat app_fmt_;
   const codes::QCCode* code_ = nullptr;
 
+  core::LayerEngine engine_;
+  HardwareObserver observer_;
   CircularShifter shifter_;
-  LMemory l_mem_;
-  LambdaMemoryBanks lambda_banks_;
-  core::SisoR2 siso_r2_;
-  core::SisoR4 siso_r4_;
-  core::EarlyTermination et_;
   std::optional<PipelineModel> pipeline_;
   std::vector<int> order_;
   IterationTiming timing_;
-
-  // Scratch: rot_buf_ holds the d rotated L-words of the current layer
-  // (degree_max x z_max), the rest are per-row working vectors.
-  std::vector<std::int32_t> rot_buf_;
-  std::vector<std::int32_t> word_, lam_, lam_full_, lam_new_, out_word_;
+  std::vector<std::int32_t> raw_;  // reused quantisation buffer
 };
 
 }  // namespace ldpc::arch

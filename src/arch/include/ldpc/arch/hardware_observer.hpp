@@ -1,0 +1,77 @@
+// Hardware accounting observer for the shared core::LayerEngine.
+//
+// Turns the engine's schedule events into the chip-level activity counts of
+// Fig. 7/8: L-memory and Lambda-bank port uses (word-granular, matching the
+// dual-port memory models in memory.hpp), circular-shifter word traffic,
+// and — fed with the pipeline model's steady-state timing — cycle and stall
+// accumulation per executed iteration. Attaching this observer to the
+// engine is what makes arch::DecoderChip cycle-exact without duplicating
+// the datapath.
+#pragma once
+
+#include <cstdint>
+
+#include "ldpc/core/layer_engine.hpp"
+
+namespace ldpc::arch {
+
+class HardwareObserver final : public core::LayerObserver {
+ public:
+  /// Per-iteration timing from the pipeline model (PipelineModel::analyze
+  /// of the programmed layer order).
+  struct Timing {
+    long long cycles_per_iteration = 0;
+    int stalls_per_iteration = 0;
+    int drain_cycles = 0;  // added once per frame by finish()
+  };
+
+  void set_timing(const Timing& timing) noexcept { timing_ = timing; }
+
+  /// Clears all counters (call at the start of each frame).
+  void reset() noexcept { counts_ = {}; }
+
+  /// Adds the end-of-frame pipeline drain (final stage-2 flush).
+  void finish() noexcept { counts_.cycles += timing_.drain_cycles; }
+
+  // LayerObserver hooks -------------------------------------------------
+  void on_layer_fetch(int /*layer*/, int degree, int /*z*/) override {
+    counts_.l_reads += degree;
+    counts_.shifter_words += degree;
+  }
+  void on_row(int /*layer*/, int degree) override {
+    counts_.lambda_reads += degree;
+    counts_.lambda_writes += degree;
+  }
+  void on_layer_writeback(int /*layer*/, int degree, int /*z*/) override {
+    counts_.l_writes += degree;
+    counts_.shifter_words += degree;
+  }
+  void on_iteration(int /*iteration*/) override {
+    counts_.cycles += timing_.cycles_per_iteration;
+    counts_.stalls += timing_.stalls_per_iteration;
+  }
+
+  // Accumulated counts --------------------------------------------------
+  long long l_reads() const noexcept { return counts_.l_reads; }
+  long long l_writes() const noexcept { return counts_.l_writes; }
+  long long lambda_reads() const noexcept { return counts_.lambda_reads; }
+  long long lambda_writes() const noexcept { return counts_.lambda_writes; }
+  /// L words pushed through the circular shifter (forward + inverse).
+  long long shifter_words() const noexcept { return counts_.shifter_words; }
+  /// Total pipeline cycles including stalls and the end-of-frame drain.
+  long long cycles() const noexcept { return counts_.cycles; }
+  /// Total stall cycles across the executed iterations.
+  long long stalls() const noexcept { return counts_.stalls; }
+
+ private:
+  struct Counts {
+    long long l_reads = 0, l_writes = 0;
+    long long lambda_reads = 0, lambda_writes = 0;
+    long long shifter_words = 0;
+    long long cycles = 0, stalls = 0;
+  };
+  Timing timing_{};
+  Counts counts_{};
+};
+
+}  // namespace ldpc::arch

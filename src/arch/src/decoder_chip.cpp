@@ -1,9 +1,6 @@
 #include "ldpc/arch/decoder_chip.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-
-#include "ldpc/codes/registry.hpp"
 
 namespace ldpc::arch {
 
@@ -19,45 +16,35 @@ ChipDimensions ChipDimensions::universal() {
 }
 
 DecoderChip::DecoderChip(ChipDimensions dims, core::DecoderConfig config)
-    : dims_(dims), config_(config),
-      app_fmt_(config.format.total_bits() + config.app_extra_bits,
-               config.format.frac_bits()),
-      shifter_(dims.z_max), l_mem_(dims.block_cols_max, dims.z_max),
-      lambda_banks_(dims.z_max, dims.layers_max, dims.row_degree_max),
-      siso_r2_(config.format, config.cnu_arch),
-      siso_r4_(config.format, config.cnu_arch),
-      et_(config.early_termination) {
-  if (config_.max_iterations <= 0)
-    throw std::invalid_argument("DecoderChip: max_iterations");
-  rot_buf_.resize(static_cast<std::size_t>(dims_.row_degree_max) *
-                  dims_.z_max);
-  word_.resize(static_cast<std::size_t>(dims_.z_max));
-  out_word_.resize(static_cast<std::size_t>(dims_.z_max));
-  lam_.resize(static_cast<std::size_t>(dims_.row_degree_max));
-  lam_full_.resize(static_cast<std::size_t>(dims_.row_degree_max));
-  lam_new_.resize(static_cast<std::size_t>(dims_.row_degree_max));
-}
+    : dims_(dims), engine_(config), shifter_(dims.z_max) {}
 
 void DecoderChip::configure(const codes::QCCode& code) {
   if (!dims_.fits(code))
     throw std::invalid_argument("DecoderChip: code " + code.name() +
                                 " exceeds chip dimensions");
   code_ = &code;
-  lambda_banks_.activate(code.z());
+  engine_.reconfigure(code);
+  raw_.resize(static_cast<std::size_t>(code.n()));
   PipelineConfig pc;
-  pc.radix = config_.radix;
+  pc.radix = engine_.config().radix;
   pc.include_shifter_latency = true;
   pc.shifter_stages = shifter_.latency_cycles();
   pc.reorder_reads = true;
   pipeline_.emplace(code, pc);
   order_ = pipeline_->optimize_order();
   timing_ = pipeline_->analyze(order_);
+  observer_.set_timing({.cycles_per_iteration = timing_.cycles_per_iteration,
+                        .stalls_per_iteration = timing_.total_stalls,
+                        .drain_cycles = timing_.drain_cycles});
 }
 
 void DecoderChip::set_layer_order(std::span<const int> order) {
   if (!code_) throw std::logic_error("DecoderChip: not configured");
   timing_ = pipeline_->analyze(order);  // validates the permutation
   order_.assign(order.begin(), order.end());
+  observer_.set_timing({.cycles_per_iteration = timing_.cycles_per_iteration,
+                        .stalls_per_iteration = timing_.total_stalls,
+                        .drain_cycles = timing_.drain_cycles});
 }
 
 const codes::QCCode& DecoderChip::code() const {
@@ -67,112 +54,46 @@ const codes::QCCode& DecoderChip::code() const {
 
 ChipDecodeResult DecoderChip::decode(std::span<const double> llr) {
   if (!code_) throw std::logic_error("DecoderChip: not configured");
-  const int n = code_->n();
-  const int z = code_->z();
-  if (llr.size() != static_cast<std::size_t>(n))
+  if (llr.size() != static_cast<std::size_t>(code_->n()))
     throw std::invalid_argument("DecoderChip::decode: llr size");
-
-  // Input buffer load: quantise (zero-excluding) into the L-memory lanes.
-  for (int v = 0; v < n; ++v) {
-    std::int32_t raw = config_.format.quantize(llr[v]);
-    if (raw == 0 && config_.exclude_zero_input) raw = llr[v] < 0.0 ? -1 : 1;
-    l_mem_.set_lane(v / z, v % z, raw);
-  }
-  l_mem_.reset_stats();
-  lambda_banks_.reset_stats();
-  // Lambda messages start at zero (activate() cleared them, but a previous
-  // frame leaves residue; re-activate to clear).
-  lambda_banks_.activate(z);
-  et_.reset();
-
-  ChipDecodeResult result;
-  auto& fn = result.functional;
-  fn.bits.assign(static_cast<std::size_t>(n), 0);
-
-  std::vector<std::int32_t> info_app(
-      static_cast<std::size_t>(code_->k_info()));
-  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
-    for (int layer : order_) process_layer(layer);
-    fn.iterations = iter;
-
-    for (int v = 0; v < n; ++v)
-      fn.bits[static_cast<std::size_t>(v)] =
-          l_mem_.lane(v / z, v % z) < 0 ? 1 : 0;
-    for (int v = 0; v < code_->k_info(); ++v)
-      info_app[static_cast<std::size_t>(v)] = l_mem_.lane(v / z, v % z);
-
-    if (et_.update(info_app)) {
-      fn.early_terminated = true;
-      break;
-    }
-    if (config_.stop_on_codeword && code_->is_codeword(fn.bits)) break;
-  }
-  fn.converged = code_->is_codeword(fn.bits);
-
-  auto& stats = result.stats;
-  stats.cycles = timing_.cycles_per_iteration * fn.iterations +
-                 timing_.drain_cycles;
-  fn.datapath_cycles = stats.cycles;
-  stats.l_mem_reads = l_mem_.stats().reads;
-  stats.l_mem_writes = l_mem_.stats().writes;
-  stats.lambda_reads = lambda_banks_.total_reads();
-  stats.lambda_writes = lambda_banks_.total_writes();
-  stats.active_sisos = z;
-  stats.idle_sisos = dims_.z_max - z;
-  stats.stalls_per_iteration = timing_.total_stalls;
-  return result;
+  engine_.quantize(llr, raw_);
+  return decode_quantized();
 }
 
-void DecoderChip::process_layer(int layer) {
-  const auto& fmt = config_.format;
-  const int z = code_->z();
-  const auto& entries = code_->layers()[static_cast<std::size_t>(layer)];
-  const int deg = static_cast<int>(entries.size());
-
-  // Fetch: one L-memory word per non-zero block, routed through the
-  // circular shifter so lane t carries the message for SISO core t.
-  for (int e = 0; e < deg; ++e) {
-    l_mem_.read(entries[e].block_col, z, word_);
-    shifter_.rotate(word_, entries[e].shift, z,
-                    std::span<std::int32_t>(
-                        rot_buf_.data() + static_cast<std::size_t>(e) *
-                                              dims_.z_max,
-                        static_cast<std::size_t>(z)));
+std::vector<ChipDecodeResult> DecoderChip::decode_batch(
+    std::span<const double> llrs) {
+  if (!code_) throw std::logic_error("DecoderChip: not configured");
+  const auto n = static_cast<std::size_t>(code_->n());
+  if (llrs.empty() || llrs.size() % n != 0)
+    throw std::invalid_argument("DecoderChip::decode_batch: llrs size");
+  const std::size_t frames = llrs.size() / n;
+  std::vector<ChipDecodeResult> results;
+  results.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    engine_.quantize(llrs.subspan(f * n, n), raw_);
+    results.push_back(decode_quantized());
   }
+  return results;
+}
 
-  // z parallel SISO cores, one check row each.
-  for (int t = 0; t < z; ++t) {
-    for (int e = 0; e < deg; ++e) {
-      const std::int32_t app =
-          rot_buf_[static_cast<std::size_t>(e) * dims_.z_max + t];
-      const std::int32_t old_lambda = lambda_banks_.read(t, layer, e);
-      lam_full_[e] = app_fmt_.sub(app, old_lambda);
-      lam_[e] = fmt.saturate(lam_full_[e]);
-    }
-    const std::span<const std::int32_t> lam{lam_.data(),
-                                            static_cast<std::size_t>(deg)};
-    const std::span<std::int32_t> out{lam_new_.data(),
-                                      static_cast<std::size_t>(deg)};
-    if (config_.radix == core::Radix::kR2)
-      siso_r2_.process(lam, out);
-    else
-      siso_r4_.process(lam, out);
-    for (int e = 0; e < deg; ++e) {
-      lambda_banks_.write(t, layer, e, lam_new_[e]);
-      rot_buf_[static_cast<std::size_t>(e) * dims_.z_max + t] =
-          app_fmt_.add(lam_full_[e], lam_new_[e]);
-    }
-  }
+ChipDecodeResult DecoderChip::decode_quantized() {
+  observer_.reset();
+  ChipDecodeResult result;
+  result.functional = engine_.run(raw_, order_, &observer_);
+  observer_.finish();
 
-  // Write back: inverse rotation restores block-column order.
-  for (int e = 0; e < deg; ++e) {
-    shifter_.rotate_back(
-        std::span<const std::int32_t>(
-            rot_buf_.data() + static_cast<std::size_t>(e) * dims_.z_max,
-            static_cast<std::size_t>(z)),
-        entries[e].shift, z, out_word_);
-    l_mem_.write(entries[e].block_col, z, out_word_);
-  }
+  auto& stats = result.stats;
+  stats.cycles = observer_.cycles();
+  result.functional.datapath_cycles = stats.cycles;
+  stats.l_mem_reads = observer_.l_reads();
+  stats.l_mem_writes = observer_.l_writes();
+  stats.lambda_reads = observer_.lambda_reads();
+  stats.lambda_writes = observer_.lambda_writes();
+  stats.shifter_words = observer_.shifter_words();
+  stats.active_sisos = code_->z();
+  stats.idle_sisos = dims_.z_max - code_->z();
+  stats.stalls_per_iteration = timing_.total_stalls;
+  return result;
 }
 
 }  // namespace ldpc::arch

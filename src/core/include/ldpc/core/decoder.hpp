@@ -7,69 +7,20 @@
 // under the block-serial schedule of Fig. 2. The decoder can be
 // reconfigured at runtime to any registered block-structured code
 // (802.11n / 802.16e / DMB-T class), matching the chip's multi-standard
-// operation. Cycle-exact timing (pipeline overlap, shifter latency, stalls)
-// lives in ldpc_arch; this class models the arithmetic exactly and counts
-// idealised datapath cycles.
+// operation. The schedule itself lives in core::LayerEngine and is shared
+// bit-for-bit with the cycle-exact chip model in ldpc_arch; this class is
+// the engine's functional wrapping (quantisation, batch driving, idealised
+// datapath cycle counting).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
-#include "ldpc/core/early_termination.hpp"
-#include "ldpc/core/siso.hpp"
-#include "ldpc/fixed/qformat.hpp"
+#include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
-
-/// SISO radix choice (Fig. 3 vs Fig. 6). Functionally identical; R4 halves
-/// the per-row cycle count.
-enum class Radix { kR2, kR4 };
-
-/// Check-node kernel of the fixed datapath. The paper's chip implements
-/// full BP; min-sum is provided for the section III-B comparison.
-enum class CnuKernel { kFullBp, kMinSum };
-
-struct DecoderConfig {
-  fixed::QFormat format = fixed::kMessageFormat;
-  /// Extra integer bits carried by the APP (L) memory beyond the message
-  /// format. The SISO message buses stay `format`-wide (the paper's 8-bit
-  /// datapath); a wider APP word prevents the classic layered-decoding
-  /// saturation oscillation (L saturates, lambda = L - Lambda flips sign),
-  /// the same choice made by the Mansour'06 and Gunnam'07 designs. Set to
-  /// 0 to model a strictly 8-bit APP path.
-  int app_extra_bits = 2;
-  /// Exclude the zero level when quantising channel LLRs (nudge 0 to
-  /// +/-1 LSB). In the f-then-g SISO architecture a zero input annihilates
-  /// the whole row sum S and g(0,0) cannot reconstruct the
-  /// all-but-one combination, so an exact-zero channel LLR would lock as an
-  /// undecodable erasure. A zero-free input quantiser (one OR gate in
-  /// hardware) removes the pathology.
-  bool exclude_zero_input = true;
-  int max_iterations = 10;  // paper Table 3
-  Radix radix = Radix::kR4;
-  CnuKernel kernel = CnuKernel::kFullBp;
-  /// Check-node architecture for the kFullBp kernel (see CnuArch docs:
-  /// kSumSubtract is the paper's literal Eq. (1), kForwardBackward the
-  /// numerically robust default).
-  CnuArch cnu_arch = CnuArch::kForwardBackward;
-  EarlyTermination::Config early_termination{};
-  /// Stop as soon as the hard decisions form a codeword (genie check used
-  /// by simulations; the chip itself only stops via early termination).
-  bool stop_on_codeword = false;
-};
-
-struct FixedDecodeResult {
-  std::vector<std::uint8_t> bits;  // hard decisions, size n
-  int iterations = 0;              // full iterations executed
-  bool converged = false;          // hard decisions form a codeword
-  bool early_terminated = false;   // ET fired before max_iterations
-  /// Idealised SISO datapath cycles (one layer's rows run in parallel
-  /// across z SISO cores, so each layer costs one row's cycles).
-  long long datapath_cycles = 0;
-};
 
 class ReconfigurableDecoder {
  public:
@@ -82,32 +33,25 @@ class ReconfigurableDecoder {
   void reconfigure(const codes::QCCode& code);
 
   /// Decodes one frame of channel LLRs (size n). Not thread-safe: each
-  /// worker thread should own a decoder instance.
+  /// worker thread should own a decoder instance (see sim::DecoderFactory).
   FixedDecodeResult decode(std::span<const double> llr);
 
   /// Decodes already-quantised LLRs (size n, raw message codes).
   FixedDecodeResult decode_raw(std::span<const std::int32_t> llr_raw);
 
+  /// Decodes a batch of frames stored back to back (`llrs.size()` must be
+  /// a non-zero multiple of n). Amortises per-frame setup and reuses the
+  /// quantisation scratch across the batch; results are bit-identical to
+  /// calling decode() per frame.
+  std::vector<FixedDecodeResult> decode_batch(std::span<const double> llrs);
+
   const codes::QCCode& code() const noexcept { return *code_; }
-  const DecoderConfig& config() const noexcept { return config_; }
+  const DecoderConfig& config() const noexcept { return engine_.config(); }
 
  private:
-  void process_layer(int layer);
-
   const codes::QCCode* code_;
-  DecoderConfig config_;
-  fixed::QFormat app_fmt_;  // wider APP (L-memory) format
-  SisoR2 siso_r2_;
-  SisoR4 siso_r4_;
-  EarlyTermination et_;
-
-  // Architectural state: central L-memory and distributed Lambda memory.
-  std::vector<std::int32_t> l_mem_;       // APP per variable, size n
-  std::vector<std::int32_t> lambda_mem_;  // extrinsic per edge
-  // Scratch per check row (lam_full_ is the APP-width subtraction before
-  // the message-bus clip).
-  std::vector<std::int32_t> lam_, lam_full_, lam_new_;
-  long long cycles_ = 0;
+  LayerEngine engine_;
+  std::vector<std::int32_t> raw_;  // reused quantisation buffer
 };
 
 }  // namespace ldpc::core

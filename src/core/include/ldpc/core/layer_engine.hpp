@@ -1,0 +1,153 @@
+// The shared layer-schedule engine: ONE implementation of the paper's
+// block-serial layered datapath (Fig. 2), reused by every decoder wrapping.
+//
+// Each layer runs the read -> shift/gather -> SISO -> write-back loop over
+// the central L-memory (APP per variable) and the distributed Lambda memory
+// (extrinsic per edge). The functional core::ReconfigurableDecoder runs the
+// engine bare; arch::DecoderChip runs the same engine under an optimised
+// layer order with a hardware observer attached that accounts for memory
+// ports, shifter traffic and pipeline cycles. Because both decoders execute
+// this single implementation, their hard decisions are bit-identical by
+// construction (and locked by tests across every registered code mode).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/early_termination.hpp"
+#include "ldpc/core/siso.hpp"
+#include "ldpc/fixed/qformat.hpp"
+
+namespace ldpc::core {
+
+/// SISO radix choice (Fig. 3 vs Fig. 6). Functionally identical; R4 halves
+/// the per-row cycle count.
+enum class Radix { kR2, kR4 };
+
+/// Check-node kernel of the fixed datapath. The paper's chip implements
+/// full BP; min-sum is provided for the section III-B comparison.
+enum class CnuKernel { kFullBp, kMinSum };
+
+struct DecoderConfig {
+  fixed::QFormat format = fixed::kMessageFormat;
+  /// Extra integer bits carried by the APP (L) memory beyond the message
+  /// format. The SISO message buses stay `format`-wide (the paper's 8-bit
+  /// datapath); a wider APP word prevents the classic layered-decoding
+  /// saturation oscillation (L saturates, lambda = L - Lambda flips sign),
+  /// the same choice made by the Mansour'06 and Gunnam'07 designs. Set to
+  /// 0 to model a strictly 8-bit APP path.
+  int app_extra_bits = 2;
+  /// Exclude the zero level when quantising channel LLRs (nudge 0 to
+  /// +/-1 LSB). In the f-then-g SISO architecture a zero input annihilates
+  /// the whole row sum S and g(0,0) cannot reconstruct the
+  /// all-but-one combination, so an exact-zero channel LLR would lock as an
+  /// undecodable erasure. A zero-free input quantiser (one OR gate in
+  /// hardware) removes the pathology.
+  bool exclude_zero_input = true;
+  int max_iterations = 10;  // paper Table 3
+  Radix radix = Radix::kR4;
+  CnuKernel kernel = CnuKernel::kFullBp;
+  /// Check-node architecture for the kFullBp kernel (see CnuArch docs:
+  /// kSumSubtract is the paper's literal Eq. (1), kForwardBackward the
+  /// numerically robust default).
+  CnuArch cnu_arch = CnuArch::kForwardBackward;
+  EarlyTermination::Config early_termination{};
+  /// Stop as soon as the hard decisions form a codeword (genie check used
+  /// by simulations; the chip itself only stops via early termination).
+  bool stop_on_codeword = false;
+};
+
+struct FixedDecodeResult {
+  std::vector<std::uint8_t> bits;  // hard decisions, size n
+  int iterations = 0;              // full iterations executed
+  bool converged = false;          // hard decisions form a codeword
+  bool early_terminated = false;   // ET fired before max_iterations
+  /// Idealised SISO datapath cycles (one layer's rows run in parallel
+  /// across z SISO cores, so each layer costs one row's cycles).
+  long long datapath_cycles = 0;
+};
+
+/// Pluggable observation of the engine's schedule as it executes. The
+/// functional decoder attaches nothing (zero overhead beyond a null check
+/// per layer); the chip model attaches arch::HardwareObserver, which turns
+/// these events into memory-port counts, shifter traffic and pipeline
+/// cycles. All hooks default to no-ops.
+class LayerObserver {
+ public:
+  virtual ~LayerObserver() = default;
+
+  /// Layer fetch phase: `degree` L-memory words (z lanes each) are read
+  /// and routed through the circular shifter.
+  virtual void on_layer_fetch(int /*layer*/, int /*degree*/, int /*z*/) {}
+  /// One check row absorbed and emitted by a SISO core: `degree` Lambda
+  /// messages read from and written back to the row's bank.
+  virtual void on_row(int /*layer*/, int /*degree*/) {}
+  /// Layer write-back phase: `degree` updated L words inverse-rotated and
+  /// written to the L-memory.
+  virtual void on_layer_writeback(int /*layer*/, int /*degree*/,
+                                  int /*z*/) {}
+  /// One full iteration (all layers) completed.
+  virtual void on_iteration(int /*iteration*/) {}
+};
+
+/// The single layer-schedule implementation. Owns the architectural state
+/// (L-memory, Lambda memory, per-row scratch) and executes the block-serial
+/// schedule for any registered QC code under any layer permutation.
+/// Not thread-safe: each worker thread owns an engine (via its decoder).
+class LayerEngine {
+ public:
+  /// Throws std::invalid_argument for out-of-range config values.
+  explicit LayerEngine(DecoderConfig config);
+
+  /// Re-targets the engine to a different code (the paper's dynamic
+  /// reconfiguration): resizes memories and scratch like the chip's
+  /// bank-activation logic. The engine references (not copies) `code`.
+  void reconfigure(const codes::QCCode& code);
+
+  bool configured() const noexcept { return code_ != nullptr; }
+  /// Throws std::logic_error when not configured.
+  const codes::QCCode& code() const;
+  const DecoderConfig& config() const noexcept { return config_; }
+
+  /// Quantises channel LLRs into raw message codes (zero-excluding when
+  /// configured). `raw.size()` must equal `llr.size()`.
+  void quantize(std::span<const double> llr,
+                std::span<std::int32_t> raw) const;
+
+  /// Runs the full schedule on one frame of already-quantised LLRs:
+  /// initialises L/Lambda, then iterates the layers in `order` (empty =
+  /// natural order 0..j-1) up to max_iterations with early-termination /
+  /// codeword stopping. `order`, when given, must be a permutation of the
+  /// code's block rows (the caller validates; the chip's pipeline model
+  /// does so when programming its schedule).
+  FixedDecodeResult run(std::span<const std::int32_t> llr_raw,
+                        std::span<const int> order = {},
+                        LayerObserver* observer = nullptr);
+
+  /// APP (L-memory) contents after the last run (size n); used by wrappers
+  /// that expose soft output.
+  std::span<const std::int32_t> app() const noexcept { return l_mem_; }
+
+ private:
+  /// One layer of the schedule; returns the layer's idealised datapath
+  /// cycles (one row's cycles: the z rows run on parallel SISO cores).
+  int process_layer(int layer, LayerObserver* observer);
+
+  DecoderConfig config_;
+  fixed::QFormat app_fmt_;  // wider APP (L-memory) format
+  SisoR2 siso_r2_;
+  SisoR4 siso_r4_;
+  EarlyTermination et_;
+  const codes::QCCode* code_ = nullptr;
+
+  // Architectural state: central L-memory and distributed Lambda memory.
+  std::vector<std::int32_t> l_mem_;       // APP per variable, size n
+  std::vector<std::int32_t> lambda_mem_;  // extrinsic per edge
+  // Scratch per check row (lam_full_ is the APP-width subtraction before
+  // the message-bus clip).
+  std::vector<std::int32_t> lam_, lam_full_, lam_new_;
+};
+
+}  // namespace ldpc::core

@@ -6,144 +6,44 @@ namespace ldpc::core {
 
 ReconfigurableDecoder::ReconfigurableDecoder(const codes::QCCode& code,
                                              DecoderConfig config)
-    : code_(&code), config_(config),
-      app_fmt_(config.format.total_bits() + config.app_extra_bits,
-               config.format.frac_bits()),
-      siso_r2_(config.format, config.cnu_arch),
-      siso_r4_(config.format, config.cnu_arch),
-      et_(config.early_termination) {
-  if (config_.max_iterations <= 0)
-    throw std::invalid_argument("ReconfigurableDecoder: max_iterations");
-  if (config_.app_extra_bits < 0 || config_.app_extra_bits > 8)
-    throw std::invalid_argument("ReconfigurableDecoder: app_extra_bits");
+    : code_(&code), engine_(config) {
   reconfigure(code);
 }
 
 void ReconfigurableDecoder::reconfigure(const codes::QCCode& code) {
   code_ = &code;
-  l_mem_.assign(static_cast<std::size_t>(code.n()), 0);
-  lambda_mem_.assign(static_cast<std::size_t>(code.edges()), 0);
-  lam_.resize(static_cast<std::size_t>(code.max_check_degree()));
-  lam_full_.resize(static_cast<std::size_t>(code.max_check_degree()));
-  lam_new_.resize(static_cast<std::size_t>(code.max_check_degree()));
+  engine_.reconfigure(code);
+  raw_.resize(static_cast<std::size_t>(code.n()));
 }
 
 FixedDecodeResult ReconfigurableDecoder::decode(
     std::span<const double> llr) {
   if (llr.size() != static_cast<std::size_t>(code_->n()))
     throw std::invalid_argument("decode: llr size");
-  std::vector<std::int32_t> raw(llr.size());
-  for (std::size_t i = 0; i < llr.size(); ++i) {
-    raw[i] = config_.format.quantize(llr[i]);
-    if (raw[i] == 0 && config_.exclude_zero_input)
-      raw[i] = llr[i] < 0.0 ? -1 : 1;
-  }
-  return decode_raw(raw);
+  engine_.quantize(llr, raw_);
+  return engine_.run(raw_);
 }
 
 FixedDecodeResult ReconfigurableDecoder::decode_raw(
     std::span<const std::int32_t> llr_raw) {
-  const int n = code_->n();
-  if (llr_raw.size() != static_cast<std::size_t>(n))
+  if (llr_raw.size() != static_cast<std::size_t>(code_->n()))
     throw std::invalid_argument("decode_raw: llr size");
-
-  // Initialisation (Algorithm 1): Lambda = 0, L = channel LLR.
-  std::copy(llr_raw.begin(), llr_raw.end(), l_mem_.begin());
-  std::fill(lambda_mem_.begin(), lambda_mem_.end(), 0);
-  et_.reset();
-  cycles_ = 0;
-
-  FixedDecodeResult result;
-  result.bits.assign(static_cast<std::size_t>(n), 0);
-
-  const int k_info = code_->k_info();
-  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
-    for (int l = 0; l < code_->block_rows(); ++l) process_layer(l);
-    result.iterations = iter;
-
-    // Decision making: x_n = sign(L_n).
-    for (int v = 0; v < n; ++v)
-      result.bits[static_cast<std::size_t>(v)] = l_mem_[v] < 0 ? 1 : 0;
-
-    if (et_.update({l_mem_.data(), static_cast<std::size_t>(k_info)})) {
-      result.early_terminated = true;
-      break;
-    }
-    if (config_.stop_on_codeword && code_->is_codeword(result.bits)) break;
-  }
-
-  result.converged = code_->is_codeword(result.bits);
-  result.datapath_cycles = cycles_;
-  return result;
+  return engine_.run(llr_raw);
 }
 
-void ReconfigurableDecoder::process_layer(int layer) {
-  const auto& fmt = config_.format;
-  const int z = code_->z();
-  int layer_cycles = 0;
-
-  for (int t = 0; t < z; ++t) {
-    const int r = layer * z + t;
-    const auto vars = code_->check_vars(r);
-    const int deg = static_cast<int>(vars.size());
-    const int e0 = code_->edge_index(r, 0);
-
-    // Read + subtract (the adders in front of the SISO array in Fig. 7):
-    // lambda_mn = L_n - Lambda_mn, computed at APP width and clipped to
-    // the message format on the SISO input bus.
-    for (int e = 0; e < deg; ++e) {
-      lam_full_[e] = app_fmt_.sub(l_mem_[vars[e]], lambda_mem_[e0 + e]);
-      lam_[e] = fmt.saturate(lam_full_[e]);
-    }
-
-    const std::span<const std::int32_t> lam{lam_.data(),
-                                            static_cast<std::size_t>(deg)};
-    const std::span<std::int32_t> out{lam_new_.data(),
-                                      static_cast<std::size_t>(deg)};
-    int row_cycles = 0;
-    if (config_.kernel == CnuKernel::kFullBp) {
-      const SisoRowStats stats = config_.radix == Radix::kR2
-                                     ? siso_r2_.process(lam, out)
-                                     : siso_r4_.process(lam, out);
-      row_cycles = stats.cycles;
-    } else {
-      // Min-sum CNU: two running minima and a sign product (the [3]-class
-      // datapath); cycle structure matches the SISO (scan + emit).
-      std::int32_t min1 = fmt.raw_max(), min2 = fmt.raw_max();
-      int argmin = -1;
-      bool neg = false;
-      for (int e = 0; e < deg; ++e) {
-        const std::int32_t mag = fmt.abs(lam_[e]);
-        neg ^= lam_[e] < 0;
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          argmin = e;
-        } else if (mag < min2) {
-          min2 = mag;
-        }
-      }
-      for (int e = 0; e < deg; ++e) {
-        const std::int32_t mag = e == argmin ? min2 : min1;
-        const bool out_neg = neg != (lam_[e] < 0);
-        lam_new_[e] = out_neg ? -mag : mag;
-      }
-      row_cycles = config_.radix == Radix::kR2 ? 2 * deg
-                                               : 2 * ((deg + 1) / 2);
-    }
-
-    // Write back: Lambda and the updated APP L_n = lambda + Lambda_new
-    // (APP-width adder so extrinsic bookkeeping stays consistent across
-    // layers even when L is near saturation).
-    for (int e = 0; e < deg; ++e) {
-      lambda_mem_[e0 + e] = lam_new_[e];
-      l_mem_[vars[e]] = app_fmt_.add(lam_full_[e], lam_new_[e]);
-    }
-    // All z rows of a layer run on parallel SISO cores: the layer costs
-    // one row's cycles (rows share a degree within a layer).
-    layer_cycles = row_cycles;
+std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
+    std::span<const double> llrs) {
+  const auto n = static_cast<std::size_t>(code_->n());
+  if (llrs.empty() || llrs.size() % n != 0)
+    throw std::invalid_argument("decode_batch: llrs size");
+  const std::size_t frames = llrs.size() / n;
+  std::vector<FixedDecodeResult> results;
+  results.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    engine_.quantize(llrs.subspan(f * n, n), raw_);
+    results.push_back(engine_.run(raw_));
   }
-  cycles_ += layer_cycles;
+  return results;
 }
 
 }  // namespace ldpc::core

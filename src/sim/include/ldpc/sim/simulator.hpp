@@ -1,14 +1,22 @@
-// Monte-Carlo simulation harness: BER / FER / average-iteration curves.
+// Monte-Carlo simulation engine: BER / FER / average-iteration curves.
 //
 // Drives the full chain (random information bits -> QC encoder -> BPSK or
-// QPSK -> AWGN -> LLR demapper -> decoder) with reproducible seeding and
-// adaptive stopping (runs until enough frame errors are observed or the
-// frame budget is exhausted). Works with any decoder through a small
-// adapter so the fixed-point chip model and the floating-point baselines
-// can be swept side by side.
+// QPSK -> AWGN -> LLR demapper -> decoder) across a pool of worker threads
+// with reproducible counter-based seeding and adaptive stopping (runs until
+// enough frame errors are observed or the frame budget is exhausted).
+//
+// Threading model: the decoders are NOT thread-safe, so each worker owns a
+// private decoder instance built by a DecoderFactory. Every frame index f
+// of an Eb/N0 point draws its bits and noise from an independent substream
+// seeded by (point seed, f) — util::substream_seed — and per-frame outcomes
+// are folded into the point statistics strictly in frame order. The
+// adaptive stop is evaluated on that ordered fold, so BER, FER, iteration
+// statistics and the processed frame count are bit-identical for any
+// thread count, including 1.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,21 +28,50 @@
 
 namespace ldpc::sim {
 
-/// What the harness needs back from one decode call.
+/// What the engine needs back from one decode call.
 struct DecodeOutcome {
   std::vector<std::uint8_t> bits;
   int iterations = 0;
   bool converged = false;
 };
 
-/// Adapter: channel LLRs in, outcome out. Captures the decoder by
-/// reference; the harness calls it sequentially.
+/// Adapter: channel LLRs in, outcome out. Called sequentially by the
+/// worker that owns it.
 using DecodeFn = std::function<DecodeOutcome(std::span<const double>)>;
 
-/// Wraps a core::ReconfigurableDecoder (fixed-point datapath).
+/// Builds one independent DecodeFn per worker thread. The factory is
+/// called once per worker per point, from that worker's thread; everything
+/// the returned DecodeFn touches must be private to it (or immutable).
+using DecoderFactory = std::function<DecodeFn()>;
+
+/// Wraps a caller-owned core::ReconfigurableDecoder (fixed-point datapath).
+/// Single-threaded use only: the decoder is shared with the caller.
 DecodeFn adapt(core::ReconfigurableDecoder& decoder);
-/// Wraps any floating-point baseline decoder.
+/// Wraps a caller-owned floating-point baseline decoder. The decoder must
+/// outlive the returned function.
 DecodeFn adapt(const baseline::SoftDecoder& decoder, int max_iter);
+/// Deleted: binding a temporary decoder would leave the returned function
+/// holding a dangling reference (the lambda captures by reference). Keep
+/// the decoder alive yourself, or pass a shared_ptr.
+DecodeFn adapt(const baseline::SoftDecoder&& decoder, int max_iter) = delete;
+/// Owning adapter: the returned function keeps the decoder alive.
+DecodeFn adapt(std::shared_ptr<const baseline::SoftDecoder> decoder,
+               int max_iter);
+
+/// Factory for the fixed-point decoder: each worker gets its own
+/// core::ReconfigurableDecoder on `code` (the caller keeps `code` alive).
+DecoderFactory fixed_decoder_factory(const codes::QCCode& code,
+                                     core::DecoderConfig config = {});
+/// Deleted: the factory captures the code by reference; a temporary would
+/// dangle by the time workers build their decoders.
+DecoderFactory fixed_decoder_factory(codes::QCCode&& code,
+                                     core::DecoderConfig config = {}) =
+    delete;
+/// Factory over any baseline decoder: `make` builds a fresh instance per
+/// worker (called from the worker's thread).
+DecoderFactory baseline_decoder_factory(
+    std::function<std::unique_ptr<baseline::SoftDecoder>()> make,
+    int max_iter);
 
 struct SimConfig {
   std::uint64_t seed = 1;
@@ -44,6 +81,9 @@ struct SimConfig {
   /// ...but always run at least `min_frames` and at most `max_frames`.
   int min_frames = 50;
   int max_frames = 2000;
+  /// Worker threads (0 = hardware concurrency). Results are independent of
+  /// this value; it only changes wall-clock time.
+  int threads = 1;
 };
 
 struct SweepPoint {
@@ -69,20 +109,35 @@ struct SweepPoint {
 
 class Simulator {
  public:
-  /// The simulator references `code`; the caller keeps it alive.
+  /// Parallel engine: one decoder per worker via `factory`. The simulator
+  /// references `code`; the caller keeps it alive.
+  Simulator(const codes::QCCode& code, DecoderFactory factory,
+            SimConfig config);
+
+  /// Legacy single-threaded adapter: `decode` captures one shared decoder,
+  /// so the thread count is forced to 1 regardless of config.threads.
   Simulator(const codes::QCCode& code, DecodeFn decode, SimConfig config);
 
-  /// Runs one Eb/N0 point.
+  /// A null decoder is always invalid (exact-match overload: a bare
+  /// `nullptr` would otherwise be ambiguous between DecodeFn and
+  /// DecoderFactory). Throws std::invalid_argument.
+  Simulator(const codes::QCCode& code, std::nullptr_t, SimConfig config);
+
+  /// Runs one Eb/N0 point across the worker pool.
   SweepPoint run_point(double ebn0_db);
 
   /// Runs a sweep; each point is independently seeded from config.seed so
   /// adding points does not perturb existing ones.
   std::vector<SweepPoint> sweep(const std::vector<double>& ebn0_dbs);
 
+  /// Resolved worker count.
+  int threads() const noexcept { return threads_; }
+
  private:
   const codes::QCCode& code_;
-  DecodeFn decode_;
+  DecoderFactory factory_;
   SimConfig config_;
+  int threads_;
 };
 
 }  // namespace ldpc::sim

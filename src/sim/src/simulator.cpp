@@ -1,8 +1,14 @@
 #include "ldpc/sim/simulator.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "ldpc/enc/encoder.hpp"
+#include "ldpc/util/rng.hpp"
 
 namespace ldpc::sim {
 
@@ -20,55 +26,183 @@ DecodeFn adapt(const baseline::SoftDecoder& decoder, int max_iter) {
   };
 }
 
+DecodeFn adapt(std::shared_ptr<const baseline::SoftDecoder> decoder,
+               int max_iter) {
+  if (!decoder) throw std::invalid_argument("adapt: null decoder");
+  return [decoder = std::move(decoder),
+          max_iter](std::span<const double> llr) {
+    baseline::DecodeResult r = decoder->decode(llr, max_iter);
+    return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+  };
+}
+
+DecoderFactory fixed_decoder_factory(const codes::QCCode& code,
+                                     core::DecoderConfig config) {
+  return [&code, config]() {
+    auto decoder =
+        std::make_shared<core::ReconfigurableDecoder>(code, config);
+    return DecodeFn([decoder](std::span<const double> llr) {
+      core::FixedDecodeResult r = decoder->decode(llr);
+      return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+    });
+  };
+}
+
+DecoderFactory baseline_decoder_factory(
+    std::function<std::unique_ptr<baseline::SoftDecoder>()> make,
+    int max_iter) {
+  if (!make) throw std::invalid_argument("baseline_decoder_factory: null");
+  return [make = std::move(make), max_iter]() {
+    return adapt(std::shared_ptr<const baseline::SoftDecoder>(make()),
+                 max_iter);
+  };
+}
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+void validate(const SimConfig& config) {
+  if (config.min_frames <= 0 || config.max_frames < config.min_frames)
+    throw std::invalid_argument("Simulator: frame budget");
+  if (config.threads < 0)
+    throw std::invalid_argument("Simulator: threads");
+}
+
+}  // namespace
+
+Simulator::Simulator(const codes::QCCode& code, DecoderFactory factory,
+                     SimConfig config)
+    : code_(code), factory_(std::move(factory)), config_(config),
+      threads_(resolve_threads(config.threads)) {
+  if (!factory_) throw std::invalid_argument("Simulator: null factory");
+  validate(config_);
+}
+
 Simulator::Simulator(const codes::QCCode& code, DecodeFn decode,
                      SimConfig config)
-    : code_(code), decode_(std::move(decode)), config_(config) {
-  if (!decode_) throw std::invalid_argument("Simulator: null decoder");
-  if (config_.min_frames <= 0 || config_.max_frames < config_.min_frames)
-    throw std::invalid_argument("Simulator: frame budget");
+    : code_(code), config_(config), threads_(1) {
+  if (!decode) throw std::invalid_argument("Simulator: null decoder");
+  validate(config_);
+  // The DecodeFn captures one caller-owned decoder; every "worker" would
+  // share it, so this path stays single-threaded and the factory hands the
+  // same function back.
+  factory_ = [fn = std::move(decode)]() { return fn; };
 }
+
+Simulator::Simulator(const codes::QCCode& code, std::nullptr_t,
+                     SimConfig config)
+    : Simulator(code, DecodeFn{}, config) {}
 
 SweepPoint Simulator::run_point(double ebn0_db) {
   // Derive a per-point seed so each Eb/N0 point is an independent,
-  // reproducible stream.
+  // reproducible stream. The point key goes through a SplitMix64 substream
+  // derivation: the previous xor-with-a-multiple mix left nearby Eb/N0
+  // points with correlated noise streams.
   const auto ebn0_key =
       static_cast<std::uint64_t>(static_cast<long long>(ebn0_db * 1000.0));
-  util::Xoshiro256 rng(config_.seed ^ (0x9E37'79B9'7F4A'7C15ULL * ebn0_key));
+  const std::uint64_t point_seed = util::substream_seed(config_.seed,
+                                                        ebn0_key);
 
-  const auto encoder = enc::make_encoder(code_);
   const double sigma =
       channel::ebn0_to_sigma(ebn0_db, code_.rate(), config_.modulation);
-  const channel::AwgnChannel chan(sigma);
+  const auto k_info = static_cast<std::size_t>(code_.k_info());
+  const int max_frames = config_.max_frames;
+  const auto target =
+      static_cast<std::uint64_t>(config_.target_frame_errors);
+
+  struct FrameOutcome {
+    std::uint64_t bit_errors = 0;
+    int iterations = 0;
+    bool converged = false;
+  };
 
   SweepPoint point;
   point.ebn0_db = ebn0_db;
-  std::vector<std::uint8_t> info(static_cast<std::size_t>(code_.k_info()));
 
-  for (int frame = 0; frame < config_.max_frames; ++frame) {
-    if (frame >= config_.min_frames &&
-        point.info_errors.frame_errors() >=
-            static_cast<std::uint64_t>(config_.target_frame_errors))
-      break;
+  // Shared fold state. Workers decode whichever frame index they claim,
+  // but outcomes enter the statistics strictly in frame order; the
+  // adaptive stop is re-evaluated after every folded frame, exactly as a
+  // sequential loop would. `stop_bound` is the exclusive upper limit on
+  // frame indices worth decoding; it only ever shrinks.
+  std::vector<std::optional<FrameOutcome>> outcomes(
+      static_cast<std::size_t>(max_frames));
+  std::atomic<int> next_frame{0};
+  std::atomic<int> stop_bound{max_frames};
+  std::mutex fold_mutex;
+  int folded = 0;
+  std::exception_ptr failure;
 
-    enc::random_bits(rng, info);
-    const auto cw = encoder->encode(info);
-    auto mod = channel::modulate(cw, config_.modulation);
-    chan.transmit(mod.samples, rng);
-    const auto llr = channel::demap_llr(mod, sigma);
+  auto worker = [&]() {
+    try {
+      const DecodeFn decode = factory_();
+      if (!decode) throw std::invalid_argument("Simulator: null decoder");
+      const auto encoder = enc::make_encoder(code_);
+      const channel::AwgnChannel chan(sigma);
+      std::vector<std::uint8_t> info(k_info);
 
-    const DecodeOutcome out = decode_(llr);
-    if (out.bits.size() != cw.size())
-      throw std::logic_error("Simulator: decoder returned wrong size");
+      while (true) {
+        const int f = next_frame.fetch_add(1, std::memory_order_relaxed);
+        if (f >= stop_bound.load(std::memory_order_acquire)) break;
 
-    // Information-bit errors only (systematic prefix).
-    std::uint64_t errors = 0;
-    for (std::size_t i = 0; i < info.size(); ++i)
-      errors += (out.bits[i] & 1) != (info[i] & 1) ? 1 : 0;
-    point.info_errors.add_frame(errors, info.size());
-    if (out.converged && errors > 0) ++point.undetected_errors;
-    point.iterations.add(static_cast<double>(out.iterations));
-    ++point.frames;
+        // Counter-based substream: frame f's bits and noise depend only on
+        // (point_seed, f), never on the worker that runs it.
+        util::Xoshiro256 rng(
+            util::substream_seed(point_seed, static_cast<std::uint64_t>(f)));
+        enc::random_bits(rng, info);
+        const auto cw = encoder->encode(info);
+        auto mod = channel::modulate(cw, config_.modulation);
+        chan.transmit(mod.samples, rng);
+        const auto llr = channel::demap_llr(mod, sigma);
+
+        const DecodeOutcome out = decode(llr);
+        if (out.bits.size() != cw.size())
+          throw std::logic_error("Simulator: decoder returned wrong size");
+
+        // Information-bit errors only (systematic prefix).
+        std::uint64_t errors = 0;
+        for (std::size_t i = 0; i < info.size(); ++i)
+          errors += (out.bits[i] & 1) != (info[i] & 1) ? 1 : 0;
+
+        const std::lock_guard<std::mutex> lock(fold_mutex);
+        outcomes[static_cast<std::size_t>(f)] =
+            FrameOutcome{errors, out.iterations, out.converged};
+        int bound = stop_bound.load(std::memory_order_relaxed);
+        while (folded < bound &&
+               outcomes[static_cast<std::size_t>(folded)]) {
+          const FrameOutcome& o = *outcomes[static_cast<std::size_t>(folded)];
+          point.info_errors.add_frame(o.bit_errors, k_info);
+          if (o.converged && o.bit_errors > 0) ++point.undetected_errors;
+          point.iterations.add(static_cast<double>(o.iterations));
+          ++point.frames;
+          ++folded;
+          if (folded >= config_.min_frames &&
+              point.info_errors.frame_errors() >= target) {
+            stop_bound.store(folded, std::memory_order_release);
+            bound = folded;
+          }
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(fold_mutex);
+      if (!failure) failure = std::current_exception();
+      stop_bound.store(0, std::memory_order_release);
+    }
+  };
+
+  if (threads_ <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
+  if (failure) std::rethrow_exception(failure);
   return point;
 }
 

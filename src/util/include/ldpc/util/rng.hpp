@@ -11,6 +11,22 @@
 
 namespace ldpc::util {
 
+/// SplitMix64 finaliser: a strong stateless 64-bit mix (Stafford variant
+/// 13). Use it to decorrelate structured integers (seeds, indices, keys)
+/// before they seed a generator.
+std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// The `stream`-th output of a SplitMix64 sequence seeded with `seed`:
+/// a counter-based substream derivation. Nearby (seed, stream) pairs give
+/// uncorrelated values, unlike xor-with-a-multiple mixes, so per-point and
+/// per-frame streams derived this way are independent. Used by the
+/// simulation engine for both its per-Eb/N0-point and per-frame seeds —
+/// frame f's noise depends only on (seed, f), never on which worker thread
+/// decodes it, which is what makes parallel BER/FER statistics bit-identical
+/// at any thread count.
+std::uint64_t substream_seed(std::uint64_t seed,
+                             std::uint64_t stream) noexcept;
+
 /// xoshiro256++ 1.0 (Blackman & Vigna, public domain algorithm), a fast
 /// all-purpose generator with 256-bit state. Satisfies
 /// std::uniform_random_bit_generator.

@@ -10,18 +10,30 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
 
-/// SplitMix64: recommended seeder for xoshiro family.
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-  std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// SplitMix64 step: advances the state and returns the mixed output
+/// (recommended seeder for the xoshiro family).
+std::uint64_t splitmix64_next(std::uint64_t& x) noexcept {
+  x += kGolden;
+  return ldpc::util::splitmix64(x);
 }
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t substream_seed(std::uint64_t seed,
+                             std::uint64_t stream) noexcept {
+  return splitmix64(seed + (stream + 1) * kGolden);
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
-  for (auto& word : s_) word = splitmix64(seed);
+  for (auto& word : s_) word = splitmix64_next(seed);
 }
 
 Xoshiro256::result_type Xoshiro256::operator()() noexcept {

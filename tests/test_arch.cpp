@@ -357,6 +357,8 @@ TEST(DecoderChip, CountsMemoryAccesses) {
   // Each of z SISO lanes reads and writes one Lambda message per block.
   EXPECT_EQ(r.stats.lambda_reads, e * 24);
   EXPECT_EQ(r.stats.lambda_writes, e * 24);
+  // Every block's L word crosses the shifter twice (forward + inverse).
+  EXPECT_EQ(r.stats.shifter_words, 2 * e);
   EXPECT_EQ(r.stats.active_sisos, 24);
   EXPECT_EQ(r.stats.idle_sisos, 96 - 24);
   EXPECT_GT(r.stats.cycles, 0);

@@ -1,0 +1,218 @@
+// Locks the tentpole invariant of the layer-schedule refactor: the
+// functional decoder and the chip model execute the SAME core::LayerEngine,
+// so their hard decisions are bit-identical on every registered code mode,
+// and the batch APIs are bit-identical to per-frame decoding.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ldpc/arch/decoder_chip.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/core/layer_engine.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace {
+
+using namespace ldpc;
+
+// Random (non-codeword) channel LLRs: exercises the full schedule — no
+// early convergence — without needing an encoder per mode.
+std::vector<double> random_llrs(const codes::QCCode& code,
+                                std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> llr(static_cast<std::size_t>(code.n()));
+  for (auto& x : llr) x = 8.0 * (rng.uniform() - 0.5);
+  return llr;
+}
+
+// ---- engine basics ----------------------------------------------------------
+
+TEST(LayerEngine, RequiresConfiguration) {
+  core::LayerEngine engine({});
+  EXPECT_FALSE(engine.configured());
+  EXPECT_THROW(engine.code(), std::logic_error);
+  std::vector<std::int32_t> raw(10);
+  EXPECT_THROW(engine.run(raw), std::logic_error);
+}
+
+TEST(LayerEngine, ValidatesConfigAndSizes) {
+  EXPECT_THROW(core::LayerEngine({.max_iterations = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(core::LayerEngine({.app_extra_bits = -1}),
+               std::invalid_argument);
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  core::LayerEngine engine({});
+  engine.reconfigure(code);
+  std::vector<std::int32_t> raw(7);
+  EXPECT_THROW(engine.run(raw), std::invalid_argument);
+  std::vector<std::int32_t> ok(static_cast<std::size_t>(code.n()), 1);
+  std::vector<int> bad_order{0, 1};
+  EXPECT_THROW(engine.run(ok, bad_order), std::invalid_argument);
+}
+
+TEST(LayerEngine, NaturalOrderExplicitAndImplicitAgree) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  core::LayerEngine a({.max_iterations = 3});
+  core::LayerEngine b({.max_iterations = 3});
+  a.reconfigure(code);
+  b.reconfigure(code);
+  const auto llr = random_llrs(code, 11);
+  std::vector<std::int32_t> raw(llr.size());
+  a.quantize(llr, raw);
+  std::vector<int> natural(static_cast<std::size_t>(code.block_rows()));
+  std::iota(natural.begin(), natural.end(), 0);
+  const auto ra = a.run(raw);
+  const auto rb = b.run(raw, natural);
+  EXPECT_EQ(ra.bits, rb.bits);
+  EXPECT_EQ(ra.datapath_cycles, rb.datapath_cycles);
+}
+
+// Observer event counts must reflect the code structure exactly (the chip's
+// memory-port accounting is built on them).
+TEST(LayerEngine, ObserverSeesEveryEvent) {
+  struct Counter final : core::LayerObserver {
+    long long fetches = 0, rows = 0, writebacks = 0, iterations = 0;
+    long long fetch_words = 0, lambda_msgs = 0;
+    void on_layer_fetch(int, int degree, int) override {
+      ++fetches;
+      fetch_words += degree;
+    }
+    void on_row(int, int degree) override {
+      ++rows;
+      lambda_msgs += degree;
+    }
+    void on_layer_writeback(int, int, int) override { ++writebacks; }
+    void on_iteration(int) override { ++iterations; }
+  };
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  core::LayerEngine engine({.max_iterations = 2});
+  engine.reconfigure(code);
+  const auto llr = random_llrs(code, 23);
+  std::vector<std::int32_t> raw(llr.size());
+  engine.quantize(llr, raw);
+  Counter counter;
+  const auto r = engine.run(raw, {}, &counter);
+  ASSERT_EQ(r.iterations, 2);  // random LLRs never converge in 2 iters
+  EXPECT_EQ(counter.iterations, 2);
+  EXPECT_EQ(counter.fetches, 2LL * code.block_rows());
+  EXPECT_EQ(counter.writebacks, 2LL * code.block_rows());
+  EXPECT_EQ(counter.rows, 2LL * code.m());
+  EXPECT_EQ(counter.fetch_words, 2LL * code.nonzero_blocks());
+  EXPECT_EQ(counter.lambda_msgs, 2LL * code.edges());
+}
+
+// ---- the tentpole: functional == chip on EVERY registered mode --------------
+
+class EngineAllModes : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(EngineAllModes, ChipMatchesFunctionalBitExactly) {
+  const auto code = codes::make_code(GetParam());
+  const core::DecoderConfig cfg{.max_iterations = 3};
+  core::ReconfigurableDecoder functional(code, cfg);
+  arch::DecoderChip chip(arch::ChipDimensions::universal(), cfg);
+  chip.configure(code);
+  std::vector<int> natural(static_cast<std::size_t>(code.block_rows()));
+  std::iota(natural.begin(), natural.end(), 0);
+  chip.set_layer_order(natural);
+
+  const auto llr = random_llrs(code, 0xBEEF + GetParam().z);
+  const auto rf = functional.decode(llr);
+  const auto rc = chip.decode(llr);
+  EXPECT_EQ(rc.functional.bits, rf.bits) << code.name();
+  EXPECT_EQ(rc.functional.iterations, rf.iterations) << code.name();
+  EXPECT_EQ(rc.functional.converged, rf.converged) << code.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, EngineAllModes,
+                         ::testing::ValuesIn(codes::all_modes()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+// ---- batch APIs -------------------------------------------------------------
+
+TEST(BatchDecode, FunctionalBatchMatchesPerFrame) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 48});
+  const core::DecoderConfig cfg{.max_iterations = 4,
+                                .stop_on_codeword = true};
+  core::ReconfigurableDecoder batch_dec(code, cfg);
+  core::ReconfigurableDecoder frame_dec(code, cfg);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = 5;
+  std::vector<double> llrs(n * frames);
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 100 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f * n));
+  }
+
+  const auto results = batch_dec.decode_batch(llrs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto single = frame_dec.decode(
+        std::span<const double>(llrs).subspan(f * n, n));
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].bits, single.bits) << f;
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].iterations,
+              single.iterations)
+        << f;
+  }
+}
+
+TEST(BatchDecode, ChipBatchMatchesPerFrame) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWlan80211n, codes::Rate::kR34, 54});
+  const core::DecoderConfig cfg{.max_iterations = 4};
+  arch::DecoderChip batch_chip({}, cfg);
+  arch::DecoderChip frame_chip({}, cfg);
+  batch_chip.configure(code);
+  frame_chip.configure(code);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = 3;
+  std::vector<double> llrs(n * frames);
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 200 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f * n));
+  }
+
+  const auto results = batch_chip.decode_batch(llrs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto single = frame_chip.decode(
+        std::span<const double>(llrs).subspan(f * n, n));
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].functional.bits,
+              single.functional.bits)
+        << f;
+    // Stats are per-frame (reset between batch elements).
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].stats.l_mem_reads,
+              single.stats.l_mem_reads)
+        << f;
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].stats.cycles,
+              single.stats.cycles)
+        << f;
+  }
+}
+
+TEST(BatchDecode, RejectsBadSizes) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  core::ReconfigurableDecoder dec(code, {});
+  EXPECT_THROW(dec.decode_batch({}), std::invalid_argument);
+  std::vector<double> off(static_cast<std::size_t>(code.n()) + 1);
+  EXPECT_THROW(dec.decode_batch(off), std::invalid_argument);
+  arch::DecoderChip chip({}, {});
+  chip.configure(code);
+  EXPECT_THROW(chip.decode_batch(off), std::invalid_argument);
+}
+
+}  // namespace

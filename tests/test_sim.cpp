@@ -156,6 +156,125 @@ TEST(Simulator, NoUndetectedErrorsWithGenieCheck) {
   EXPECT_EQ(p.undetected_errors, 0);
 }
 
+// ---- parallel engine --------------------------------------------------------
+
+// The acceptance criterion of the frame-parallel rebuild: SweepPoint
+// statistics are bit-identical at 1, 2 and 8 worker threads for a fixed
+// seed, including with adaptive stopping active.
+TEST(ParallelSimulator, StatsBitIdenticalAcrossThreadCounts) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  const auto factory = sim::fixed_decoder_factory(
+      code, {.stop_on_codeword = true});
+  auto cfg = quick_config();
+  cfg.min_frames = 20;
+  cfg.max_frames = 200;
+  cfg.target_frame_errors = 8;  // adaptive stop fires mid-run at 1 dB
+
+  sim::SimConfig c1 = cfg;
+  c1.threads = 1;
+  const auto ref = sim::Simulator(code, factory, c1).run_point(1.0);
+  EXPECT_GT(ref.info_errors.frame_errors(), 0u);
+
+  for (int threads : {2, 8}) {
+    sim::SimConfig cn = cfg;
+    cn.threads = threads;
+    const auto p = sim::Simulator(code, factory, cn).run_point(1.0);
+    EXPECT_EQ(p.frames, ref.frames) << threads;
+    EXPECT_EQ(p.info_errors.bit_errors(), ref.info_errors.bit_errors())
+        << threads;
+    EXPECT_EQ(p.info_errors.frame_errors(), ref.info_errors.frame_errors())
+        << threads;
+    EXPECT_EQ(p.info_errors.bits(), ref.info_errors.bits()) << threads;
+    EXPECT_EQ(p.undetected_errors, ref.undetected_errors) << threads;
+    EXPECT_EQ(p.iterations.count(), ref.iterations.count()) << threads;
+    // RunningStats fold in frame order: bit-identical doubles.
+    EXPECT_EQ(p.iterations.mean(), ref.iterations.mean()) << threads;
+    EXPECT_EQ(p.iterations.variance(), ref.iterations.variance()) << threads;
+    EXPECT_EQ(p.iterations.min(), ref.iterations.min()) << threads;
+    EXPECT_EQ(p.iterations.max(), ref.iterations.max()) << threads;
+  }
+}
+
+TEST(ParallelSimulator, LegacyAdapterMatchesFactoryPath) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  core::ReconfigurableDecoder dec(code, {.stop_on_codeword = true});
+  sim::Simulator legacy(code, sim::adapt(dec), quick_config());
+  sim::Simulator pooled(
+      code, sim::fixed_decoder_factory(code, {.stop_on_codeword = true}),
+      quick_config());
+  const auto a = legacy.run_point(1.5);
+  const auto b = pooled.run_point(1.5);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.info_errors.bit_errors(), b.info_errors.bit_errors());
+  EXPECT_EQ(a.iterations.mean(), b.iterations.mean());
+}
+
+TEST(ParallelSimulator, AdaptiveStopMatchesSequentialRule) {
+  // At -3 dB every frame fails: the stop bound must land exactly at
+  // min_frames for every thread count (the sequential rule's answer).
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  const auto factory = sim::fixed_decoder_factory(
+      code, {.stop_on_codeword = true});
+  for (int threads : {1, 4}) {
+    sim::SimConfig cfg = quick_config();
+    cfg.min_frames = 5;
+    cfg.max_frames = 1000;
+    cfg.target_frame_errors = 3;
+    cfg.threads = threads;
+    const auto p = sim::Simulator(code, factory, cfg).run_point(-3.0);
+    EXPECT_EQ(p.frames, 5) << threads;
+  }
+}
+
+TEST(ParallelSimulator, BaselineFactoryRunsMultiThreaded) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  auto cfg = quick_config();
+  cfg.threads = 4;
+  sim::Simulator s(code,
+                   sim::baseline_decoder_factory(
+                       [&code]() {
+                         return std::make_unique<baseline::LayeredBP>(code);
+                       },
+                       20),
+                   cfg);
+  const auto p = s.run_point(6.0);
+  EXPECT_EQ(p.info_errors.bit_errors(), 0u);
+  EXPECT_GE(p.frames, 10);
+}
+
+TEST(ParallelSimulator, SharedPtrAdapterOwnsDecoder) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  sim::DecodeFn fn;
+  {
+    // The adapter must keep the decoder alive after this scope ends (the
+    // by-reference overloads are lvalue-only; binding a temporary is a
+    // deleted overload).
+    auto dec = std::make_shared<const baseline::LayeredBP>(code);
+    fn = sim::adapt(std::move(dec), 20);
+  }
+  sim::Simulator s(code, std::move(fn), quick_config());
+  EXPECT_EQ(s.run_point(6.0).info_errors.bit_errors(), 0u);
+}
+
+TEST(ParallelSimulator, WorkerExceptionPropagates) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  sim::DecoderFactory bad = []() {
+    return sim::DecodeFn([](std::span<const double>) -> sim::DecodeOutcome {
+      throw std::runtime_error("decoder blew up");
+    });
+  };
+  auto cfg = quick_config();
+  cfg.threads = 2;
+  sim::Simulator s(code, bad, cfg);
+  EXPECT_THROW(s.run_point(2.0), std::runtime_error);
+}
+
 TEST(Simulator, InvalidConfigThrows) {
   const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
                                       24});
@@ -167,6 +286,14 @@ TEST(Simulator, InvalidConfigThrows) {
   core::ReconfigurableDecoder dec(code, {});
   EXPECT_THROW(sim::Simulator(code, sim::adapt(dec), bad),
                std::invalid_argument);
+  auto neg = quick_config();
+  neg.threads = -1;
+  EXPECT_THROW(
+      sim::Simulator(code, sim::fixed_decoder_factory(code, {}), neg),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim::Simulator(code, sim::DecoderFactory{}, quick_config()),
+      std::invalid_argument);
 }
 
 }  // namespace
