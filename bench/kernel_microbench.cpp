@@ -7,6 +7,7 @@
 #include "ldpc/baseline/layered_bp.hpp"
 #include "ldpc/channel/channel.hpp"
 #include "ldpc/codes/registry.hpp"
+#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/decoder.hpp"
 #include "ldpc/core/siso.hpp"
 #include "ldpc/enc/encoder.hpp"
@@ -103,6 +104,81 @@ void BM_ChipDecode2304(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * fx.code.k_info());
 }
 BENCHMARK(BM_ChipDecode2304);
+
+// ---- scalar vs SIMD-batched min-sum (the tentpole speedup) ------------------
+// Both decode the same BatchEngine::kLanes frames with identical min-sum
+// arithmetic on one thread; items processed = decoded information bits, so
+// the reported items/sec ratio IS the frames/sec ratio. The acceptance bar
+// is >= 2x for the batched kernel.
+
+struct MinSumBatchFixture {
+  codes::QCCode code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+  core::DecoderConfig cfg{.max_iterations = 10,
+                          .kernel = core::CnuKernel::kMinSum};
+  std::vector<double> llrs;  // kLanes frames back to back, ~2.5 dB
+
+  MinSumBatchFixture() {
+    auto encoder = enc::make_encoder(code);
+    util::Xoshiro256 rng(11);
+    const double sigma = channel::ebn0_to_sigma(2.5, code.rate(),
+                                                channel::Modulation::kBpsk);
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    for (int f = 0; f < core::BatchEngine::kLanes; ++f) {
+      enc::random_bits(rng, info);
+      const auto cw = encoder->encode(info);
+      auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+      channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+      const auto llr = channel::demap_llr(mod, sigma);
+      llrs.insert(llrs.end(), llr.begin(), llr.end());
+    }
+  }
+};
+
+void BM_MinSumScalarDecode(benchmark::State& state) {
+  MinSumBatchFixture fx;
+  core::LayerEngine engine(fx.cfg);
+  engine.reconfigure(fx.code);
+  const auto n = static_cast<std::size_t>(fx.code.n());
+  std::vector<std::int32_t> raw(n);
+  for (auto _ : state) {
+    for (int f = 0; f < core::BatchEngine::kLanes; ++f) {
+      engine.quantize(
+          std::span<const double>(fx.llrs).subspan(
+              static_cast<std::size_t>(f) * n, n),
+          raw);
+      benchmark::DoNotOptimize(engine.run(raw));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * core::BatchEngine::kLanes *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumScalarDecode);
+
+void BM_MinSumBatchedDecode(benchmark::State& state) {
+  MinSumBatchFixture fx;
+  core::BatchEngine engine(fx.cfg);
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(core::BatchEngine::kLanes));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * core::BatchEngine::kLanes *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumBatchedDecode);
+
+void BM_FloatEngineDecode2304(benchmark::State& state) {
+  DecodeFixture fx;
+  core::ReconfigurableDecoder dec(fx.code,
+                                  {.stop_on_codeword = true,
+                                   .datapath = core::Datapath::kFloat});
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(fx.llr));
+  state.SetItemsProcessed(state.iterations() * fx.code.k_info());
+}
+BENCHMARK(BM_FloatEngineDecode2304);
 
 void BM_Encode2304(benchmark::State& state) {
   const auto code = codes::make_code(

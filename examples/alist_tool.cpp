@@ -1,24 +1,103 @@
-// alist_tool: export any registered code to MacKay alist format, or
-// import an external alist matrix, analyse it, and (optionally) check a
-// hard-decision word against it.
+// alist_tool: export any registered code to MacKay alist format, import an
+// external alist matrix and analyse it, or regenerate the golden-vector
+// regression data locked by tests/test_golden.cpp.
 //
 //   ./alist_tool export --standard wimax --rate 1/2 --z 96 > h2304.alist
 //   ./alist_tool import h2304.alist [--z 96]
+//   ./alist_tool golden --out tests/data/golden_minsum.txt
 //
 // Import prints the matrix profile (dimensions, degree distributions) and
 // attempts QC reconstruction when --z is given, so externally generated
 // matrices can be brought into the registry-independent decoding path.
+// Golden writes, for EVERY registered mode, one canned quantised LLR frame
+// (a real encode -> BPSK -> AWGN -> demap chain, deterministically seeded)
+// plus the expected hard decisions of the fixed-point and float min-sum
+// datapaths; the regression suite decodes the frames through the scalar
+// fixed, batched-fixed (SoA) and float engines and asserts bit-exactness.
 #include <fstream>
 #include <iostream>
 #include <map>
 
+#include "ldpc/channel/channel.hpp"
 #include "ldpc/codes/alist.hpp"
 #include "ldpc/codes/registry.hpp"
+#include "ldpc/core/golden.hpp"
+#include "ldpc/core/layer_engine.hpp"
+#include "ldpc/enc/encoder.hpp"
 #include "ldpc/util/args.hpp"
+#include "ldpc/util/rng.hpp"
 
 using namespace ldpc;
 
 namespace {
+
+// ---- golden-vector regeneration --------------------------------------------
+// The decode configuration and bit packing are shared with
+// tests/test_golden.cpp through ldpc/core/golden.hpp — one definition of
+// the generator/checker contract.
+
+int do_golden(const util::Args& args) {
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (args.has("out")) {
+    file.open(*args.get("out"));
+    if (!file) {
+      std::cerr << "cannot open " << *args.get("out") << "\n";
+      return 2;
+    }
+    out = &file;
+  }
+  const double ebn0_db = args.get_or("ebn0", 2.0);
+  const core::DecoderConfig cfg = core::golden::config();
+
+  *out << "# golden vectors v1: per registered mode, one quantised LLR "
+          "frame (Q5.2 raw codes)\n"
+          "# and the expected hard decisions of the fixed and float "
+          "min-sum datapaths\n"
+          "# (5 iterations, no early termination). Regenerate with:\n"
+          "#   alist_tool golden --out tests/data/golden_minsum.txt\n";
+  for (const codes::CodeId& id : codes::all_modes()) {
+    const auto code = codes::make_code(id);
+    // Deterministic per-mode seed from the mode identity (stable under
+    // registry reordering).
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(id.standard) << 40) ^
+        (static_cast<std::uint64_t>(id.rate) << 32) ^
+        static_cast<std::uint64_t>(id.z);
+    util::Xoshiro256 rng(util::substream_seed(0xD1CE'60'1DULL, key));
+
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    enc::random_bits(rng, info);
+    const auto cw = enc::make_encoder(code)->encode(info);
+    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
+                                                channel::Modulation::kBpsk);
+    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+    const auto llr = channel::demap_llr(mod, sigma);
+
+    core::LayerEngine fixed_engine(cfg);
+    fixed_engine.reconfigure(code);
+    std::vector<std::int32_t> raw(llr.size());
+    fixed_engine.quantize(llr, raw);
+    const auto fixed_result = fixed_engine.run(raw);
+
+    core::FloatLayerEngine float_engine(cfg);
+    float_engine.reconfigure(code);
+    std::vector<double> deq(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+      deq[i] = raw[i] * cfg.format.lsb();
+    const auto float_result = float_engine.run(deq);
+
+    *out << "mode " << to_string(id) << " n " << code.n() << "\nraw";
+    for (std::int32_t r : raw) *out << ' ' << r;
+    *out << "\nfixed " << core::golden::bits_to_hex(fixed_result.bits)
+         << "\nfloat " << core::golden::bits_to_hex(float_result.bits)
+         << "\n";
+  }
+  std::cerr << "wrote golden vectors for " << codes::all_modes().size()
+            << " modes\n";
+  return 0;
+}
 
 int do_export(const util::Args& args) {
   const std::string std_name = args.get_or("standard", std::string{"wimax"});
@@ -91,12 +170,15 @@ int do_import(const util::Args& args) {
 
 int main(int argc, char** argv) {
   try {
-    const util::Args args(argc, argv, {"standard", "rate", "z"});
+    const util::Args args(argc, argv,
+                          {"standard", "rate", "z", "out", "ebn0"});
     if (!args.positional().empty() && args.positional()[0] == "export")
       return do_export(args);
     if (!args.positional().empty() && args.positional()[0] == "import")
       return do_import(args);
-    std::cerr << "usage: alist_tool export|import [...]\n";
+    if (!args.positional().empty() && args.positional()[0] == "golden")
+      return do_golden(args);
+    std::cerr << "usage: alist_tool export|import|golden [...]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

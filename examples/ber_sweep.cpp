@@ -2,8 +2,16 @@
 //
 //   ./ber_sweep --standard wimax --rate 1/2 --z 96
 //               --from 1.0 --to 3.0 --step 0.5
-//               --decoder fixed|minsum|float|flooding
-//               [--iters 10] [--frames 100] [--threads 0] [--csv]
+//               --decoder fixed|minsum|batched|floatengine|float|flooding
+//               [--qbits 8 --qfrac 2] [--iters 10] [--frames 100]
+//               [--threads 0] [--csv]
+//
+// fixed/minsum run the quantised engine datapath (word length via
+// --qbits/--qfrac, default the paper's Q5.2); batched is min-sum through
+// the SIMD-batched SoA kernel (bit-identical statistics, faster);
+// floatengine is the SAME engine instantiated over double (the
+// quantization-loss reference); float/flooding are the independent
+// baseline decoders.
 //
 // Prints BER, FER and average iterations per point; --csv emits a
 // plot-ready table. Frames are decoded by a pool of worker threads
@@ -38,7 +46,7 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"standard", "rate", "z", "from", "to", "step",
                            "decoder", "iters", "frames", "csv", "seed",
-                           "threads"});
+                           "threads", "qbits", "qfrac"});
     const std::string std_name =
         args.get_or("standard", std::string{"wimax"});
     const codes::Standard standard =
@@ -57,18 +65,39 @@ int main(int argc, char** argv) {
 
     const auto code = codes::make_code({standard, rate, z});
 
+    const fixed::QFormat format(
+        static_cast<int>(args.get_or("qbits", 8LL)),
+        static_cast<int>(args.get_or("qfrac", 2LL)));
+
     // Decoder zoo: each worker thread builds its own instance from the
-    // factory (the decoders are not thread-safe).
+    // factory (the decoders are not thread-safe). `batched` uses the
+    // batched factory instead (SoA min-sum kernel, kLanes frames per
+    // claim) — statistics identical to `minsum`.
     sim::DecoderFactory factory;
+    sim::BatchDecoderFactory batch_factory;
     if (dec_name == "fixed")
       factory = sim::fixed_decoder_factory(code,
-                                           {.max_iterations = iters,
+                                           {.format = format,
+                                            .max_iterations = iters,
                                             .stop_on_codeword = true});
     else if (dec_name == "minsum")
       factory = sim::fixed_decoder_factory(
-          code, {.max_iterations = iters,
+          code, {.format = format,
+                 .max_iterations = iters,
                  .kernel = core::CnuKernel::kMinSum,
                  .stop_on_codeword = true});
+    else if (dec_name == "batched")
+      batch_factory = sim::batched_fixed_decoder_factory(
+          code, {.format = format,
+                 .max_iterations = iters,
+                 .kernel = core::CnuKernel::kMinSum,
+                 .stop_on_codeword = true});
+    else if (dec_name == "floatengine")
+      factory = sim::fixed_decoder_factory(
+          code, {.format = format,
+                 .max_iterations = iters,
+                 .stop_on_codeword = true,
+                 .datapath = core::Datapath::kFloat});
     else if (dec_name == "float")
       factory = sim::baseline_decoder_factory(
           [&code]() { return std::make_unique<baseline::LayeredBP>(code); },
@@ -86,7 +115,9 @@ int main(int argc, char** argv) {
     sc.max_frames = frames * 8;
     sc.target_frame_errors = 30;
     sc.threads = static_cast<int>(args.get_or("threads", 0LL));
-    sim::Simulator sim(code, factory, sc);
+    sim::Simulator sim = batch_factory
+                             ? sim::Simulator(code, batch_factory, sc)
+                             : sim::Simulator(code, factory, sc);
 
     const double from = args.get_or("from", 1.0);
     const double to = args.get_or("to", 3.0);

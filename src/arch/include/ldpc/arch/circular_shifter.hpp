@@ -36,7 +36,9 @@ class CircularShifter {
 
   /// Rotates `word` left by `shift` within the first `z` lanes:
   /// out[i] = word[(i + shift) mod z]. `z <= z_max`; lanes beyond z are
-  /// untouched (deactivated, like the chip's unused banks).
+  /// untouched (deactivated, like the chip's unused banks). `shift` may be
+  /// 0..z inclusive — a full-cycle control word of z is the identity, as
+  /// the mux tree reduces the shift mod z; larger values throw.
   void rotate(std::span<const std::int32_t> word, int shift, int z,
               std::span<std::int32_t> out) const;
 

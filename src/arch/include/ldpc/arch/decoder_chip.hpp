@@ -1,13 +1,22 @@
 // Structural (chip-level) model of the full decoder of Fig. 7/8.
 //
-// Runs the shared core::LayerEngine — the same block-serial datapath the
-// functional decoder executes — under the chip's optimised layer schedule,
-// with an arch::HardwareObserver attached that counts every memory-port
-// use, the shifter word traffic, and the pipeline cycles (including stalls
-// and shifter latency) from the cycle-level pipeline model. Because the
+// Runs the shared core::LayerEngine — the *fixed-point* instantiation
+// core::LayerEngineT<std::int32_t> of the same block-serial datapath the
+// functional decoder executes, so the chip model is bit-accurate to the
+// configured word lengths (a float-datapath config is rejected: silicon
+// has no IEEE doubles) — under the chip's optimised layer schedule, with
+// an arch::HardwareObserver attached that counts every memory-port use,
+// the shifter word traffic, and the pipeline cycles (including stalls and
+// shifter latency) from the cycle-level pipeline model. Because the
 // arithmetic is the single engine implementation, the chip's hard decisions
 // are bit-identical to core::ReconfigurableDecoder by construction; tests
 // lock this across every registered code mode.
+//
+// decode_batch() on a min-sum configuration runs the SIMD-batched SoA
+// kernel (core::BatchEngine) under the programmed layer order and then
+// replays each frame's schedule events through the observer, so the
+// per-frame hardware statistics are identical to per-frame decoding while
+// the arithmetic runs kLanes frames per pass.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include "ldpc/arch/hardware_observer.hpp"
 #include "ldpc/arch/pipeline.hpp"
 #include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/decoder.hpp"
 
 namespace ldpc::arch {
@@ -58,6 +68,9 @@ struct ChipDecodeResult {
 
 class DecoderChip {
  public:
+  /// Throws std::invalid_argument for invalid configs, including
+  /// config.datapath == core::Datapath::kFloat — the chip is the
+  /// fixed-point instantiation by definition.
   DecoderChip(ChipDimensions dims, core::DecoderConfig config = {});
 
   /// Loads a code (the dynamic reconfiguration step): activates z SISO
@@ -84,16 +97,23 @@ class DecoderChip {
 
   /// Decodes a batch of frames stored back to back (`llrs.size()` must be
   /// a non-zero multiple of n). One reconfiguration serves the whole
-  /// batch; scratch is reused across frames.
+  /// batch; scratch is reused across frames. Min-sum configurations run
+  /// the SoA lockstep kernel (results and stats bit-identical to
+  /// per-frame decode()).
   std::vector<ChipDecodeResult> decode_batch(std::span<const double> llrs);
 
  private:
   ChipDecodeResult decode_quantized();
+  /// Builds a frame's ChipDecodeResult stats by replaying `iterations`
+  /// full schedule passes through the observer (used by the batched path,
+  /// whose kernel bypasses the per-event hooks).
+  ChipDecodeResult finish_replayed(core::FixedDecodeResult functional);
 
   ChipDimensions dims_;
   const codes::QCCode* code_ = nullptr;
 
-  core::LayerEngine engine_;
+  core::LayerEngine engine_;  // the fixed-point (int32) instantiation
+  std::optional<core::BatchEngine> batch_engine_;
   HardwareObserver observer_;
   CircularShifter shifter_;
   std::optional<PipelineModel> pipeline_;

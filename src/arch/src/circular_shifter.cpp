@@ -20,8 +20,11 @@ void CircularShifter::rotate(std::span<const std::int32_t> word, int shift,
   if (word.size() < static_cast<std::size_t>(z) ||
       out.size() < static_cast<std::size_t>(z))
     throw std::invalid_argument("CircularShifter::rotate: word size");
-  if (shift < 0 || shift >= z)
+  // A control word of z is the full-cycle rotation = identity (the mux
+  // tree computes shift mod z); anything beyond that is a programming bug.
+  if (shift < 0 || shift > z)
     throw std::invalid_argument("CircularShifter::rotate: shift");
+  if (shift == z) shift = 0;
   for (int i = 0; i < z; ++i) out[i] = word[(i + shift) % z];
 }
 
@@ -35,9 +38,9 @@ std::vector<std::int32_t> CircularShifter::rotate(
 void CircularShifter::rotate_back(std::span<const std::int32_t> word,
                                   int shift, int z,
                                   std::span<std::int32_t> out) const {
-  if (shift < 0 || shift >= z)
+  if (shift < 0 || shift > z)
     throw std::invalid_argument("CircularShifter::rotate_back: shift");
-  rotate(word, (z - shift) % z, z, out);
+  rotate(word, (z - shift % z) % z, z, out);
 }
 
 }  // namespace ldpc::arch

@@ -1,5 +1,6 @@
 #include "ldpc/arch/decoder_chip.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ldpc::arch {
@@ -16,7 +17,14 @@ ChipDimensions ChipDimensions::universal() {
 }
 
 DecoderChip::DecoderChip(ChipDimensions dims, core::DecoderConfig config)
-    : dims_(dims), engine_(config), shifter_(dims.z_max) {}
+    : dims_(dims), engine_(config), shifter_(dims.z_max) {
+  if (config.datapath != core::Datapath::kQuantized)
+    throw std::invalid_argument(
+        "DecoderChip: the chip is the fixed-point datapath instantiation "
+        "(use core::ReconfigurableDecoder for the float reference)");
+  // The SoA batch engine for min-sum configs is built lazily on the first
+  // decode_batch(); see ReconfigurableDecoder.
+}
 
 void DecoderChip::configure(const codes::QCCode& code) {
   if (!dims_.fits(code))
@@ -24,6 +32,7 @@ void DecoderChip::configure(const codes::QCCode& code) {
                                 " exceeds chip dimensions");
   code_ = &code;
   engine_.reconfigure(code);
+  if (batch_engine_) batch_engine_->reconfigure(code);
   raw_.resize(static_cast<std::size_t>(code.n()));
   PipelineConfig pc;
   pc.radix = engine_.config().radix;
@@ -69,11 +78,67 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
   const std::size_t frames = llrs.size() / n;
   std::vector<ChipDecodeResult> results;
   results.reserve(frames);
+  if (engine_.config().kernel == core::CnuKernel::kMinSum &&
+      !batch_engine_) {
+    batch_engine_.emplace(engine_.config());
+    batch_engine_->reconfigure(*code_);
+  }
+  if (batch_engine_) {
+    // SoA lockstep kernel under the programmed layer order; per-frame
+    // hardware stats come from an event replay of each frame's schedule.
+    std::vector<core::FixedDecodeResult> chunk(
+        static_cast<std::size_t>(core::BatchEngine::kLanes));
+    std::size_t f = 0;
+    while (f < frames) {
+      const std::size_t count = std::min(
+          frames - f, static_cast<std::size_t>(core::BatchEngine::kLanes));
+      batch_engine_->decode(llrs.subspan(f * n, count * n), order_,
+                            std::span<core::FixedDecodeResult>(chunk.data(),
+                                                               count));
+      for (std::size_t i = 0; i < count; ++i)
+        results.push_back(finish_replayed(std::move(chunk[i])));
+      f += count;
+    }
+    return results;
+  }
   for (std::size_t f = 0; f < frames; ++f) {
     engine_.quantize(llrs.subspan(f * n, n), raw_);
     results.push_back(decode_quantized());
   }
   return results;
+}
+
+ChipDecodeResult DecoderChip::finish_replayed(
+    core::FixedDecodeResult functional) {
+  observer_.reset();
+  const int z = code_->z();
+  const auto& layers = code_->layers();
+  for (int iter = 1; iter <= functional.iterations; ++iter) {
+    for (int l : order_) {
+      const int deg =
+          static_cast<int>(layers[static_cast<std::size_t>(l)].size());
+      observer_.on_layer_fetch(l, deg, z);
+      for (int t = 0; t < z; ++t) observer_.on_row(l, deg);
+      observer_.on_layer_writeback(l, deg, z);
+    }
+    observer_.on_iteration(iter);
+  }
+  observer_.finish();
+
+  ChipDecodeResult result;
+  result.functional = std::move(functional);
+  auto& stats = result.stats;
+  stats.cycles = observer_.cycles();
+  result.functional.datapath_cycles = stats.cycles;
+  stats.l_mem_reads = observer_.l_reads();
+  stats.l_mem_writes = observer_.l_writes();
+  stats.lambda_reads = observer_.lambda_reads();
+  stats.lambda_writes = observer_.lambda_writes();
+  stats.shifter_words = observer_.shifter_words();
+  stats.active_sisos = code_->z();
+  stats.idle_sisos = dims_.z_max - code_->z();
+  stats.stalls_per_iteration = timing_.total_stalls;
+  return result;
 }
 
 ChipDecodeResult DecoderChip::decode_quantized() {

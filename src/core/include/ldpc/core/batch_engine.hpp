@@ -1,0 +1,87 @@
+// Structure-of-arrays batched min-sum engine: W frames in lockstep.
+//
+// The scalar LayerEngine walks one frame's schedule at a time; this engine
+// decodes up to kLanes frames simultaneously by storing every architectural
+// word lane-major (value of frame w for variable v lives at
+// soa[v * kLanes + w]), so the hot read -> clip -> min-scan -> write-back
+// loops become dense, branch-free passes over contiguous int32 lanes that
+// the compiler autovectorises (`#pragma omp simd` + __restrict inner
+// kernels; plain loops, no intrinsics). The arithmetic per lane is exactly
+// the scalar engine's quantised min-sum datapath — same saturating APP
+// arithmetic, message clip, two-minima scan, per-frame early-termination
+// and codeword stopping — so the hard decisions, iteration counts and
+// datapath cycles are bit-identical to decoding each frame alone (locked
+// by tests, including ragged tails with fewer than kLanes frames).
+//
+// Frames that converge early are frozen with a per-lane write mask and ride
+// along untouched until the slowest lane finishes; the per-lane results
+// record the state at each lane's own stopping iteration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/layer_engine.hpp"
+
+namespace ldpc::core {
+
+class BatchEngine {
+ public:
+  /// Lockstep width W: the SoA lane count. 16 int32 lanes fill an AVX-512
+  /// register exactly and give four/two full vectors on SSE2/AVX2 — wide
+  /// enough to hide the mask overhead of ragged tails.
+  static constexpr int kLanes = 16;
+
+  /// The engine implements the min-sum CNU only; throws
+  /// std::invalid_argument if `config` selects the full-BP kernel or the
+  /// float datapath (route those through the scalar engines), or carries
+  /// out-of-range values (same rules as LayerEngineT).
+  explicit BatchEngine(DecoderConfig config);
+
+  /// Resizes the SoA memories for `code` (references, not copies).
+  void reconfigure(const codes::QCCode& code);
+
+  bool configured() const noexcept { return code_ != nullptr; }
+  const DecoderConfig& config() const noexcept { return config_; }
+
+  /// Decodes `results.size()` frames (1..kLanes) of channel LLRs stored
+  /// frame-major (`llrs.size() == results.size() * n`), quantising with
+  /// the same zero-excluding rule as the scalar engine. `order` (empty =
+  /// natural) is the layer permutation, as in LayerEngineT::run.
+  void decode(std::span<const double> llrs, std::span<const int> order,
+              std::span<FixedDecodeResult> results);
+
+  /// Same, over already-quantised frame-major raw codes.
+  void decode_raw(std::span<const std::int32_t> raw,
+                  std::span<const int> order,
+                  std::span<FixedDecodeResult> results);
+
+ private:
+  void process_layer_soa(int layer);
+  /// Gathers lane w of an SoA span into `out` (size count).
+  void gather_lane(const std::int32_t* soa, int lane, int count,
+                   std::vector<std::int32_t>& out) const;
+
+  DecoderConfig config_;
+  DatapathTraits<std::int32_t> traits_;
+  const codes::QCCode* code_ = nullptr;
+
+  std::int32_t app_min_ = 0, app_max_ = 0;  // APP-word saturation bounds
+  std::int32_t msg_min_ = 0, msg_max_ = 0;  // message-bus clip bounds
+  long long cycles_per_iteration_ = 0;      // sum of row cycles over layers
+
+  // SoA state: [slot * kLanes + lane].
+  std::vector<std::int32_t> l_soa_;        // APP per variable
+  std::vector<std::int32_t> lambda_soa_;   // extrinsic per edge
+  std::vector<std::int32_t> lam_full_;     // APP-width row scratch
+  std::vector<std::int32_t> lam_;          // clipped row scratch
+  std::int32_t active_[kLanes] = {};       // 1 = lane still decoding
+
+  std::vector<EarlyTermination> et_;       // one monitor per lane
+  std::vector<std::int32_t> lane_scratch_; // gathered per-lane APP values
+  std::vector<std::int32_t> raw_scratch_;  // reused quantisation buffer
+};
+
+}  // namespace ldpc::core

@@ -7,17 +7,27 @@
 // under the block-serial schedule of Fig. 2. The decoder can be
 // reconfigured at runtime to any registered block-structured code
 // (802.11n / 802.16e / DMB-T class), matching the chip's multi-standard
-// operation. The schedule itself lives in core::LayerEngine and is shared
+// operation. The schedule itself lives in core::LayerEngineT and is shared
 // bit-for-bit with the cycle-exact chip model in ldpc_arch; this class is
 // the engine's functional wrapping (quantisation, batch driving, idealised
 // datapath cycle counting).
+//
+// DecoderConfig::datapath selects the value type: kQuantized runs the
+// fixed-point LayerEngine (the chip's datapath, word length per
+// DecoderConfig::format); kFloat runs the unquantised FloatLayerEngine
+// reference, so BER sweeps can measure quantization loss with one wrapper.
+// With the min-sum kernel on the quantized path, decode_batch() routes
+// through the SIMD-batched SoA core::BatchEngine (bit-identical results,
+// several frames per pass).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
@@ -36,22 +46,33 @@ class ReconfigurableDecoder {
   /// worker thread should own a decoder instance (see sim::DecoderFactory).
   FixedDecodeResult decode(std::span<const double> llr);
 
-  /// Decodes already-quantised LLRs (size n, raw message codes).
+  /// Decodes already-quantised LLRs (size n, raw message codes). On the
+  /// float datapath the raw codes are dequantised (raw * LSB) first, so the
+  /// same canned frame drives every path (the golden-vector suite relies on
+  /// this).
   FixedDecodeResult decode_raw(std::span<const std::int32_t> llr_raw);
 
   /// Decodes a batch of frames stored back to back (`llrs.size()` must be
-  /// a non-zero multiple of n). Amortises per-frame setup and reuses the
-  /// quantisation scratch across the batch; results are bit-identical to
-  /// calling decode() per frame.
+  /// a non-zero multiple of n). Results are bit-identical to calling
+  /// decode() per frame. With the quantized min-sum configuration the
+  /// batch runs through the SIMD-batched SoA kernel, BatchEngine::kLanes
+  /// frames in lockstep (ragged tails handled by lane masking); other
+  /// configurations amortise per-frame setup over a scalar loop.
   std::vector<FixedDecodeResult> decode_batch(std::span<const double> llrs);
 
   const codes::QCCode& code() const noexcept { return *code_; }
-  const DecoderConfig& config() const noexcept { return engine_.config(); }
+  const DecoderConfig& config() const noexcept { return config_; }
 
  private:
+  DecoderConfig config_;
   const codes::QCCode* code_;
-  LayerEngine engine_;
+  // Engines for the configured datapath; only the matching ones are
+  // constructed.
+  std::optional<LayerEngine> engine_;
+  std::optional<FloatLayerEngine> float_engine_;
+  std::optional<BatchEngine> batch_engine_;
   std::vector<std::int32_t> raw_;  // reused quantisation buffer
+  std::vector<double> fraw_;       // float-path buffer
 };
 
 }  // namespace ldpc::core

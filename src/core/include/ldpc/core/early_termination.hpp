@@ -36,6 +36,30 @@ class EarlyTermination {
   /// iteration; returns true when both stop conditions are met.
   bool update(std::span<const std::int32_t> info_app);
 
+  /// Value-type-generic variant for the templated datapaths
+  /// (core::LayerEngineT): same rule, with the magnitude threshold supplied
+  /// in the datapath's own value type (the int32 overload above keeps
+  /// using Config::threshold_raw directly). V needs ordering, unary minus
+  /// and a zero-valued default construction.
+  template <class V>
+  bool update(std::span<const V> info_app, V threshold) {
+    if (!config_.enabled) return false;
+    bool stable = has_prev_ && prev_hard_.size() == info_app.size();
+    if (prev_hard_.size() != info_app.size())
+      prev_hard_.assign(info_app.size(), 0);
+    bool above = true;  // all |L| > threshold (vacuous on empty, like min)
+    for (std::size_t i = 0; i < info_app.size(); ++i) {
+      const V v = info_app[i];
+      const std::uint8_t hard = v < V{} ? 1 : 0;
+      const V mag = v < V{} ? -v : v;
+      if (!(mag > threshold)) above = false;
+      if (hard != prev_hard_[i]) stable = false;
+      prev_hard_[i] = hard;
+    }
+    has_prev_ = true;
+    return stable && above;
+  }
+
  private:
   Config config_;
   std::vector<std::uint8_t> prev_hard_;

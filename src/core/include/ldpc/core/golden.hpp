@@ -1,0 +1,41 @@
+// The golden-vector generator/checker contract.
+//
+// tests/test_golden.cpp asserts the datapaths against frames that
+// examples/alist_tool.cpp (`alist_tool golden`) generated; both sides must
+// agree on the decode configuration and the hard-decision packing, so both
+// are defined exactly once here. Min-sum is deliberate: its arithmetic is
+// compares and adds only, so the stored float-path decisions are portable
+// across libm implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldpc/core/layer_engine.hpp"
+
+namespace ldpc::core::golden {
+
+/// Decode configuration every golden vector is generated and checked
+/// under: min-sum kernel, 5 full iterations, no early termination,
+/// default Q5.2 messages.
+inline DecoderConfig config() {
+  return {.max_iterations = 5, .kernel = CnuKernel::kMinSum};
+}
+
+/// Hard decisions packed 4 bits per hex digit, MSB-first within a nibble
+/// (zero-padded when the length is not a multiple of 4).
+inline std::string bits_to_hex(const std::vector<std::uint8_t>& bits) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve((bits.size() + 3) / 4);
+  for (std::size_t i = 0; i < bits.size(); i += 4) {
+    int nibble = 0;
+    for (std::size_t b = 0; b < 4 && i + b < bits.size(); ++b)
+      nibble |= (bits[i + b] & 1) << (3 - b);
+    out.push_back(kHex[nibble]);
+  }
+  return out;
+}
+
+}  // namespace ldpc::core::golden

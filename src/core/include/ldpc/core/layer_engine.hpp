@@ -3,61 +3,37 @@
 //
 // Each layer runs the read -> shift/gather -> SISO -> write-back loop over
 // the central L-memory (APP per variable) and the distributed Lambda memory
-// (extrinsic per edge). The functional core::ReconfigurableDecoder runs the
-// engine bare; arch::DecoderChip runs the same engine under an optimised
+// (extrinsic per edge). The loop is templated over its message value type
+// (LayerEngineT<V>, see datapath.hpp for the DatapathTraits policies):
+//
+//   LayerEngine       = LayerEngineT<std::int32_t>    runtime Qm.f codes —
+//                       the bit-accurate chip datapath (arch::DecoderChip
+//                       is wired to exactly this instantiation);
+//   FloatLayerEngine  = LayerEngineT<double>          the unquantised
+//                       reference for quantization-loss comparisons;
+//   LayerEngineT<fixed::Sat<m, f>>                    compile-time format.
+//
+// The functional core::ReconfigurableDecoder runs the engine bare;
+// arch::DecoderChip runs the same (fixed-point) engine under an optimised
 // layer order with a hardware observer attached that accounts for memory
 // ports, shifter traffic and pipeline cycles. Because both decoders execute
 // this single implementation, their hard decisions are bit-identical by
 // construction (and locked by tests across every registered code mode).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/datapath.hpp"
 #include "ldpc/core/early_termination.hpp"
 #include "ldpc/core/siso.hpp"
 #include "ldpc/fixed/qformat.hpp"
 
 namespace ldpc::core {
-
-/// SISO radix choice (Fig. 3 vs Fig. 6). Functionally identical; R4 halves
-/// the per-row cycle count.
-enum class Radix { kR2, kR4 };
-
-/// Check-node kernel of the fixed datapath. The paper's chip implements
-/// full BP; min-sum is provided for the section III-B comparison.
-enum class CnuKernel { kFullBp, kMinSum };
-
-struct DecoderConfig {
-  fixed::QFormat format = fixed::kMessageFormat;
-  /// Extra integer bits carried by the APP (L) memory beyond the message
-  /// format. The SISO message buses stay `format`-wide (the paper's 8-bit
-  /// datapath); a wider APP word prevents the classic layered-decoding
-  /// saturation oscillation (L saturates, lambda = L - Lambda flips sign),
-  /// the same choice made by the Mansour'06 and Gunnam'07 designs. Set to
-  /// 0 to model a strictly 8-bit APP path.
-  int app_extra_bits = 2;
-  /// Exclude the zero level when quantising channel LLRs (nudge 0 to
-  /// +/-1 LSB). In the f-then-g SISO architecture a zero input annihilates
-  /// the whole row sum S and g(0,0) cannot reconstruct the
-  /// all-but-one combination, so an exact-zero channel LLR would lock as an
-  /// undecodable erasure. A zero-free input quantiser (one OR gate in
-  /// hardware) removes the pathology.
-  bool exclude_zero_input = true;
-  int max_iterations = 10;  // paper Table 3
-  Radix radix = Radix::kR4;
-  CnuKernel kernel = CnuKernel::kFullBp;
-  /// Check-node architecture for the kFullBp kernel (see CnuArch docs:
-  /// kSumSubtract is the paper's literal Eq. (1), kForwardBackward the
-  /// numerically robust default).
-  CnuArch cnu_arch = CnuArch::kForwardBackward;
-  EarlyTermination::Config early_termination{};
-  /// Stop as soon as the hard decisions form a codeword (genie check used
-  /// by simulations; the chip itself only stops via early termination).
-  bool stop_on_codeword = false;
-};
 
 struct FixedDecodeResult {
   std::vector<std::uint8_t> bits;  // hard decisions, size n
@@ -92,29 +68,57 @@ class LayerObserver {
   virtual void on_iteration(int /*iteration*/) {}
 };
 
-/// The single layer-schedule implementation. Owns the architectural state
+/// Idealised SISO datapath cycles of one check row: both stages (absorb +
+/// emit) at one element per cycle for R2, two for R4. Shared by the scalar
+/// engine, the chip pipeline accounting and the batched SoA engine.
+constexpr int row_datapath_cycles(Radix radix, int degree) noexcept {
+  return radix == Radix::kR2 ? 2 * degree : 2 * ((degree + 1) / 2);
+}
+
+/// The single layer-schedule implementation, templated over the message
+/// value type V (see DatapathTraits<V>). Owns the architectural state
 /// (L-memory, Lambda memory, per-row scratch) and executes the block-serial
 /// schedule for any registered QC code under any layer permutation.
 /// Not thread-safe: each worker thread owns an engine (via its decoder).
-class LayerEngine {
+template <class V>
+class LayerEngineT {
  public:
+  using value_type = V;
+  using Traits = DatapathTraits<V>;
+
   /// Throws std::invalid_argument for out-of-range config values.
-  explicit LayerEngine(DecoderConfig config);
+  explicit LayerEngineT(DecoderConfig config)
+      : config_(config), traits_(validated(config)), et_(config.early_termination) {}
 
   /// Re-targets the engine to a different code (the paper's dynamic
   /// reconfiguration): resizes memories and scratch like the chip's
   /// bank-activation logic. The engine references (not copies) `code`.
-  void reconfigure(const codes::QCCode& code);
+  void reconfigure(const codes::QCCode& code) {
+    code_ = &code;
+    l_mem_.assign(static_cast<std::size_t>(code.n()), V{});
+    lambda_mem_.assign(static_cast<std::size_t>(code.edges()), V{});
+    lam_.resize(static_cast<std::size_t>(code.max_check_degree()));
+    lam_full_.resize(static_cast<std::size_t>(code.max_check_degree()));
+    lam_new_.resize(static_cast<std::size_t>(code.max_check_degree()));
+  }
 
   bool configured() const noexcept { return code_ != nullptr; }
   /// Throws std::logic_error when not configured.
-  const codes::QCCode& code() const;
+  const codes::QCCode& code() const {
+    if (!code_) throw std::logic_error("LayerEngine: not configured");
+    return *code_;
+  }
   const DecoderConfig& config() const noexcept { return config_; }
 
-  /// Quantises channel LLRs into raw message codes (zero-excluding when
-  /// configured). `raw.size()` must equal `llr.size()`.
-  void quantize(std::span<const double> llr,
-                std::span<std::int32_t> raw) const;
+  /// Quantises channel LLRs into message values (zero-excluding when
+  /// configured; the identity plus zero-nudge for the double path).
+  /// `raw.size()` must equal `llr.size()`.
+  void quantize(std::span<const double> llr, std::span<V> raw) const {
+    if (llr.size() != raw.size())
+      throw std::invalid_argument("LayerEngine::quantize: size mismatch");
+    for (std::size_t i = 0; i < llr.size(); ++i)
+      raw[i] = traits_.quantize_llr(llr[i]);
+  }
 
   /// Runs the full schedule on one frame of already-quantised LLRs:
   /// initialises L/Lambda, then iterates the layers in `order` (empty =
@@ -122,32 +126,165 @@ class LayerEngine {
   /// codeword stopping. `order`, when given, must be a permutation of the
   /// code's block rows (the caller validates; the chip's pipeline model
   /// does so when programming its schedule).
-  FixedDecodeResult run(std::span<const std::int32_t> llr_raw,
+  FixedDecodeResult run(std::span<const V> llr_raw,
                         std::span<const int> order = {},
-                        LayerObserver* observer = nullptr);
+                        LayerObserver* observer = nullptr) {
+    if (!code_) throw std::logic_error("LayerEngine: not configured");
+    const int n = code_->n();
+    if (llr_raw.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("LayerEngine::run: llr size");
+    const int j = code_->block_rows();
+    if (!order.empty() && order.size() != static_cast<std::size_t>(j))
+      throw std::invalid_argument("LayerEngine::run: order size");
+
+    // Initialisation (Algorithm 1): Lambda = 0, L = channel LLR.
+    std::copy(llr_raw.begin(), llr_raw.end(), l_mem_.begin());
+    std::fill(lambda_mem_.begin(), lambda_mem_.end(), V{});
+    et_.reset();
+    long long cycles = 0;
+
+    FixedDecodeResult result;
+    result.bits.assign(static_cast<std::size_t>(n), 0);
+
+    const int k_info = code_->k_info();
+    const V threshold = traits_.et_threshold(config_.early_termination);
+    for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+      if (order.empty()) {
+        for (int l = 0; l < j; ++l) cycles += process_layer(l, observer);
+      } else {
+        for (int l : order) cycles += process_layer(l, observer);
+      }
+      result.iterations = iter;
+      if (observer) observer->on_iteration(iter);
+
+      // Decision making: x_n = sign(L_n).
+      for (int v = 0; v < n; ++v)
+        result.bits[static_cast<std::size_t>(v)] =
+            Traits::is_negative(l_mem_[static_cast<std::size_t>(v)]) ? 1 : 0;
+
+      if (et_.update(std::span<const V>{l_mem_.data(),
+                                        static_cast<std::size_t>(k_info)},
+                     threshold)) {
+        result.early_terminated = true;
+        break;
+      }
+      if (config_.stop_on_codeword && code_->is_codeword(result.bits)) break;
+    }
+
+    result.converged = code_->is_codeword(result.bits);
+    result.datapath_cycles = cycles;
+    return result;
+  }
 
   /// APP (L-memory) contents after the last run (size n); used by wrappers
   /// that expose soft output.
-  std::span<const std::int32_t> app() const noexcept { return l_mem_; }
+  std::span<const V> app() const noexcept { return l_mem_; }
 
  private:
+  static const DecoderConfig& validated(const DecoderConfig& config) {
+    if (config.max_iterations <= 0)
+      throw std::invalid_argument("LayerEngine: max_iterations");
+    if (config.app_extra_bits < 0 || config.app_extra_bits > 8)
+      throw std::invalid_argument("LayerEngine: app_extra_bits");
+    return config;
+  }
+
   /// One layer of the schedule; returns the layer's idealised datapath
   /// cycles (one row's cycles: the z rows run on parallel SISO cores).
-  int process_layer(int layer, LayerObserver* observer);
+  int process_layer(int layer, LayerObserver* observer) {
+    const int z = code_->z();
+    const int deg =
+        static_cast<int>(code_->layers()[static_cast<std::size_t>(layer)]
+                             .size());
+    if (observer) observer->on_layer_fetch(layer, deg, z);
+
+    for (int t = 0; t < z; ++t) {
+      const int r = layer * z + t;
+      const auto vars = code_->check_vars(r);
+      const int e0 = code_->edge_index(r, 0);
+
+      // Read + subtract (the adders in front of the SISO array in Fig. 7):
+      // lambda_mn = L_n - Lambda_mn, computed at APP width and clipped to
+      // the message format on the SISO input bus.
+      for (int e = 0; e < deg; ++e) {
+        lam_full_[static_cast<std::size_t>(e)] = traits_.app_sub(
+            l_mem_[static_cast<std::size_t>(vars[e])],
+            lambda_mem_[static_cast<std::size_t>(e0 + e)]);
+        lam_[static_cast<std::size_t>(e)] =
+            traits_.clip_msg(lam_full_[static_cast<std::size_t>(e)]);
+      }
+
+      const std::span<const V> lam{lam_.data(),
+                                   static_cast<std::size_t>(deg)};
+      const std::span<V> out{lam_new_.data(), static_cast<std::size_t>(deg)};
+      if (config_.kernel == CnuKernel::kFullBp) {
+        traits_.siso_row(lam, out, config_.radix);
+      } else {
+        // Min-sum CNU: two running minima and a sign product (the
+        // [3]-class datapath); cycle structure matches the SISO
+        // (scan + emit).
+        V min1 = traits_.mag_max(), min2 = traits_.mag_max();
+        int argmin = -1;
+        bool neg = false;
+        for (int e = 0; e < deg; ++e) {
+          const V mag = Traits::magnitude(lam_[static_cast<std::size_t>(e)]);
+          neg ^= Traits::is_negative(lam_[static_cast<std::size_t>(e)]);
+          if (mag < min1) {
+            min2 = min1;
+            min1 = mag;
+            argmin = e;
+          } else if (mag < min2) {
+            min2 = mag;
+          }
+        }
+        for (int e = 0; e < deg; ++e) {
+          const V mag = e == argmin ? min2 : min1;
+          const bool out_neg =
+              neg != Traits::is_negative(lam_[static_cast<std::size_t>(e)]);
+          lam_new_[static_cast<std::size_t>(e)] =
+              out_neg ? Traits::negate(mag) : mag;
+        }
+      }
+
+      // Write back: Lambda and the updated APP L_n = lambda + Lambda_new
+      // (APP-width adder so extrinsic bookkeeping stays consistent across
+      // layers even when L is near saturation).
+      for (int e = 0; e < deg; ++e) {
+        lambda_mem_[static_cast<std::size_t>(e0 + e)] =
+            lam_new_[static_cast<std::size_t>(e)];
+        l_mem_[static_cast<std::size_t>(vars[e])] =
+            traits_.app_add(lam_full_[static_cast<std::size_t>(e)],
+                            lam_new_[static_cast<std::size_t>(e)]);
+      }
+      if (observer) observer->on_row(layer, deg);
+    }
+    if (observer) observer->on_layer_writeback(layer, deg, z);
+    // All z rows of a layer run on parallel SISO cores: the layer costs
+    // one row's cycles (rows share a degree within a layer).
+    return row_datapath_cycles(config_.radix, deg);
+  }
 
   DecoderConfig config_;
-  fixed::QFormat app_fmt_;  // wider APP (L-memory) format
-  SisoR2 siso_r2_;
-  SisoR4 siso_r4_;
+  Traits traits_;
   EarlyTermination et_;
   const codes::QCCode* code_ = nullptr;
 
   // Architectural state: central L-memory and distributed Lambda memory.
-  std::vector<std::int32_t> l_mem_;       // APP per variable, size n
-  std::vector<std::int32_t> lambda_mem_;  // extrinsic per edge
+  std::vector<V> l_mem_;       // APP per variable, size n
+  std::vector<V> lambda_mem_;  // extrinsic per edge
   // Scratch per check row (lam_full_ is the APP-width subtraction before
   // the message-bus clip).
-  std::vector<std::int32_t> lam_, lam_full_, lam_new_;
+  std::vector<V> lam_, lam_full_, lam_new_;
 };
+
+/// The bit-accurate fixed-point instantiation (runtime Qm.f codes) — the
+/// chip's datapath and the library-wide default.
+using LayerEngine = LayerEngineT<std::int32_t>;
+/// The unquantised floating-point reference instantiation.
+using FloatLayerEngine = LayerEngineT<double>;
+
+extern template class LayerEngineT<std::int32_t>;
+extern template class LayerEngineT<double>;
+extern template class LayerEngineT<fixed::Msg8>;
 
 }  // namespace ldpc::core

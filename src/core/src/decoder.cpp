@@ -1,34 +1,56 @@
 #include "ldpc/core/decoder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ldpc::core {
 
 ReconfigurableDecoder::ReconfigurableDecoder(const codes::QCCode& code,
                                              DecoderConfig config)
-    : code_(&code), engine_(config) {
+    : config_(config), code_(&code) {
+  if (config_.datapath == Datapath::kFloat) {
+    float_engine_.emplace(config_);
+  } else {
+    engine_.emplace(config_);
+    // The SoA batch engine is built lazily on the first decode_batch():
+    // its kLanes-wide memories would be dead weight in the common
+    // one-frame-at-a-time simulation workers.
+  }
   reconfigure(code);
 }
 
 void ReconfigurableDecoder::reconfigure(const codes::QCCode& code) {
   code_ = &code;
-  engine_.reconfigure(code);
+  if (engine_) engine_->reconfigure(code);
+  if (float_engine_) float_engine_->reconfigure(code);
+  if (batch_engine_) batch_engine_->reconfigure(code);
   raw_.resize(static_cast<std::size_t>(code.n()));
+  fraw_.resize(static_cast<std::size_t>(code.n()));
 }
 
 FixedDecodeResult ReconfigurableDecoder::decode(
     std::span<const double> llr) {
   if (llr.size() != static_cast<std::size_t>(code_->n()))
     throw std::invalid_argument("decode: llr size");
-  engine_.quantize(llr, raw_);
-  return engine_.run(raw_);
+  if (float_engine_) {
+    float_engine_->quantize(llr, fraw_);
+    return float_engine_->run(fraw_);
+  }
+  engine_->quantize(llr, raw_);
+  return engine_->run(raw_);
 }
 
 FixedDecodeResult ReconfigurableDecoder::decode_raw(
     std::span<const std::int32_t> llr_raw) {
   if (llr_raw.size() != static_cast<std::size_t>(code_->n()))
     throw std::invalid_argument("decode_raw: llr size");
-  return engine_.run(llr_raw);
+  if (float_engine_) {
+    const double lsb = config_.format.lsb();
+    for (std::size_t i = 0; i < llr_raw.size(); ++i)
+      fraw_[i] = llr_raw[i] * lsb;
+    return float_engine_->run(fraw_);
+  }
+  return engine_->run(llr_raw);
 }
 
 std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
@@ -37,11 +59,33 @@ std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
   if (llrs.empty() || llrs.size() % n != 0)
     throw std::invalid_argument("decode_batch: llrs size");
   const std::size_t frames = llrs.size() / n;
-  std::vector<FixedDecodeResult> results;
-  results.reserve(frames);
+  std::vector<FixedDecodeResult> results(frames);
+  if (engine_ && config_.kernel == CnuKernel::kMinSum && !batch_engine_) {
+    batch_engine_.emplace(config_);
+    batch_engine_->reconfigure(*code_);
+  }
+  if (batch_engine_) {
+    // SoA lockstep kernel: full-width chunks, then the ragged tail with
+    // the spare lanes masked off.
+    std::size_t f = 0;
+    while (f < frames) {
+      const std::size_t chunk = std::min(
+          frames - f, static_cast<std::size_t>(BatchEngine::kLanes));
+      batch_engine_->decode(llrs.subspan(f * n, chunk * n), {},
+                            std::span<FixedDecodeResult>(results)
+                                .subspan(f, chunk));
+      f += chunk;
+    }
+    return results;
+  }
   for (std::size_t f = 0; f < frames; ++f) {
-    engine_.quantize(llrs.subspan(f * n, n), raw_);
-    results.push_back(engine_.run(raw_));
+    if (float_engine_) {
+      float_engine_->quantize(llrs.subspan(f * n, n), fraw_);
+      results[f] = float_engine_->run(fraw_);
+    } else {
+      engine_->quantize(llrs.subspan(f * n, n), raw_);
+      results[f] = engine_->run(raw_);
+    }
   }
   return results;
 }

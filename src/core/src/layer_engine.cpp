@@ -1,166 +1,12 @@
 #include "ldpc/core/layer_engine.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace ldpc::core {
 
-LayerEngine::LayerEngine(DecoderConfig config)
-    : config_(config),
-      app_fmt_(config.format.total_bits() + config.app_extra_bits,
-               config.format.frac_bits()),
-      siso_r2_(config.format, config.cnu_arch),
-      siso_r4_(config.format, config.cnu_arch),
-      et_(config.early_termination) {
-  if (config_.max_iterations <= 0)
-    throw std::invalid_argument("LayerEngine: max_iterations");
-  if (config_.app_extra_bits < 0 || config_.app_extra_bits > 8)
-    throw std::invalid_argument("LayerEngine: app_extra_bits");
-}
-
-void LayerEngine::reconfigure(const codes::QCCode& code) {
-  code_ = &code;
-  l_mem_.assign(static_cast<std::size_t>(code.n()), 0);
-  lambda_mem_.assign(static_cast<std::size_t>(code.edges()), 0);
-  lam_.resize(static_cast<std::size_t>(code.max_check_degree()));
-  lam_full_.resize(static_cast<std::size_t>(code.max_check_degree()));
-  lam_new_.resize(static_cast<std::size_t>(code.max_check_degree()));
-}
-
-const codes::QCCode& LayerEngine::code() const {
-  if (!code_) throw std::logic_error("LayerEngine: not configured");
-  return *code_;
-}
-
-void LayerEngine::quantize(std::span<const double> llr,
-                           std::span<std::int32_t> raw) const {
-  if (llr.size() != raw.size())
-    throw std::invalid_argument("LayerEngine::quantize: size mismatch");
-  for (std::size_t i = 0; i < llr.size(); ++i) {
-    raw[i] = config_.format.quantize(llr[i]);
-    if (raw[i] == 0 && config_.exclude_zero_input)
-      raw[i] = llr[i] < 0.0 ? -1 : 1;
-  }
-}
-
-FixedDecodeResult LayerEngine::run(std::span<const std::int32_t> llr_raw,
-                                   std::span<const int> order,
-                                   LayerObserver* observer) {
-  if (!code_) throw std::logic_error("LayerEngine: not configured");
-  const int n = code_->n();
-  if (llr_raw.size() != static_cast<std::size_t>(n))
-    throw std::invalid_argument("LayerEngine::run: llr size");
-  const int j = code_->block_rows();
-  if (!order.empty() && order.size() != static_cast<std::size_t>(j))
-    throw std::invalid_argument("LayerEngine::run: order size");
-
-  // Initialisation (Algorithm 1): Lambda = 0, L = channel LLR.
-  std::copy(llr_raw.begin(), llr_raw.end(), l_mem_.begin());
-  std::fill(lambda_mem_.begin(), lambda_mem_.end(), 0);
-  et_.reset();
-  long long cycles = 0;
-
-  FixedDecodeResult result;
-  result.bits.assign(static_cast<std::size_t>(n), 0);
-
-  const int k_info = code_->k_info();
-  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
-    if (order.empty()) {
-      for (int l = 0; l < j; ++l) cycles += process_layer(l, observer);
-    } else {
-      for (int l : order) cycles += process_layer(l, observer);
-    }
-    result.iterations = iter;
-    if (observer) observer->on_iteration(iter);
-
-    // Decision making: x_n = sign(L_n).
-    for (int v = 0; v < n; ++v)
-      result.bits[static_cast<std::size_t>(v)] = l_mem_[v] < 0 ? 1 : 0;
-
-    if (et_.update({l_mem_.data(), static_cast<std::size_t>(k_info)})) {
-      result.early_terminated = true;
-      break;
-    }
-    if (config_.stop_on_codeword && code_->is_codeword(result.bits)) break;
-  }
-
-  result.converged = code_->is_codeword(result.bits);
-  result.datapath_cycles = cycles;
-  return result;
-}
-
-int LayerEngine::process_layer(int layer, LayerObserver* observer) {
-  const auto& fmt = config_.format;
-  const int z = code_->z();
-  const int deg =
-      static_cast<int>(code_->layers()[static_cast<std::size_t>(layer)]
-                           .size());
-  if (observer) observer->on_layer_fetch(layer, deg, z);
-
-  int layer_cycles = 0;
-  for (int t = 0; t < z; ++t) {
-    const int r = layer * z + t;
-    const auto vars = code_->check_vars(r);
-    const int e0 = code_->edge_index(r, 0);
-
-    // Read + subtract (the adders in front of the SISO array in Fig. 7):
-    // lambda_mn = L_n - Lambda_mn, computed at APP width and clipped to
-    // the message format on the SISO input bus.
-    for (int e = 0; e < deg; ++e) {
-      lam_full_[e] = app_fmt_.sub(l_mem_[vars[e]], lambda_mem_[e0 + e]);
-      lam_[e] = fmt.saturate(lam_full_[e]);
-    }
-
-    const std::span<const std::int32_t> lam{lam_.data(),
-                                            static_cast<std::size_t>(deg)};
-    const std::span<std::int32_t> out{lam_new_.data(),
-                                      static_cast<std::size_t>(deg)};
-    int row_cycles = 0;
-    if (config_.kernel == CnuKernel::kFullBp) {
-      const SisoRowStats stats = config_.radix == Radix::kR2
-                                     ? siso_r2_.process(lam, out)
-                                     : siso_r4_.process(lam, out);
-      row_cycles = stats.cycles;
-    } else {
-      // Min-sum CNU: two running minima and a sign product (the [3]-class
-      // datapath); cycle structure matches the SISO (scan + emit).
-      std::int32_t min1 = fmt.raw_max(), min2 = fmt.raw_max();
-      int argmin = -1;
-      bool neg = false;
-      for (int e = 0; e < deg; ++e) {
-        const std::int32_t mag = fmt.abs(lam_[e]);
-        neg ^= lam_[e] < 0;
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          argmin = e;
-        } else if (mag < min2) {
-          min2 = mag;
-        }
-      }
-      for (int e = 0; e < deg; ++e) {
-        const std::int32_t mag = e == argmin ? min2 : min1;
-        const bool out_neg = neg != (lam_[e] < 0);
-        lam_new_[e] = out_neg ? -mag : mag;
-      }
-      row_cycles = config_.radix == Radix::kR2 ? 2 * deg
-                                               : 2 * ((deg + 1) / 2);
-    }
-
-    // Write back: Lambda and the updated APP L_n = lambda + Lambda_new
-    // (APP-width adder so extrinsic bookkeeping stays consistent across
-    // layers even when L is near saturation).
-    for (int e = 0; e < deg; ++e) {
-      lambda_mem_[e0 + e] = lam_new_[e];
-      l_mem_[vars[e]] = app_fmt_.add(lam_full_[e], lam_new_[e]);
-    }
-    if (observer) observer->on_row(layer, deg);
-    // All z rows of a layer run on parallel SISO cores: the layer costs
-    // one row's cycles (rows share a degree within a layer).
-    layer_cycles = row_cycles;
-  }
-  if (observer) observer->on_layer_writeback(layer, deg, z);
-  return layer_cycles;
-}
+// The supported datapath instantiations (see datapath.hpp). Building them
+// here keeps every translation unit that includes the engine header from
+// re-instantiating the schedule.
+template class LayerEngineT<std::int32_t>;
+template class LayerEngineT<double>;
+template class LayerEngineT<fixed::Msg8>;
 
 }  // namespace ldpc::core

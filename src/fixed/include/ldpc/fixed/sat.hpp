@@ -1,0 +1,100 @@
+// Compile-time saturating Qm.f fixed-point value type.
+//
+// `Sat<TotalBits, FracBits>` is the strongly typed sibling of the runtime
+// `QFormat` helpers: a raw two's-complement code wrapped in a value type
+// whose arithmetic operators saturate to the format's symmetric range, so a
+// datapath templated over its value type (core::LayerEngineT) can be
+// instantiated at a word length fixed at compile time — the software
+// equivalent of synthesising the chip for one bus width. The numeric
+// conventions (symmetric saturation, round-half-away-from-zero
+// quantisation) are identical to QFormat, and the template's results are
+// bit-exact against the runtime-format datapath configured with
+// QFormat(TotalBits, FracBits).
+#pragma once
+
+#include <cstdint>
+
+#include "ldpc/fixed/qformat.hpp"
+
+namespace ldpc::fixed {
+
+template <int TotalBits, int FracBits>
+class Sat {
+  static_assert(TotalBits >= 2 && TotalBits <= 16,
+                "Sat: total width out of range");
+  static_assert(FracBits >= 0 && FracBits < TotalBits,
+                "Sat: fraction width out of range");
+
+ public:
+  static constexpr int kTotalBits = TotalBits;
+  static constexpr int kFracBits = FracBits;
+  /// Symmetric saturation bounds, matching QFormat (|x| never overflows).
+  static constexpr std::int32_t kRawMax =
+      (std::int32_t{1} << (TotalBits - 1)) - 1;
+  static constexpr std::int32_t kRawMin = -kRawMax;
+
+  constexpr Sat() = default;
+
+  /// Wraps a raw code as-is. Like QFormat's helpers, the caller may carry
+  /// wider intermediate values (e.g. the APP word) through a Sat; only the
+  /// arithmetic operators saturate.
+  static constexpr Sat from_raw(std::int32_t raw) noexcept {
+    Sat s;
+    s.raw_ = raw;
+    return s;
+  }
+
+  /// Quantises a real value (round-half-away-from-zero, saturating) —
+  /// delegates to the runtime format so the rounding rule has exactly one
+  /// implementation.
+  static Sat from_double(double value) noexcept {
+    return from_raw(format().quantize(value));
+  }
+
+  constexpr std::int32_t raw() const noexcept { return raw_; }
+  constexpr double to_double() const noexcept {
+    return static_cast<double>(raw_) /
+           static_cast<double>(std::int64_t{1} << FracBits);
+  }
+
+  /// The equivalent runtime format descriptor.
+  static constexpr QFormat format() noexcept {
+    return QFormat(TotalBits, FracBits);
+  }
+
+  static constexpr Sat max() noexcept { return from_raw(kRawMax); }
+  static constexpr Sat min() noexcept { return from_raw(kRawMin); }
+
+  static constexpr std::int32_t saturate_raw(std::int64_t raw) noexcept {
+    if (raw > kRawMax) return kRawMax;
+    if (raw < kRawMin) return kRawMin;
+    return static_cast<std::int32_t>(raw);
+  }
+
+  friend constexpr Sat operator+(Sat a, Sat b) noexcept {
+    return from_raw(saturate_raw(std::int64_t{a.raw_} + b.raw_));
+  }
+  friend constexpr Sat operator-(Sat a, Sat b) noexcept {
+    return from_raw(saturate_raw(std::int64_t{a.raw_} - b.raw_));
+  }
+  friend constexpr Sat operator-(Sat a) noexcept {
+    return from_raw(saturate_raw(-std::int64_t{a.raw_}));
+  }
+  /// |a| — exact because saturation is symmetric.
+  friend constexpr Sat abs(Sat a) noexcept {
+    return a.raw_ < 0 ? -a : a;
+  }
+
+  friend constexpr bool operator==(Sat a, Sat b) noexcept = default;
+  friend constexpr auto operator<=>(Sat a, Sat b) noexcept {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+/// The paper's 8-bit message word (sign + 5 integer + 2 fraction bits).
+using Msg8 = Sat<8, 2>;
+
+}  // namespace ldpc::fixed

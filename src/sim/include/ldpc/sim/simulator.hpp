@@ -44,6 +44,14 @@ using DecodeFn = std::function<DecodeOutcome(std::span<const double>)>;
 /// the returned DecodeFn touches must be private to it (or immutable).
 using DecoderFactory = std::function<DecodeFn()>;
 
+/// Batched adapter: decodes llrs.size()/n frames stored back to back and
+/// returns one outcome per frame. Built per worker like DecodeFn; workers
+/// claim SimConfig::batch frames at a time and decode them in one call, so
+/// a SIMD-batched kernel (core::BatchEngine) fills its lanes.
+using BatchDecodeFn =
+    std::function<std::vector<DecodeOutcome>(std::span<const double>)>;
+using BatchDecoderFactory = std::function<BatchDecodeFn()>;
+
 /// Wraps a caller-owned core::ReconfigurableDecoder (fixed-point datapath).
 /// Single-threaded use only: the decoder is shared with the caller.
 DecodeFn adapt(core::ReconfigurableDecoder& decoder);
@@ -58,8 +66,10 @@ DecodeFn adapt(const baseline::SoftDecoder&& decoder, int max_iter) = delete;
 DecodeFn adapt(std::shared_ptr<const baseline::SoftDecoder> decoder,
                int max_iter);
 
-/// Factory for the fixed-point decoder: each worker gets its own
+/// Factory for the engine-based decoder: each worker gets its own
 /// core::ReconfigurableDecoder on `code` (the caller keeps `code` alive).
+/// config.datapath selects fixed-point or the unquantised float reference,
+/// so one factory serves both sides of a quantization-loss comparison.
 DecoderFactory fixed_decoder_factory(const codes::QCCode& code,
                                      core::DecoderConfig config = {});
 /// Deleted: the factory captures the code by reference; a temporary would
@@ -67,6 +77,14 @@ DecoderFactory fixed_decoder_factory(const codes::QCCode& code,
 DecoderFactory fixed_decoder_factory(codes::QCCode&& code,
                                      core::DecoderConfig config = {}) =
     delete;
+/// Batched factory over ReconfigurableDecoder::decode_batch: with a
+/// quantized min-sum config the frames run through the SIMD-batched SoA
+/// kernel, filling core::BatchEngine::kLanes lanes per pass. Outcomes are
+/// bit-identical to fixed_decoder_factory with the same config.
+BatchDecoderFactory batched_fixed_decoder_factory(
+    const codes::QCCode& code, core::DecoderConfig config = {});
+BatchDecoderFactory batched_fixed_decoder_factory(
+    codes::QCCode&& code, core::DecoderConfig config = {}) = delete;
 /// Factory over any baseline decoder: `make` builds a fresh instance per
 /// worker (called from the worker's thread).
 DecoderFactory baseline_decoder_factory(
@@ -84,6 +102,12 @@ struct SimConfig {
   /// Worker threads (0 = hardware concurrency). Results are independent of
   /// this value; it only changes wall-clock time.
   int threads = 1;
+  /// Frames a worker claims (and decodes) per grab when the simulator was
+  /// built with a BatchDecoderFactory. 0 = the batched kernel's native
+  /// width (core::BatchEngine::kLanes). Results are independent of this
+  /// value too: outcomes still fold into the statistics strictly in frame
+  /// order.
+  int batch = 0;
 };
 
 struct SweepPoint {
@@ -123,6 +147,13 @@ class Simulator {
   /// DecoderFactory). Throws std::invalid_argument.
   Simulator(const codes::QCCode& code, std::nullptr_t, SimConfig config);
 
+  /// Batched engine: workers claim config.batch frames per grab and decode
+  /// them in one BatchDecodeFn call (SIMD lockstep inner loop). Statistics
+  /// remain bit-identical to the single-frame constructors for the same
+  /// decoder arithmetic, at any thread count and any batch size.
+  Simulator(const codes::QCCode& code, BatchDecoderFactory factory,
+            SimConfig config);
+
   /// Runs one Eb/N0 point across the worker pool.
   SweepPoint run_point(double ebn0_db);
 
@@ -135,9 +166,11 @@ class Simulator {
 
  private:
   const codes::QCCode& code_;
-  DecoderFactory factory_;
+  DecoderFactory factory_;              // single-frame path
+  BatchDecoderFactory batch_factory_;   // batched path (exactly one is set)
   SimConfig config_;
   int threads_;
+  int batch_ = 1;  // frames claimed per worker grab
 };
 
 }  // namespace ldpc::sim

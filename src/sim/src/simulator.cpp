@@ -1,5 +1,6 @@
 #include "ldpc/sim/simulator.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/util/rng.hpp"
 
@@ -48,6 +50,23 @@ DecoderFactory fixed_decoder_factory(const codes::QCCode& code,
   };
 }
 
+BatchDecoderFactory batched_fixed_decoder_factory(
+    const codes::QCCode& code, core::DecoderConfig config) {
+  return [&code, config]() {
+    auto decoder =
+        std::make_shared<core::ReconfigurableDecoder>(code, config);
+    return BatchDecodeFn([decoder](std::span<const double> llrs) {
+      auto rs = decoder->decode_batch(llrs);
+      std::vector<DecodeOutcome> outs;
+      outs.reserve(rs.size());
+      for (auto& r : rs)
+        outs.push_back(
+            DecodeOutcome{std::move(r.bits), r.iterations, r.converged});
+      return outs;
+    });
+  };
+}
+
 DecoderFactory baseline_decoder_factory(
     std::function<std::unique_ptr<baseline::SoftDecoder>()> make,
     int max_iter) {
@@ -71,6 +90,7 @@ void validate(const SimConfig& config) {
     throw std::invalid_argument("Simulator: frame budget");
   if (config.threads < 0)
     throw std::invalid_argument("Simulator: threads");
+  if (config.batch < 0) throw std::invalid_argument("Simulator: batch");
 }
 
 }  // namespace
@@ -97,6 +117,16 @@ Simulator::Simulator(const codes::QCCode& code, DecodeFn decode,
 Simulator::Simulator(const codes::QCCode& code, std::nullptr_t,
                      SimConfig config)
     : Simulator(code, DecodeFn{}, config) {}
+
+Simulator::Simulator(const codes::QCCode& code, BatchDecoderFactory factory,
+                     SimConfig config)
+    : code_(code), batch_factory_(std::move(factory)), config_(config),
+      threads_(resolve_threads(config.threads)) {
+  if (!batch_factory_)
+    throw std::invalid_argument("Simulator: null batch factory");
+  validate(config_);
+  batch_ = config_.batch > 0 ? config_.batch : core::BatchEngine::kLanes;
+}
 
 SweepPoint Simulator::run_point(double ebn0_db) {
   // Derive a per-point seed so each Eb/N0 point is an independent,
@@ -137,40 +167,83 @@ SweepPoint Simulator::run_point(double ebn0_db) {
   int folded = 0;
   std::exception_ptr failure;
 
+  const auto n = static_cast<std::size_t>(code_.n());
   auto worker = [&]() {
     try {
-      const DecodeFn decode = factory_();
-      if (!decode) throw std::invalid_argument("Simulator: null decoder");
+      // Single-frame or batched decode path; exactly one factory is set.
+      DecodeFn decode;
+      BatchDecodeFn decode_batch;
+      if (batch_factory_) {
+        decode_batch = batch_factory_();
+        if (!decode_batch)
+          throw std::invalid_argument("Simulator: null batch decoder");
+      } else {
+        decode = factory_();
+        if (!decode) throw std::invalid_argument("Simulator: null decoder");
+      }
+      const int claim = batch_factory_ ? batch_ : 1;
       const auto encoder = enc::make_encoder(code_);
       const channel::AwgnChannel chan(sigma);
-      std::vector<std::uint8_t> info(k_info);
+      std::vector<std::uint8_t> info(k_info *
+                                     static_cast<std::size_t>(claim));
+      std::vector<double> llrs;
+      llrs.reserve(n * static_cast<std::size_t>(claim));
 
       while (true) {
-        const int f = next_frame.fetch_add(1, std::memory_order_relaxed);
-        if (f >= stop_bound.load(std::memory_order_acquire)) break;
+        // Claim a contiguous chunk of frame indices (one frame when not
+        // batched). Frames beyond a concurrently shrunk stop bound may be
+        // decoded wastefully but never enter the ordered fold, so the
+        // statistics stay sequential-identical.
+        const int f0 = next_frame.fetch_add(claim,
+                                            std::memory_order_relaxed);
+        const int bound_now = stop_bound.load(std::memory_order_acquire);
+        if (f0 >= bound_now) break;
+        const int count = std::min(claim, bound_now - f0);
 
         // Counter-based substream: frame f's bits and noise depend only on
-        // (point_seed, f), never on the worker that runs it.
-        util::Xoshiro256 rng(
-            util::substream_seed(point_seed, static_cast<std::uint64_t>(f)));
-        enc::random_bits(rng, info);
-        const auto cw = encoder->encode(info);
-        auto mod = channel::modulate(cw, config_.modulation);
-        chan.transmit(mod.samples, rng);
-        const auto llr = channel::demap_llr(mod, sigma);
+        // (point_seed, f), never on the worker (or batch slot) that runs
+        // it.
+        llrs.clear();
+        for (int i = 0; i < count; ++i) {
+          const int f = f0 + i;
+          util::Xoshiro256 rng(util::substream_seed(
+              point_seed, static_cast<std::uint64_t>(f)));
+          const std::span<std::uint8_t> frame_info{
+              info.data() + static_cast<std::size_t>(i) * k_info, k_info};
+          enc::random_bits(rng, frame_info);
+          const auto cw = encoder->encode(frame_info);
+          auto mod = channel::modulate(cw, config_.modulation);
+          chan.transmit(mod.samples, rng);
+          const auto llr = channel::demap_llr(mod, sigma);
+          llrs.insert(llrs.end(), llr.begin(), llr.end());
+        }
 
-        const DecodeOutcome out = decode(llr);
-        if (out.bits.size() != cw.size())
-          throw std::logic_error("Simulator: decoder returned wrong size");
-
-        // Information-bit errors only (systematic prefix).
-        std::uint64_t errors = 0;
-        for (std::size_t i = 0; i < info.size(); ++i)
-          errors += (out.bits[i] & 1) != (info[i] & 1) ? 1 : 0;
+        std::vector<DecodeOutcome> outs;
+        if (decode_batch) {
+          outs = decode_batch(llrs);
+        } else {
+          outs.push_back(decode(llrs));
+        }
+        if (outs.size() != static_cast<std::size_t>(count))
+          throw std::logic_error("Simulator: batch outcome count");
+        for (const DecodeOutcome& out : outs)
+          if (out.bits.size() != n)
+            throw std::logic_error("Simulator: decoder returned wrong size");
 
         const std::lock_guard<std::mutex> lock(fold_mutex);
-        outcomes[static_cast<std::size_t>(f)] =
-            FrameOutcome{errors, out.iterations, out.converged};
+        for (int i = 0; i < count; ++i) {
+          const DecodeOutcome& out = outs[static_cast<std::size_t>(i)];
+          // Information-bit errors only (systematic prefix).
+          std::uint64_t errors = 0;
+          for (std::size_t b = 0; b < k_info; ++b)
+            errors += (out.bits[b] & 1) !=
+                              (info[static_cast<std::size_t>(i) * k_info + b] &
+                               1)
+                          ? 1
+                          : 0;
+          outcomes[static_cast<std::size_t>(f0 + i)] =
+              FrameOutcome{errors, out.iterations, out.converged};
+        }
         int bound = stop_bound.load(std::memory_order_relaxed);
         while (folded < bound &&
                outcomes[static_cast<std::size_t>(folded)]) {

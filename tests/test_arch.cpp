@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "ldpc/arch/circular_shifter.hpp"
@@ -63,8 +64,66 @@ TEST(CircularShifter, InvalidArgsThrow) {
   std::vector<std::int32_t> buf(8);
   EXPECT_THROW(CircularShifter(0), std::invalid_argument);
   EXPECT_THROW(sh.rotate(buf, 0, 9, buf), std::invalid_argument);
-  EXPECT_THROW(sh.rotate(buf, 8, 8, buf), std::invalid_argument);
+  EXPECT_THROW(sh.rotate(buf, 9, 8, buf), std::invalid_argument);
   EXPECT_THROW(sh.rotate(buf, -1, 8, buf), std::invalid_argument);
+  EXPECT_THROW(sh.rotate_back(buf, 9, 8, buf), std::invalid_argument);
+}
+
+// ---- boundary shifts: 0, z-1, the full-cycle control word z, and z values
+// that are not powers of two (the mux tree has spare span there) ------------
+
+TEST(CircularShifter, BoundaryShiftsZeroAndFullCycle) {
+  CircularShifter sh(96);
+  std::vector<std::int32_t> in(96), out(96);
+  std::iota(in.begin(), in.end(), -48);
+  for (int z : {1, 24, 96}) {
+    sh.rotate(in, 0, z, out);
+    EXPECT_TRUE(std::equal(in.begin(), in.begin() + z, out.begin())) << z;
+    // shift == z wraps the whole ring: identity, not an error.
+    sh.rotate(in, z, z, out);
+    EXPECT_TRUE(std::equal(in.begin(), in.begin() + z, out.begin())) << z;
+    sh.rotate_back(in, z, z, out);
+    EXPECT_TRUE(std::equal(in.begin(), in.begin() + z, out.begin())) << z;
+  }
+}
+
+TEST(CircularShifter, MaximalShiftIsOneStepFromIdentity) {
+  CircularShifter sh(96);
+  std::vector<std::int32_t> in(96), out(96);
+  std::iota(in.begin(), in.end(), 1000);
+  const int z = 96;
+  sh.rotate(in, z - 1, z, out);
+  // out[i] = in[(i + z-1) mod z]: lane 0 sees in[z-1], lane 1 sees in[0].
+  EXPECT_EQ(out[0], in[static_cast<std::size_t>(z - 1)]);
+  EXPECT_EQ(out[1], in[0]);
+  EXPECT_EQ(out[static_cast<std::size_t>(z - 1)],
+            in[static_cast<std::size_t>(z - 2)]);
+}
+
+TEST(CircularShifter, NonPowerOfTwoLaneCountsInvert) {
+  // z not a multiple of the power-of-two mux span (127, 96, 24, 5): the
+  // forward/inverse pair must still be exact for every shift, including
+  // the active-subset case z < z_max.
+  CircularShifter sh(127);
+  std::vector<std::int32_t> in(127), fwd(127), back(127);
+  std::iota(in.begin(), in.end(), -63);
+  for (int z : {5, 24, 96, 127}) {
+    for (int shift = 0; shift <= z; ++shift) {
+      sh.rotate(in, shift, z, fwd);
+      sh.rotate_back(fwd, shift, z, back);
+      EXPECT_TRUE(std::equal(in.begin(), in.begin() + z, back.begin()))
+          << "z=" << z << " shift=" << shift;
+    }
+  }
+}
+
+TEST(CircularShifter, SingleLaneRingIsAlwaysIdentity) {
+  CircularShifter sh(8);
+  std::vector<std::int32_t> in{42}, out{0};
+  sh.rotate(in, 0, 1, out);
+  EXPECT_EQ(out[0], 42);
+  sh.rotate(in, 1, 1, out);  // shift == z == 1
+  EXPECT_EQ(out[0], 42);
 }
 
 TEST(CircularShifter, MuxCountForAreaModel) {

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ldpc/fixed/qformat.hpp"
+#include "ldpc/fixed/sat.hpp"
 
 namespace {
 
 using ldpc::fixed::QFormat;
+using ldpc::fixed::Sat;
 
 TEST(QFormat, DefaultIsPaper8Bit) {
   const QFormat q;
@@ -103,6 +106,97 @@ TEST(QFormat, ToStringDescribesFormat) {
 TEST(QFormat, Equality) {
   EXPECT_EQ(QFormat(8, 2), QFormat(8, 2));
   EXPECT_FALSE(QFormat(8, 2) == QFormat(8, 3));
+}
+
+// ---- format edge cases ------------------------------------------------------
+
+TEST(QFormat, SaturationAtBothRails) {
+  const QFormat q;
+  // One-below, at, and past each rail, for quantize and for arithmetic.
+  EXPECT_EQ(q.quantize(q.value_max() - q.lsb()), q.raw_max() - 1);
+  EXPECT_EQ(q.quantize(q.value_max()), q.raw_max());
+  EXPECT_EQ(q.quantize(std::nextafter(q.value_max(), 1e9)), q.raw_max());
+  EXPECT_EQ(q.quantize(-q.value_max()), q.raw_min());
+  EXPECT_EQ(q.quantize(std::nextafter(-q.value_max(), -1e9)), q.raw_min());
+  EXPECT_EQ(q.quantize(std::numeric_limits<double>::infinity()),
+            q.raw_max());
+  EXPECT_EQ(q.quantize(-std::numeric_limits<double>::infinity()),
+            q.raw_min());
+  EXPECT_EQ(q.add(q.raw_max(), 1), q.raw_max());
+  EXPECT_EQ(q.sub(q.raw_min(), 1), q.raw_min());
+  EXPECT_EQ(q.add(q.raw_min(), -1), q.raw_min());
+  // Saturation is symmetric: the two's-complement -2^(b-1) code is unused.
+  EXPECT_EQ(q.raw_min(), -q.raw_max());
+  EXPECT_EQ(q.saturate(std::int64_t{q.raw_min()} - 1), q.raw_min());
+}
+
+TEST(QFormat, QuantizeDequantizeRoundTripIsExactOnGrid) {
+  // Every representable level must survive quantize(to_double(raw)) == raw
+  // exactly (to_double is a power-of-two scale, so it is lossless).
+  for (const QFormat q : {QFormat(8, 2), QFormat(6, 0), QFormat(4, 1),
+                          QFormat(12, 3), QFormat(16, 4)}) {
+    for (std::int32_t raw = q.raw_min(); raw <= q.raw_max(); ++raw)
+      ASSERT_EQ(q.quantize(q.to_double(raw)), raw) << q.to_string();
+  }
+}
+
+TEST(QFormat, MinMaxAcrossWidths) {
+  EXPECT_EQ(QFormat(2, 0).raw_max(), 1);
+  EXPECT_EQ(QFormat(2, 0).raw_min(), -1);
+  EXPECT_EQ(QFormat(16, 4).raw_max(), 32767);
+  EXPECT_EQ(QFormat(16, 4).raw_min(), -32767);
+  EXPECT_DOUBLE_EQ(QFormat(16, 4).value_max(), 32767.0 / 16.0);
+  EXPECT_DOUBLE_EQ(QFormat(16, 15).lsb(), 1.0 / 32768.0);
+}
+
+TEST(QFormat, NegativeZeroQuantizesToPlusZero) {
+  const QFormat q;
+  const std::int32_t r = q.quantize(-0.0);
+  EXPECT_EQ(r, 0);
+  EXPECT_FALSE(std::signbit(q.to_double(r)));  // +0.0 back out
+  // Values rounding to zero from either side also land on the single zero
+  // level (no negative-zero code exists in two's complement).
+  EXPECT_EQ(q.quantize(-0.124), 0);
+  EXPECT_EQ(q.quantize(0.124), 0);
+}
+
+// ---- Sat<m, f>: the compile-time fixed-point value type ---------------------
+
+TEST(Sat, FormatAndBoundsMatchRuntimeQFormat) {
+  using M = ldpc::fixed::Msg8;  // Sat<8, 2>
+  EXPECT_EQ(M::kRawMax, QFormat(8, 2).raw_max());
+  EXPECT_EQ(M::kRawMin, QFormat(8, 2).raw_min());
+  EXPECT_EQ(M::format(), QFormat(8, 2));
+  EXPECT_DOUBLE_EQ(M::max().to_double(), QFormat(8, 2).value_max());
+}
+
+TEST(Sat, SaturatingArithmeticAtBothRails) {
+  using M = Sat<8, 2>;
+  EXPECT_EQ((M::max() + M::from_raw(1)).raw(), M::kRawMax);
+  EXPECT_EQ((M::min() - M::from_raw(1)).raw(), M::kRawMin);
+  EXPECT_EQ((M::from_raw(100) + M::from_raw(100)).raw(), 127);
+  EXPECT_EQ((M::from_raw(-100) - M::from_raw(100)).raw(), -127);
+  EXPECT_EQ((M::from_raw(50) - M::from_raw(30)).raw(), 20);
+  EXPECT_EQ((-M::min()).raw(), M::kRawMax);  // symmetric: no overflow
+  EXPECT_EQ(abs(M::min()).raw(), M::kRawMax);
+}
+
+TEST(Sat, QuantizeMatchesRuntimeFormatEverywhere) {
+  using M = Sat<6, 1>;
+  const QFormat q(6, 1);
+  for (double v = -20.0; v <= 20.0; v += 0.037)
+    ASSERT_EQ(M::from_double(v).raw(), q.quantize(v)) << v;
+  for (std::int32_t raw = M::kRawMin; raw <= M::kRawMax; ++raw)
+    ASSERT_EQ(M::from_double(M::from_raw(raw).to_double()).raw(), raw);
+}
+
+TEST(Sat, OrderingAndZero) {
+  using M = Sat<8, 2>;
+  EXPECT_TRUE(M::from_raw(-3) < M{});
+  EXPECT_TRUE(M{} < M::from_raw(1));
+  EXPECT_EQ(M{}.raw(), 0);
+  EXPECT_EQ(M::from_double(-0.0).raw(), 0);
+  EXPECT_EQ((-M{}).raw(), 0);  // negative zero collapses to the zero code
 }
 
 }  // namespace

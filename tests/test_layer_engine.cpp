@@ -4,10 +4,12 @@
 // and the batch APIs are bit-identical to per-frame decoding.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "ldpc/arch/decoder_chip.hpp"
 #include "ldpc/codes/registry.hpp"
+#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/layer_engine.hpp"
 #include "ldpc/util/rng.hpp"
 
@@ -200,6 +202,221 @@ TEST(BatchDecode, ChipBatchMatchesPerFrame) {
     EXPECT_EQ(results[static_cast<std::size_t>(f)].stats.cycles,
               single.stats.cycles)
         << f;
+  }
+}
+
+// ---- templated datapaths ----------------------------------------------------
+
+// The compile-time Sat<8,2> instantiation must be bit-exact against the
+// runtime-format engine configured with the same Q5.2 split — this is the
+// lock that keeps the generic siso_row implementation and the int32 SISO
+// cores from drifting apart.
+TEST(TemplatedDatapath, SatEngineMatchesRuntimeFormatEngine) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR34A, 36});
+  for (const core::CnuArch arch :
+       {core::CnuArch::kForwardBackward, core::CnuArch::kSumSubtract}) {
+    for (const core::CnuKernel kernel :
+         {core::CnuKernel::kFullBp, core::CnuKernel::kMinSum}) {
+      core::DecoderConfig cfg{.max_iterations = 4,
+                              .kernel = kernel,
+                              .cnu_arch = arch,
+                              .early_termination = {.enabled = true}};
+      core::LayerEngine runtime(cfg);
+      core::LayerEngineT<fixed::Msg8> compiled(cfg);
+      runtime.reconfigure(code);
+      compiled.reconfigure(code);
+      const auto llr = random_llrs(code, 0x5A7 + static_cast<int>(arch));
+      std::vector<std::int32_t> raw(llr.size());
+      std::vector<fixed::Msg8> sat(llr.size());
+      runtime.quantize(llr, raw);
+      compiled.quantize(llr, sat);
+      for (std::size_t i = 0; i < raw.size(); ++i)
+        ASSERT_EQ(sat[i].raw(), raw[i]);
+      const auto rr = runtime.run(raw);
+      const auto rs = compiled.run(sat);
+      EXPECT_EQ(rs.bits, rr.bits);
+      EXPECT_EQ(rs.iterations, rr.iterations);
+      EXPECT_EQ(rs.early_terminated, rr.early_terminated);
+      EXPECT_EQ(rs.datapath_cycles, rr.datapath_cycles);
+    }
+  }
+}
+
+TEST(TemplatedDatapath, FloatEngineDecodesAndOutperformsNarrowQuantization) {
+  // The float reference must at least decode a clean high-SNR frame; a
+  // fine-grained BER comparison lives in bench/quantization_sweep.
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  core::FloatLayerEngine engine({.max_iterations = 10});
+  engine.reconfigure(code);
+  // All-zeros codeword, strong LLRs with a few weak spots.
+  std::vector<double> llr(static_cast<std::size_t>(code.n()), 6.0);
+  for (std::size_t i = 0; i < llr.size(); i += 17) llr[i] = -0.4;
+  std::vector<double> v(llr.size());
+  engine.quantize(llr, v);
+  const auto r = engine.run(v);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(std::all_of(r.bits.begin(), r.bits.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(TemplatedDatapath, FloatDatapathConfigSelectsFloatEngine) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWlan80211n, codes::Rate::kR12, 27});
+  core::ReconfigurableDecoder dec(
+      code, {.max_iterations = 10,
+             .datapath = core::Datapath::kFloat});
+  core::FloatLayerEngine engine({.max_iterations = 10});
+  engine.reconfigure(code);
+  const auto llr = random_llrs(code, 99);
+  std::vector<double> v(llr.size());
+  engine.quantize(llr, v);
+  EXPECT_EQ(dec.decode(llr).bits, engine.run(v).bits);
+  // decode_raw dequantises so canned fixed-point frames drive this path.
+  std::vector<std::int32_t> raw(llr.size(), 4);  // +1.0 in Q5.2
+  const auto rr = dec.decode_raw(raw);
+  EXPECT_EQ(rr.bits, std::vector<std::uint8_t>(llr.size(), 0));
+}
+
+TEST(TemplatedDatapath, ChipRejectsFloatConfig) {
+  EXPECT_THROW(
+      arch::DecoderChip({}, {.datapath = core::Datapath::kFloat}),
+      std::invalid_argument);
+}
+
+// ---- the SoA batched min-sum kernel -----------------------------------------
+
+TEST(BatchEngine, RejectsUnsupportedConfigs) {
+  EXPECT_THROW(core::BatchEngine({.kernel = core::CnuKernel::kFullBp}),
+               std::invalid_argument);
+  EXPECT_THROW(core::BatchEngine({.kernel = core::CnuKernel::kMinSum,
+                                  .datapath = core::Datapath::kFloat}),
+               std::invalid_argument);
+  EXPECT_THROW(core::BatchEngine({.max_iterations = 0,
+                                  .kernel = core::CnuKernel::kMinSum}),
+               std::invalid_argument);
+}
+
+// Lockstep equivalence across every lane-occupancy shape, including the
+// ragged tails: the batched kernel must be bit-identical to scalar
+// per-frame decoding for ANY frame count, not just full lanes.
+TEST(BatchEngine, RaggedBatchesMatchScalarBitExactly) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 48});
+  const core::DecoderConfig cfg{.max_iterations = 6,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .early_termination = {.enabled = true},
+                                .stop_on_codeword = true};
+  core::BatchEngine batch(cfg);
+  batch.reconfigure(code);
+  core::LayerEngine scalar(cfg);
+  scalar.reconfigure(code);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  for (const int frames : {1, 2, core::BatchEngine::kLanes - 1,
+                           core::BatchEngine::kLanes}) {
+    std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+    for (int f = 0; f < frames; ++f) {
+      const auto one =
+          random_llrs(code, 7000 + static_cast<std::uint64_t>(frames) * 100 +
+                                static_cast<std::uint64_t>(f));
+      std::copy(one.begin(), one.end(),
+                llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                   static_cast<std::ptrdiff_t>(n));
+    }
+    std::vector<core::FixedDecodeResult> results(
+        static_cast<std::size_t>(frames));
+    batch.decode(llrs, {}, results);
+    std::vector<std::int32_t> raw(n);
+    for (int f = 0; f < frames; ++f) {
+      scalar.quantize(
+          std::span<const double>(llrs).subspan(
+              static_cast<std::size_t>(f) * n, n),
+          raw);
+      const auto single = scalar.run(raw);
+      const auto& b = results[static_cast<std::size_t>(f)];
+      ASSERT_EQ(b.bits, single.bits) << frames << ":" << f;
+      EXPECT_EQ(b.iterations, single.iterations) << frames << ":" << f;
+      EXPECT_EQ(b.converged, single.converged) << frames << ":" << f;
+      EXPECT_EQ(b.early_terminated, single.early_terminated)
+          << frames << ":" << f;
+      EXPECT_EQ(b.datapath_cycles, single.datapath_cycles)
+          << frames << ":" << f;
+    }
+  }
+}
+
+// decode_batch() on a min-sum decoder routes through the SoA kernel; a
+// batch larger than kLanes with a ragged tail (N not divisible by the SIMD
+// width) must still be bit-identical to per-frame decoding.
+TEST(BatchDecode, RaggedTailBatchMatchesPerFrameMinSum) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWlan80211n, codes::Rate::kR23, 54});
+  const core::DecoderConfig cfg{.max_iterations = 5,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .stop_on_codeword = true};
+  core::ReconfigurableDecoder batch_dec(code, cfg);
+  core::ReconfigurableDecoder frame_dec(code, cfg);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = core::BatchEngine::kLanes + 5;  // full chunk + tail
+  std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 300 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                 static_cast<std::ptrdiff_t>(n));
+  }
+  const auto results = batch_dec.decode_batch(llrs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto single = frame_dec.decode(
+        std::span<const double>(llrs).subspan(
+            static_cast<std::size_t>(f) * n, n));
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].bits, single.bits) << f;
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].iterations,
+              single.iterations)
+        << f;
+  }
+}
+
+// Chip batched min-sum path: functional results AND per-frame hardware
+// stats (from the observer replay) must match per-frame decoding.
+TEST(BatchDecode, ChipMinSumBatchMatchesPerFrameWithStats) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR56, 96});
+  const core::DecoderConfig cfg{.max_iterations = 4,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .early_termination = {.enabled = true}};
+  arch::DecoderChip batch_chip({}, cfg);
+  arch::DecoderChip frame_chip({}, cfg);
+  batch_chip.configure(code);
+  frame_chip.configure(code);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = core::BatchEngine::kLanes + 3;
+  std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 900 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                 static_cast<std::ptrdiff_t>(n));
+  }
+  const auto results = batch_chip.decode_batch(llrs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto single = frame_chip.decode(
+        std::span<const double>(llrs).subspan(
+            static_cast<std::size_t>(f) * n, n));
+    const auto& b = results[static_cast<std::size_t>(f)];
+    EXPECT_EQ(b.functional.bits, single.functional.bits) << f;
+    EXPECT_EQ(b.functional.iterations, single.functional.iterations) << f;
+    EXPECT_EQ(b.stats.cycles, single.stats.cycles) << f;
+    EXPECT_EQ(b.stats.l_mem_reads, single.stats.l_mem_reads) << f;
+    EXPECT_EQ(b.stats.l_mem_writes, single.stats.l_mem_writes) << f;
+    EXPECT_EQ(b.stats.lambda_reads, single.stats.lambda_reads) << f;
+    EXPECT_EQ(b.stats.shifter_words, single.stats.shifter_words) << f;
   }
 }
 

@@ -275,6 +275,63 @@ TEST(ParallelSimulator, WorkerExceptionPropagates) {
   EXPECT_THROW(s.run_point(2.0), std::runtime_error);
 }
 
+// The batched worker path (SoA min-sum kernel filling its lanes) must
+// produce statistics bit-identical to single-frame decoding with the same
+// arithmetic, for any batch size and thread count — the ordered fold and
+// counter-based substreams make chunk claiming invisible.
+TEST(ParallelSimulator, BatchedStatsMatchSingleFrame) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  const core::DecoderConfig dc{.kernel = core::CnuKernel::kMinSum,
+                               .stop_on_codeword = true};
+  auto cfg = quick_config();
+  cfg.min_frames = 20;
+  cfg.max_frames = 200;
+  cfg.target_frame_errors = 8;  // adaptive stop fires mid-run at 1 dB
+  const auto ref =
+      sim::Simulator(code, sim::fixed_decoder_factory(code, dc), cfg)
+          .run_point(1.0);
+  EXPECT_GT(ref.info_errors.frame_errors(), 0u);
+
+  for (const int batch : {0, 1, 5}) {       // 0 = kernel-native width
+    for (const int threads : {1, 3}) {
+      sim::SimConfig bc = cfg;
+      bc.batch = batch;
+      bc.threads = threads;
+      const auto p =
+          sim::Simulator(code, sim::batched_fixed_decoder_factory(code, dc),
+                         bc)
+              .run_point(1.0);
+      EXPECT_EQ(p.frames, ref.frames) << batch << "/" << threads;
+      EXPECT_EQ(p.info_errors.bit_errors(), ref.info_errors.bit_errors())
+          << batch << "/" << threads;
+      EXPECT_EQ(p.info_errors.frame_errors(),
+                ref.info_errors.frame_errors())
+          << batch << "/" << threads;
+      EXPECT_EQ(p.iterations.mean(), ref.iterations.mean())
+          << batch << "/" << threads;
+      EXPECT_EQ(p.undetected_errors, ref.undetected_errors)
+          << batch << "/" << threads;
+    }
+  }
+}
+
+TEST(ParallelSimulator, BatchedFactoryValidation) {
+  const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
+                                      24});
+  EXPECT_THROW(sim::Simulator(code, sim::BatchDecoderFactory{},
+                              quick_config()),
+               std::invalid_argument);
+  auto neg = quick_config();
+  neg.batch = -1;
+  EXPECT_THROW(
+      sim::Simulator(code,
+                     sim::batched_fixed_decoder_factory(
+                         code, {.kernel = core::CnuKernel::kMinSum}),
+                     neg),
+      std::invalid_argument);
+}
+
 TEST(Simulator, InvalidConfigThrows) {
   const auto code = codes::make_code({Standard::kWimax80216e, Rate::kR12,
                                       24});
