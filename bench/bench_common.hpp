@@ -21,16 +21,22 @@ struct Options {
   /// Simulation worker threads (0 = hardware concurrency). Monte-Carlo
   /// results are bit-identical for any value; it only changes wall-clock.
   int threads = 0;
+  /// Optional standard filter (wimax|wlan|dmbt|nr|all); "" = the bench's
+  /// default selection. Used by the mode-sweep benches (and CI smoke runs
+  /// that pin one standard).
+  std::string standard;
 };
 
 inline Options parse(int argc, char** argv) {
   const ldpc::util::Args args(argc, argv,
-                              {"csv", "frames", "seed", "threads"});
+                              {"csv", "frames", "seed", "threads",
+                               "standard"});
   Options opt;
   opt.csv = args.get_or("csv", false);
   opt.frames = args.get_or("frames", 0LL);
   opt.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
   opt.threads = static_cast<int>(args.get_or("threads", 0LL));
+  opt.standard = args.get_or("standard", std::string{});
   return opt;
 }
 

@@ -11,6 +11,7 @@
 #include "ldpc/core/decoder.hpp"
 #include "ldpc/core/siso.hpp"
 #include "ldpc/enc/encoder.hpp"
+#include "ldpc/sim/simulator.hpp"
 
 namespace {
 
@@ -169,6 +170,56 @@ void BM_MinSumBatchedDecode(benchmark::State& state) {
                           fx.code.k_info());
 }
 BENCHMARK(BM_MinSumBatchedDecode);
+
+// ---- 5G NR workload (punctured + rate-matched transmission) -----------------
+// BG1 at z = 96: transmitted frames are E = n - 2z LLRs; the decode path
+// includes the LLR deposit (puncturing erasures) on every frame.
+
+struct NrDecodeFixture {
+  codes::QCCode code = codes::make_code(
+      {codes::Standard::kNr5g, codes::Rate::kR13, 96});
+  std::vector<double> llr;   // one transmitted frame (E LLRs), ~2.5 dB
+  std::vector<double> llrs;  // kLanes frames back to back
+
+  NrDecodeFixture() {
+    auto encoder = enc::make_encoder(code);
+    util::Xoshiro256 rng(13);
+    const double sigma = channel::ebn0_to_sigma(
+        2.5, code.effective_rate(), channel::Modulation::kBpsk);
+    std::vector<std::uint8_t> info(
+        static_cast<std::size_t>(code.payload_bits()));
+    for (int f = 0; f < core::BatchEngine::kLanes; ++f) {
+      enc::random_bits(rng, info);
+      const auto cw = encoder->encode(info);
+      const auto one = sim::transmit_llrs(code, cw,
+                                          channel::Modulation::kBpsk,
+                                          sigma, rng);
+      if (f == 0) llr = one;
+      llrs.insert(llrs.end(), one.begin(), one.end());
+    }
+  }
+};
+
+void BM_NrFixedDecode(benchmark::State& state) {
+  NrDecodeFixture fx;
+  core::ReconfigurableDecoder dec(fx.code,
+                                  {.kernel = core::CnuKernel::kMinSum,
+                                   .stop_on_codeword = true});
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(fx.llr));
+  state.SetItemsProcessed(state.iterations() * fx.code.payload_bits());
+}
+BENCHMARK(BM_NrFixedDecode);
+
+void BM_NrBatchedDecode(benchmark::State& state) {
+  NrDecodeFixture fx;
+  core::ReconfigurableDecoder dec(fx.code,
+                                  {.kernel = core::CnuKernel::kMinSum,
+                                   .stop_on_codeword = true});
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode_batch(fx.llrs));
+  state.SetItemsProcessed(state.iterations() * core::BatchEngine::kLanes *
+                          fx.code.payload_bits());
+}
+BENCHMARK(BM_NrBatchedDecode);
 
 void BM_FloatEngineDecode2304(benchmark::State& state) {
   DecodeFixture fx;

@@ -1,8 +1,11 @@
 // Reproduces the section III-E throughput analysis across every 802.11n
-// and 802.16e mode: the closed-form pipelined throughput
+// and 802.16e mode (--standard wimax|wlan|dmbt|nr|all selects others,
+// e.g. the 5G NR BG1/BG2 workload): the closed-form pipelined throughput
 // T = 2 k z R f / (E I) and the cycle-accurate model including pipeline
 // stalls and the circular-shifter latency (the paper's "5-15%"
 // degradation), at 450 MHz and 10 iterations.
+#include <stdexcept>
+
 #include "bench_common.hpp"
 #include "ldpc/arch/throughput.hpp"
 #include "ldpc/codes/registry.hpp"
@@ -14,8 +17,15 @@ int main(int argc, char** argv) {
   const double f_clk = 450e6;
   const int iters = 10;
 
-  for (auto standard :
-       {codes::Standard::kWimax80216e, codes::Standard::kWlan80211n}) {
+  std::vector<codes::Standard> standards{codes::Standard::kWimax80216e,
+                                         codes::Standard::kWlan80211n};
+  if (opt.standard == "all")
+    standards = {codes::Standard::kWimax80216e, codes::Standard::kWlan80211n,
+                 codes::Standard::kDmbT, codes::Standard::kNr5g};
+  else if (!opt.standard.empty())
+    standards = {codes::parse_standard(opt.standard)};
+
+  for (auto standard : standards) {
     util::Table t("Throughput @450 MHz, 10 iterations — " +
                   to_string(standard));
     t.header({"mode", "formula Mbps", "modeled Mbps", "degradation",

@@ -1,19 +1,26 @@
 // alist_tool: export any registered code to MacKay alist format, import an
-// external alist matrix and analyse it, or regenerate the golden-vector
-// regression data locked by tests/test_golden.cpp.
+// external alist matrix and analyse it, list the registered mode set, or
+// regenerate the golden-vector regression data locked by
+// tests/test_golden.cpp.
 //
 //   ./alist_tool export --standard wimax --rate 1/2 --z 96 > h2304.alist
 //   ./alist_tool import h2304.alist [--z 96]
-//   ./alist_tool golden --out tests/data/golden_minsum.txt
+//   ./alist_tool modes [--standard nr]
+//   ./alist_tool golden --outdir tests/data
 //
 // Import prints the matrix profile (dimensions, degree distributions) and
 // attempts QC reconstruction when --z is given, so externally generated
 // matrices can be brought into the registry-independent decoding path.
-// Golden writes, for EVERY registered mode, one canned quantised LLR frame
-// (a real encode -> BPSK -> AWGN -> demap chain, deterministically seeded)
-// plus the expected hard decisions of the fixed-point and float min-sum
-// datapaths; the regression suite decodes the frames through the scalar
-// fixed, batched-fixed (SoA) and float engines and asserts bit-exactness.
+// Modes lists every registered CodeId (standard, rate, z, n, payload,
+// transmission scheme) so the expanded multi-standard mode set is
+// discoverable. Golden writes, per standard, one file
+// golden_<slug>.txt holding, for EVERY registered mode of that standard
+// (plus the shared NR rate-matched cases), one canned quantised LLR frame
+// (a real encode -> transmit chain -> AWGN -> demap -> deposit, including
+// puncturing/fillers/rate matching, deterministically seeded) plus the
+// expected hard decisions of the fixed-point and float min-sum datapaths;
+// the regression suite decodes the frames through the scalar fixed,
+// batched-fixed (SoA), chip and float engines and asserts bit-exactness.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -24,88 +31,158 @@
 #include "ldpc/core/golden.hpp"
 #include "ldpc/core/layer_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
+#include "ldpc/sim/simulator.hpp"
 #include "ldpc/util/args.hpp"
 #include "ldpc/util/rng.hpp"
+#include "ldpc/util/table.hpp"
 
 using namespace ldpc;
 
 namespace {
 
 // ---- golden-vector regeneration --------------------------------------------
-// The decode configuration and bit packing are shared with
-// tests/test_golden.cpp through ldpc/core/golden.hpp — one definition of
-// the generator/checker contract.
+// The decode configuration, file split, rate-matched case list and bit
+// packing are shared with tests/test_golden.cpp through
+// ldpc/core/golden.hpp — one definition of the generator/checker contract.
+
+void write_golden_entry(std::ostream& out, const codes::QCCode& code,
+                        std::uint64_t seed, double ebn0_db) {
+  const core::DecoderConfig cfg = core::golden::config();
+  util::Xoshiro256 rng(seed);
+
+  std::vector<std::uint8_t> info(
+      static_cast<std::size_t>(code.payload_bits()));
+  enc::random_bits(rng, info);
+  const auto cw = enc::make_encoder(code)->encode(info);
+  const double sigma = channel::ebn0_to_sigma(
+      ebn0_db, code.effective_rate(), channel::Modulation::kBpsk);
+  const auto llr =
+      sim::transmit_llrs(code, cw, channel::Modulation::kBpsk, sigma, rng);
+
+  // The stored frame is the POST-deposit raw codes (size n): puncturing,
+  // fillers and repetition combining already applied, so every datapath
+  // consumes the identical memory image.
+  core::LayerEngine fixed_engine(cfg);
+  fixed_engine.reconfigure(code);
+  std::vector<std::int32_t> raw(static_cast<std::size_t>(code.n()));
+  fixed_engine.deposit(llr, raw);
+  const auto fixed_result = fixed_engine.run(raw);
+
+  core::FloatLayerEngine float_engine(cfg);
+  float_engine.reconfigure(code);
+  std::vector<double> deq(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    deq[i] = raw[i] * cfg.format.lsb();
+  const auto float_result = float_engine.run(deq);
+
+  out << "mode " << code.name() << " n " << code.n() << "\nraw";
+  for (std::int32_t r : raw) out << ' ' << r;
+  out << "\nfixed " << core::golden::bits_to_hex(fixed_result.bits)
+      << "\nfloat " << core::golden::bits_to_hex(float_result.bits) << "\n";
+}
+
+/// Deterministic per-mode seed from the mode identity (stable under
+/// registry reordering).
+std::uint64_t golden_seed(const codes::CodeId& id) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(id.standard) << 40) ^
+                            (static_cast<std::uint64_t>(id.rate) << 32) ^
+                            static_cast<std::uint64_t>(id.z);
+  return util::substream_seed(0xD1CE'60'1DULL, key);
+}
 
 int do_golden(const util::Args& args) {
-  std::ofstream file;
-  std::ostream* out = &std::cout;
-  if (args.has("out")) {
-    file.open(*args.get("out"));
-    if (!file) {
-      std::cerr << "cannot open " << *args.get("out") << "\n";
-      return 2;
-    }
-    out = &file;
-  }
+  const std::string outdir = args.get_or("outdir", std::string{});
   const double ebn0_db = args.get_or("ebn0", 2.0);
-  const core::DecoderConfig cfg = core::golden::config();
+  std::size_t entries = 0;
 
-  *out << "# golden vectors v1: per registered mode, one quantised LLR "
-          "frame (Q5.2 raw codes)\n"
-          "# and the expected hard decisions of the fixed and float "
-          "min-sum datapaths\n"
-          "# (5 iterations, no early termination). Regenerate with:\n"
-          "#   alist_tool golden --out tests/data/golden_minsum.txt\n";
-  for (const codes::CodeId& id : codes::all_modes()) {
-    const auto code = codes::make_code(id);
-    // Deterministic per-mode seed from the mode identity (stable under
-    // registry reordering).
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(id.standard) << 40) ^
-        (static_cast<std::uint64_t>(id.rate) << 32) ^
-        static_cast<std::uint64_t>(id.z);
-    util::Xoshiro256 rng(util::substream_seed(0xD1CE'60'1DULL, key));
-
-    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
-    enc::random_bits(rng, info);
-    const auto cw = enc::make_encoder(code)->encode(info);
-    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
-    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
-                                                channel::Modulation::kBpsk);
-    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
-    const auto llr = channel::demap_llr(mod, sigma);
-
-    core::LayerEngine fixed_engine(cfg);
-    fixed_engine.reconfigure(code);
-    std::vector<std::int32_t> raw(llr.size());
-    fixed_engine.quantize(llr, raw);
-    const auto fixed_result = fixed_engine.run(raw);
-
-    core::FloatLayerEngine float_engine(cfg);
-    float_engine.reconfigure(code);
-    std::vector<double> deq(raw.size());
-    for (std::size_t i = 0; i < raw.size(); ++i)
-      deq[i] = raw[i] * cfg.format.lsb();
-    const auto float_result = float_engine.run(deq);
-
-    *out << "mode " << to_string(id) << " n " << code.n() << "\nraw";
-    for (std::int32_t r : raw) *out << ' ' << r;
-    *out << "\nfixed " << core::golden::bits_to_hex(fixed_result.bits)
-         << "\nfloat " << core::golden::bits_to_hex(float_result.bits)
-         << "\n";
+  for (const codes::Standard standard :
+       {codes::Standard::kWlan80211n, codes::Standard::kWimax80216e,
+        codes::Standard::kDmbT, codes::Standard::kNr5g}) {
+    const std::string slug = core::golden::standard_slug(standard);
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (!outdir.empty()) {
+      file.open(outdir + "/golden_" + slug + ".txt");
+      if (!file) {
+        std::cerr << "cannot open " << outdir << "/golden_" << slug
+                  << ".txt\n";
+        return 2;
+      }
+      out = &file;
+    }
+    *out << "# golden vectors v1 — " << to_string(standard)
+         << ": per registered mode, one quantised LLR frame (Q5.2 raw "
+            "codes,\n"
+            "# post-deposit: puncturing/fillers/rate-matching applied) and "
+            "the expected hard\n"
+            "# decisions of the fixed and float min-sum datapaths (5 "
+            "iterations, no early\n"
+            "# termination). Regenerate with:\n"
+            "#   alist_tool golden --outdir tests/data\n";
+    for (const codes::CodeId& id : codes::all_modes(standard)) {
+      write_golden_entry(*out, codes::make_code(id), golden_seed(id),
+                         ebn0_db);
+      ++entries;
+    }
+    if (standard == codes::Standard::kNr5g) {
+      // Rate-matched coverage shared with the checker: E != sendable and
+      // filler cases on top of the registered full-transmission modes.
+      for (const auto& c : core::golden::nr_rate_matched_cases()) {
+        const auto code = codes::make_nr_code(c.rate, c.z,
+                                              c.transmitted_bits,
+                                              c.filler_bits);
+        const std::uint64_t seed = util::substream_seed(
+            golden_seed({standard, c.rate, c.z}),
+            0xE000'0000ULL ^
+                (static_cast<std::uint64_t>(c.transmitted_bits) << 8) ^
+                static_cast<std::uint64_t>(c.filler_bits));
+        write_golden_entry(*out, code, seed, ebn0_db);
+        ++entries;
+      }
+    }
+    if (!outdir.empty())
+      std::cerr << "wrote golden_" << slug << ".txt\n";
   }
-  std::cerr << "wrote golden vectors for " << codes::all_modes().size()
-            << " modes\n";
+  std::cerr << "wrote golden vectors for " << entries << " modes\n";
+  return 0;
+}
+
+// ---- mode listing -----------------------------------------------------------
+
+int do_modes(const util::Args& args) {
+  const std::string filter = args.get_or("standard", std::string{});
+  util::Table t("registered modes");
+  t.header({"standard", "rate", "z", "n", "payload", "scheme"});
+  std::size_t count = 0;
+  for (const codes::CodeId& id : codes::all_modes()) {
+    if (!filter.empty() &&
+        id.standard != codes::parse_standard(filter))
+      continue;
+    const auto code = codes::make_code(id);
+    const auto& s = code.scheme();
+    // No commas: the scheme cell must survive --csv unquoted.
+    std::string scheme = "full codeword";
+    if (!s.is_degenerate())
+      scheme = "punct " + std::to_string(s.punctured_block_cols) +
+               " cols E=" + std::to_string(code.transmitted_bits()) +
+               (s.filler_bits ? " F=" + std::to_string(s.filler_bits)
+                              : std::string{});
+    t.row({to_string(id.standard), to_string(id.rate),
+           std::to_string(id.z), std::to_string(code.n()),
+           std::to_string(code.payload_bits()), scheme});
+    ++count;
+  }
+  if (args.get_or("csv", false))
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+  std::cerr << count << " modes\n";
   return 0;
 }
 
 int do_export(const util::Args& args) {
-  const std::string std_name = args.get_or("standard", std::string{"wimax"});
-  const codes::Standard standard =
-      std_name == "wlan"
-          ? codes::Standard::kWlan80211n
-          : (std_name == "dmbt" ? codes::Standard::kDmbT
-                                : codes::Standard::kWimax80216e);
+  const codes::Standard standard = codes::parse_standard(
+      args.get_or("standard", std::string{"wimax"}));
   codes::Rate rate = codes::supported_rates(standard).front();
   const std::string rate_name = args.get_or("rate", to_string(rate));
   for (codes::Rate r : codes::supported_rates(standard))
@@ -171,14 +248,17 @@ int do_import(const util::Args& args) {
 int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
-                          {"standard", "rate", "z", "out", "ebn0"});
+                          {"standard", "rate", "z", "out", "outdir",
+                           "ebn0", "csv"});
     if (!args.positional().empty() && args.positional()[0] == "export")
       return do_export(args);
     if (!args.positional().empty() && args.positional()[0] == "import")
       return do_import(args);
     if (!args.positional().empty() && args.positional()[0] == "golden")
       return do_golden(args);
-    std::cerr << "usage: alist_tool export|import|golden [...]\n";
+    if (!args.positional().empty() && args.positional()[0] == "modes")
+      return do_modes(args);
+    std::cerr << "usage: alist_tool export|import|modes|golden [...]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

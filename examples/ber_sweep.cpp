@@ -1,6 +1,6 @@
 // BER/FER curve tool: sweep Eb/N0 for any registered mode and decoder.
 //
-//   ./ber_sweep --standard wimax --rate 1/2 --z 96
+//   ./ber_sweep --standard wimax|wlan|dmbt|nr --rate 1/2 --z 96
 //               --from 1.0 --to 3.0 --step 0.5
 //               --decoder fixed|minsum|batched|floatengine|float|flooding
 //               [--qbits 8 --qfrac 2] [--iters 10] [--frames 100]
@@ -47,15 +47,14 @@ int main(int argc, char** argv) {
                           {"standard", "rate", "z", "from", "to", "step",
                            "decoder", "iters", "frames", "csv", "seed",
                            "threads", "qbits", "qfrac"});
-    const std::string std_name =
-        args.get_or("standard", std::string{"wimax"});
-    const codes::Standard standard =
-        std_name == "wlan"
-            ? codes::Standard::kWlan80211n
-            : (std_name == "dmbt" ? codes::Standard::kDmbT
-                                  : codes::Standard::kWimax80216e);
-    const codes::Rate rate =
-        parse_rate(args.get_or("rate", std::string{"1/2"}), standard);
+    const codes::Standard standard = codes::parse_standard(
+        args.get_or("standard", std::string{"wimax"}));
+    // Default rate: the standard's first supported one (1/2 for WiMax,
+    // 1/3 = BG1 for NR).
+    const codes::Rate rate = parse_rate(
+        args.get_or("rate", to_string(codes::supported_rates(standard)
+                                          .front())),
+        standard);
     const int z = static_cast<int>(args.get_or(
         "z", (long long)codes::supported_z(standard).back()));
     const int iters = static_cast<int>(args.get_or("iters", 10LL));

@@ -2,7 +2,8 @@
 //
 // A single DecoderChip instance serves an interleaved stream of frame
 // bursts from different standards and modes — 802.16e rate 1/2, 802.11n
-// rate 3/4, 802.16e rate 5/6 — reconfiguring dynamically between bursts
+// rate 3/4, 802.16e rate 5/6, 5G NR BG1 (punctured, rate-matched
+// transmission) — reconfiguring dynamically between bursts
 // like a 4G handset switching networks, while tracking per-mode statistics
 // and the power saved by deactivating unused SISO lanes. Each burst is
 // decoded through the chip's batch API: one reconfiguration amortised over
@@ -16,6 +17,7 @@
 #include "ldpc/codes/registry.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/power/power_model.hpp"
+#include "ldpc/sim/simulator.hpp"
 #include "ldpc/util/args.hpp"
 #include "ldpc/util/stats.hpp"
 #include "ldpc/util/table.hpp"
@@ -50,9 +52,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The traffic mix: a WiMax data burst, a WLAN frame, a high-rate burst.
+  // The traffic mix: a WiMax data burst, a WLAN frame, a high-rate burst,
+  // and a 5G NR slot (BG1, always-punctured first columns, transmitted
+  // length E < n).
   std::vector<Mode> modes;
-  modes.reserve(3);  // encoders reference their Mode's code: no relocation
+  modes.reserve(4);  // encoders reference their Mode's code: no relocation
   modes.emplace_back(
       codes::CodeId{codes::Standard::kWimax80216e, codes::Rate::kR12, 96},
       base_snr);
@@ -62,39 +66,46 @@ int main(int argc, char** argv) {
   modes.emplace_back(
       codes::CodeId{codes::Standard::kWimax80216e, codes::Rate::kR56, 24},
       base_snr + 2.5);
+  modes.emplace_back(
+      codes::CodeId{codes::Standard::kNr5g, codes::Rate::kR13, 96},
+      base_snr);
 
+  // Universal dimensions: the paper chip's architecture scaled to host
+  // every registered standard (NR BG1 needs 68 block columns, z <= 384).
   arch::DecoderChip chip(
-      {}, {.max_iterations = 10,
-           .early_termination = {.enabled = true, .threshold_raw = 8}});
+      arch::ChipDimensions::universal(),
+      {.max_iterations = 10,
+       .early_termination = {.enabled = true, .threshold_raw = 8}});
   const power::PowerModel pwr(450.0, 1.0);
 
   std::cout << "streaming " << rounds << " rounds of " << burst
-            << "-frame bursts across 3 standards/modes on one chip...\n\n";
+            << "-frame bursts across 4 standards/modes on one chip...\n\n";
   for (int round = 0; round < rounds; ++round) {
     for (auto& mode : modes) {
       // Dynamic reconfiguration (the chip re-programs its layer schedule
       // and gates unused SISO lanes) — once per burst, not per frame.
       chip.configure(mode.code);
 
-      const auto n = static_cast<std::size_t>(mode.code.n());
+      // Frames travel at the transmitted length (= n for the classic
+      // standards; E with puncturing for NR).
+      const auto tx = static_cast<std::size_t>(mode.code.transmitted_bits());
       const double sigma = channel::ebn0_to_sigma(
-          mode.snr_db, mode.code.rate(), channel::Modulation::kBpsk);
-      const channel::AwgnChannel chan(sigma);
+          mode.snr_db, mode.code.effective_rate(),
+          channel::Modulation::kBpsk);
 
       std::vector<std::uint8_t> info(
-          static_cast<std::size_t>(mode.code.k_info()));
+          static_cast<std::size_t>(mode.code.payload_bits()));
       std::vector<std::vector<std::uint8_t>> sent(
           static_cast<std::size_t>(burst));
-      std::vector<double> llrs(n * static_cast<std::size_t>(burst));
+      std::vector<double> llrs(tx * static_cast<std::size_t>(burst));
       for (int f = 0; f < burst; ++f) {
         enc::random_bits(rng, info);
         sent[static_cast<std::size_t>(f)] = mode.encoder->encode(info);
-        auto frame = channel::modulate(sent[static_cast<std::size_t>(f)],
-                                       channel::Modulation::kBpsk);
-        chan.transmit(frame.samples, rng);
-        const auto llr = channel::demap_llr(frame, sigma);
+        const auto llr =
+            sim::transmit_llrs(mode.code, sent[static_cast<std::size_t>(f)],
+                               channel::Modulation::kBpsk, sigma, rng);
         std::copy(llr.begin(), llr.end(),
-                  llrs.begin() + static_cast<std::ptrdiff_t>(f * n));
+                  llrs.begin() + static_cast<std::ptrdiff_t>(f * tx));
       }
 
       const auto results = chip.decode_batch(llrs);

@@ -45,7 +45,8 @@ struct ChipDimensions {
   bool fits(const codes::QCCode& code) const;
 
   /// Dimensions able to host every registered mode of all standards
-  /// (covers DMB-T's k = 60, j up to 36, z = 127).
+  /// (covers DMB-T's k = 60 / z = 127 and NR BG1's k = 68 / j = 46 /
+  /// z = 384).
   static ChipDimensions universal();
 };
 

@@ -12,7 +12,9 @@ bool ChipDimensions::fits(const codes::QCCode& code) const {
 }
 
 ChipDimensions ChipDimensions::universal() {
-  return {.z_max = 127, .block_cols_max = 60, .layers_max = 48,
+  // Hosts every registered mode of every standard: DMB-T's k = 60 / j up
+  // to 36 / z = 127, and NR BG1's k = 68 / j = 46 / z up to 384.
+  return {.z_max = 384, .block_cols_max = 68, .layers_max = 48,
           .row_degree_max = 32};
 }
 
@@ -63,19 +65,21 @@ const codes::QCCode& DecoderChip::code() const {
 
 ChipDecodeResult DecoderChip::decode(std::span<const double> llr) {
   if (!code_) throw std::logic_error("DecoderChip: not configured");
-  if (llr.size() != static_cast<std::size_t>(code_->n()))
+  if (llr.size() != static_cast<std::size_t>(code_->transmitted_bits()))
     throw std::invalid_argument("DecoderChip::decode: llr size");
-  engine_.quantize(llr, raw_);
+  engine_.deposit(llr, raw_);
   return decode_quantized();
 }
 
 std::vector<ChipDecodeResult> DecoderChip::decode_batch(
     std::span<const double> llrs) {
   if (!code_) throw std::logic_error("DecoderChip: not configured");
-  const auto n = static_cast<std::size_t>(code_->n());
-  if (llrs.empty() || llrs.size() % n != 0)
+  // Frames arrive at the transmitted length (= n for the classic
+  // standards); each decode path runs the shared LLR deposit.
+  const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
+  if (llrs.empty() || llrs.size() % tx != 0)
     throw std::invalid_argument("DecoderChip::decode_batch: llrs size");
-  const std::size_t frames = llrs.size() / n;
+  const std::size_t frames = llrs.size() / tx;
   std::vector<ChipDecodeResult> results;
   results.reserve(frames);
   if (engine_.config().kernel == core::CnuKernel::kMinSum &&
@@ -92,7 +96,7 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
     while (f < frames) {
       const std::size_t count = std::min(
           frames - f, static_cast<std::size_t>(core::BatchEngine::kLanes));
-      batch_engine_->decode(llrs.subspan(f * n, count * n), order_,
+      batch_engine_->decode(llrs.subspan(f * tx, count * tx), order_,
                             std::span<core::FixedDecodeResult>(chunk.data(),
                                                                count));
       for (std::size_t i = 0; i < count; ++i)
@@ -102,7 +106,7 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
     return results;
   }
   for (std::size_t f = 0; f < frames; ++f) {
-    engine_.quantize(llrs.subspan(f * n, n), raw_);
+    engine_.deposit(llrs.subspan(f * tx, tx), raw_);
     results.push_back(decode_quantized());
   }
   return results;

@@ -21,6 +21,37 @@ struct BlockEntry {
   int shift = 0;      // cyclic shift x in [0, z)
 };
 
+/// How a codeword maps onto the channel. 5G NR LDPC (TS 38.212) never
+/// transmits the first two block columns (they are recovered from their
+/// high check degree), pads the information part with known-zero filler
+/// bits, and rate-matches the remaining "sendable" bits to an arbitrary
+/// transmitted length E by circular-buffer wraparound (E < sendable drops
+/// a tail; E > sendable repeats bits, whose LLRs accumulate at the
+/// receiver). The 2008-era standards are the degenerate scheme: nothing
+/// punctured, no fillers, E = n.
+struct TransmissionScheme {
+  /// First `punctured_block_cols` block columns are never transmitted
+  /// (their channel LLR is an exact zero — an erasure, not a weak bit).
+  int punctured_block_cols = 0;
+  /// Known-zero bits occupying the tail of the information part,
+  /// positions [k_info - filler_bits, k_info). Not transmitted; the
+  /// decoder pins them to the strongest positive LLR.
+  int filler_bits = 0;
+  /// Rate-matched transmission length E. 0 means "every sendable bit
+  /// exactly once" (E = n - punctured - fillers).
+  int transmitted_bits = 0;
+
+  /// True for the classic full-codeword transmission (802.11n / 802.16e /
+  /// DMB-T): every datapath behaves exactly as before the scheme existed.
+  bool is_degenerate() const noexcept {
+    return punctured_block_cols == 0 && filler_bits == 0 &&
+           transmitted_bits == 0;
+  }
+
+  friend bool operator==(const TransmissionScheme&,
+                         const TransmissionScheme&) = default;
+};
+
 /// All non-zero blocks of one block row, in column order.
 using Layer = std::vector<BlockEntry>;
 
@@ -75,9 +106,52 @@ class QCCode {
   /// Maximum check-row degree (sizing FIFOs in the SISO model).
   int max_check_degree() const noexcept { return max_check_degree_; }
 
+  // --- transmission scheme (puncturing / fillers / rate matching) ---------
+
+  /// Attaches a transmission scheme. Throws std::invalid_argument when the
+  /// scheme does not fit this code (punctured columns beyond the
+  /// information part, fillers overlapping the punctured region, E < 1).
+  void set_scheme(TransmissionScheme scheme);
+  const TransmissionScheme& scheme() const noexcept { return scheme_; }
+
+  /// Information bits that actually carry data (k_info minus fillers).
+  int payload_bits() const noexcept {
+    return k_info() - scheme_.filler_bits;
+  }
+  /// Codeword bits eligible for transmission: everything except the
+  /// punctured prefix and the filler range (the circular-buffer length).
+  int sendable_bits() const noexcept {
+    return n() - scheme_.punctured_block_cols * z_ - scheme_.filler_bits;
+  }
+  /// Rate-matched transmission length E (= sendable_bits() when the scheme
+  /// leaves it 0).
+  int transmitted_bits() const noexcept {
+    return scheme_.transmitted_bits ? scheme_.transmitted_bits
+                                    : sendable_bits();
+  }
+  /// Rate the channel actually sees: payload bits per transmitted bit.
+  /// Equals rate() for degenerate schemes; for NR this is the mother rate
+  /// after puncturing (1/3 for BG1, 1/5 for BG2) or the rate-matched value.
+  double effective_rate() const noexcept {
+    return static_cast<double>(payload_bits()) / transmitted_bits();
+  }
+  /// Codeword index carrying sendable position s in [0, sendable_bits()):
+  /// the punctured prefix is skipped, then the filler range. Transmitted
+  /// position i maps through tx_bit_index(i % sendable_bits()).
+  int tx_bit_index(int s) const noexcept {
+    int idx = scheme_.punctured_block_cols * z_ + s;
+    if (idx >= k_info() - scheme_.filler_bits) idx += scheme_.filler_bits;
+    return idx;
+  }
+  /// Extracts the transmitted sequence (size transmitted_bits(), with
+  /// wraparound repetition) from a full codeword (size n).
+  void extract_transmitted(std::span<const std::uint8_t> codeword,
+                           std::span<std::uint8_t> tx) const;
+
  private:
   std::string name_;
   BaseMatrix base_;
+  TransmissionScheme scheme_;
   int z_ = 0;
   int nonzero_blocks_ = 0;
   int max_check_degree_ = 0;

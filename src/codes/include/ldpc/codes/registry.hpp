@@ -1,9 +1,12 @@
 // Registry of the block-structured LDPC codes the decoder supports.
 //
-// Covers the paper's Table 1: IEEE 802.11n (WLAN), IEEE 802.16e (WiMax) and
-// a DMB-T-class code family. Each (standard, rate, z) triple maps to a
-// QCCode built from the canonical base matrix plus the standard's shift
-// scaling rule.
+// Covers the paper's Table 1 — IEEE 802.11n (WLAN), IEEE 802.16e (WiMax)
+// and a DMB-T-class code family — plus a 5G NR (TS 38.212) workload: the
+// BG1/BG2-class base graphs with their 8 lifting-size sets (z = 2..384),
+// the V mod z shift rule, and the always-punctured/filler-aware
+// transmission scheme. Each (standard, rate, z) triple maps to a QCCode
+// built from the canonical base matrix plus the standard's shift scaling
+// rule.
 #pragma once
 
 #include <string>
@@ -13,14 +16,20 @@
 
 namespace ldpc::codes {
 
-enum class Standard { kWlan80211n, kWimax80216e, kDmbT };
+enum class Standard { kWlan80211n, kWimax80216e, kDmbT, kNr5g };
 
 /// Code rate variants. WiMax distinguishes A/B constructions for 2/3 and
-/// 3/4; WLAN has a single construction per rate.
-enum class Rate { kR12, kR23, kR23A, kR23B, kR34, kR34A, kR34B, kR56, kR25, kR35, kR45 };
+/// 3/4; WLAN has a single construction per rate. The NR mother-code rates
+/// identify the base graph: 1/3 = BG1 (22 information block columns of
+/// 68), 1/5 = BG2 (10 of 52).
+enum class Rate { kR12, kR23, kR23A, kR23B, kR34, kR34A, kR34B, kR56, kR25, kR35, kR45, kR13, kR15 };
 
 std::string to_string(Standard s);
 std::string to_string(Rate r);
+/// Parses a standard from its CLI name ("wimax", "wlan", "dmbt", "nr") or
+/// its to_string form. Throws std::invalid_argument for unknown names, so
+/// typos fail loudly instead of silently falling back.
+Standard parse_standard(const std::string& name);
 /// Numeric value of a rate ("5/6" -> 0.8333...).
 double rate_value(Rate r);
 
@@ -68,5 +77,32 @@ BaseMatrix wimax_base_matrix(Rate rate);
 /// DMB-T tables are not public in machine-readable form; see DESIGN.md for
 /// the substitution rationale.
 BaseMatrix dmbt_base_matrix(Rate rate);
+
+// --- 5G NR (TS 38.212 class) ----------------------------------------------
+
+/// NR-class base graph at the maximum lifting size z = 384: BG1 for rate
+/// 1/3 (46 x 68, 22 information block columns), BG2 for rate 1/5
+/// (42 x 52, 10 information block columns). Structure follows TS 38.212 —
+/// dense always-punctured first two columns, a 4-row core whose first
+/// parity column has paired shifts around a middle shift of 1 (making the
+/// core linear-time solvable), a double diagonal across the remaining
+/// core parity columns, and identity single-entry extension columns — with
+/// deterministically generated shift values, the same substitution policy
+/// as the DMB-T family (see DESIGN.md). Shifts for smaller z follow the
+/// standard's V mod z rule.
+BaseMatrix nr_base_matrix(Rate rate);
+
+/// The 8 lifting-size sets of TS 38.212 Table 5.3.2-1 flattened and
+/// sorted: every z = a * 2^s with a in {2,3,5,7,9,11,13,15} and z <= 384
+/// (51 values). supported_z(kNr5g) registers a representative subset so
+/// the all-mode sweeps stay fast; any of these builds via make_nr_code.
+std::vector<int> nr_lifting_sizes();
+
+/// NR code with an explicit rate-matched transmission length E
+/// (0 = every sendable bit once) and filler-bit count. `rate` selects the
+/// base graph (kR13 = BG1, kR15 = BG2); any z from nr_lifting_sizes()
+/// works. The registered modes are make_nr_code(rate, z, 0, 0).
+QCCode make_nr_code(Rate rate, int z, int transmitted_bits = 0,
+                    int filler_bits = 0);
 
 }  // namespace ldpc::codes

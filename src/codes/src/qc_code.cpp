@@ -60,6 +60,34 @@ QCCode::QCCode(BaseMatrix base, int z, std::string name)
     }
 }
 
+void QCCode::set_scheme(TransmissionScheme scheme) {
+  if (scheme.punctured_block_cols < 0 ||
+      scheme.punctured_block_cols * z_ > k_info())
+    throw std::invalid_argument(
+        "QCCode::set_scheme: punctured columns exceed the information part");
+  if (scheme.filler_bits < 0 ||
+      scheme.punctured_block_cols * z_ > k_info() - scheme.filler_bits)
+    throw std::invalid_argument(
+        "QCCode::set_scheme: fillers overlap the punctured region");
+  if (scheme.transmitted_bits < 0 ||
+      (scheme.transmitted_bits == 0 && !scheme.is_degenerate() &&
+       n() - scheme.punctured_block_cols * z_ - scheme.filler_bits <= 0))
+    throw std::invalid_argument("QCCode::set_scheme: transmitted bits");
+  scheme_ = scheme;
+}
+
+void QCCode::extract_transmitted(std::span<const std::uint8_t> codeword,
+                                 std::span<std::uint8_t> tx) const {
+  if (codeword.size() != static_cast<std::size_t>(n()))
+    throw std::invalid_argument("QCCode::extract_transmitted: codeword");
+  if (tx.size() != static_cast<std::size_t>(transmitted_bits()))
+    throw std::invalid_argument("QCCode::extract_transmitted: tx size");
+  const int sendable = sendable_bits();
+  for (std::size_t i = 0; i < tx.size(); ++i)
+    tx[i] = codeword[static_cast<std::size_t>(
+        tx_bit_index(static_cast<int>(i) % sendable))];
+}
+
 std::span<const std::int32_t> QCCode::check_vars(int r) const {
   if (r < 0 || r >= m()) throw std::out_of_range("QCCode::check_vars");
   return {col_idx_.data() + row_ptr_[r],

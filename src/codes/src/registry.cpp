@@ -13,6 +13,8 @@ std::string to_string(Standard s) {
       return "802.16e";
     case Standard::kDmbT:
       return "DMB-T";
+    case Standard::kNr5g:
+      return "NR";
   }
   return "?";
 }
@@ -41,8 +43,21 @@ std::string to_string(Rate r) {
       return "3/5";
     case Rate::kR45:
       return "4/5";
+    case Rate::kR13:
+      return "1/3";
+    case Rate::kR15:
+      return "1/5";
   }
   return "?";
+}
+
+Standard parse_standard(const std::string& name) {
+  if (name == "wimax" || name == "802.16e") return Standard::kWimax80216e;
+  if (name == "wlan" || name == "802.11n") return Standard::kWlan80211n;
+  if (name == "dmbt" || name == "DMB-T") return Standard::kDmbT;
+  if (name == "nr" || name == "NR") return Standard::kNr5g;
+  throw std::invalid_argument("unknown standard '" + name +
+                              "' (wimax|wlan|dmbt|nr)");
 }
 
 double rate_value(Rate r) {
@@ -65,6 +80,10 @@ double rate_value(Rate r) {
       return 3.0 / 5.0;
     case Rate::kR45:
       return 4.0 / 5.0;
+    case Rate::kR13:
+      return 1.0 / 3.0;
+    case Rate::kR15:
+      return 1.0 / 5.0;
   }
   return 0.0;
 }
@@ -85,6 +104,11 @@ std::vector<int> supported_z(Standard s) {
     }
     case Standard::kDmbT:
       return {127};
+    case Standard::kNr5g:
+      // Representative ladder across the 8 lifting sets: tiny, odd,
+      // non-power-of-two, the paper chip's 96, and the NR maximum 384.
+      // Any z from nr_lifting_sizes() builds via make_nr_code.
+      return {2, 3, 6, 16, 36, 52, 96, 208, 240, 384};
   }
   return {};
 }
@@ -98,6 +122,8 @@ std::vector<Rate> supported_rates(Standard s) {
               Rate::kR34A, Rate::kR34B, Rate::kR56};
     case Standard::kDmbT:
       return {Rate::kR25, Rate::kR12, Rate::kR35, Rate::kR45};
+    case Standard::kNr5g:
+      return {Rate::kR13, Rate::kR15};  // BG1, BG2
   }
   return {};
 }
@@ -129,6 +155,8 @@ QCCode make_code(const CodeId& id) {
     }
     case Standard::kDmbT:
       return QCCode(dmbt_base_matrix(id.rate), id.z, to_string(id));
+    case Standard::kNr5g:
+      return make_nr_code(id.rate, id.z);
   }
   throw std::logic_error("unreachable");
 }
@@ -136,7 +164,10 @@ QCCode make_code(const CodeId& id) {
 QCCode make_code_by_length(Standard s, Rate r, int n) {
   for (int z : supported_z(s)) {
     CodeId id{s, r, z};
-    const int k = s == Standard::kDmbT ? 60 : 24;
+    const int k = s == Standard::kDmbT
+                      ? 60
+                      : (s != Standard::kNr5g ? 24
+                                              : (r == Rate::kR13 ? 68 : 52));
     if (k * z == n) return make_code(id);
   }
   throw std::invalid_argument("no mode with n=" + std::to_string(n) +
@@ -153,7 +184,7 @@ std::vector<CodeId> all_modes(Standard s) {
 std::vector<CodeId> all_modes() {
   std::vector<CodeId> out;
   for (Standard s : {Standard::kWlan80211n, Standard::kWimax80216e,
-                     Standard::kDmbT}) {
+                     Standard::kDmbT, Standard::kNr5g}) {
     auto modes = all_modes(s);
     out.insert(out.end(), modes.begin(), modes.end());
   }

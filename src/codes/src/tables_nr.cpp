@@ -1,0 +1,142 @@
+// 5G NR (TS 38.212 class) quasi-cyclic LDPC base graphs.
+//
+// Shapes, lifting sizes and transmission semantics follow TS 38.212
+// exactly: BG1 is 46 x 68 with 22 information block columns (mother rate
+// 1/3 after puncturing), BG2 is 42 x 52 with 10 (rate 1/5); the lifting
+// sizes are the 8 sets z = a * 2^s, a in {2,3,5,7,9,11,13,15}, z <= 384;
+// shifts scale by V mod z; the first two block columns are always
+// punctured. The *shift values* themselves are generated deterministically
+// (the standard's 2,528-entry shift tables are not reproduced here) — the
+// same substitution policy as the DMB-T family, see DESIGN.md. What is
+// preserved is every structural property the datapaths care about:
+//
+//   - dense always-punctured columns 0 and 1 (recovered via their high
+//     check degree, costing the documented extra iterations);
+//   - a 4-row core whose first parity column has paired shifts wrapped
+//     around a middle shift of 1, so summing the core rows cancels the
+//     pairs and leaves I_1 * p0 = sum(info contributions) — the linear-
+//     time encoding trick of 38.212 (enc::NrEncoder exploits exactly
+//     this, as it survives the mod-z scaling: s mod z stays paired and
+//     1 mod z stays 1 for every z >= 2);
+//   - a double diagonal across core parity columns kb+1..kb+3;
+//   - degree-1 identity extension columns, one per row >= 4.
+#include <algorithm>
+#include <stdexcept>
+
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace ldpc::codes {
+
+namespace {
+
+constexpr int kNrZMax = 384;
+
+struct BgShape {
+  int rows;  // j: block rows (core 4 + extensions)
+  int cols;  // k: block columns (= info_cols + rows)
+  int info_cols;  // kb
+};
+
+BgShape nr_shape(Rate rate) {
+  switch (rate) {
+    case Rate::kR13:
+      return {46, 68, 22};  // BG1
+    case Rate::kR15:
+      return {42, 52, 10};  // BG2
+    default:
+      throw std::invalid_argument("NR: rate selects BG1 (1/3) or BG2 "
+                                  "(1/5), got " + to_string(rate));
+  }
+}
+
+}  // namespace
+
+std::vector<int> nr_lifting_sizes() {
+  std::vector<int> zs;
+  for (int a : {2, 3, 5, 7, 9, 11, 13, 15})
+    for (int z = a; z <= kNrZMax; z *= 2) zs.push_back(z);
+  std::sort(zs.begin(), zs.end());
+  return zs;  // 51 values, 2..384
+}
+
+BaseMatrix nr_base_matrix(Rate rate) {
+  const BgShape shape = nr_shape(rate);
+  const int j = shape.rows;
+  const int k = shape.cols;
+  const int kb = shape.info_cols;
+
+  BaseMatrix base(j, k, std::vector<int>(static_cast<std::size_t>(j) * k,
+                                         kZeroBlock));
+  util::Xoshiro256 rng(0x5F'4E52'0000ULL + static_cast<std::uint64_t>(j));
+
+  // Core rows 0..3 over the information part: the punctured columns 0 and
+  // 1 connect to all four core rows; every other information column to two
+  // of them (round-robin, keeping core-row degrees balanced).
+  for (int c = 0; c < kb; ++c) {
+    if (c < 2) {
+      for (int r = 0; r < 4; ++r)
+        base.set(r, c, static_cast<int>(rng.bounded(kNrZMax)));
+    } else {
+      base.set(c % 4, c, static_cast<int>(rng.bounded(kNrZMax)));
+      base.set((c + 1) % 4, c, static_cast<int>(rng.bounded(kNrZMax)));
+    }
+  }
+
+  // Core parity: column kb carries the paired-shift-around-1 structure
+  // (rows 0 and 3 share shift s, row 1 has shift 1), then the double
+  // diagonal over kb+1..kb+3. Summing rows 0..3 cancels the diagonal
+  // pairs and the two s entries, leaving I_1 * p0 = sum of the rows'
+  // information contributions.
+  const int s = 2 + static_cast<int>(rng.bounded(kNrZMax - 2));
+  base.set(0, kb, s);
+  base.set(1, kb, 1);
+  base.set(3, kb, s);
+  base.set(0, kb + 1, 0);
+  base.set(1, kb + 1, 0);
+  base.set(1, kb + 2, 0);
+  base.set(2, kb + 2, 0);
+  base.set(2, kb + 3, 0);
+  base.set(3, kb + 3, 0);
+
+  // Extension rows: one degree-1 identity parity column each, an anchor on
+  // a punctured column (alternating 0/1 — this is what makes the punctured
+  // variables recoverable), plus a few connections into the information /
+  // core-parity columns [2, kb+4).
+  for (int r = 4; r < j; ++r) {
+    base.set(r, kb + r, 0);
+    base.set(r, r % 2, static_cast<int>(rng.bounded(kNrZMax)));
+    const int extra = 2 + (r % 2);
+    int placed = 0;
+    while (placed < extra) {
+      const int c = 2 + static_cast<int>(rng.bounded(kb + 2));
+      if (!base.is_zero(r, c)) continue;
+      base.set(r, c, static_cast<int>(rng.bounded(kNrZMax)));
+      ++placed;
+    }
+  }
+  return base;
+}
+
+QCCode make_nr_code(Rate rate, int z, int transmitted_bits,
+                    int filler_bits) {
+  const auto zs = nr_lifting_sizes();
+  if (std::find(zs.begin(), zs.end(), z) == zs.end())
+    throw std::invalid_argument("NR: z=" + std::to_string(z) +
+                                " is not a lifting size (a * 2^s <= 384)");
+  BaseMatrix base = nr_base_matrix(rate);
+  if (z != kNrZMax)
+    base = scale_base_matrix(base, kNrZMax, z, ShiftScaling::kModulo);
+
+  std::string name = to_string(CodeId{Standard::kNr5g, rate, z});
+  if (transmitted_bits) name += " E=" + std::to_string(transmitted_bits);
+  if (filler_bits) name += " F=" + std::to_string(filler_bits);
+
+  QCCode code(std::move(base), z, std::move(name));
+  code.set_scheme({.punctured_block_cols = 2,
+                   .filler_bits = filler_bits,
+                   .transmitted_bits = transmitted_bits});
+  return code;
+}
+
+}  // namespace ldpc::codes

@@ -47,8 +47,11 @@ class BatchEngine {
   const DecoderConfig& config() const noexcept { return config_; }
 
   /// Decodes `results.size()` frames (1..kLanes) of channel LLRs stored
-  /// frame-major (`llrs.size() == results.size() * n`), quantising with
-  /// the same zero-excluding rule as the scalar engine. `order` (empty =
+  /// frame-major at the code's *transmitted* length
+  /// (`llrs.size() == results.size() * transmitted_bits()`, = n for the
+  /// classic standards), running each frame through the shared LLR deposit
+  /// (puncturing / fillers / rate-matched repetition) and the same
+  /// zero-excluding quantiser as the scalar engine. `order` (empty =
   /// natural) is the layer permutation, as in LayerEngineT::run.
   void decode(std::span<const double> llrs, std::span<const int> order,
               std::span<FixedDecodeResult> results);
@@ -82,6 +85,7 @@ class BatchEngine {
   std::vector<EarlyTermination> et_;       // one monitor per lane
   std::vector<std::int32_t> lane_scratch_; // gathered per-lane APP values
   std::vector<std::int32_t> raw_scratch_;  // reused quantisation buffer
+  std::vector<double> acc_;                // LLR-deposit combining scratch
 };
 
 }  // namespace ldpc::core

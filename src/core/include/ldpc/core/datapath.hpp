@@ -160,6 +160,9 @@ struct DatapathTraits<std::int32_t> {
     if (raw == 0 && exclude_zero) raw = llr < 0.0 ? -1 : 1;
     return raw;
   }
+  /// Strongest positive prior (APP-width rail): the deposit value for a
+  /// known-zero filler bit.
+  value_type filler_value() const noexcept { return app_fmt.raw_max(); }
   static bool is_negative(value_type v) noexcept { return v < 0; }
   static value_type magnitude(value_type v) noexcept { return v < 0 ? -v : v; }
   static value_type negate(value_type v) noexcept { return -v; }
@@ -208,6 +211,9 @@ struct DatapathTraits<double> {
     if (llr == 0.0 && exclude_zero) return llr < 0.0 ? -lsb : lsb;
     return llr;
   }
+  /// Known-zero filler prior: overwhelmingly strong but finite, so the
+  /// exact f/g kernels never see an infinity.
+  value_type filler_value() const noexcept { return 1e6; }
   static bool is_negative(value_type v) noexcept { return v < 0.0; }
   static value_type magnitude(value_type v) noexcept { return std::fabs(v); }
   static value_type negate(value_type v) noexcept { return -v; }
@@ -258,6 +264,11 @@ struct DatapathTraits<fixed::Sat<TotalBits, FracBits>> {
     if (v.raw() == 0 && exclude_zero)
       v = value_type::from_raw(llr < 0.0 ? -1 : 1);
     return v;
+  }
+  /// Strongest positive prior at the widened APP format (matches the int32
+  /// path bit for bit).
+  value_type filler_value() const noexcept {
+    return value_type::from_raw(app_fmt.raw_max());
   }
   static bool is_negative(value_type v) noexcept { return v.raw() < 0; }
   static value_type magnitude(value_type v) noexcept {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ldpc/codes/registry.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core::golden {
@@ -21,6 +22,44 @@ namespace ldpc::core::golden {
 /// default Q5.2 messages.
 inline DecoderConfig config() {
   return {.max_iterations = 5, .kernel = CnuKernel::kMinSum};
+}
+
+/// Golden files are split per standard so regeneration diffs stay
+/// reviewable: tests/data/golden_<slug>.txt.
+inline std::string standard_slug(codes::Standard s) {
+  switch (s) {
+    case codes::Standard::kWlan80211n:
+      return "80211n";
+    case codes::Standard::kWimax80216e:
+      return "80216e";
+    case codes::Standard::kDmbT:
+      return "dmbt";
+    case codes::Standard::kNr5g:
+      return "nr";
+  }
+  return "unknown";
+}
+
+/// Extra NR rate-matched coverage beyond the registered modes (which
+/// transmit every sendable bit): explicit E != sendable and filler cases,
+/// shared by the generator (alist_tool golden) and the checker
+/// (test_golden). Entries are keyed in the golden file by the
+/// make_nr_code name ("NR R<r> z=<z> E=<E> [F=<F>]").
+struct NrRateMatchedCase {
+  codes::Rate rate;
+  int z;
+  int transmitted_bits;
+  int filler_bits;
+};
+
+inline std::vector<NrRateMatchedCase> nr_rate_matched_cases() {
+  return {
+      {codes::Rate::kR13, 52, 2600, 0},    // E < sendable: punctured tail
+      {codes::Rate::kR13, 96, 5000, 120},  // fillers + rate matching
+      {codes::Rate::kR15, 36, 1500, 40},   // BG2 with fillers
+      {codes::Rate::kR15, 96, 6000, 0},    // E > sendable: wraparound
+                                           // repetition, LLRs accumulate
+  };
 }
 
 /// Hard decisions packed 4 bits per hex digit, MSB-first within a nibble

@@ -75,6 +75,52 @@ constexpr int row_datapath_cycles(Radix radix, int degree) noexcept {
   return radix == Radix::kR2 ? 2 * degree : 2 * ((degree + 1) / 2);
 }
 
+/// The LLR deposit shared by every datapath: maps one frame of
+/// *transmitted* channel LLRs (size code.transmitted_bits()) onto the full
+/// codeword memory (size n) per the code's TransmissionScheme. Punctured
+/// and never-sent bits get an exact zero (an erasure — deliberately
+/// bypassing the zero-excluding input quantiser, which is for *channel*
+/// zeros); known-zero fillers get the strongest positive prior; repeated
+/// bits (E > sendable, circular-buffer wraparound) accumulate in the
+/// double domain before the single quantisation, exactly like a soft
+/// combiner in front of the chip. Degenerate schemes reduce to the plain
+/// quantiser, bit for bit. `acc` is caller-provided scratch.
+template <class Traits>
+void deposit_transmitted(const codes::QCCode& code, const Traits& traits,
+                         std::span<const double> tx,
+                         std::span<typename Traits::value_type> raw,
+                         std::vector<double>& acc) {
+  using V = typename Traits::value_type;
+  const int n = code.n();
+  if (tx.size() != static_cast<std::size_t>(code.transmitted_bits()))
+    throw std::invalid_argument("deposit_transmitted: tx size");
+  if (raw.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("deposit_transmitted: raw size");
+  const codes::TransmissionScheme& scheme = code.scheme();
+  if (scheme.is_degenerate()) {
+    for (std::size_t i = 0; i < tx.size(); ++i)
+      raw[i] = traits.quantize_llr(tx[i]);
+    return;
+  }
+  std::fill(raw.begin(), raw.end(), V{});
+  acc.assign(static_cast<std::size_t>(n), 0.0);
+  const int sendable = code.sendable_bits();
+  const int e_bits = code.transmitted_bits();
+  for (int i = 0; i < e_bits; ++i)
+    acc[static_cast<std::size_t>(code.tx_bit_index(i % sendable))] += tx[i];
+  // Positions beyond E never received a transmission (E < sendable): they
+  // keep the exact-zero erasure along with the punctured prefix.
+  const int sent = std::min(e_bits, sendable);
+  for (int s = 0; s < sent; ++s) {
+    const int v = code.tx_bit_index(s);
+    raw[static_cast<std::size_t>(v)] =
+        traits.quantize_llr(acc[static_cast<std::size_t>(v)]);
+  }
+  const int filler_start = code.k_info() - scheme.filler_bits;
+  for (int f = 0; f < scheme.filler_bits; ++f)
+    raw[static_cast<std::size_t>(filler_start + f)] = traits.filler_value();
+}
+
 /// The single layer-schedule implementation, templated over the message
 /// value type V (see DatapathTraits<V>). Owns the architectural state
 /// (L-memory, Lambda memory, per-row scratch) and executes the block-serial
@@ -118,6 +164,14 @@ class LayerEngineT {
       throw std::invalid_argument("LayerEngine::quantize: size mismatch");
     for (std::size_t i = 0; i < llr.size(); ++i)
       raw[i] = traits_.quantize_llr(llr[i]);
+  }
+
+  /// Maps one frame of transmitted LLRs (size transmitted_bits()) onto the
+  /// full codeword memory per the configured code's TransmissionScheme
+  /// (see deposit_transmitted). For degenerate schemes this is quantize().
+  void deposit(std::span<const double> tx, std::span<V> raw) {
+    if (!code_) throw std::logic_error("LayerEngine: not configured");
+    deposit_transmitted(*code_, traits_, tx, raw, acc_);
   }
 
   /// Runs the full schedule on one frame of already-quantised LLRs:
@@ -275,6 +329,8 @@ class LayerEngineT {
   // Scratch per check row (lam_full_ is the APP-width subtraction before
   // the message-bus clip).
   std::vector<V> lam_, lam_full_, lam_new_;
+  // LLR-deposit accumulation scratch (rate-matched repetition combining).
+  std::vector<double> acc_;
 };
 
 /// The bit-accurate fixed-point instantiation (runtime Qm.f codes) — the

@@ -54,12 +54,21 @@ void BatchEngine::decode(std::span<const double> llrs,
   const int frames = static_cast<int>(results.size());
   if (!code_) throw std::logic_error("BatchEngine: not configured");
   const auto n = static_cast<std::size_t>(code_->n());
+  // Frames arrive at the transmitted length; the per-frame deposit expands
+  // them to full codeword frames (puncturing / fillers / repetition), the
+  // same mapping as the scalar engines.
+  const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
   if (frames < 1 || frames > kLanes ||
-      llrs.size() != n * static_cast<std::size_t>(frames))
+      llrs.size() != tx * static_cast<std::size_t>(frames))
     throw std::invalid_argument("BatchEngine::decode: sizes");
-  for (std::size_t i = 0; i < llrs.size(); ++i)
-    raw_scratch_[i] = traits_.quantize_llr(llrs[i]);
-  decode_raw({raw_scratch_.data(), llrs.size()}, order, results);
+  for (int f = 0; f < frames; ++f)
+    deposit_transmitted(
+        *code_, traits_, llrs.subspan(static_cast<std::size_t>(f) * tx, tx),
+        std::span<std::int32_t>(raw_scratch_)
+            .subspan(static_cast<std::size_t>(f) * n, n),
+        acc_);
+  decode_raw({raw_scratch_.data(), n * static_cast<std::size_t>(frames)},
+             order, results);
 }
 
 void BatchEngine::decode_raw(std::span<const std::int32_t> raw,

@@ -30,13 +30,13 @@ void ReconfigurableDecoder::reconfigure(const codes::QCCode& code) {
 
 FixedDecodeResult ReconfigurableDecoder::decode(
     std::span<const double> llr) {
-  if (llr.size() != static_cast<std::size_t>(code_->n()))
+  if (llr.size() != static_cast<std::size_t>(code_->transmitted_bits()))
     throw std::invalid_argument("decode: llr size");
   if (float_engine_) {
-    float_engine_->quantize(llr, fraw_);
+    float_engine_->deposit(llr, fraw_);
     return float_engine_->run(fraw_);
   }
-  engine_->quantize(llr, raw_);
+  engine_->deposit(llr, raw_);
   return engine_->run(raw_);
 }
 
@@ -55,10 +55,12 @@ FixedDecodeResult ReconfigurableDecoder::decode_raw(
 
 std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
     std::span<const double> llrs) {
-  const auto n = static_cast<std::size_t>(code_->n());
-  if (llrs.empty() || llrs.size() % n != 0)
+  // Frames arrive back to back at the *transmitted* length (= n for the
+  // classic full-codeword standards).
+  const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
+  if (llrs.empty() || llrs.size() % tx != 0)
     throw std::invalid_argument("decode_batch: llrs size");
-  const std::size_t frames = llrs.size() / n;
+  const std::size_t frames = llrs.size() / tx;
   std::vector<FixedDecodeResult> results(frames);
   if (engine_ && config_.kernel == CnuKernel::kMinSum && !batch_engine_) {
     batch_engine_.emplace(config_);
@@ -71,7 +73,7 @@ std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
     while (f < frames) {
       const std::size_t chunk = std::min(
           frames - f, static_cast<std::size_t>(BatchEngine::kLanes));
-      batch_engine_->decode(llrs.subspan(f * n, chunk * n), {},
+      batch_engine_->decode(llrs.subspan(f * tx, chunk * tx), {},
                             std::span<FixedDecodeResult>(results)
                                 .subspan(f, chunk));
       f += chunk;
@@ -80,10 +82,10 @@ std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
   }
   for (std::size_t f = 0; f < frames; ++f) {
     if (float_engine_) {
-      float_engine_->quantize(llrs.subspan(f * n, n), fraw_);
+      float_engine_->deposit(llrs.subspan(f * tx, tx), fraw_);
       results[f] = float_engine_->run(fraw_);
     } else {
-      engine_->quantize(llrs.subspan(f * n, n), raw_);
+      engine_->deposit(llrs.subspan(f * tx, tx), raw_);
       results[f] = engine_->run(raw_);
     }
   }

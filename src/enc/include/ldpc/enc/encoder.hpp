@@ -18,20 +18,31 @@
 
 namespace ldpc::enc {
 
-/// Interface: maps k_info information bits to an n-bit systematic codeword
-/// (information bits first, parity bits last).
+/// Interface: maps the code's payload bits to an n-bit systematic codeword
+/// (information bits first, parity bits last). For codes whose transmission
+/// scheme declares filler bits (5G NR rate matching), `encode` takes the
+/// payload (k_info - fillers bits), inserts the known-zero fillers at
+/// [k_info - F, k_info) and encodes the full information part; for every
+/// other code payload == k_info and nothing changes.
 class Encoder {
  public:
   virtual ~Encoder() = default;
 
-  /// `info.size()` must equal k_info; `codeword.size()` must equal n.
-  virtual void encode(std::span<const std::uint8_t> info,
-                      std::span<std::uint8_t> codeword) const = 0;
+  /// `info.size()` must equal the code's payload_bits(); `codeword.size()`
+  /// must equal n.
+  void encode(std::span<const std::uint8_t> info,
+              std::span<std::uint8_t> codeword) const;
 
   virtual const codes::QCCode& code() const noexcept = 0;
 
   /// Convenience overload that allocates the codeword.
   std::vector<std::uint8_t> encode(std::span<const std::uint8_t> info) const;
+
+ protected:
+  /// Systematic encoding over the FULL information part (size k_info,
+  /// fillers already inserted by the public wrapper).
+  virtual void encode_systematic(std::span<const std::uint8_t> info,
+                                 std::span<std::uint8_t> codeword) const = 0;
 };
 
 /// Linear-time encoder for dual-diagonal QC codes.
@@ -43,15 +54,39 @@ class DualDiagonalEncoder final : public Encoder {
 
   static bool structure_ok(const codes::QCCode& code);
 
-  using Encoder::encode;
-  void encode(std::span<const std::uint8_t> info,
-              std::span<std::uint8_t> codeword) const override;
   const codes::QCCode& code() const noexcept override { return code_; }
+
+ protected:
+  void encode_systematic(std::span<const std::uint8_t> info,
+                         std::span<std::uint8_t> codeword) const override;
 
  private:
   const codes::QCCode& code_;
   int h_rows_[3] = {0, 0, 0};   // rows of the h column's three entries
   int h_shifts_[3] = {0, 0, 0};
+};
+
+/// Linear-time encoder for NR-class base graphs (TS 38.212 structure): a
+/// 4-row core whose first parity column has paired shifts around a middle
+/// shift of 1 (so summing the core rows isolates p0), a double diagonal
+/// across the next three parity columns, then one degree-1 identity
+/// extension column per remaining row, each parity computed by direct
+/// accumulation of its row.
+class NrEncoder final : public Encoder {
+ public:
+  explicit NrEncoder(const codes::QCCode& code);
+
+  static bool structure_ok(const codes::QCCode& code);
+
+  const codes::QCCode& code() const noexcept override { return code_; }
+
+ protected:
+  void encode_systematic(std::span<const std::uint8_t> info,
+                         std::span<std::uint8_t> codeword) const override;
+
+ private:
+  const codes::QCCode& code_;
+  int s_shift_ = 0;  // the paired shift of the first core parity column
 };
 
 /// Precomputed dense GF(2) encoder: inverts the parity part of H once
@@ -61,10 +96,11 @@ class DenseEncoder final : public Encoder {
  public:
   explicit DenseEncoder(const codes::QCCode& code);
 
-  using Encoder::encode;
-  void encode(std::span<const std::uint8_t> info,
-              std::span<std::uint8_t> codeword) const override;
   const codes::QCCode& code() const noexcept override { return code_; }
+
+ protected:
+  void encode_systematic(std::span<const std::uint8_t> info,
+                         std::span<std::uint8_t> codeword) const override;
 
  private:
   const codes::QCCode& code_;
@@ -72,7 +108,8 @@ class DenseEncoder final : public Encoder {
   std::vector<std::uint64_t> inv_;  // row-major m x m bit matrix
 };
 
-/// Picks the fast structured encoder when possible, dense otherwise.
+/// Picks the fast structured encoder when possible (dual-diagonal or NR
+/// core), dense otherwise.
 std::unique_ptr<Encoder> make_encoder(const codes::QCCode& code);
 
 /// Fills `bits` with fair random bits (helper for simulations/tests).

@@ -82,8 +82,8 @@ DenseEncoder::DenseEncoder(const codes::QCCode& code) : code_(code) {
   inv_ = std::move(inv).release();
 }
 
-void DenseEncoder::encode(std::span<const std::uint8_t> info,
-                          std::span<std::uint8_t> codeword) const {
+void DenseEncoder::encode_systematic(std::span<const std::uint8_t> info,
+                                     std::span<std::uint8_t> codeword) const {
   const int m = code_.m();
   const int n = code_.n();
   const int kb = n - m;

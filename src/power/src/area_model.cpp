@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ldpc/arch/circular_shifter.hpp"
+
 namespace ldpc::power {
 
 namespace {
@@ -73,11 +75,12 @@ ChipAreaBreakdown AreaModel::chip_area(const arch::ChipDimensions& dims,
                         dims.z_max * app_bits;
   a.l_mem_mm2 = l_bits * kSramUm2PerBit * kDualPortFactor * 1e-6;
 
-  // Logarithmic barrel shifter: ceil(log2 z_max) stages of z_max muxes,
-  // each message_bits wide.
-  int stages = 0;
-  for (int span = 1; span < dims.z_max; span <<= 1) ++stages;
-  a.shifter_mm2 = static_cast<double>(stages) * dims.z_max * message_bits *
+  // Logarithmic barrel shifter: the structural figures (ceil(log2 z_max)
+  // stages of z_max 2:1 muxes) come from the chip's own shifter model, so
+  // the area follows the configured chip dimensions — z_max up to NR's 384
+  // — rather than assuming the paper's 96-lane constant.
+  const arch::CircularShifter shifter(dims.z_max);
+  a.shifter_mm2 = static_cast<double>(shifter.mux_count()) * message_bits *
                   kMuxUm2PerBit * 1e-6;
 
   // In/out buffers: double-buffered codeword in, hard decisions out.

@@ -35,9 +35,21 @@ struct DecodeOutcome {
   bool converged = false;
 };
 
-/// Adapter: channel LLRs in, outcome out. Called sequentially by the
+/// Adapter: channel LLRs (the code's transmitted_bits() of them — n for
+/// the classic standards) in, outcome out. Called sequentially by the
 /// worker that owns it.
 using DecodeFn = std::function<DecodeOutcome(std::span<const double>)>;
+
+/// One frame's transmit chain under the code's TransmissionScheme:
+/// extracts the transmitted bits from the codeword (skipping punctured
+/// columns and fillers, wraparound-repeating to E), modulates them, adds
+/// AWGN from `rng` and demaps to transmitted_bits() LLRs. For degenerate
+/// schemes this is the classic modulate-whole-codeword chain, drawing the
+/// identical noise stream.
+std::vector<double> transmit_llrs(const codes::QCCode& code,
+                                  std::span<const std::uint8_t> codeword,
+                                  channel::Modulation modulation,
+                                  double sigma, util::Xoshiro256& rng);
 
 /// Builds one independent DecodeFn per worker thread. The factory is
 /// called once per worker per point, from that worker's thread; everything

@@ -14,6 +14,51 @@
 
 namespace ldpc::sim {
 
+namespace {
+
+/// One baseline decode with the scheme-aware LLR expansion: the
+/// floating-point baselines take n LLRs, so non-degenerate schemes run
+/// the SAME deposit as the float engine (core::deposit_transmitted over
+/// DatapathTraits<double> — one definition of the punctured / repeat /
+/// filler mapping).
+DecodeOutcome run_baseline(const baseline::SoftDecoder& decoder,
+                           int max_iter, std::span<const double> llr) {
+  const codes::QCCode& code = decoder.code();
+  baseline::DecodeResult r;
+  if (code.scheme().is_degenerate()) {
+    r = decoder.decode(llr, max_iter);
+  } else {
+    const core::DatapathTraits<double> traits{core::DecoderConfig{}};
+    std::vector<double> full(static_cast<std::size_t>(code.n()));
+    std::vector<double> acc;
+    core::deposit_transmitted(code, traits, llr, std::span<double>(full),
+                              acc);
+    r = decoder.decode(full, max_iter);
+  }
+  return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+}
+
+}  // namespace
+
+std::vector<double> transmit_llrs(const codes::QCCode& code,
+                                  std::span<const std::uint8_t> codeword,
+                                  channel::Modulation modulation,
+                                  double sigma, util::Xoshiro256& rng) {
+  const channel::AwgnChannel chan(sigma);
+  if (code.scheme().is_degenerate()) {
+    // Classic full-codeword chain (identical noise stream as ever).
+    auto mod = channel::modulate(codeword, modulation);
+    chan.transmit(mod.samples, rng);
+    return channel::demap_llr(mod, sigma);
+  }
+  std::vector<std::uint8_t> tx(
+      static_cast<std::size_t>(code.transmitted_bits()));
+  code.extract_transmitted(codeword, tx);
+  auto mod = channel::modulate(tx, modulation);
+  chan.transmit(mod.samples, rng);
+  return channel::demap_llr(mod, sigma);
+}
+
 DecodeFn adapt(core::ReconfigurableDecoder& decoder) {
   return [&decoder](std::span<const double> llr) {
     core::FixedDecodeResult r = decoder.decode(llr);
@@ -23,8 +68,7 @@ DecodeFn adapt(core::ReconfigurableDecoder& decoder) {
 
 DecodeFn adapt(const baseline::SoftDecoder& decoder, int max_iter) {
   return [&decoder, max_iter](std::span<const double> llr) {
-    baseline::DecodeResult r = decoder.decode(llr, max_iter);
-    return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+    return run_baseline(decoder, max_iter, llr);
   };
 }
 
@@ -33,8 +77,7 @@ DecodeFn adapt(std::shared_ptr<const baseline::SoftDecoder> decoder,
   if (!decoder) throw std::invalid_argument("adapt: null decoder");
   return [decoder = std::move(decoder),
           max_iter](std::span<const double> llr) {
-    baseline::DecodeResult r = decoder->decode(llr, max_iter);
-    return DecodeOutcome{std::move(r.bits), r.iterations, r.converged};
+    return run_baseline(*decoder, max_iter, llr);
   };
 }
 
@@ -138,9 +181,12 @@ SweepPoint Simulator::run_point(double ebn0_db) {
   const std::uint64_t point_seed = util::substream_seed(config_.seed,
                                                         ebn0_key);
 
-  const double sigma =
-      channel::ebn0_to_sigma(ebn0_db, code_.rate(), config_.modulation);
-  const auto k_info = static_cast<std::size_t>(code_.k_info());
+  // Eb is a *payload* bit's energy over the *transmitted* bits — the
+  // effective (rate-matched) rate. Identical to rate() for full-codeword
+  // schemes.
+  const double sigma = channel::ebn0_to_sigma(
+      ebn0_db, code_.effective_rate(), config_.modulation);
+  const auto k_payload = static_cast<std::size_t>(code_.payload_bits());
   const int max_frames = config_.max_frames;
   const auto target =
       static_cast<std::uint64_t>(config_.target_frame_errors);
@@ -183,11 +229,11 @@ SweepPoint Simulator::run_point(double ebn0_db) {
       }
       const int claim = batch_factory_ ? batch_ : 1;
       const auto encoder = enc::make_encoder(code_);
-      const channel::AwgnChannel chan(sigma);
-      std::vector<std::uint8_t> info(k_info *
+      std::vector<std::uint8_t> info(k_payload *
                                      static_cast<std::size_t>(claim));
       std::vector<double> llrs;
-      llrs.reserve(n * static_cast<std::size_t>(claim));
+      llrs.reserve(static_cast<std::size_t>(code_.transmitted_bits()) *
+                   static_cast<std::size_t>(claim));
 
       while (true) {
         // Claim a contiguous chunk of frame indices (one frame when not
@@ -209,12 +255,12 @@ SweepPoint Simulator::run_point(double ebn0_db) {
           util::Xoshiro256 rng(util::substream_seed(
               point_seed, static_cast<std::uint64_t>(f)));
           const std::span<std::uint8_t> frame_info{
-              info.data() + static_cast<std::size_t>(i) * k_info, k_info};
+              info.data() + static_cast<std::size_t>(i) * k_payload,
+              k_payload};
           enc::random_bits(rng, frame_info);
           const auto cw = encoder->encode(frame_info);
-          auto mod = channel::modulate(cw, config_.modulation);
-          chan.transmit(mod.samples, rng);
-          const auto llr = channel::demap_llr(mod, sigma);
+          const auto llr =
+              transmit_llrs(code_, cw, config_.modulation, sigma, rng);
           llrs.insert(llrs.end(), llr.begin(), llr.end());
         }
 
@@ -233,11 +279,13 @@ SweepPoint Simulator::run_point(double ebn0_db) {
         const std::lock_guard<std::mutex> lock(fold_mutex);
         for (int i = 0; i < count; ++i) {
           const DecodeOutcome& out = outs[static_cast<std::size_t>(i)];
-          // Information-bit errors only (systematic prefix).
+          // Information-bit errors only (systematic payload prefix —
+          // known-zero fillers are stripped, not counted).
           std::uint64_t errors = 0;
-          for (std::size_t b = 0; b < k_info; ++b)
+          for (std::size_t b = 0; b < k_payload; ++b)
             errors += (out.bits[b] & 1) !=
-                              (info[static_cast<std::size_t>(i) * k_info + b] &
+                              (info[static_cast<std::size_t>(i) * k_payload +
+                                    b] &
                                1)
                           ? 1
                           : 0;
@@ -248,7 +296,7 @@ SweepPoint Simulator::run_point(double ebn0_db) {
         while (folded < bound &&
                outcomes[static_cast<std::size_t>(folded)]) {
           const FrameOutcome& o = *outcomes[static_cast<std::size_t>(folded)];
-          point.info_errors.add_frame(o.bit_errors, k_info);
+          point.info_errors.add_frame(o.bit_errors, k_payload);
           if (o.converged && o.bit_errors > 0) ++point.undetected_errors;
           point.iterations.add(static_cast<double>(o.iterations));
           ++point.frames;

@@ -367,6 +367,13 @@ TEST(ChipDimensions, FitsChecksAllLimits) {
       codes::make_code({Standard::kDmbT, Rate::kR35, 127})));
   EXPECT_TRUE(ChipDimensions::universal().fits(
       codes::make_code({Standard::kDmbT, Rate::kR25, 127})));
+  // The paper chip cannot host NR (68 block columns, z up to 384); the
+  // universal dimensions host every registered mode of every standard.
+  EXPECT_FALSE(paper.fits(
+      codes::make_code({Standard::kNr5g, codes::Rate::kR13, 96})));
+  for (const auto& id : codes::all_modes())
+    EXPECT_TRUE(ChipDimensions::universal().fits(codes::make_code(id)))
+        << to_string(id);
 }
 
 TEST(DecoderChip, MatchesFunctionalDecoderBitExactly) {
@@ -579,6 +586,78 @@ TEST(FramePipeline, InvalidConfigThrows) {
                std::invalid_argument);
   EXPECT_THROW(arch::FramePipeline(chip, {.reconfigure_cycles = -1}),
                std::invalid_argument);
+}
+
+// ---- shifter capacity bounds: z_max = 2 up to the NR maximum 384 ------------
+// The logarithmic tree was only ever exercised at the paper's z_max = 96;
+// these lock its structural figures and routing at both extremes.
+
+TEST(CircularShifter, StageCountAtCapacityBounds) {
+  EXPECT_EQ(CircularShifter(2).stages(), 1);
+  EXPECT_EQ(CircularShifter(2).mux_count(), 2);
+  EXPECT_EQ(CircularShifter(256).stages(), 8);
+  EXPECT_EQ(CircularShifter(384).stages(), 9);  // ceil(log2 384)
+  EXPECT_EQ(CircularShifter(384).mux_count(), 9LL * 384);
+}
+
+TEST(CircularShifter, ZMax2BoundaryShifts) {
+  CircularShifter sh(2);
+  std::vector<std::int32_t> in{7, -9}, out(2, 0);
+  sh.rotate(in, 1, 2, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{-9, 7}));
+  sh.rotate(in, 2, 2, out);  // full-cycle control word: identity
+  EXPECT_EQ(out, in);
+  sh.rotate_back(in, 1, 2, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{-9, 7}));
+  // Single active lane under the 2-lane tree.
+  sh.rotate(in, 1, 1, out);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_THROW(sh.rotate(in, 3, 2, out), std::invalid_argument);
+}
+
+TEST(CircularShifter, ZMax384NonPowerOfTwoActiveWidths) {
+  CircularShifter sh(384);
+  std::vector<std::int32_t> in(384), fwd(384, 0), back(384, 0);
+  std::iota(in.begin(), in.end(), -100);
+  // Non-power-of-two active widths under the 384-lane tree (NR lifting
+  // sizes), including the full word.
+  for (const int z : {3, 36, 52, 208, 384}) {
+    for (const int shift : {0, 1, z / 2, z - 1, z}) {
+      sh.rotate(in, shift, z, fwd);
+      for (int i = 0; i < z; ++i)
+        ASSERT_EQ(fwd[static_cast<std::size_t>(i)],
+                  in[static_cast<std::size_t>((i + shift) % z)])
+            << "z=" << z << " shift=" << shift << " lane " << i;
+      sh.rotate_back(fwd, shift, z, back);
+      EXPECT_TRUE(std::equal(in.begin(), in.begin() + z, back.begin()))
+          << "z=" << z << " shift=" << shift;
+    }
+  }
+}
+
+// A z = 384 NR mode through the full structural chip at universal
+// dimensions: the chip must agree with the functional decoder bit for bit
+// (the 384-lane shifter, 68-word L-memory and 46-layer banks all at their
+// limits).
+TEST(DecoderChip, HostsNrAtMaximumLifting) {
+  const auto code = codes::make_code(
+      {Standard::kNr5g, codes::Rate::kR13, 384});
+  const core::DecoderConfig cfg{.max_iterations = 2};
+  arch::DecoderChip chip(ChipDimensions::universal(), cfg);
+  chip.configure(code);
+  std::vector<int> natural(static_cast<std::size_t>(code.block_rows()));
+  std::iota(natural.begin(), natural.end(), 0);
+  chip.set_layer_order(natural);
+  core::ReconfigurableDecoder functional(code, cfg);
+
+  util::Xoshiro256 rng(384);
+  std::vector<double> tx(static_cast<std::size_t>(code.transmitted_bits()));
+  for (auto& x : tx) x = 8.0 * (rng.uniform() - 0.5);
+  const auto rc = chip.decode(tx);
+  const auto rf = functional.decode(tx);
+  EXPECT_EQ(rc.functional.bits, rf.bits);
+  EXPECT_EQ(rc.stats.active_sisos, 384);
+  EXPECT_EQ(rc.stats.idle_sisos, ChipDimensions::universal().z_max - 384);
 }
 
 }  // namespace

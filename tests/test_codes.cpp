@@ -145,8 +145,8 @@ TEST(Registry, UnsupportedCombinationsThrow) {
 
 TEST(Registry, AllModesEnumeration) {
   const auto modes = all_modes();
-  // 4*3 (WLAN) + 6*19 (WiMax) + 4*1 (DMB-T).
-  EXPECT_EQ(modes.size(), 12u + 114u + 4u);
+  // 4*3 (WLAN) + 6*19 (WiMax) + 4*1 (DMB-T) + 2*10 (NR BG1/BG2).
+  EXPECT_EQ(modes.size(), 12u + 114u + 4u + 20u);
   std::set<std::string> names;
   for (const auto& id : modes) names.insert(to_string(id));
   EXPECT_EQ(names.size(), modes.size());  // all distinct
@@ -187,6 +187,112 @@ TEST(Registry, DmbtIsDeterministic) {
   EXPECT_EQ(dmbt_base_matrix(Rate::kR35), dmbt_base_matrix(Rate::kR35));
 }
 
+// ---- 5G NR: lifting sets, mod-z scaling, transmission scheme --------------
+
+TEST(NrRegistry, LiftingSizesAreTheEightSets) {
+  const auto zs = nr_lifting_sizes();
+  EXPECT_EQ(zs.size(), 51u);  // TS 38.212 Table 5.3.2-1
+  EXPECT_EQ(zs.front(), 2);
+  EXPECT_EQ(zs.back(), 384);
+  for (const int z : zs) {
+    int a = z;
+    while (a % 2 == 0) a /= 2;
+    // a * 2^s with a odd in {1(->2), 3, 5, 7, 9, 11, 13, 15}.
+    EXPECT_TRUE(a == 1 || (a >= 3 && a <= 15)) << z;
+  }
+  // Every registered z is a lifting size.
+  for (const int z : supported_z(Standard::kNr5g))
+    EXPECT_NE(std::find(zs.begin(), zs.end(), z), zs.end()) << z;
+  EXPECT_THROW(make_nr_code(Rate::kR13, 17), std::invalid_argument);
+  EXPECT_THROW(make_nr_code(Rate::kR12, 96), std::invalid_argument);
+}
+
+TEST(NrRegistry, BaseGraphShapesMatchTheStandard) {
+  const BaseMatrix bg1 = nr_base_matrix(Rate::kR13);
+  EXPECT_EQ(bg1.rows(), 46);
+  EXPECT_EQ(bg1.cols(), 68);
+  const BaseMatrix bg2 = nr_base_matrix(Rate::kR15);
+  EXPECT_EQ(bg2.rows(), 42);
+  EXPECT_EQ(bg2.cols(), 52);
+  // Deterministic generation (golden vectors depend on it).
+  EXPECT_EQ(nr_base_matrix(Rate::kR13), nr_base_matrix(Rate::kR13));
+  // Dense always-punctured columns: 0 and 1 connect to all four core rows
+  // and dominate the column-degree profile.
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_GE(bg1.col_degree(c), 20) << c;
+    for (int r = 0; r < 4; ++r) EXPECT_FALSE(bg1.is_zero(r, c));
+  }
+}
+
+TEST(NrRegistry, ShiftsScaleByVModZ) {
+  const BaseMatrix base = nr_base_matrix(Rate::kR15);
+  for (const int z : {2, 36, 96}) {
+    const QCCode code = make_code({Standard::kNr5g, Rate::kR15, z});
+    for (int r = 0; r < base.rows(); ++r)
+      for (int c = 0; c < base.cols(); ++c) {
+        ASSERT_EQ(base.is_zero(r, c), code.base().is_zero(r, c));
+        if (!base.is_zero(r, c))
+          ASSERT_EQ(code.base().at(r, c), base.at(r, c) % z)
+              << r << "," << c << " z=" << z;
+      }
+  }
+}
+
+TEST(TransmissionScheme, DegenerateForClassicStandards) {
+  const QCCode wimax = make_code({Standard::kWimax80216e, Rate::kR12, 96});
+  EXPECT_TRUE(wimax.scheme().is_degenerate());
+  EXPECT_EQ(wimax.transmitted_bits(), wimax.n());
+  EXPECT_EQ(wimax.payload_bits(), wimax.k_info());
+  EXPECT_EQ(wimax.sendable_bits(), wimax.n());
+  EXPECT_DOUBLE_EQ(wimax.effective_rate(), wimax.rate());
+  for (int i : {0, 17, wimax.n() - 1}) EXPECT_EQ(wimax.tx_bit_index(i), i);
+}
+
+TEST(TransmissionScheme, TxBitIndexSkipsPuncturedAndFillers) {
+  // BG2 z=2: k_info = 20, punctured prefix = 4 bits, F = 4 fillers at
+  // [16, 20), sendable = 104 - 4 - 4 = 96.
+  const QCCode code = make_nr_code(Rate::kR15, 2, 0, 4);
+  EXPECT_EQ(code.payload_bits(), 16);
+  EXPECT_EQ(code.sendable_bits(), 96);
+  EXPECT_EQ(code.transmitted_bits(), 96);
+  EXPECT_EQ(code.tx_bit_index(0), 4);     // first bit after the punctured prefix
+  EXPECT_EQ(code.tx_bit_index(11), 15);   // last payload bit
+  EXPECT_EQ(code.tx_bit_index(12), 20);   // filler range [16, 20) skipped
+  EXPECT_EQ(code.tx_bit_index(95), 103);  // last parity bit
+}
+
+TEST(TransmissionScheme, ExtractTransmittedWrapsAround) {
+  // E > sendable: the circular buffer repeats from the start.
+  const QCCode code = make_nr_code(Rate::kR15, 2, 150);
+  EXPECT_EQ(code.sendable_bits(), 100);
+  EXPECT_EQ(code.transmitted_bits(), 150);
+  std::vector<std::uint8_t> cw(static_cast<std::size_t>(code.n()));
+  for (std::size_t i = 0; i < cw.size(); ++i)
+    cw[i] = static_cast<std::uint8_t>(i % 2);
+  std::vector<std::uint8_t> tx(150);
+  code.extract_transmitted(cw, tx);
+  for (int i = 0; i < 150; ++i)
+    ASSERT_EQ(tx[static_cast<std::size_t>(i)],
+              cw[static_cast<std::size_t>(code.tx_bit_index(i % 100))]) << i;
+}
+
+TEST(TransmissionScheme, SetSchemeValidates) {
+  QCCode code = make_code({Standard::kWimax80216e, Rate::kR12, 24});
+  // Punctured columns beyond the information part (rate 1/2: 12 of 24).
+  EXPECT_THROW(code.set_scheme({.punctured_block_cols = 13}),
+               std::invalid_argument);
+  // Fillers overlapping the punctured prefix.
+  EXPECT_THROW(code.set_scheme({.punctured_block_cols = 12,
+                                .filler_bits = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(code.set_scheme({.transmitted_bits = -1}),
+               std::invalid_argument);
+  // A valid scheme sticks.
+  code.set_scheme({.punctured_block_cols = 1, .transmitted_bits = 400});
+  EXPECT_EQ(code.transmitted_bits(), 400);
+  EXPECT_FALSE(code.scheme().is_degenerate());
+}
+
 // ---- property sweep over every registered mode ---------------------------
 
 class AllModesTest : public ::testing::TestWithParam<CodeId> {};
@@ -207,8 +313,10 @@ TEST_P(AllModesTest, ExpandsToConsistentCode) {
       EXPECT_LT(e.shift, code.z());
     }
   }
-  // Rate from dimensions matches the nominal rate.
-  EXPECT_NEAR(code.rate(), rate_value(GetParam().rate), 1e-9);
+  // Effective (channel-facing) rate matches the nominal rate: identical
+  // to k/n for the full-codeword standards, the post-puncturing mother
+  // rate for NR.
+  EXPECT_NEAR(code.effective_rate(), rate_value(GetParam().rate), 1e-9);
 }
 
 TEST_P(AllModesTest, CheckRowsWithinLayerShareDegree) {

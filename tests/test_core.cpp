@@ -10,6 +10,7 @@
 #include "ldpc/core/early_termination.hpp"
 #include "ldpc/core/siso.hpp"
 #include "ldpc/enc/encoder.hpp"
+#include "ldpc/sim/simulator.hpp"
 
 namespace {
 
@@ -317,16 +318,20 @@ struct FixedChain {
       : code(codes::make_code(id)), encoder(enc::make_encoder(code)),
         rng(seed) {}
 
+  /// One encode -> transmit -> AWGN -> demap frame. The LLR vector has
+  /// the code's transmitted length (n for classic standards; E with
+  /// puncturing/fillers applied for NR).
   std::pair<std::vector<std::uint8_t>, std::vector<double>> frame(
       double ebn0_db) {
-    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    std::vector<std::uint8_t> info(
+        static_cast<std::size_t>(code.payload_bits()));
     enc::random_bits(rng, info);
     auto cw = encoder->encode(info);
-    auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
-    const double sigma = channel::ebn0_to_sigma(ebn0_db, code.rate(),
-                                                channel::Modulation::kBpsk);
-    channel::AwgnChannel(sigma).transmit(mod.samples, rng);
-    return {std::move(cw), channel::demap_llr(mod, sigma)};
+    const double sigma = channel::ebn0_to_sigma(
+        ebn0_db, code.effective_rate(), channel::Modulation::kBpsk);
+    auto llr = sim::transmit_llrs(code, cw, channel::Modulation::kBpsk,
+                                  sigma, rng);
+    return {std::move(cw), std::move(llr)};
   }
 };
 

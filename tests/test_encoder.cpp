@@ -160,4 +160,62 @@ INSTANTIATE_TEST_SUITE_P(AllModes, EncoderAllModes,
                            return n;
                          });
 
+// ---- NR core encoder (TS 38.212 structure) ----------------------------------
+
+TEST(NrEncoder, StructureProbeSelectsTheRightEncoder) {
+  const auto nr = codes::make_code(
+      {codes::Standard::kNr5g, codes::Rate::kR13, 16});
+  const auto wimax = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  EXPECT_TRUE(enc::NrEncoder::structure_ok(nr));
+  EXPECT_FALSE(enc::NrEncoder::structure_ok(wimax));
+  EXPECT_FALSE(enc::DualDiagonalEncoder::structure_ok(nr));
+  EXPECT_NE(dynamic_cast<const enc::NrEncoder*>(
+                enc::make_encoder(nr).get()),
+            nullptr);
+  EXPECT_THROW(enc::NrEncoder{wimax}, std::invalid_argument);
+}
+
+TEST(NrEncoder, MatchesDenseEncoderOnSmallLiftings) {
+  // The linear-time core solve must agree with the generic GF(2) inverse
+  // on both base graphs (small z keeps the dense inversion cheap).
+  util::Xoshiro256 rng(77);
+  for (const codes::Rate rate : {codes::Rate::kR13, codes::Rate::kR15}) {
+    for (const int z : {2, 3, 6}) {
+      const auto code = codes::make_nr_code(rate, z);
+      const enc::NrEncoder fast(code);
+      const enc::DenseEncoder dense(code);
+      std::vector<std::uint8_t> info(
+          static_cast<std::size_t>(code.payload_bits()));
+      for (int trial = 0; trial < 4; ++trial) {
+        enc::random_bits(rng, info);
+        const auto a = fast.encode(info);
+        const auto b = dense.encode(info);
+        EXPECT_EQ(a, b) << code.name() << " trial " << trial;
+        EXPECT_TRUE(code.is_codeword(a)) << code.name();
+      }
+    }
+  }
+}
+
+TEST(NrEncoder, InsertsFillerBitsAsZeros) {
+  const auto code = codes::make_nr_code(codes::Rate::kR15, 16, 0, 24);
+  const auto encoder = enc::make_encoder(code);
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint8_t> info(
+      static_cast<std::size_t>(code.payload_bits()));
+  enc::random_bits(rng, info);
+  const auto cw = encoder->encode(info);
+  EXPECT_TRUE(code.is_codeword(cw));
+  // Payload occupies the prefix; the filler range is all-zero.
+  for (int i = 0; i < code.payload_bits(); ++i)
+    EXPECT_EQ(cw[static_cast<std::size_t>(i)], info[static_cast<std::size_t>(i)]);
+  for (int i = code.payload_bits(); i < code.k_info(); ++i)
+    EXPECT_EQ(cw[static_cast<std::size_t>(i)], 0) << i;
+  // encode takes PAYLOAD bits, not the full information part.
+  std::vector<std::uint8_t> wrong(static_cast<std::size_t>(code.k_info()));
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(code.n()));
+  EXPECT_THROW(encoder->encode(wrong, out), std::invalid_argument);
+}
+
 }  // namespace

@@ -1,11 +1,14 @@
 // Golden-vector regression suite: locks the bit-accurate datapaths.
 //
-// tests/data/golden_minsum.txt (regenerate: `alist_tool golden --out
-// tests/data/golden_minsum.txt`) holds, for EVERY registered
-// 802.11n / 802.16e / DMB-T mode, one canned quantised LLR frame and the
-// expected hard decisions of the fixed-point and float min-sum datapaths
-// under the golden config (min-sum kernel, 5 full iterations, no early
-// termination, Q5.2 messages). This suite decodes each frame through
+// tests/data/golden_<standard>.txt (regenerate: `alist_tool golden
+// --outdir tests/data`) holds, for EVERY registered 802.11n / 802.16e /
+// DMB-T / NR mode plus the shared NR rate-matched cases
+// (core::golden::nr_rate_matched_cases), one canned quantised LLR frame —
+// post-deposit, i.e. with NR puncturing, fillers and rate-matched
+// repetition already mapped onto the codeword memory — and the expected
+// hard decisions of the fixed-point and float min-sum datapaths under the
+// golden config (min-sum kernel, 5 full iterations, no early termination,
+// Q5.2 messages). This suite decodes each frame through
 //
 //   - the scalar fixed-point engine        (LayerEngineT<std::int32_t>)
 //   - the SoA batched fixed-point kernel   (BatchEngine, several lanes)
@@ -14,8 +17,8 @@
 //
 // and asserts bit-exact agreement with the stored decisions, so ANY change
 // to the quantised arithmetic — saturation, clip points, min-sum ties,
-// write-back order — or to the float reference trips a test naming the
-// exact mode.
+// write-back order, the LLR deposit — or to the float reference trips a
+// test naming the exact mode.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -43,33 +46,38 @@ struct GoldenEntry {
 const std::map<std::string, GoldenEntry>& golden_table() {
   static const std::map<std::string, GoldenEntry> table = [] {
     std::map<std::string, GoldenEntry> t;
-    const std::string path =
-        std::string(LDPC_GOLDEN_DIR) + "/golden_minsum.txt";
-    std::ifstream in(path);
-    if (!in)
-      throw std::runtime_error("cannot open golden vectors: " + path);
-    std::string line;
-    std::string current;
-    int n = 0;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      std::istringstream ls(line);
-      std::string tag;
-      ls >> tag;
-      if (tag == "mode") {
-        // "mode <name with spaces> n <n>"
-        const auto n_pos = line.rfind(" n ");
-        current = line.substr(5, n_pos - 5);
-        n = std::stoi(line.substr(n_pos + 3));
-        t[current] = GoldenEntry{};
-        t[current].raw.reserve(static_cast<std::size_t>(n));
-      } else if (tag == "raw") {
-        std::int32_t v;
-        while (ls >> v) t[current].raw.push_back(v);
-      } else if (tag == "fixed") {
-        ls >> t[current].fixed_hex;
-      } else if (tag == "float") {
-        ls >> t[current].float_hex;
+    for (const codes::Standard standard :
+         {codes::Standard::kWlan80211n, codes::Standard::kWimax80216e,
+          codes::Standard::kDmbT, codes::Standard::kNr5g}) {
+      const std::string path = std::string(LDPC_GOLDEN_DIR) + "/golden_" +
+                               core::golden::standard_slug(standard) +
+                               ".txt";
+      std::ifstream in(path);
+      if (!in)
+        throw std::runtime_error("cannot open golden vectors: " + path);
+      std::string line;
+      std::string current;
+      int n = 0;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "mode") {
+          // "mode <name with spaces> n <n>"
+          const auto n_pos = line.rfind(" n ");
+          current = line.substr(5, n_pos - 5);
+          n = std::stoi(line.substr(n_pos + 3));
+          t[current] = GoldenEntry{};
+          t[current].raw.reserve(static_cast<std::size_t>(n));
+        } else if (tag == "raw") {
+          std::int32_t v;
+          while (ls >> v) t[current].raw.push_back(v);
+        } else if (tag == "fixed") {
+          ls >> t[current].fixed_hex;
+        } else if (tag == "float") {
+          ls >> t[current].float_hex;
+        }
       }
     }
     return t;
@@ -77,19 +85,12 @@ const std::map<std::string, GoldenEntry>& golden_table() {
   return table;
 }
 
-class GoldenVectors : public ::testing::TestWithParam<codes::CodeId> {};
-
-TEST_P(GoldenVectors, AllDatapathsMatchStoredDecisions) {
-  const codes::CodeId id = GetParam();
-  const auto it = golden_table().find(to_string(id));
-  ASSERT_NE(it, golden_table().end())
-      << "mode " << to_string(id) << " missing from golden_minsum.txt — "
-         "regenerate with: alist_tool golden --out "
-         "tests/data/golden_minsum.txt";
-  const GoldenEntry& entry = it->second;
-  const auto code = codes::make_code(id);
+// Decodes `entry.raw` through all four datapaths and asserts bit-exact
+// agreement with the stored decisions. Shared by the registered-mode sweep
+// and the NR rate-matched cases.
+void check_all_datapaths(const codes::QCCode& code,
+                         const GoldenEntry& entry) {
   ASSERT_EQ(entry.raw.size(), static_cast<std::size_t>(code.n()));
-
   const core::DecoderConfig cfg = core::golden::config();
 
   // Scalar fixed-point path.
@@ -128,7 +129,21 @@ TEST_P(GoldenVectors, AllDatapathsMatchStoredDecisions) {
   std::vector<double> llr(entry.raw.size());
   for (std::size_t i = 0; i < llr.size(); ++i)
     llr[i] = entry.raw[i] * cfg.format.lsb();
-  const auto chip_result = chip.decode(llr);
+  // The chip takes transmitted-length LLRs and runs the shared deposit.
+  // Reconstruct a transmitted vector whose deposit reproduces the stored
+  // frame exactly: the first occurrence of each sendable position carries
+  // the dequantised raw value (quantisation is idempotent on grid points,
+  // and the deposit's zero-exclusion never stored a raw 0 for a sent
+  // bit), wraparound repeats carry 0.0 (they accumulate onto the first),
+  // and punctured / unsent / filler positions are reproduced by the
+  // deposit itself.
+  const int sendable = code.sendable_bits();
+  std::vector<double> tx(static_cast<std::size_t>(code.transmitted_bits()),
+                         0.0);
+  for (int i = 0; i < std::min<int>(code.transmitted_bits(), sendable); ++i)
+    tx[static_cast<std::size_t>(i)] =
+        llr[static_cast<std::size_t>(code.tx_bit_index(i))];
+  const auto chip_result = chip.decode(tx);
   EXPECT_EQ(bits_to_hex(chip_result.functional.bits), entry.fixed_hex)
       << code.name() << " (chip)";
 
@@ -141,6 +156,19 @@ TEST_P(GoldenVectors, AllDatapathsMatchStoredDecisions) {
       << code.name() << " (float)";
 }
 
+class GoldenVectors : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(GoldenVectors, AllDatapathsMatchStoredDecisions) {
+  const codes::CodeId id = GetParam();
+  const auto it = golden_table().find(to_string(id));
+  ASSERT_NE(it, golden_table().end())
+      << "mode " << to_string(id) << " missing from golden_"
+      << core::golden::standard_slug(id.standard)
+      << ".txt — regenerate with: alist_tool golden --outdir tests/data";
+  const auto code = codes::make_code(id);
+  check_all_datapaths(code, it->second);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllModes, GoldenVectors,
                          ::testing::ValuesIn(codes::all_modes()),
                          [](const auto& info) {
@@ -151,12 +179,40 @@ INSTANTIATE_TEST_SUITE_P(AllModes, GoldenVectors,
                            return n;
                          });
 
-// Every entry in the data file must correspond to a registered mode — a
-// stale file (mode renamed/removed) fails loudly instead of silently
-// shrinking coverage.
-TEST(GoldenVectors, FileCoversExactlyTheRegistry) {
-  std::size_t modes = codes::all_modes().size();
-  EXPECT_EQ(golden_table().size(), modes);
+// The NR rate-matched cases (E != sendable, fillers): same four-datapath
+// lock over codes built with an explicit transmission length.
+class GoldenNrRateMatched
+    : public ::testing::TestWithParam<core::golden::NrRateMatchedCase> {};
+
+TEST_P(GoldenNrRateMatched, AllDatapathsMatchStoredDecisions) {
+  const auto& c = GetParam();
+  const auto code =
+      codes::make_nr_code(c.rate, c.z, c.transmitted_bits, c.filler_bits);
+  const auto it = golden_table().find(code.name());
+  ASSERT_NE(it, golden_table().end())
+      << "case " << code.name() << " missing from golden_nr.txt — "
+         "regenerate with: alist_tool golden --outdir tests/data";
+  check_all_datapaths(code, it->second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateMatched, GoldenNrRateMatched,
+    ::testing::ValuesIn(core::golden::nr_rate_matched_cases()),
+    [](const auto& info) {
+      return std::string(info.param.rate == codes::Rate::kR13 ? "BG1"
+                                                              : "BG2") +
+             "_z" + std::to_string(info.param.z) + "_E" +
+             std::to_string(info.param.transmitted_bits) + "_F" +
+             std::to_string(info.param.filler_bits);
+    });
+
+// Every entry in the data files must correspond to a registered mode or a
+// shared rate-matched case — a stale file (mode renamed/removed) fails
+// loudly instead of silently shrinking coverage.
+TEST(GoldenVectors, FilesCoverExactlyTheRegistry) {
+  const std::size_t expected = codes::all_modes().size() +
+                               core::golden::nr_rate_matched_cases().size();
+  EXPECT_EQ(golden_table().size(), expected);
   for (const auto& [name, entry] : golden_table()) {
     EXPECT_FALSE(entry.raw.empty()) << name;
     EXPECT_EQ(entry.fixed_hex.size(), (entry.raw.size() + 3) / 4) << name;

@@ -11,18 +11,20 @@
 #include "ldpc/codes/registry.hpp"
 #include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/layer_engine.hpp"
+#include "ldpc/fixed/qformat.hpp"
 #include "ldpc/util/rng.hpp"
 
 namespace {
 
 using namespace ldpc;
 
-// Random (non-codeword) channel LLRs: exercises the full schedule — no
+// Random (non-codeword) channel LLRs at the code's *transmitted* length
+// (n for classic standards, E for NR): exercises the full schedule — no
 // early convergence — without needing an encoder per mode.
 std::vector<double> random_llrs(const codes::QCCode& code,
                                 std::uint64_t seed) {
   util::Xoshiro256 rng(seed);
-  std::vector<double> llr(static_cast<std::size_t>(code.n()));
+  std::vector<double> llr(static_cast<std::size_t>(code.transmitted_bits()));
   for (auto& x : llr) x = 8.0 * (rng.uniform() - 0.5);
   return llr;
 }
@@ -430,6 +432,102 @@ TEST(BatchDecode, RejectsBadSizes) {
   arch::DecoderChip chip({}, {});
   chip.configure(code);
   EXPECT_THROW(chip.decode_batch(off), std::invalid_argument);
+}
+
+// ---- NR: transmitted-LLR frames through every datapath ----------------------
+// The tentpole invariant extended to punctured/filler/rate-matched codes:
+// scalar fixed, SoA batched and chip decode the SAME transmitted frame to
+// bit-identical hard decisions (the float engine is locked separately by
+// the golden suite, its arithmetic being legitimately different).
+
+struct NrCase {
+  const char* label;
+  codes::QCCode code;
+};
+
+std::vector<NrCase> nr_cases() {
+  std::vector<NrCase> cases;
+  cases.push_back({"registered_bg1",
+                   codes::make_code({codes::Standard::kNr5g,
+                                     codes::Rate::kR13, 36})});
+  cases.push_back({"rate_matched",  // E < sendable
+                   codes::make_nr_code(codes::Rate::kR13, 36, 1800)});
+  cases.push_back({"repetition",    // E > sendable: wraparound combining
+                   codes::make_nr_code(codes::Rate::kR15, 16, 1000)});
+  cases.push_back({"fillers",
+                   codes::make_nr_code(codes::Rate::kR15, 16, 700, 24)});
+  return cases;
+}
+
+TEST(NrDatapaths, ScalarBatchedAndChipBitIdentical) {
+  const core::DecoderConfig cfg{.max_iterations = 5,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .stop_on_codeword = true};
+  for (auto& c : nr_cases()) {
+    core::ReconfigurableDecoder scalar_dec(c.code, cfg);
+    core::ReconfigurableDecoder batch_dec(c.code, cfg);
+    arch::DecoderChip chip(arch::ChipDimensions::universal(), cfg);
+    chip.configure(c.code);
+    std::vector<int> natural(
+        static_cast<std::size_t>(c.code.block_rows()));
+    std::iota(natural.begin(), natural.end(), 0);
+    chip.set_layer_order(natural);
+
+    const auto tx = static_cast<std::size_t>(c.code.transmitted_bits());
+    const int frames = 5;
+    std::vector<double> llrs(tx * static_cast<std::size_t>(frames));
+    for (int f = 0; f < frames; ++f) {
+      const auto one =
+          random_llrs(c.code, 4000 + static_cast<std::uint64_t>(f));
+      std::copy(one.begin(), one.end(),
+                llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                   static_cast<std::ptrdiff_t>(tx));
+    }
+
+    const auto batched = batch_dec.decode_batch(llrs);
+    ASSERT_EQ(batched.size(), static_cast<std::size_t>(frames));
+    for (int f = 0; f < frames; ++f) {
+      const std::span<const double> one{
+          llrs.data() + static_cast<std::size_t>(f) * tx, tx};
+      const auto rs = scalar_dec.decode(one);
+      const auto rc = chip.decode(one);
+      const auto& rb = batched[static_cast<std::size_t>(f)];
+      EXPECT_EQ(rb.bits, rs.bits) << c.label << " frame " << f;
+      EXPECT_EQ(rb.iterations, rs.iterations) << c.label << " frame " << f;
+      EXPECT_EQ(rc.functional.bits, rs.bits) << c.label << " frame " << f;
+      EXPECT_EQ(rc.functional.iterations, rs.iterations)
+          << c.label << " frame " << f;
+    }
+  }
+}
+
+// The deposit itself, unit-checked on a tiny BG2 code: punctured and
+// unsent bits are exact zeros (no zero-exclusion nudge), fillers sit at
+// the positive APP rail, repeated bits accumulate before quantisation.
+TEST(NrDatapaths, DepositSemantics) {
+  const auto code = codes::make_nr_code(codes::Rate::kR15, 2, 150, 4);
+  const core::DecoderConfig cfg{.kernel = core::CnuKernel::kMinSum};
+  core::LayerEngine engine(cfg);
+  engine.reconfigure(code);
+  const int sendable = code.sendable_bits();  // 104 - 4 punctured - 4 fillers = 96
+  std::vector<double> tx(150, 1.0);
+  std::vector<std::int32_t> raw(static_cast<std::size_t>(code.n()));
+  engine.deposit(tx, raw);
+
+  // Punctured prefix: first 2z = 4 bits are exact zeros.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(raw[static_cast<std::size_t>(i)], 0);
+  // Fillers pinned to the APP-format rail (Q5.2 message + 2 extra bits).
+  const fixed::QFormat app_fmt(cfg.format.total_bits() + cfg.app_extra_bits,
+                               cfg.format.frac_bits());
+  for (int i = code.payload_bits(); i < code.k_info(); ++i)
+    EXPECT_EQ(raw[static_cast<std::size_t>(i)], app_fmt.raw_max()) << i;
+  // First 150 - sendable sendable positions were transmitted twice: their
+  // LLR doubled before quantisation (1.0 -> 4 raw, 2.0 -> 8 raw in Q5.2).
+  const int repeats = 150 - sendable;
+  for (int s2 = 0; s2 < sendable; ++s2) {
+    const auto v = static_cast<std::size_t>(code.tx_bit_index(s2));
+    EXPECT_EQ(raw[v], s2 < repeats ? 8 : 4) << s2;
+  }
 }
 
 }  // namespace

@@ -69,6 +69,26 @@ TEST(AreaModel, SmallerChipIsSmaller) {
                std::invalid_argument);
 }
 
+TEST(AreaModel, ShifterAreaFollowsChipZMax) {
+  // The shifter block scales with the chip's own z_max (stages * lanes
+  // from arch::CircularShifter), not the paper's 96-lane constant: a
+  // 384-lane NR-scale chip has 9 stages of 384 muxes vs 7 of 96.
+  const AreaModel m;
+  const ChipDimensions paper{};
+  const ChipDimensions nr_scale{.z_max = 384, .block_cols_max = 68,
+                                .layers_max = 48, .row_degree_max = 32};
+  const ChipDimensions tiny{.z_max = 2, .block_cols_max = 24,
+                            .layers_max = 12, .row_degree_max = 24};
+  const auto a96 = m.chip_area(paper, core::Radix::kR4, 450);
+  const auto a384 = m.chip_area(nr_scale, core::Radix::kR4, 450);
+  const auto a2 = m.chip_area(tiny, core::Radix::kR4, 450);
+  EXPECT_NEAR(a384.shifter_mm2 / a96.shifter_mm2,
+              (9.0 * 384.0) / (7.0 * 96.0), 1e-9);
+  EXPECT_NEAR(a2.shifter_mm2 / a96.shifter_mm2, 2.0 / (7.0 * 96.0), 1e-9);
+  // The NR-scale chip is dominated by its 4x SISO array and memories.
+  EXPECT_GT(a384.total_mm2(), 3.0 * a96.total_mm2());
+}
+
 // ---- power model (Table 3 / Fig. 9) -----------------------------------------
 
 TEST(PowerModel, PeakMatchesPaper410mW) {

@@ -353,4 +353,90 @@ TEST(Simulator, InvalidConfigThrows) {
       std::invalid_argument);
 }
 
+// ---- 5G NR through the full simulation chain --------------------------------
+
+TEST(Simulator, NrWaterfallImprovesWithSnr) {
+  // Reduced-frame sanity of the acceptance criterion: a rate-matched NR
+  // sweep must show monotone BER improvement with SNR.
+  const auto code = codes::make_code(
+      {codes::Standard::kNr5g, codes::Rate::kR13, 36});
+  auto factory = sim::fixed_decoder_factory(
+      code, {.max_iterations = 10,
+             .kernel = core::CnuKernel::kMinSum,
+             .stop_on_codeword = true});
+  sim::SimConfig sc;
+  sc.seed = 9;
+  sc.min_frames = 60;
+  sc.max_frames = 60;
+  sc.target_frame_errors = 1000;  // never stop early: fixed budget
+  sc.threads = 2;
+  sim::Simulator simulator(code, factory, sc);
+  const auto points = simulator.sweep({0.5, 2.0, 3.5});
+  ASSERT_EQ(points.size(), 3u);
+  // Monotone non-increasing BER, and the high-SNR point decodes cleanly
+  // by a wide margin.
+  EXPECT_GE(points[0].ber(), points[1].ber());
+  EXPECT_GE(points[1].ber(), points[2].ber());
+  EXPECT_GT(points[0].ber(), 1e-3);  // low SNR: genuinely noisy
+  EXPECT_LT(points[2].ber(), points[0].ber() / 4.0);
+}
+
+TEST(Simulator, NrRateMatchedAndFillerFrames) {
+  // E < sendable plus fillers: the chain transmits exactly E bits and
+  // counts errors over the payload only.
+  const auto code = codes::make_nr_code(codes::Rate::kR15, 16, 600, 24);
+  ASSERT_EQ(code.transmitted_bits(), 600);
+  auto factory = sim::fixed_decoder_factory(
+      code, {.max_iterations = 10,
+             .kernel = core::CnuKernel::kMinSum,
+             .stop_on_codeword = true});
+  sim::SimConfig sc;
+  sc.seed = 4;
+  sc.min_frames = 40;
+  sc.max_frames = 40;
+  sc.target_frame_errors = 1000;
+  sc.threads = 2;
+  sim::Simulator simulator(code, factory, sc);
+  const auto p = simulator.run_point(4.0);
+  EXPECT_EQ(p.frames, 40);
+  // BER is measured over payload bits (fillers stripped).
+  EXPECT_EQ(p.info_errors.bits(), 40ull *
+            static_cast<unsigned long long>(code.payload_bits()));
+  EXPECT_LT(p.fer(), 0.6);  // rate 1/5 mother code at 4 dB decodes mostly
+}
+
+TEST(Simulator, NrStatisticsAreThreadCountInvariant) {
+  const auto code = codes::make_code(
+      {codes::Standard::kNr5g, codes::Rate::kR15, 16});
+  const core::DecoderConfig cfg{.max_iterations = 6,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .stop_on_codeword = true};
+  sim::SimConfig sc;
+  sc.seed = 31;
+  sc.min_frames = 30;
+  sc.max_frames = 120;
+  sc.target_frame_errors = 8;
+  auto run = [&](int threads, int batch) {
+    sim::SimConfig c = sc;
+    c.threads = threads;
+    c.batch = batch;
+    if (batch)
+      return sim::Simulator(code,
+                            sim::batched_fixed_decoder_factory(code, cfg),
+                            c)
+          .run_point(1.5);
+    return sim::Simulator(code, sim::fixed_decoder_factory(code, cfg), c)
+        .run_point(1.5);
+  };
+  const auto a = run(1, 0);
+  const auto b = run(4, 0);
+  const auto c = run(3, 5);  // batched SoA kernel, odd batch size
+  for (const auto* p : {&b, &c}) {
+    EXPECT_EQ(p->frames, a.frames);
+    EXPECT_EQ(p->info_errors.bit_errors(), a.info_errors.bit_errors());
+    EXPECT_EQ(p->info_errors.frame_errors(), a.info_errors.frame_errors());
+    EXPECT_DOUBLE_EQ(p->iterations.mean(), a.iterations.mean());
+  }
+}
+
 }  // namespace
