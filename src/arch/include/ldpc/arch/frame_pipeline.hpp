@@ -5,9 +5,23 @@
 // Sustained throughput is then limited by max(decode time, I/O time); the
 // model tracks core-busy vs core-idle cycles so the utilisation loss of
 // short frames (where reconfiguration and I/O dominate) is visible.
+//
+// I/O is accounted per the code's TransmissionScheme: the input buffer
+// receives transmitted_bits() soft words (the rate-matched length E — for
+// NR modes the punctured and filler positions never cross the interface),
+// and the output buffer drains payload_bits() hard decisions (parity and
+// known-zero fillers are not delivered). For the classic degenerate-scheme
+// standards transmitted_bits() == n.
+//
+// FramePipelineStats is the per-worker ledger of the streaming decoder
+// farm (ldpc_stream): stream::StreamScheduler composes farm totals by
+// merge()-ing worker ledgers, and payload-bit conservation across that
+// merge is test-locked.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "ldpc/arch/decoder_chip.hpp"
 
@@ -28,6 +42,10 @@ struct FramePipelineStats {
   long long io_cycles = 0;         // input load + output drain demand
   long long stall_cycles = 0;      // core idle waiting for I/O or config
   long long reconfigurations = 0;
+  /// Payload bits delivered (k_info minus fillers, summed over frames) —
+  /// the numerator of sustained_bps and the conserved quantity scheduler
+  /// tests check across worker ledgers.
+  long long payload_bits = 0;
 
   /// Total elapsed cycles with double buffering.
   long long elapsed_cycles() const {
@@ -40,13 +58,34 @@ struct FramePipelineStats {
                        static_cast<double>(total)
                  : 0.0;
   }
-  /// Sustained information throughput at `f_clk_hz`.
-  double sustained_bps(double f_clk_hz, long long info_bits) const {
+  /// Sustained payload throughput at `f_clk_hz`.
+  double sustained_bps(double f_clk_hz) const {
     const long long total = elapsed_cycles();
-    return total ? static_cast<double>(info_bits) * f_clk_hz /
+    return total ? static_cast<double>(payload_bits) * f_clk_hz /
                        static_cast<double>(total)
                  : 0.0;
   }
+  /// Field-wise accumulation: composes per-worker ledgers into farm
+  /// totals (payload bits, cycles and reconfiguration counts all add).
+  void merge(const FramePipelineStats& other) noexcept {
+    frames += other.frames;
+    decode_cycles += other.decode_cycles;
+    io_cycles += other.io_cycles;
+    stall_cycles += other.stall_cycles;
+    reconfigurations += other.reconfigurations;
+    payload_bits += other.payload_bits;
+  }
+};
+
+/// A same-mode burst decoded through the batch datapath, with the
+/// per-frame elapsed-cycle contributions a scheduler needs to place each
+/// frame's completion on its modeled clock.
+struct BurstDecodeResult {
+  std::vector<ChipDecodeResult> frames;
+  /// Frame f's contribution to elapsed_cycles(): its decode cycles plus
+  /// its stall share (the burst's reconfiguration overhead lands on the
+  /// first frame).
+  std::vector<long long> frame_elapsed_cycles;
 };
 
 /// Runs frames through a DecoderChip while accounting for the double-
@@ -55,23 +94,37 @@ class FramePipeline {
  public:
   FramePipeline(DecoderChip& chip, FramePipelineConfig config = {});
 
-  /// Decodes one frame of channel LLRs for `code`, reconfiguring first if
-  /// the chip currently holds a different code. Returns the chip result;
-  /// pipeline accounting accumulates in stats().
+  /// Decodes one frame of channel LLRs (size transmitted_bits()) for
+  /// `code`, reconfiguring first if the chip currently holds a different
+  /// code. Returns the chip result; pipeline accounting accumulates in
+  /// stats().
   ChipDecodeResult decode_frame(const codes::QCCode& code,
                                 std::span<const double> llr);
+
+  /// Decodes a same-mode burst (`llrs.size()` a non-zero multiple of
+  /// transmitted_bits()) through DecoderChip::decode_batch: one
+  /// reconfiguration amortised over the burst, SIMD lockstep kernel when
+  /// the decoder config allows it, per-frame results and accounting
+  /// bit-identical to calling decode_frame in a loop.
+  BurstDecodeResult decode_burst(const codes::QCCode& code,
+                                 std::span<const double> llrs);
 
   const FramePipelineStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
-  /// Info bits decoded so far (for sustained_bps).
-  long long info_bits() const noexcept { return info_bits_; }
+  /// Payload bits delivered so far (ledger shorthand).
+  long long payload_bits() const noexcept { return stats_.payload_bits; }
 
  private:
+  /// I/O-buffer demand of one frame: transmitted_bits() soft words in,
+  /// payload_bits() hard decisions out, over the configured bus width.
+  long long io_cycles_per_frame(const codes::QCCode& code) const;
+  void account_frame(const codes::QCCode& code, long long decode_cycles,
+                     long long io, long long overhead);
+
   DecoderChip& chip_;
   FramePipelineConfig config_;
   FramePipelineStats stats_;
-  long long info_bits_ = 0;
 };
 
 }  // namespace ldpc::arch

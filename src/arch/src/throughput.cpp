@@ -33,7 +33,11 @@ ThroughputReport modeled_throughput(const codes::QCCode& code,
   report.cycles_per_frame =
       timing.cycles_per_iteration * iterations + timing.drain_cycles;
   report.stalls_per_iteration = timing.total_stalls;
-  const double info_bits = code.k_info();
+  // Delivered payload per frame: k_info minus known-zero fillers. For the
+  // degenerate-scheme classic standards payload_bits() == k_info() and the
+  // value is unchanged; for NR filler modes counting k_info would inflate
+  // the reported throughput with bits the decoder never delivers.
+  const double info_bits = code.payload_bits();
   report.modeled_bps =
       info_bits * f_clk_hz / static_cast<double>(report.cycles_per_frame);
   report.degradation = 1.0 - report.modeled_bps / report.formula_bps;

@@ -13,9 +13,12 @@
 // datapath cycles are bit-identical to decoding each frame alone (locked
 // by tests, including ragged tails with fewer than kLanes frames).
 //
-// Frames that converge early are frozen with a per-lane write mask and ride
-// along untouched until the slowest lane finishes; the per-lane results
-// record the state at each lane's own stopping iteration.
+// Frames that converge early are NOT write-masked: masking the SoA stores
+// per lane would break the dense branch-free inner loops, so finished
+// lanes keep evolving harmlessly while `active_[]` only gates result
+// capture — each lane's results (bits, iteration count, cycles) are
+// snapshotted at its own stopping iteration and later passes cannot
+// disturb them.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,116 @@
+// The streaming decoder farm: dispatching a mixed-standard job stream
+// across N modeled decoder chips.
+//
+// Each worker is one arch::DecoderChip (universal dimensions, so every
+// registered mode fits) behind an arch::FramePipeline whose
+// FramePipelineStats is the worker's ledger. The scheduler is a
+// deterministic discrete-event simulation over modeled cycles: workers
+// advance a free-at clock, jobs wait in ready queues, and every decode
+// runs the real bit-accurate datapath — so per-frame hard decisions and
+// iteration counts depend only on the job's (seed, id), never on the
+// policy or the worker count (test-locked), while the *timing* outcomes
+// (latency, stalls, reconfigurations, utilization) are exactly what the
+// policy is being judged on.
+//
+// Policies:
+//   kFifo    strict arrival order — the baseline. A mixed stream makes
+//            the chip reconfigure on nearly every frame.
+//   kBinned  reconfiguration-cost-aware: a worker keeps draining jobs of
+//            its currently configured mode (amortising
+//            FramePipelineConfig::reconfigure_cycles over a bin), until
+//            the oldest queued job has waited max_bin_delay_cycles — then
+//            that job is served regardless, bounding queue delay.
+//
+// With max_burst > 1 a worker drains up to that many same-mode jobs per
+// dispatch through FramePipeline::decode_burst (one reconfiguration, and
+// the SIMD lockstep kernel when the decoder config selects min-sum) —
+// the "BatchEngine-backed software lane" serving same-mode bins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldpc/arch/frame_pipeline.hpp"
+#include "ldpc/core/datapath.hpp"
+#include "ldpc/stream/traffic.hpp"
+
+namespace ldpc::stream {
+
+enum class Policy { kFifo, kBinned };
+
+std::string to_string(Policy policy);
+
+struct SchedulerConfig {
+  int workers = 1;
+  Policy policy = Policy::kFifo;
+  /// kBinned: longest a queued job may wait (modeled cycles) before it is
+  /// served regardless of the binning preference.
+  long long max_bin_delay_cycles = 1'000'000;
+  /// Same-mode jobs a worker may drain per dispatch through the batch
+  /// datapath. 1 = frame at a time.
+  int max_burst = 1;
+  arch::FramePipelineConfig pipeline{};
+  core::DecoderConfig decoder{};
+};
+
+/// Per-job outcome: the decode result identity (hash of the hard
+/// decisions + iteration count) and the job's modeled timeline.
+struct JobRecord {
+  long long id = 0;
+  int mode = 0;
+  int worker = 0;
+  int iterations = 0;
+  bool converged = false;
+  /// Decoded information bits match the transmitted payload.
+  bool payload_ok = false;
+  /// FNV-1a over the n hard-decision bits: the per-frame decode identity
+  /// the policy/worker-count invariance tests compare.
+  std::uint64_t decision_hash = 0;
+  long long arrival_cycle = 0;
+  long long start_cycle = 0;
+  long long finish_cycle = 0;
+  long long latency_cycles() const noexcept {
+    return finish_cycle - arrival_cycle;
+  }
+};
+
+struct StreamReport {
+  std::vector<JobRecord> jobs;  // ordered by job id
+  /// One FramePipelineStats ledger per worker.
+  std::vector<arch::FramePipelineStats> worker_ledgers;
+  /// merge() of every worker ledger; totals.payload_bits must equal
+  /// total_payload_bits (conservation, test-locked).
+  arch::FramePipelineStats totals;
+  /// Payload bits summed over the job records (source-side accounting).
+  long long total_payload_bits = 0;
+  /// Last completion cycle across the farm.
+  long long makespan_cycles = 0;
+
+  /// Aggregate delivered payload throughput at `f_clk_hz` over the
+  /// makespan.
+  double aggregate_payload_bps(double f_clk_hz) const;
+  /// Fraction of the makespan worker `w` spent occupied (decode+stall).
+  double worker_occupancy(int w) const;
+  /// Nearest-rank latency percentile in modeled cycles (0 < p <= 100).
+  long long latency_percentile(double percentile) const;
+};
+
+class StreamScheduler {
+ public:
+  /// The scheduler references `source` (job metadata and frame synthesis);
+  /// the caller keeps it alive. Throws std::invalid_argument for a
+  /// non-positive worker count / burst size or a negative delay bound.
+  StreamScheduler(TrafficSource& source, SchedulerConfig config);
+
+  /// Draws `jobs` jobs from the source and runs the farm to completion.
+  StreamReport run(long long jobs);
+
+  const SchedulerConfig& config() const noexcept { return config_; }
+
+ private:
+  TrafficSource& source_;
+  SchedulerConfig config_;
+};
+
+}  // namespace ldpc::stream

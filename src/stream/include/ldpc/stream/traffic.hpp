@@ -1,0 +1,94 @@
+// Mixed-standard traffic generation for the streaming decoder farm.
+//
+// A TrafficSource produces an interleaved job stream over any set of
+// registered modes (802.11n + 802.16e + DMB-T + NR in one stream): each
+// job names a mode, carries a modeled arrival cycle, and maps to a fully
+// deterministic frame (payload bits, codeword, channel LLRs) derived by
+// counter-based seeding exactly like the simulation engine — job i's
+// content depends only on (seed, i), never on which worker decodes it or
+// in what order. That independence is what lets the scheduler tests
+// assert bit-identical per-frame results under any policy and worker
+// count.
+//
+// Seed derivation: job i draws its mode and inter-arrival gap from a
+// generator seeded util::substream_seed(seed, 2i), and its frame content
+// (payload bits + channel noise) from a second generator seeded
+// util::substream_seed(seed, 2i + 1), so scheduling metadata and frame
+// synthesis can be recomputed independently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/enc/encoder.hpp"
+
+namespace ldpc::stream {
+
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  /// Mean inter-arrival gap between consecutive jobs in modeled cycles
+  /// (exponential, counter-seeded draws). 0 = saturated source: every job
+  /// is available at cycle 0 and latency measures pure queueing + service.
+  double mean_interarrival_cycles = 0.0;
+};
+
+/// One frame's worth of work: which mode, and when it reaches the farm.
+struct Job {
+  long long id = 0;           // global sequence number, 0-based
+  int mode = 0;               // index into the source's registered modes
+  long long arrival_cycle = 0;
+};
+
+/// The deterministic frame behind a job.
+struct JobFrame {
+  std::vector<std::uint8_t> payload;   // payload_bits() information bits
+  std::vector<std::uint8_t> codeword;  // expected codeword, size n
+  std::vector<double> llrs;            // transmitted_bits() channel LLRs
+};
+
+class TrafficSource {
+ public:
+  explicit TrafficSource(TrafficConfig config = {});
+  ~TrafficSource();
+
+  TrafficSource(TrafficSource&&) noexcept;
+  TrafficSource& operator=(TrafficSource&&) noexcept;
+
+  /// Registers a mode: the source takes ownership of `code`, builds its
+  /// encoder, and returns the mode index. `weight` is the mode's relative
+  /// share of the arrival mix; `ebn0_db` sets the modeled channel quality
+  /// (sigma derived from the code's effective rate).
+  int add_mode(codes::QCCode code, double ebn0_db, double weight = 1.0);
+
+  int mode_count() const noexcept;
+  const codes::QCCode& code(int mode) const;
+  double ebn0_db(int mode) const;
+
+  /// The next job of the stream (sequential cursor; arrivals are
+  /// monotone non-decreasing). Throws std::logic_error with no registered
+  /// modes.
+  Job next();
+  /// Rewinds the cursor to job 0: the identical stream replays (used to
+  /// compare scheduling policies on the same traffic).
+  void reset() noexcept;
+
+  /// Synthesises the frame behind `job`: payload bits, systematic
+  /// codeword (fillers inserted by the encoder), and transmitted-length
+  /// channel LLRs under the mode's Eb/N0. Pure in (seed, job.id);
+  /// thread-compatible for distinct jobs only through distinct sources.
+  JobFrame make_frame(const Job& job) const;
+
+  const TrafficConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Mode;
+  TrafficConfig config_;
+  std::vector<std::unique_ptr<Mode>> modes_;
+  double total_weight_ = 0.0;
+  long long cursor_ = 0;
+  long long clock_ = 0;  // arrival cycle of the stream head
+};
+
+}  // namespace ldpc::stream

@@ -1,0 +1,110 @@
+#include "ldpc/stream/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/sim/simulator.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace ldpc::stream {
+
+struct TrafficSource::Mode {
+  codes::QCCode code;
+  std::unique_ptr<enc::Encoder> encoder;
+  double ebn0_db = 0.0;
+  double weight = 1.0;
+  double sigma = 0.0;
+
+  Mode(codes::QCCode c, double ebn0, double w)
+      : code(std::move(c)), encoder(enc::make_encoder(code)), ebn0_db(ebn0),
+        weight(w),
+        sigma(channel::ebn0_to_sigma(ebn0, code.effective_rate(),
+                                     channel::Modulation::kBpsk)) {}
+};
+
+TrafficSource::TrafficSource(TrafficConfig config) : config_(config) {
+  if (config_.mean_interarrival_cycles < 0.0)
+    throw std::invalid_argument("TrafficSource: mean_interarrival_cycles");
+}
+
+TrafficSource::~TrafficSource() = default;
+TrafficSource::TrafficSource(TrafficSource&&) noexcept = default;
+TrafficSource& TrafficSource::operator=(TrafficSource&&) noexcept = default;
+
+int TrafficSource::add_mode(codes::QCCode code, double ebn0_db,
+                            double weight) {
+  if (weight < 0.0 || !std::isfinite(weight))
+    throw std::invalid_argument("TrafficSource: weight");
+  if (cursor_ != 0)
+    throw std::logic_error(
+        "TrafficSource: register every mode before drawing jobs (the mode "
+        "mix is part of the stream's deterministic identity)");
+  modes_.push_back(
+      std::make_unique<Mode>(std::move(code), ebn0_db, weight));
+  total_weight_ += weight;
+  return static_cast<int>(modes_.size()) - 1;
+}
+
+int TrafficSource::mode_count() const noexcept {
+  return static_cast<int>(modes_.size());
+}
+
+const codes::QCCode& TrafficSource::code(int mode) const {
+  return modes_.at(static_cast<std::size_t>(mode))->code;
+}
+
+double TrafficSource::ebn0_db(int mode) const {
+  return modes_.at(static_cast<std::size_t>(mode))->ebn0_db;
+}
+
+Job TrafficSource::next() {
+  if (modes_.empty())
+    throw std::logic_error("TrafficSource: no modes registered");
+  if (total_weight_ <= 0.0)
+    throw std::logic_error("TrafficSource: all mode weights are zero");
+  const long long id = cursor_++;
+  util::Xoshiro256 meta(util::substream_seed(
+      config_.seed, 2ULL * static_cast<std::uint64_t>(id)));
+
+  // Weighted mode pick, then the exponential gap to the *next* job, so
+  // job 0 arrives at cycle 0 and arrivals are monotone.
+  Job job;
+  job.id = id;
+  job.arrival_cycle = clock_;
+  double u = meta.uniform() * total_weight_;
+  int mode = 0;
+  for (; mode + 1 < mode_count(); ++mode) {
+    u -= modes_[static_cast<std::size_t>(mode)]->weight;
+    if (u < 0.0) break;
+  }
+  job.mode = mode;
+
+  if (config_.mean_interarrival_cycles > 0.0) {
+    const double gap = -config_.mean_interarrival_cycles *
+                       std::log1p(-meta.uniform());
+    clock_ += static_cast<long long>(std::llround(gap));
+  }
+  return job;
+}
+
+void TrafficSource::reset() noexcept {
+  cursor_ = 0;
+  clock_ = 0;
+}
+
+JobFrame TrafficSource::make_frame(const Job& job) const {
+  const Mode& m = *modes_.at(static_cast<std::size_t>(job.mode));
+  util::Xoshiro256 rng(util::substream_seed(
+      config_.seed, 2ULL * static_cast<std::uint64_t>(job.id) + 1));
+
+  JobFrame frame;
+  frame.payload.resize(static_cast<std::size_t>(m.code.payload_bits()));
+  enc::random_bits(rng, frame.payload);
+  frame.codeword = m.encoder->encode(frame.payload);
+  frame.llrs = sim::transmit_llrs(m.code, frame.codeword,
+                                  channel::Modulation::kBpsk, m.sigma, rng);
+  return frame;
+}
+
+}  // namespace ldpc::stream

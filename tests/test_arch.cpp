@@ -523,9 +523,13 @@ TEST(FramePipeline, AccountsDecodeAndIo) {
   EXPECT_EQ(s.frames, 1);
   EXPECT_EQ(s.reconfigurations, 1);
   EXPECT_GT(s.decode_cycles, 0);
-  // Input: 2304 LLRs x 8 bits / 64 bits per cycle + output word.
-  EXPECT_EQ(s.io_cycles, (2304LL * 8 + 2304 + 63) / 64);
-  EXPECT_EQ(pipe.info_bits(), chain.code.k_info());
+  // Input: 2304 transmitted LLRs x 8 bits; output: the 1152 payload hard
+  // decisions (parity stays on chip); 64 bits per cycle.
+  EXPECT_EQ(s.io_cycles, (2304LL * 8 + 1152 + 63) / 64);
+  // Degenerate scheme: payload == k_info, so classic accounting is
+  // unchanged by the scheme-aware ledger.
+  EXPECT_EQ(pipe.payload_bits(), chain.code.k_info());
+  EXPECT_EQ(s.payload_bits, chain.code.payload_bits());
 }
 
 TEST(FramePipeline, NoReconfigurationForSameCode) {
@@ -565,7 +569,7 @@ TEST(FramePipeline, UtilizationHighWhenDecodeBound) {
     pipe.decode_frame(chain.code, llr);
   }
   EXPECT_GT(pipe.stats().core_utilization(), 0.9);
-  EXPECT_GT(pipe.stats().sustained_bps(450e6, pipe.info_bits()), 0.0);
+  EXPECT_GT(pipe.stats().sustained_bps(450e6), 0.0);
 }
 
 TEST(FramePipeline, StallsWhenIoBound) {
@@ -658,6 +662,163 @@ TEST(DecoderChip, HostsNrAtMaximumLifting) {
   EXPECT_EQ(rc.functional.bits, rf.bits);
   EXPECT_EQ(rc.stats.active_sisos, 384);
   EXPECT_EQ(rc.stats.idle_sisos, ChipDimensions::universal().z_max - 384);
+}
+
+// ---- scheme-aware frame-pipeline I/O accounting (NR modes) ------------------
+// The In/Out buffer must move transmitted_bits() soft words in and
+// payload_bits() hard decisions out. Before the fix the model assumed
+// codeword-length frames (n soft words in, n bits out), so NR rate-matched
+// modes over/under-counted I/O stalls and filler modes inflated the
+// delivered payload.
+
+std::vector<double> random_llrs(int count, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> llr(static_cast<std::size_t>(count));
+  for (auto& x : llr) x = 8.0 * (rng.uniform() - 0.5);
+  return llr;
+}
+
+TEST(FramePipeline, NrRateMatchedIoAccounting) {
+  // BG1 z=96: n = 6528, sendable = n - 2z = 6336. Exercise both a
+  // shortened (E < sendable) and a wraparound-repeated (E > sendable)
+  // transmission: the interface moves exactly E soft words either way.
+  for (const int e_bits : {4000, 7000}) {
+    const auto code =
+        codes::make_nr_code(codes::Rate::kR13, 96, e_bits, 0);
+    ASSERT_EQ(code.transmitted_bits(), e_bits);
+    arch::DecoderChip chip(ChipDimensions::universal(),
+                           {.max_iterations = 2});
+    arch::FramePipeline pipe(chip, {.io_bits_per_cycle = 64,
+                                    .reconfigure_cycles = 32});
+    pipe.decode_frame(code, random_llrs(e_bits, 0xE0 + e_bits));
+    const int msg_bits = chip.decoder_config().format.total_bits();
+    const long long payload = code.payload_bits();  // 22 * 96, no fillers
+    EXPECT_EQ(payload, 2112);
+    EXPECT_EQ(pipe.stats().io_cycles,
+              (static_cast<long long>(e_bits) * msg_bits + payload + 63) /
+                  64)
+        << "E=" << e_bits;
+    EXPECT_EQ(pipe.stats().payload_bits, payload);
+  }
+}
+
+TEST(FramePipeline, NrFillerModeAccounting) {
+  // 128 filler bits shrink both the sendable circular buffer and the
+  // delivered payload; neither crosses the chip interface.
+  const auto code = codes::make_nr_code(codes::Rate::kR13, 96, 0, 128);
+  const long long tx = code.transmitted_bits();  // 6528 - 192 - 128
+  ASSERT_EQ(tx, 6208);
+  ASSERT_EQ(code.payload_bits(), 2112 - 128);
+  arch::DecoderChip chip(ChipDimensions::universal(), {.max_iterations = 2});
+  arch::FramePipeline pipe(chip, {.io_bits_per_cycle = 64,
+                                  .reconfigure_cycles = 32});
+  pipe.decode_frame(code, random_llrs(static_cast<int>(tx), 0xF1));
+  const int msg_bits = chip.decoder_config().format.total_bits();
+  EXPECT_EQ(pipe.stats().io_cycles,
+            (tx * msg_bits + code.payload_bits() + 63) / 64);
+  EXPECT_EQ(pipe.stats().payload_bits, code.payload_bits());
+  EXPECT_EQ(pipe.payload_bits(), 2112 - 128);
+}
+
+TEST(FramePipelineStats, MergeAccumulatesEveryField) {
+  arch::FramePipelineStats a{.frames = 2, .decode_cycles = 100,
+                             .io_cycles = 40, .stall_cycles = 8,
+                             .reconfigurations = 1, .payload_bits = 2304};
+  const arch::FramePipelineStats b{.frames = 3, .decode_cycles = 50,
+                                   .io_cycles = 70, .stall_cycles = 25,
+                                   .reconfigurations = 2,
+                                   .payload_bits = 1000};
+  a.merge(b);
+  EXPECT_EQ(a.frames, 5);
+  EXPECT_EQ(a.decode_cycles, 150);
+  EXPECT_EQ(a.io_cycles, 110);
+  EXPECT_EQ(a.stall_cycles, 33);
+  EXPECT_EQ(a.reconfigurations, 3);
+  EXPECT_EQ(a.payload_bits, 3304);
+  EXPECT_EQ(a.elapsed_cycles(), 183);
+}
+
+TEST(FramePipeline, BurstMatchesPerFrameAccounting) {
+  // decode_burst = one reconfiguration + the batch datapath; results and
+  // the stats ledger must equal a decode_frame loop over the same frames.
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 24}, 91);
+  const core::DecoderConfig cfg{.max_iterations = 3};
+  arch::DecoderChip chip_a({}, cfg), chip_b({}, cfg);
+  arch::FramePipeline one_by_one(chip_a), burst_pipe(chip_b);
+
+  const int frames = 5;
+  const auto tx = static_cast<std::size_t>(chain.code.transmitted_bits());
+  std::vector<double> llrs(tx * frames);
+  for (int f = 0; f < frames; ++f) {
+    auto [cw, llr] = chain.frame(3.0);
+    std::copy(llr.begin(), llr.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f * tx));
+  }
+
+  std::vector<std::vector<std::uint8_t>> single_bits;
+  for (int f = 0; f < frames; ++f)
+    single_bits.push_back(
+        one_by_one
+            .decode_frame(chain.code,
+                          std::span<const double>(llrs).subspan(f * tx, tx))
+            .functional.bits);
+  const auto burst = burst_pipe.decode_burst(chain.code, llrs);
+
+  ASSERT_EQ(burst.frames.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f)
+    EXPECT_EQ(burst.frames[static_cast<std::size_t>(f)].functional.bits,
+              single_bits[static_cast<std::size_t>(f)])
+        << "frame " << f;
+  // Same code throughout: both paths reconfigure once, so every ledger
+  // field matches and the per-frame elapsed shares sum to the total.
+  EXPECT_EQ(burst_pipe.stats().frames, one_by_one.stats().frames);
+  EXPECT_EQ(burst_pipe.stats().decode_cycles,
+            one_by_one.stats().decode_cycles);
+  EXPECT_EQ(burst_pipe.stats().io_cycles, one_by_one.stats().io_cycles);
+  EXPECT_EQ(burst_pipe.stats().stall_cycles,
+            one_by_one.stats().stall_cycles);
+  EXPECT_EQ(burst_pipe.stats().reconfigurations,
+            one_by_one.stats().reconfigurations);
+  EXPECT_EQ(burst_pipe.stats().payload_bits,
+            one_by_one.stats().payload_bits);
+  long long elapsed = 0;
+  for (const long long c : burst.frame_elapsed_cycles) elapsed += c;
+  EXPECT_EQ(elapsed, burst_pipe.stats().elapsed_cycles());
+}
+
+TEST(Throughput, FillerModePayloadRegression) {
+  // Same base graph and lifting: identical cycle model, but the filler
+  // mode delivers fewer payload bits per frame. Counting k_info would
+  // report the two modes at the same throughput.
+  const auto full = codes::make_nr_code(codes::Rate::kR13, 96);
+  const auto filler = codes::make_nr_code(codes::Rate::kR13, 96, 0, 128);
+  PipelineConfig pc;
+  pc.include_shifter_latency = true;
+  pc.shifter_stages = 9;
+  const auto rep_full = arch::modeled_throughput(full, pc, 450e6, 10);
+  const auto rep_filler = arch::modeled_throughput(filler, pc, 450e6, 10);
+  EXPECT_EQ(rep_full.cycles_per_frame, rep_filler.cycles_per_frame);
+  EXPECT_LT(rep_filler.modeled_bps, rep_full.modeled_bps);
+  EXPECT_DOUBLE_EQ(rep_filler.modeled_bps * full.payload_bits(),
+                   rep_full.modeled_bps * filler.payload_bits());
+}
+
+TEST(Throughput, DegenerateSchemeNumericallyUnchanged) {
+  // Classic standards: payload_bits() == k_info(), so the payload-aware
+  // formula reproduces the pre-fix value exactly.
+  for (const auto& id :
+       {codes::CodeId{Standard::kWimax80216e, Rate::kR12, 96},
+        codes::CodeId{Standard::kWlan80211n, Rate::kR34, 81},
+        codes::CodeId{Standard::kDmbT, Rate::kR35, 127}}) {
+    const auto code = codes::make_code(id);
+    ASSERT_EQ(code.payload_bits(), code.k_info()) << to_string(id);
+    const auto rep = arch::modeled_throughput(code, {}, 450e6, 10);
+    EXPECT_DOUBLE_EQ(
+        rep.modeled_bps,
+        static_cast<double>(code.k_info()) * 450e6 /
+            static_cast<double>(rep.cycles_per_frame))
+        << to_string(id);
+  }
 }
 
 }  // namespace
