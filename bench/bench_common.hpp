@@ -25,18 +25,22 @@ struct Options {
   /// default selection. Used by the mode-sweep benches (and CI smoke runs
   /// that pin one standard).
   std::string standard;
+  /// Route simulation workers through the batched (SIMD lane-refill)
+  /// decoder instead of one frame at a time. Used by parallel_scaling.
+  bool batched = false;
 };
 
 inline Options parse(int argc, char** argv) {
   const ldpc::util::Args args(argc, argv,
                               {"csv", "frames", "seed", "threads",
-                               "standard"});
+                               "standard", "batched"});
   Options opt;
   opt.csv = args.get_or("csv", false);
   opt.frames = args.get_or("frames", 0LL);
   opt.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
   opt.threads = static_cast<int>(args.get_or("threads", 0LL));
   opt.standard = args.get_or("standard", std::string{});
+  opt.batched = args.get_or("batched", false);
   return opt;
 }
 

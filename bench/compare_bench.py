@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON output.
+
+Usage:
+    compare_bench.py CURRENT.json [--baseline BASELINE.json]
+                     [--threshold 0.15] [--min-refill-ratio 1.5]
+
+Two independent checks:
+
+1.  Refill-ratio floor (machine-independent, always enforced when the
+    benchmarks are present): the continuous lane-refill engine must hold
+    its frames/sec advantage over the lockstep engine on the
+    mixed-iteration workload —
+        BM_MinSumStreamRefillMixed / BM_MinSumLockstepMixed
+    must be >= --min-refill-ratio (default 1.5, the PR 5 acceptance bar).
+    Both benchmarks decode the same frames with the same arithmetic, so
+    the items/sec ratio IS the frames/sec ratio and cancels the host's
+    absolute speed.
+
+2.  Baseline comparison (only when --baseline exists): every benchmark
+    reporting items_per_second may not regress by more than --threshold
+    (default 15%) against the committed baseline. Absolute rates vary
+    across runner generations, so CI regenerates the baseline on the same
+    job before gating when the runners are heterogeneous; the committed
+    BENCH_PR5.json documents the reference machine's numbers and gates
+    like-for-like reruns.
+
+Exit status: 0 = pass (or baseline absent), 1 = regression / ratio floor
+violated, 2 = malformed input.
+"""
+import argparse
+import json
+import sys
+
+RATIO_NUM = "BM_MinSumStreamRefillMixed"
+RATIO_DEN = "BM_MinSumLockstepMixed"
+
+
+def load_rates(path):
+    """name -> items_per_second for plain (non-aggregate) benchmark runs."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            rates[b["name"]] = float(ips)
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly produced benchmark JSON")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON (skipped when absent)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max fractional items/sec regression vs baseline")
+    ap.add_argument("--min-refill-ratio", type=float, default=1.5,
+                    help="floor for stream-refill / lockstep frames per "
+                         "second")
+    ap.add_argument("--write-best", default=None, metavar="PATH",
+                    help="write a baseline JSON holding the per-benchmark "
+                         "BEST items/sec of current and baseline (the CI "
+                         "cache ratchets upward only, so a passing 14%% "
+                         "regression cannot become the next run's "
+                         "reference and compound)")
+    args = ap.parse_args()
+
+    try:
+        current = load_rates(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"compare_bench: cannot read {args.current}: {e}")
+        return 2
+    if not current:
+        print(f"compare_bench: no items_per_second entries in "
+              f"{args.current}")
+        return 2
+
+    failed = False
+
+    # 1. Machine-independent refill-ratio floor. A missing benchmark is a
+    # hard failure, not a warning: renaming or dropping either silently
+    # disarms the acceptance gate otherwise (a cold baseline cache means
+    # check 2 would not catch the rename either).
+    if RATIO_NUM in current and RATIO_DEN in current:
+        ratio = current[RATIO_NUM] / current[RATIO_DEN]
+        ok = ratio >= args.min_refill_ratio
+        print(f"refill ratio {RATIO_NUM} / {RATIO_DEN} = {ratio:.2f}x "
+              f"(floor {args.min_refill_ratio:.2f}x) "
+              f"{'OK' if ok else 'FAIL'}")
+        failed |= not ok
+    else:
+        print(f"compare_bench: {RATIO_NUM} / {RATIO_DEN} missing from "
+              f"{args.current} — the refill-ratio gate cannot run "
+              f"(renamed benchmark?) FAIL")
+        failed = True
+
+    # 2. Per-benchmark regression vs the committed baseline, when present.
+    baseline = {}
+    if args.baseline:
+        try:
+            baseline = load_rates(args.baseline)
+        except OSError:
+            print(f"compare_bench: no baseline at {args.baseline} — "
+                  f"skipping regression comparison")
+        except (json.JSONDecodeError, KeyError) as e:
+            print(f"compare_bench: malformed baseline {args.baseline}: {e}")
+            return 2
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  {name}: MISSING from current run "
+                  f"(renamed or dropped?) FAIL")
+            failed = True
+            continue
+        old, new = baseline[name], current[name]
+        change = (new - old) / old
+        ok = change >= -args.threshold
+        print(f"  {name}: {old:.3e} -> {new:.3e} items/s "
+              f"({change:+.1%}) {'OK' if ok else 'FAIL'}")
+        failed |= not ok
+
+    if args.write_best:
+        best = {name: max(current.get(name, 0.0), baseline.get(name, 0.0))
+                for name in set(current) | set(baseline)}
+        with open(args.write_best, "w") as f:
+            json.dump({"benchmarks": [
+                {"name": n, "items_per_second": r}
+                for n, r in sorted(best.items())]}, f, indent=1)
+        print(f"compare_bench: wrote best-of baseline to "
+              f"{args.write_best}")
+
+    if failed:
+        print(f"compare_bench: FAIL (>{args.threshold:.0%} frames/s "
+              f"regression or refill ratio below floor)")
+        return 1
+    print("compare_bench: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@
 #include "ldpc/codes/registry.hpp"
 #include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/decoder.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
 #include "ldpc/core/siso.hpp"
+#include "ldpc/core/stream_batch_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/sim/simulator.hpp"
 
@@ -170,6 +172,118 @@ void BM_MinSumBatchedDecode(benchmark::State& state) {
                           fx.code.k_info());
 }
 BENCHMARK(BM_MinSumBatchedDecode);
+
+// ---- lockstep vs continuous lane-refill (the PR 5 tentpole) -----------------
+// A mixed-iteration workload with high early-termination variance: a
+// 128-frame queue of 802.16e 2304 r1/2 where every 8th frame is a
+// deep-fade straggler (1.0 dB — decodes run to the 10-iteration cap) and
+// the rest sit at operating SNR (4.5 dB — ET / codeword-stop after ~2
+// iterations), the Fig. 9(a) shape. The lockstep BatchEngine pays the
+// slowest-lane tax on every 16-frame chunk (each chunk carries two
+// stragglers, so EVERY chunk runs to the cap while its 14 finished lanes
+// spin); the StreamBatchEngine refills a retired lane from the pending
+// queue mid-flight. Same thread (one), same arithmetic, same frames —
+// items/sec IS frames/sec, and the acceptance bar is >= 1.5x for the
+// refill engine. bench/compare_bench.py asserts that ratio from this
+// pair's JSON output, so renaming either benchmark breaks the CI gate.
+
+struct MixedIterationFixture {
+  codes::QCCode code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+  core::DecoderConfig cfg{.max_iterations = 10,
+                          .kernel = core::CnuKernel::kMinSum,
+                          .early_termination = {.enabled = true},
+                          .stop_on_codeword = true};
+  static constexpr int kFrames = 128;
+  std::vector<double> llrs;  // kFrames frames, 1-in-8 at 1.0 dB
+
+  MixedIterationFixture() {
+    auto encoder = enc::make_encoder(code);
+    util::Xoshiro256 rng(23);
+    std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k_info()));
+    for (int f = 0; f < kFrames; ++f) {
+      const double ebn0_db = f % 8 ? 4.5 : 1.0;
+      const double sigma = channel::ebn0_to_sigma(
+          ebn0_db, code.rate(), channel::Modulation::kBpsk);
+      enc::random_bits(rng, info);
+      const auto cw = encoder->encode(info);
+      auto mod = channel::modulate(cw, channel::Modulation::kBpsk);
+      channel::AwgnChannel(sigma).transmit(mod.samples, rng);
+      const auto llr = channel::demap_llr(mod, sigma);
+      llrs.insert(llrs.end(), llr.begin(), llr.end());
+    }
+  }
+};
+
+void BM_MinSumLockstepMixed(benchmark::State& state) {
+  MixedIterationFixture fx;
+  core::BatchEngine engine(fx.cfg);
+  engine.reconfigure(fx.code);
+  const auto tx = static_cast<std::size_t>(fx.code.transmitted_bits());
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(MixedIterationFixture::kFrames));
+  for (auto _ : state) {
+    std::size_t f = 0;
+    while (f < MixedIterationFixture::kFrames) {
+      const std::size_t chunk = std::min<std::size_t>(
+          MixedIterationFixture::kFrames - f, core::BatchEngine::kLanes);
+      engine.decode(std::span<const double>(fx.llrs).subspan(f * tx,
+                                                             chunk * tx),
+                    {},
+                    std::span<core::FixedDecodeResult>(results)
+                        .subspan(f, chunk));
+      f += chunk;
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          MixedIterationFixture::kFrames *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumLockstepMixed);
+
+void BM_MinSumStreamRefillMixed(benchmark::State& state) {
+  MixedIterationFixture fx;
+  core::StreamBatchEngine engine(fx.cfg);
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(MixedIterationFixture::kFrames));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetLabel("tier=" + to_string(engine.tier()) +
+                 " lanes=" + std::to_string(engine.lanes()));
+  state.SetItemsProcessed(state.iterations() *
+                          MixedIterationFixture::kFrames *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumStreamRefillMixed);
+
+// Same refill engine pinned to the portable scalar kernels AT THE SAME
+// LANE WIDTH as the dispatched engine above (forcing scalar would
+// otherwise default to 8 lanes and conflate the lane-width effect with
+// the tier effect): the gap to BM_MinSumStreamRefillMixed is the pure
+// SIMD-dispatch win, the gap from BM_MinSumLockstepMixed to this is the
+// pure refill win.
+void BM_MinSumStreamRefillMixedScalarTier(benchmark::State& state) {
+  MixedIterationFixture fx;
+  const int dispatched_lanes = core::StreamBatchEngine::preferred_lanes();
+  core::kernels::force_tier(core::kernels::Tier::kScalar);
+  core::StreamBatchEngine engine(fx.cfg, dispatched_lanes);
+  core::kernels::clear_forced_tier();
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(MixedIterationFixture::kFrames));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          MixedIterationFixture::kFrames *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumStreamRefillMixedScalarTier);
 
 // ---- 5G NR workload (punctured + rate-matched transmission) -----------------
 // BG1 at z = 96: transmitted frames are E = n - 2z LLRs; the decode path

@@ -10,9 +10,14 @@
 // few nanoseconds per frame under a mutex).
 //
 //   ./parallel_scaling [--frames 200] [--threads 8] [--seed 1] [--csv]
+//                      [--batched]
 //
 // --threads sets the top of the sweep (default 8): powers of two up to and
-// including it are measured.
+// including it are measured. --batched routes every worker through the
+// continuous SIMD lane-refill engine (min-sum, workers claim SimConfig
+// batches that feed their decoder's refill queue) instead of one
+// full-BP frame at a time — the two modes run different kernels, so
+// compare scaling shapes, not absolute frames/sec across modes.
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -27,8 +32,14 @@ int main(int argc, char** argv) {
   // The paper's Fig. 9a workload: 802.16e rate-1/2, block 2304, 10 iters.
   const auto code = codes::make_code(
       {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
-  const auto factory = sim::fixed_decoder_factory(
-      code, {.max_iterations = 10, .stop_on_codeword = true});
+  const core::DecoderConfig scalar_cfg{.max_iterations = 10,
+                                       .stop_on_codeword = true};
+  const core::DecoderConfig batched_cfg{.max_iterations = 10,
+                                        .kernel = core::CnuKernel::kMinSum,
+                                        .stop_on_codeword = true};
+  const auto factory = sim::fixed_decoder_factory(code, scalar_cfg);
+  const auto batch_factory =
+      sim::batched_fixed_decoder_factory(code, batched_cfg);
 
   sim::SimConfig sc;
   sc.seed = opt.seed;
@@ -38,7 +49,9 @@ int main(int argc, char** argv) {
   const double ebn0_db = 2.0;  // mixed convergence: a realistic iteration mix
 
   util::Table t("frame-parallel simulation scaling (802.16e 2304 r1/2, " +
-                std::to_string(sc.min_frames) + " frames, 2.0 dB)");
+                std::to_string(sc.min_frames) + " frames, 2.0 dB, " +
+                (opt.batched ? "stream-batched min-sum" : "scalar full-BP") +
+                ")");
   t.header({"threads", "frames/sec", "speedup", "wall ms", "BER", "FER"});
 
   // Powers of two up to --threads (default 8), always including the top.
@@ -52,7 +65,8 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   for (int threads : sweep) {
     sc.threads = threads;
-    sim::Simulator sim(code, factory, sc);
+    sim::Simulator sim = opt.batched ? sim::Simulator(code, batch_factory, sc)
+                                     : sim::Simulator(code, factory, sc);
     const auto t0 = std::chrono::steady_clock::now();
     const auto p = sim.run_point(ebn0_db);
     const auto t1 = std::chrono::steady_clock::now();

@@ -12,11 +12,13 @@
 // are bit-identical to core::ReconfigurableDecoder by construction; tests
 // lock this across every registered code mode.
 //
-// decode_batch() on a min-sum configuration runs the SIMD-batched SoA
-// kernel (core::BatchEngine) under the programmed layer order and then
-// replays each frame's schedule events through the observer, so the
-// per-frame hardware statistics are identical to per-frame decoding while
-// the arithmetic runs kLanes frames per pass.
+// decode_batch() on a min-sum configuration streams the whole batch
+// through the continuous SIMD lane-refill kernel (core::StreamBatchEngine)
+// under the programmed layer order — a lane whose frame stops early is
+// reloaded with the next pending frame mid-flight instead of idling until
+// the batch drains — and then replays each frame's schedule events through
+// the observer, so the per-frame hardware statistics are identical to
+// per-frame decoding while the arithmetic runs several frames per vector.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +30,8 @@
 #include "ldpc/arch/hardware_observer.hpp"
 #include "ldpc/arch/pipeline.hpp"
 #include "ldpc/codes/qc_code.hpp"
-#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/decoder.hpp"
+#include "ldpc/core/stream_batch_engine.hpp"
 
 namespace ldpc::arch {
 
@@ -97,10 +99,10 @@ class DecoderChip {
   ChipDecodeResult decode(std::span<const double> llr);
 
   /// Decodes a batch of frames stored back to back (`llrs.size()` must be
-  /// a non-zero multiple of n). One reconfiguration serves the whole
-  /// batch; scratch is reused across frames. Min-sum configurations run
-  /// the SoA lockstep kernel (results and stats bit-identical to
-  /// per-frame decode()).
+  /// a non-zero multiple of the transmitted length). One reconfiguration
+  /// serves the whole batch; scratch is reused across frames. Min-sum
+  /// configurations stream through the SoA lane-refill kernel (results
+  /// and stats bit-identical to per-frame decode()).
   std::vector<ChipDecodeResult> decode_batch(std::span<const double> llrs);
 
  private:
@@ -114,7 +116,7 @@ class DecoderChip {
   const codes::QCCode* code_ = nullptr;
 
   core::LayerEngine engine_;  // the fixed-point (int32) instantiation
-  std::optional<core::BatchEngine> batch_engine_;
+  std::optional<core::StreamBatchEngine> stream_engine_;
   HardwareObserver observer_;
   CircularShifter shifter_;
   std::optional<PipelineModel> pipeline_;

@@ -103,9 +103,13 @@ class FramePipeline {
 
   /// Decodes a same-mode burst (`llrs.size()` a non-zero multiple of
   /// transmitted_bits()) through DecoderChip::decode_batch: one
-  /// reconfiguration amortised over the burst, SIMD lockstep kernel when
-  /// the decoder config allows it, per-frame results and accounting
-  /// bit-identical to calling decode_frame in a loop.
+  /// reconfiguration amortised over the burst, and the continuous SIMD
+  /// lane-refill kernel when the decoder config allows it — the burst is
+  /// one refill queue, so draining it never pays the lockstep
+  /// slowest-lane tax on the host. Per-frame results and the modeled
+  /// cycle accounting stay bit-identical to calling decode_frame in a
+  /// loop (the chip model is a serial device; host-side lane parallelism
+  /// never leaks into the modeled cycles) — test-locked.
   BurstDecodeResult decode_burst(const codes::QCCode& code,
                                  std::span<const double> llrs);
 

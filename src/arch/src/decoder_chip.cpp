@@ -24,8 +24,8 @@ DecoderChip::DecoderChip(ChipDimensions dims, core::DecoderConfig config)
     throw std::invalid_argument(
         "DecoderChip: the chip is the fixed-point datapath instantiation "
         "(use core::ReconfigurableDecoder for the float reference)");
-  // The SoA batch engine for min-sum configs is built lazily on the first
-  // decode_batch(); see ReconfigurableDecoder.
+  // The SoA stream engine for min-sum configs is built lazily on the
+  // first decode_batch(); see ReconfigurableDecoder.
 }
 
 void DecoderChip::configure(const codes::QCCode& code) {
@@ -34,7 +34,7 @@ void DecoderChip::configure(const codes::QCCode& code) {
                                 " exceeds chip dimensions");
   code_ = &code;
   engine_.reconfigure(code);
-  if (batch_engine_) batch_engine_->reconfigure(code);
+  if (stream_engine_) stream_engine_->reconfigure(code);
   raw_.resize(static_cast<std::size_t>(code.n()));
   PipelineConfig pc;
   pc.radix = engine_.config().radix;
@@ -83,26 +83,19 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
   std::vector<ChipDecodeResult> results;
   results.reserve(frames);
   if (engine_.config().kernel == core::CnuKernel::kMinSum &&
-      !batch_engine_) {
-    batch_engine_.emplace(engine_.config());
-    batch_engine_->reconfigure(*code_);
+      !stream_engine_) {
+    stream_engine_.emplace(engine_.config());
+    stream_engine_->reconfigure(*code_);
   }
-  if (batch_engine_) {
-    // SoA lockstep kernel under the programmed layer order; per-frame
-    // hardware stats come from an event replay of each frame's schedule.
-    std::vector<core::FixedDecodeResult> chunk(
-        static_cast<std::size_t>(core::BatchEngine::kLanes));
-    std::size_t f = 0;
-    while (f < frames) {
-      const std::size_t count = std::min(
-          frames - f, static_cast<std::size_t>(core::BatchEngine::kLanes));
-      batch_engine_->decode(llrs.subspan(f * tx, count * tx), order_,
-                            std::span<core::FixedDecodeResult>(chunk.data(),
-                                                               count));
-      for (std::size_t i = 0; i < count; ++i)
-        results.push_back(finish_replayed(std::move(chunk[i])));
-      f += count;
-    }
+  if (stream_engine_) {
+    // Continuous SoA lane-refill kernel under the programmed layer order:
+    // the whole burst is one refill queue, so no frame waits on a
+    // slower neighbour's iterations. Per-frame hardware stats come from
+    // an event replay of each frame's schedule, exactly as before.
+    std::vector<core::FixedDecodeResult> functional(frames);
+    stream_engine_->decode(llrs, order_, functional);
+    for (std::size_t i = 0; i < frames; ++i)
+      results.push_back(finish_replayed(std::move(functional[i])));
     return results;
   }
   for (std::size_t f = 0; f < frames; ++f) {

@@ -1,24 +1,30 @@
-// Structure-of-arrays batched min-sum engine: W frames in lockstep.
+// Structure-of-arrays batched min-sum engine: W frames in LOCKSTEP.
 //
 // The scalar LayerEngine walks one frame's schedule at a time; this engine
 // decodes up to kLanes frames simultaneously by storing every architectural
 // word lane-major (value of frame w for variable v lives at
 // soa[v * kLanes + w]), so the hot read -> clip -> min-scan -> write-back
-// loops become dense, branch-free passes over contiguous int32 lanes that
-// the compiler autovectorises (`#pragma omp simd` + __restrict inner
-// kernels; plain loops, no intrinsics). The arithmetic per lane is exactly
-// the scalar engine's quantised min-sum datapath — same saturating APP
-// arithmetic, message clip, two-minima scan, per-frame early-termination
-// and codeword stopping — so the hard decisions, iteration counts and
-// datapath cycles are bit-identical to decoding each frame alone (locked
-// by tests, including ragged tails with fewer than kLanes frames).
+// loops become dense, branch-free passes over contiguous int32 lanes,
+// executed by the runtime-dispatched row kernels in
+// ldpc/core/kernels/minsum_kernels.hpp (AVX-512 / AVX2 / SSE4.2 intrinsics
+// or the portable scalar form, selected once via CPUID). The arithmetic
+// per lane is exactly the scalar engine's quantised min-sum datapath —
+// same saturating APP arithmetic, message clip, two-minima scan, per-frame
+// early-termination and codeword stopping — so the hard decisions,
+// iteration counts and datapath cycles are bit-identical to decoding each
+// frame alone (locked by tests, including ragged tails with fewer than
+// kLanes frames, across every dispatch tier).
 //
 // Frames that converge early are NOT write-masked: masking the SoA stores
 // per lane would break the dense branch-free inner loops, so finished
 // lanes keep evolving harmlessly while `active_[]` only gates result
 // capture — each lane's results (bits, iteration count, cycles) are
 // snapshotted at its own stopping iteration and later passes cannot
-// disturb them.
+// disturb them. That lockstep spin is the slowest-lane tax this engine
+// pays by design; core::StreamBatchEngine removes it by refilling retired
+// lanes from a pending-frame queue, and is what the decode_batch() entry
+// points run. This engine remains the lockstep baseline the throughput
+// benchmarks compare against (and the simplest SoA reference).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
@@ -66,13 +73,11 @@ class BatchEngine {
 
  private:
   void process_layer_soa(int layer);
-  /// Gathers lane w of an SoA span into `out` (size count).
-  void gather_lane(const std::int32_t* soa, int lane, int count,
-                   std::vector<std::int32_t>& out) const;
 
   DecoderConfig config_;
   DatapathTraits<std::int32_t> traits_;
   const codes::QCCode* code_ = nullptr;
+  kernels::MinSumRowFn row_fn_ = nullptr;  // dispatched at construction
 
   std::int32_t app_min_ = 0, app_max_ = 0;  // APP-word saturation bounds
   std::int32_t msg_min_ = 0, msg_max_ = 0;  // message-bus clip bounds
@@ -83,10 +88,16 @@ class BatchEngine {
   std::vector<std::int32_t> lambda_soa_;   // extrinsic per edge
   std::vector<std::int32_t> lam_full_;     // APP-width row scratch
   std::vector<std::int32_t> lam_;          // clipped row scratch
+  std::vector<std::int32_t*> lrow_ptrs_;   // per-edge L row pointers
   std::int32_t active_[kLanes] = {};       // 1 = lane still decoding
 
-  std::vector<EarlyTermination> et_;       // one monitor per lane
-  std::vector<std::int32_t> lane_scratch_; // gathered per-lane APP values
+  // Lane-parallel stop-rule state (see soa_scan.hpp): previous info-bit
+  // hard decisions (lane-major) + per-lane reset flag for the ET monitor,
+  // and the per-iteration scan verdicts.
+  std::vector<std::int32_t> prev_hard_soa_;
+  std::uint8_t has_prev_[kLanes] = {};
+  std::uint8_t et_fire_[kLanes] = {};
+  std::uint8_t cw_ok_[kLanes] = {};
   std::vector<std::int32_t> raw_scratch_;  // reused quantisation buffer
   std::vector<double> acc_;                // LLR-deposit combining scratch
 };

@@ -17,8 +17,10 @@
 // DecoderConfig::format); kFloat runs the unquantised FloatLayerEngine
 // reference, so BER sweeps can measure quantization loss with one wrapper.
 // With the min-sum kernel on the quantized path, decode_batch() routes
-// through the SIMD-batched SoA core::BatchEngine (bit-identical results,
-// several frames per pass).
+// through the continuous SIMD-batched SoA core::StreamBatchEngine
+// (bit-identical results; lanes are refilled from the batch mid-flight,
+// so a frame that converges early frees its lane for the next frame
+// instead of idling until the slowest frame finishes).
 #pragma once
 
 #include <cstdint>
@@ -27,8 +29,8 @@
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
-#include "ldpc/core/batch_engine.hpp"
 #include "ldpc/core/layer_engine.hpp"
+#include "ldpc/core/stream_batch_engine.hpp"
 
 namespace ldpc::core {
 
@@ -53,11 +55,13 @@ class ReconfigurableDecoder {
   FixedDecodeResult decode_raw(std::span<const std::int32_t> llr_raw);
 
   /// Decodes a batch of frames stored back to back (`llrs.size()` must be
-  /// a non-zero multiple of n). Results are bit-identical to calling
-  /// decode() per frame. With the quantized min-sum configuration the
-  /// batch runs through the SIMD-batched SoA kernel, BatchEngine::kLanes
-  /// frames in lockstep (ragged tails handled by lane masking); other
-  /// configurations amortise per-frame setup over a scalar loop.
+  /// a non-zero multiple of the transmitted length). Results are
+  /// bit-identical to calling decode() per frame. With the quantized
+  /// min-sum configuration the whole batch streams through the SIMD
+  /// lane-refill kernel (core::StreamBatchEngine): a lane whose frame
+  /// stops early is refilled from the remaining frames mid-flight, so the
+  /// batch never pays the lockstep slowest-lane tax; other configurations
+  /// amortise per-frame setup over a scalar loop.
   std::vector<FixedDecodeResult> decode_batch(std::span<const double> llrs);
 
   const codes::QCCode& code() const noexcept { return *code_; }
@@ -70,7 +74,7 @@ class ReconfigurableDecoder {
   // constructed.
   std::optional<LayerEngine> engine_;
   std::optional<FloatLayerEngine> float_engine_;
-  std::optional<BatchEngine> batch_engine_;
+  std::optional<StreamBatchEngine> stream_engine_;
   std::vector<std::int32_t> raw_;  // reused quantisation buffer
   std::vector<double> fraw_;       // float-path buffer
 };

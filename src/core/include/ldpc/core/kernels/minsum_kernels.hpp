@@ -1,0 +1,97 @@
+// Runtime-dispatched SIMD kernels for the SoA batched min-sum datapath.
+//
+// The batched engines (core::BatchEngine, core::StreamBatchEngine) store
+// every architectural word lane-major: the value of lane w for variable v
+// lives at soa[v * W + w]. One check row's work — read L, subtract Lambda,
+// saturate to the APP word, clip to the message bus, run the two-minima /
+// sign-product min-sum scan, emit and write back — is a dense pass over W
+// contiguous int32 lanes. Until PR 5 that pass relied on `#pragma omp simd`
+// autovectorisation; this layer replaces it with explicit kernel variants
+//
+//   kScalar   portable C++ (the reference; also the autovectorised path)
+//   kSse42    SSE4.1/4.2 intrinsics, 4 x int32 per vector
+//   kAvx2     AVX2 intrinsics, 8 x int32 per vector
+//   kAvx512   AVX-512F intrinsics, 16 x int32 per vector
+//
+// selected ONCE at startup via CPUID (__builtin_cpu_supports) and exposed
+// as plain function pointers. Every variant is templated over the lane
+// width W (8 or 16): AVX2 runs an 8-lane engine in one register per
+// operation, AVX-512-capable hosts keep the full 16 lanes. All variants
+// compute the IDENTICAL arithmetic — same saturation points, same strict
+// `<` two-minima tie-breaking (first minimum wins argmin), same sign
+// bookkeeping — so hard decisions and iteration counts are bit-identical
+// across tiers (locked by the refill-equivalence suite, which forces each
+// tier in turn).
+//
+// Dispatch overrides, in precedence order:
+//   1. force_tier(t)        test hook; clamped to what the CPU supports
+//   2. LDPC_SIMD env var    "scalar" | "sse42" | "avx2" | "avx512"
+//                           (clamped likewise; read once, see reload_env())
+//   3. CPUID detection      highest tier both compiled in and supported
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldpc::core::kernels {
+
+/// Saturation bounds of one row pass: APP-word saturation for the
+/// L - Lambda subtraction and the write-back add, message-bus clip for the
+/// SISO input.
+struct RowBounds {
+  std::int32_t app_lo = 0;
+  std::int32_t app_hi = 0;
+  std::int32_t msg_lo = 0;
+  std::int32_t msg_hi = 0;
+};
+
+/// One check row over W SoA lanes. For each edge e in [0, deg):
+///   lam_full[e*W + w] = sat_app(l_rows[e][w] - lambda_row[e*W + w])
+///   lam[e*W + w]      = clip_msg(lam_full[e*W + w])
+/// then the per-lane two-minima + sign-product scan, and write-back
+///   lambda_row[e*W + w] = minsum output
+///   l_rows[e][w]        = sat_app(lam_full[e*W + w] + output).
+/// `l_rows[e]` points at the W-lane row of the edge's variable in the L
+/// SoA memory (rows may repeat when a variable appears twice); lambda_row
+/// is the row's contiguous deg*W slice of the Lambda SoA memory; lam_full
+/// and lam are caller-provided deg*W scratch.
+using MinSumRowFn = void (*)(std::int32_t* const* l_rows,
+                             std::int32_t* lambda_row,
+                             std::int32_t* lam_full, std::int32_t* lam,
+                             int deg, const RowBounds& bounds);
+
+enum class Tier { kScalar = 0, kSse42 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+std::string to_string(Tier tier);
+/// Parses "scalar" / "sse42" / "avx2" / "avx512" (case-sensitive);
+/// anything else returns kScalar.
+Tier parse_tier(const std::string& name);
+
+/// Highest tier this binary can run here: compiled-in variants clamped by
+/// CPUID. Evaluated once (the result is cached).
+Tier detected_tier();
+
+/// The tier dispatch actually uses: detected_tier() unless the LDPC_SIMD
+/// environment variable or force_tier() lowers it. Never exceeds
+/// detected_tier() — requesting an unsupported tier clamps down.
+Tier active_tier();
+
+/// Test hook: pins the active tier (clamped to detected_tier()); returns
+/// the tier actually selected. Not thread-safe — call before spawning
+/// decode threads (the equivalence tests do).
+Tier force_tier(Tier tier);
+/// Clears a force_tier() pin; dispatch returns to env/CPUID selection.
+void clear_forced_tier();
+/// Re-reads LDPC_SIMD (the env var is otherwise sampled once, at the
+/// first dispatch). Test hook for the force-scalar env knob.
+void reload_env();
+
+/// Row kernel of the active tier at lane width `lanes` (8 or 16). Throws
+/// std::invalid_argument for any other width.
+MinSumRowFn row_kernel(int lanes);
+
+/// Row kernel of a specific tier (clamped to detected_tier()) at lane
+/// width `lanes` — the equivalence tests compare tiers pairwise.
+MinSumRowFn row_kernel(Tier tier, int lanes);
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,146 @@
+// Shared helpers of the batched SoA engines (core::BatchEngine,
+// core::StreamBatchEngine): lane-parallel stop-rule scans, the common
+// config validation, and the stop/convergence verdicts. The two engines'
+// bit-identical-results contract hangs on these staying single-sourced —
+// a stop rule fixed in one engine but not the other would silently break
+// the refill-equivalence guarantee.
+//
+// The batched datapath made the min-sum arithmetic cheap; what remained
+// expensive was the per-lane bookkeeping between iterations — gathering a
+// lane's APP column to feed the scalar EarlyTermination monitor, and
+// gathering its hard decisions to run QCCode::is_codeword, per LIVE LANE
+// per iteration. Those scalar gathers cost as much as the lane's share of
+// the vectorised datapath and, being proportional to live lanes in both
+// engines, they diluted the refill engine's advantage into the noise.
+// These scans evaluate the SAME rules for ALL lanes in one dense pass over
+// the lane-major memory (the lane loops autovectorise like the kernel
+// loops), so the stop logic costs a fraction of one layer pass instead of
+// rivalling the whole iteration.
+//
+// Semantics are bit-identical to the scalar path by construction:
+//   - soa_codeword_scan(w) == QCCode::is_codeword(hard decisions of lane w)
+//   - soa_et_scan fire[w]  == EarlyTermination::update(lane w's info APPs)
+//     with the same has-previous / all-stable / min-|L|-above-threshold
+//     rule (has_prev[w] is the per-lane reset flag: clear it when a lane
+//     is (re)filled, exactly like EarlyTermination::reset()).
+// The refill-equivalence suite locks both against the scalar engine for
+// every golden mode.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/datapath.hpp"
+
+namespace ldpc::core {
+
+/// Config rules common to both batched engines: the SoA kernels implement
+/// the min-sum CNU on the quantized datapath only, under the same numeric
+/// bounds as LayerEngineT. `engine` names the thrower in the message.
+inline DecoderConfig validated_batch_config(DecoderConfig config,
+                                            const char* engine) {
+  const std::string who = engine;
+  if (config.max_iterations <= 0)
+    throw std::invalid_argument(who + ": max_iterations");
+  if (config.app_extra_bits < 0 || config.app_extra_bits > 8)
+    throw std::invalid_argument(who + ": app_extra_bits");
+  if (config.kernel != CnuKernel::kMinSum)
+    throw std::invalid_argument(
+        who + ": the batched kernel is min-sum only (use the scalar "
+              "LayerEngine for full BP)");
+  if (config.datapath != Datapath::kQuantized)
+    throw std::invalid_argument(
+        who + ": quantized datapath only (use FloatLayerEngine)");
+  return config;
+}
+
+struct SoaStopVerdict {
+  bool stopped = false;
+  bool early_terminated = false;
+};
+
+/// The scalar engine's post-iteration stop sequence, evaluated from the
+/// lane scans: early termination first (when enabled), then codeword
+/// stopping. Both engines consume the scans through this one function.
+inline SoaStopVerdict soa_stop_verdict(const DecoderConfig& config,
+                                       std::uint8_t et_fire,
+                                       std::uint8_t cw_ok) {
+  if (config.early_termination.enabled && et_fire)
+    return {.stopped = true, .early_terminated = true};
+  if (config.stop_on_codeword && cw_ok) return {.stopped = true};
+  return {};
+}
+
+/// Convergence verdict at a lane's retirement: with codeword stopping on,
+/// this iteration's parity scan IS the verdict; otherwise check the
+/// gathered decisions once.
+inline bool soa_converged(const DecoderConfig& config, std::uint8_t cw_ok,
+                          const codes::QCCode& code,
+                          const std::vector<std::uint8_t>& bits) {
+  return config.stop_on_codeword ? cw_ok != 0 : code.is_codeword(bits);
+}
+
+/// Per-lane parity check over lane-major APP state: ok[w] = 1 iff the
+/// hard decisions (sign bits) of lane w satisfy every check of `code`.
+/// `lanes` <= 16.
+inline void soa_codeword_scan(const codes::QCCode& code,
+                              const std::int32_t* l_soa, int lanes,
+                              std::uint8_t* ok) {
+  std::int32_t fail[16] = {};
+  const int m = code.m();
+  for (int r = 0; r < m; ++r) {
+    const auto vars = code.check_vars(r);
+    std::int32_t acc[16] = {};
+    for (const std::int32_t v : vars) {
+      const std::int32_t* __restrict row =
+          l_soa + static_cast<std::size_t>(v) * lanes;
+#pragma omp simd
+      for (int w = 0; w < lanes; ++w) acc[w] ^= row[w] < 0;
+    }
+#pragma omp simd
+    for (int w = 0; w < lanes; ++w) fail[w] |= acc[w];
+  }
+  for (int w = 0; w < lanes; ++w)
+    ok[w] = fail[w] ? std::uint8_t{0} : std::uint8_t{1};
+}
+
+/// Per-lane early-termination rule over lane-major APP state: for every
+/// lane, fire[w] = had a previous iteration AND the info-bit hard
+/// decisions are unchanged since it AND min |L| over the info bits exceeds
+/// `threshold` — EarlyTermination::update, vectorised across lanes.
+/// `prev_hard` (k_info * lanes, lane-major) and `has_prev` (lanes) are the
+/// monitor state; clear has_prev[w] when lane w is (re)filled.
+inline void soa_et_scan(int k_info, int lanes, std::int32_t threshold,
+                        const std::int32_t* l_soa, std::int32_t* prev_hard,
+                        std::uint8_t* has_prev, std::uint8_t* fire) {
+  std::int32_t stable[16], above[16];
+  for (int w = 0; w < lanes; ++w) {
+    stable[w] = 1;
+    above[w] = 1;
+  }
+  for (int i = 0; i < k_info; ++i) {
+    const std::int32_t* __restrict row =
+        l_soa + static_cast<std::size_t>(i) * lanes;
+    std::int32_t* __restrict prev =
+        prev_hard + static_cast<std::size_t>(i) * lanes;
+#pragma omp simd
+    for (int w = 0; w < lanes; ++w) {
+      const std::int32_t v = row[w];
+      const std::int32_t hard = v < 0;
+      const std::int32_t mag = v < 0 ? -v : v;
+      above[w] &= mag > threshold;
+      stable[w] &= hard == prev[w];
+      prev[w] = hard;
+    }
+  }
+  for (int w = 0; w < lanes; ++w) {
+    fire[w] = has_prev[w] && stable[w] && above[w] ? std::uint8_t{1}
+                                                   : std::uint8_t{0};
+    has_prev[w] = 1;
+  }
+}
+
+}  // namespace ldpc::core

@@ -1,0 +1,154 @@
+// Continuous (lane-refill) batched min-sum engine: the streaming successor
+// to the lockstep core::BatchEngine.
+//
+// The lockstep engine decodes W frames to completion before touching the
+// next W: once a lane's frame hits early termination or codeword-stop it
+// keeps iterating "harmlessly" until the slowest lane in the batch drains,
+// so on a mixed-iteration workload most of the early-termination win is
+// spent spinning dead lanes (the software analogue of the idle SISO lanes
+// the paper's Fig. 9 power-gates). This engine instead treats the batch as
+// a pending-frame QUEUE: every lane carries its own frame with its OWN
+// iteration counter, and the moment a lane's frame stops — early
+// termination, codeword-stop or the iteration cap — its results are
+// captured, the lane is retired and immediately REFILLED mid-flight from
+// the queue (per-lane LLR deposit into the lane's L column, per-lane
+// Lambda clear, per-lane ET reset). Only the final drain, when the queue
+// is empty, leaves lanes idle.
+//
+// This is sound because every operation of the SoA min-sum datapath is
+// lane-elementwise: the two-minima scan runs within one check row of one
+// lane, so neighbouring lanes never exchange values and a freshly
+// deposited frame at iteration 1 can share a vector with a frame at
+// iteration 9. Retired-but-unrefilled lanes keep evolving harmlessly
+// (bounded by saturation, never read again) exactly like the lockstep
+// engine's finished lanes — write-masking them would break the dense
+// branch-free row kernels. Per-frame hard decisions, iteration counts and
+// datapath cycles are bit-identical to decoding each frame alone on the
+// scalar engine, for any queue length, lane width and SIMD dispatch tier
+// (locked by the refill-equivalence suite).
+//
+// The row arithmetic itself runs on the runtime-dispatched kernel layer
+// (ldpc/core/kernels/minsum_kernels.hpp): the lane width is a runtime
+// choice — 8 so AVX2 hosts run one 256-bit register per operation, 16 so
+// AVX-512 hosts fill one 512-bit register — selected at construction from
+// the dispatched tier (or pinned by the caller / the LDPC_SIMD env knob).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/layer_engine.hpp"
+
+namespace ldpc::core {
+
+class StreamBatchEngine {
+ public:
+  /// Hard ceiling on the lane width (one AVX-512 register of int32).
+  static constexpr int kMaxLanes = 16;
+
+  /// Lane width the dispatched SIMD tier fills exactly: 16 on AVX-512
+  /// hosts, 8 otherwise (one AVX2 register; also the narrower drain on
+  /// scalar/SSE hosts).
+  static int preferred_lanes();
+
+  /// `lanes` must be 8, 16 or 0 (= preferred_lanes()). Same config rules
+  /// as BatchEngine: min-sum kernel and quantized datapath only, throws
+  /// std::invalid_argument otherwise.
+  explicit StreamBatchEngine(DecoderConfig config, int lanes = 0);
+
+  /// Resizes the SoA memories for `code` (references, not copies).
+  void reconfigure(const codes::QCCode& code);
+
+  bool configured() const noexcept { return code_ != nullptr; }
+  const DecoderConfig& config() const noexcept { return config_; }
+  int lanes() const noexcept { return lanes_; }
+  /// The SIMD tier the row kernel was dispatched to at construction.
+  kernels::Tier tier() const noexcept { return tier_; }
+
+  /// Decodes `results.size()` frames (any count >= 1) of channel LLRs
+  /// stored frame-major at the code's transmitted length, streaming them
+  /// through the lane-refill loop; results land in input order. Each
+  /// frame runs the shared LLR deposit (puncturing / fillers /
+  /// rate-matched repetition) when its lane is (re)filled. `order` (empty
+  /// = natural) is the layer permutation, as in LayerEngineT::run.
+  void decode(std::span<const double> llrs, std::span<const int> order,
+              std::span<FixedDecodeResult> results);
+
+  /// Same, over already-quantised frame-major raw codes (n per frame).
+  void decode_raw(std::span<const std::int32_t> raw,
+                  std::span<const int> order,
+                  std::span<FixedDecodeResult> results);
+
+ private:
+  void run_queue(std::span<const int> order,
+                 std::span<FixedDecodeResult> results);
+  /// Stages frame `f` into lane `w`: resolves the frame's raw codes (the
+  /// scheme-aware deposit for decode(), a pointer into the input for
+  /// decode_raw()), resets the lane's ET monitor and iteration counter,
+  /// and marks the lane FRESH. Nothing touches the SoA memories here:
+  /// per-lane column writes are one word per cache line, so a refill
+  /// burst of k lanes would stream the big arrays through the cache k
+  /// times. Instead apply_fresh() merges every staged lane's L column in
+  /// ONE sequential pass at the next iteration's start, and the lane's
+  /// Lambda entries are zeroed in-row as the layer passes reach them
+  /// (each edge belongs to exactly one check row, so each entry is
+  /// zeroed exactly once, on a cache line the kernel is pulling anyway):
+  /// the same L = channel, Lambda = 0 initialisation, amortised.
+  void load_lane(int w, std::size_t f,
+                 std::span<FixedDecodeResult> results);
+  /// Merges every staged lane's L column into the SoA memory (sequential
+  /// traversal, all fresh lanes per pass).
+  void apply_fresh();
+  void process_layer(int layer);
+  void gather_bits(int lane, std::vector<std::uint8_t>& bits) const;
+
+  DecoderConfig config_;
+  DatapathTraits<std::int32_t> traits_;
+  const codes::QCCode* code_ = nullptr;
+  int lanes_ = 0;
+  kernels::Tier tier_ = kernels::Tier::kScalar;
+  kernels::MinSumRowFn row_fn_ = nullptr;
+
+  std::int32_t app_min_ = 0, app_max_ = 0;  // APP-word saturation bounds
+  std::int32_t msg_min_ = 0, msg_max_ = 0;  // message-bus clip bounds
+  long long cycles_per_iteration_ = 0;      // sum of row cycles over layers
+
+  // SoA state: [slot * lanes_ + lane].
+  std::vector<std::int32_t> l_soa_;       // APP per variable
+  std::vector<std::int32_t> lambda_soa_;  // extrinsic per edge
+  std::vector<std::int32_t> lam_full_;    // APP-width row scratch
+  std::vector<std::int32_t> lam_;         // clipped row scratch
+  std::vector<std::int32_t*> lrow_ptrs_;  // per-edge L row pointers
+
+  // Per-lane decode state.
+  struct LaneState {
+    std::ptrdiff_t frame = -1;  // index into results (-1 = lane idle)
+    int iterations = 0;         // full iterations run on this frame
+  };
+  std::vector<LaneState> lane_;
+  // Lanes staged since the last layer pass: their L columns are merged by
+  // apply_fresh() and their Lambda columns zeroed in-row during the next
+  // iteration (see load_lane).
+  int fresh_[kMaxLanes] = {};
+  int nfresh_ = 0;
+  const std::int32_t* staged_src_[kMaxLanes] = {};  // n raw codes per lane
+  // Lane-parallel early-termination monitor state (see soa_scan.hpp):
+  // previous info-bit hard decisions, lane-major, plus the per-lane
+  // had-a-previous-iteration flag cleared on refill.
+  std::vector<std::int32_t> prev_hard_soa_;
+  std::uint8_t has_prev_[kMaxLanes] = {};
+  std::uint8_t et_fire_[kMaxLanes] = {};  // per-iteration scan results
+  std::uint8_t cw_ok_[kMaxLanes] = {};
+
+  // Frame source of the current decode call (exactly one is set).
+  std::span<const double> tx_llrs_;        // decode(): transmitted LLRs
+  std::span<const std::int32_t> raw_in_;   // decode_raw(): raw codes
+
+  std::vector<std::int32_t> raw_scratch_;  // per-lane deposit staging
+  std::vector<double> acc_;                // LLR-deposit combining scratch
+};
+
+}  // namespace ldpc::core

@@ -3,29 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ldpc/core/soa_scan.hpp"
+
 namespace ldpc::core {
 
-namespace {
-
-DecoderConfig validated(DecoderConfig config) {
-  if (config.max_iterations <= 0)
-    throw std::invalid_argument("BatchEngine: max_iterations");
-  if (config.app_extra_bits < 0 || config.app_extra_bits > 8)
-    throw std::invalid_argument("BatchEngine: app_extra_bits");
-  if (config.kernel != CnuKernel::kMinSum)
-    throw std::invalid_argument(
-        "BatchEngine: the batched kernel is min-sum only (use the scalar "
-        "LayerEngine for full BP)");
-  if (config.datapath != Datapath::kQuantized)
-    throw std::invalid_argument(
-        "BatchEngine: quantized datapath only (use FloatLayerEngine)");
-  return config;
-}
-
-}  // namespace
-
 BatchEngine::BatchEngine(DecoderConfig config)
-    : config_(validated(config)), traits_(config_) {
+    : config_(validated_batch_config(config, "BatchEngine")),
+      traits_(config_), row_fn_(kernels::row_kernel(kLanes)) {
   app_min_ = traits_.app_fmt.raw_min();
   app_max_ = traits_.app_fmt.raw_max();
   msg_min_ = traits_.fmt.raw_min();
@@ -39,8 +23,9 @@ void BatchEngine::reconfigure(const codes::QCCode& code) {
   lam_full_.resize(static_cast<std::size_t>(code.max_check_degree()) *
                    kLanes);
   lam_.resize(static_cast<std::size_t>(code.max_check_degree()) * kLanes);
-  et_.assign(kLanes, EarlyTermination(config_.early_termination));
-  lane_scratch_.resize(static_cast<std::size_t>(code.n()));
+  lrow_ptrs_.resize(static_cast<std::size_t>(code.max_check_degree()));
+  prev_hard_soa_.assign(static_cast<std::size_t>(code.k_info()) * kLanes,
+                        0);
   raw_scratch_.resize(static_cast<std::size_t>(code.n()) * kLanes);
   cycles_per_iteration_ = 0;
   for (const auto& layer : code.layers())
@@ -93,11 +78,17 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
   std::fill(lambda_soa_.begin(), lambda_soa_.end(), 0);
   for (int w = 0; w < kLanes; ++w) {
     active_[w] = w < frames ? 1 : 0;
-    if (w < frames) et_[static_cast<std::size_t>(w)].reset();
+    has_prev_[w] = 0;  // EarlyTermination::reset(), per lane
   }
   for (int w = 0; w < frames; ++w) {
-    results[static_cast<std::size_t>(w)] = FixedDecodeResult{};
-    results[static_cast<std::size_t>(w)].bits.assign(n, 0);
+    // Field-wise reset keeps the bits vector's capacity when the caller
+    // reuses a results buffer.
+    FixedDecodeResult& res = results[static_cast<std::size_t>(w)];
+    res.bits.assign(n, 0);
+    res.iterations = 0;
+    res.converged = false;
+    res.early_terminated = false;
+    res.datapath_cycles = 0;
   }
 
   const int k_info = code_->k_info();
@@ -109,6 +100,15 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
       for (int l : order) process_layer_soa(l);
     }
 
+    // Lane-parallel stop scans (soa_scan.hpp): the ET rule and the parity
+    // checks for every lane in two dense passes over the SoA state.
+    if (config_.early_termination.enabled)
+      soa_et_scan(k_info, kLanes, config_.early_termination.threshold_raw,
+                  l_soa_.data(), prev_hard_soa_.data(), has_prev_,
+                  et_fire_);
+    if (config_.stop_on_codeword)
+      soa_codeword_scan(*code_, l_soa_.data(), kLanes, cw_ok_);
+
     // Per-lane bookkeeping: exactly the scalar engine's post-iteration
     // sequence (decision, ET, codeword stop), applied to live lanes only.
     const bool last_iter = iter == config_.max_iterations;
@@ -118,30 +118,15 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
       res.iterations = iter;
       res.datapath_cycles += cycles_per_iteration_;
 
-      // ET reads the information-bit APPs; the hard decisions are only
-      // materialised when a stop rule needs them or the lane is finishing.
-      bool stopped = false;
-      if (config_.early_termination.enabled) {
-        gather_lane(l_soa_.data(), w, k_info, lane_scratch_);
-        if (et_[static_cast<std::size_t>(w)].update(
-                {lane_scratch_.data(), static_cast<std::size_t>(k_info)})) {
-          res.early_terminated = true;
-          stopped = true;
-        }
-      }
-      if (!stopped && config_.stop_on_codeword) {
+      const SoaStopVerdict stop =
+          soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
+      if (stop.early_terminated) res.early_terminated = true;
+      if (stop.stopped || last_iter) {
         for (std::size_t v = 0; v < n; ++v)
           res.bits[v] = l_soa_[v * kLanes + static_cast<std::size_t>(w)] < 0
                             ? 1
                             : 0;
-        stopped = code_->is_codeword(res.bits);
-      }
-      if (stopped || last_iter) {
-        for (std::size_t v = 0; v < n; ++v)
-          res.bits[v] = l_soa_[v * kLanes + static_cast<std::size_t>(w)] < 0
-                            ? 1
-                            : 0;
-        res.converged = code_->is_codeword(res.bits);
+        res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
         active_[w] = 0;
         --live;
       }
@@ -149,103 +134,28 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
   }
 }
 
-void BatchEngine::gather_lane(const std::int32_t* soa, int lane, int count,
-                              std::vector<std::int32_t>& out) const {
-  for (int i = 0; i < count; ++i)
-    out[static_cast<std::size_t>(i)] =
-        soa[static_cast<std::size_t>(i) * kLanes + lane];
-}
-
 void BatchEngine::process_layer_soa(int layer) {
   const int z = code_->z();
   const auto& blocks = code_->layers()[static_cast<std::size_t>(layer)];
   const int deg = static_cast<int>(blocks.size());
-  const std::int32_t app_lo = app_min_, app_hi = app_max_;
-  const std::int32_t msg_lo = msg_min_, msg_hi = msg_max_;
+  const kernels::RowBounds bounds{app_min_, app_max_, msg_min_, msg_max_};
 
+  // Each check row is one call into the dispatched kernel: read +
+  // subtract + clip, two-minima scan, emit + write back over kLanes SoA
+  // lanes. Writes are unconditional: lanes whose frame already stopped
+  // keep evolving (bounded by saturation) but their results were captured
+  // at their own stopping iteration and their state is never read again,
+  // so no mask is needed — every store stays a plain vector store.
   for (int t = 0; t < z; ++t) {
     const int r = layer * z + t;
     const auto vars = code_->check_vars(r);
     const int e0 = code_->edge_index(r, 0);
-
-    // Read + subtract + clip: lambda = sat_app(L - Lambda), message bus
-    // clipped copy for the min scan. Lane loops are branch-free and
-    // contiguous so they autovectorise.
-    for (int e = 0; e < deg; ++e) {
-      const std::int32_t* __restrict lrow =
+    for (int e = 0; e < deg; ++e)
+      lrow_ptrs_[static_cast<std::size_t>(e)] =
           &l_soa_[static_cast<std::size_t>(vars[e]) * kLanes];
-      const std::int32_t* __restrict lamb =
-          &lambda_soa_[static_cast<std::size_t>(e0 + e) * kLanes];
-      std::int32_t* __restrict lf =
-          &lam_full_[static_cast<std::size_t>(e) * kLanes];
-      std::int32_t* __restrict lm =
-          &lam_[static_cast<std::size_t>(e) * kLanes];
-#pragma omp simd
-      for (int w = 0; w < kLanes; ++w) {
-        std::int32_t d = lrow[w] - lamb[w];
-        d = d > app_hi ? app_hi : d;
-        d = d < app_lo ? app_lo : d;
-        lf[w] = d;
-        std::int32_t m = d > msg_hi ? msg_hi : d;
-        m = m < msg_lo ? msg_lo : m;
-        lm[w] = m;
-      }
-    }
-
-    // Two-minima scan with sign product — the scalar min-sum CNU, one
-    // running state per lane. Stack-local state so the compiler can prove
-    // it never aliases the SoA memories.
-    alignas(64) std::int32_t min1[kLanes], min2[kLanes];
-    alignas(64) std::int32_t argmin[kLanes], signs[kLanes];
-#pragma omp simd
-    for (int w = 0; w < kLanes; ++w) {
-      min1[w] = msg_hi;
-      min2[w] = msg_hi;
-      argmin[w] = -1;
-      signs[w] = 0;
-    }
-    for (int e = 0; e < deg; ++e) {
-      const std::int32_t* __restrict lm =
-          &lam_[static_cast<std::size_t>(e) * kLanes];
-#pragma omp simd
-      for (int w = 0; w < kLanes; ++w) {
-        const std::int32_t v = lm[w];
-        const std::int32_t neg = v < 0;
-        const std::int32_t mag = neg ? -v : v;
-        signs[w] ^= neg;
-        const bool lt1 = mag < min1[w];
-        min2[w] = lt1 ? min1[w] : (mag < min2[w] ? mag : min2[w]);
-        min1[w] = lt1 ? mag : min1[w];
-        argmin[w] = lt1 ? e : argmin[w];
-      }
-    }
-
-    // Emit + write back. Writes are unconditional: lanes whose frame
-    // already stopped keep evolving (bounded by saturation) but their
-    // results were captured at their own stopping iteration and their
-    // state is never read again, so no mask is needed — every store
-    // stays a plain vector store.
-    for (int e = 0; e < deg; ++e) {
-      const std::int32_t* __restrict lm =
-          &lam_[static_cast<std::size_t>(e) * kLanes];
-      const std::int32_t* __restrict lf =
-          &lam_full_[static_cast<std::size_t>(e) * kLanes];
-      std::int32_t* __restrict lamb =
-          &lambda_soa_[static_cast<std::size_t>(e0 + e) * kLanes];
-      std::int32_t* __restrict lrow =
-          &l_soa_[static_cast<std::size_t>(vars[e]) * kLanes];
-#pragma omp simd
-      for (int w = 0; w < kLanes; ++w) {
-        const std::int32_t mag = e == argmin[w] ? min2[w] : min1[w];
-        const std::int32_t out_neg = signs[w] ^ (lm[w] < 0);
-        const std::int32_t out = out_neg ? -mag : mag;
-        std::int32_t app = lf[w] + out;
-        app = app > app_hi ? app_hi : app;
-        app = app < app_lo ? app_lo : app;
-        lamb[w] = out;
-        lrow[w] = app;
-      }
-    }
+    row_fn_(lrow_ptrs_.data(),
+            &lambda_soa_[static_cast<std::size_t>(e0) * kLanes],
+            lam_full_.data(), lam_.data(), deg, bounds);
   }
 }
 

@@ -12,8 +12,8 @@ ReconfigurableDecoder::ReconfigurableDecoder(const codes::QCCode& code,
     float_engine_.emplace(config_);
   } else {
     engine_.emplace(config_);
-    // The SoA batch engine is built lazily on the first decode_batch():
-    // its kLanes-wide memories would be dead weight in the common
+    // The SoA stream engine is built lazily on the first decode_batch():
+    // its lane-wide memories would be dead weight in the common
     // one-frame-at-a-time simulation workers.
   }
   reconfigure(code);
@@ -23,7 +23,7 @@ void ReconfigurableDecoder::reconfigure(const codes::QCCode& code) {
   code_ = &code;
   if (engine_) engine_->reconfigure(code);
   if (float_engine_) float_engine_->reconfigure(code);
-  if (batch_engine_) batch_engine_->reconfigure(code);
+  if (stream_engine_) stream_engine_->reconfigure(code);
   raw_.resize(static_cast<std::size_t>(code.n()));
   fraw_.resize(static_cast<std::size_t>(code.n()));
 }
@@ -62,22 +62,14 @@ std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
     throw std::invalid_argument("decode_batch: llrs size");
   const std::size_t frames = llrs.size() / tx;
   std::vector<FixedDecodeResult> results(frames);
-  if (engine_ && config_.kernel == CnuKernel::kMinSum && !batch_engine_) {
-    batch_engine_.emplace(config_);
-    batch_engine_->reconfigure(*code_);
+  if (engine_ && config_.kernel == CnuKernel::kMinSum && !stream_engine_) {
+    stream_engine_.emplace(config_);
+    stream_engine_->reconfigure(*code_);
   }
-  if (batch_engine_) {
-    // SoA lockstep kernel: full-width chunks, then the ragged tail with
-    // the spare lanes masked off.
-    std::size_t f = 0;
-    while (f < frames) {
-      const std::size_t chunk = std::min(
-          frames - f, static_cast<std::size_t>(BatchEngine::kLanes));
-      batch_engine_->decode(llrs.subspan(f * tx, chunk * tx), {},
-                            std::span<FixedDecodeResult>(results)
-                                .subspan(f, chunk));
-      f += chunk;
-    }
+  if (stream_engine_) {
+    // Continuous SoA kernel: the whole batch is one refill queue — lanes
+    // that stop early are reloaded with the remaining frames mid-flight.
+    stream_engine_->decode(llrs, {}, results);
     return results;
   }
   for (std::size_t f = 0; f < frames; ++f) {

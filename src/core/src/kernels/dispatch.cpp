@@ -1,0 +1,111 @@
+// Kernel dispatch: pick the row-kernel tier once, hand out plain function
+// pointers. Selection = CPUID ceiling, optionally lowered by the LDPC_SIMD
+// environment variable, optionally pinned by the force_tier() test hook.
+#include <cstdlib>
+#include <stdexcept>
+
+#include "kernels_internal.hpp"
+
+namespace ldpc::core::kernels {
+
+std::string to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSse42: return "sse42";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+Tier parse_tier(const std::string& name) {
+  if (name == "avx512") return Tier::kAvx512;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "sse42") return Tier::kSse42;
+  return Tier::kScalar;
+}
+
+namespace {
+
+Tier detect() {
+#if defined(__x86_64__) || defined(__i386__)
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (__builtin_cpu_supports("avx512f")) return Tier::kAvx512;
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (__builtin_cpu_supports("sse4.2")) return Tier::kSse42;
+#endif
+#endif
+  return Tier::kScalar;
+}
+
+struct DispatchState {
+  Tier detected = detect();
+  bool forced = false;
+  Tier forced_tier = Tier::kScalar;
+  bool env_present = false;
+  Tier env_tier = Tier::kScalar;
+
+  DispatchState() { read_env(); }
+  void read_env() {
+    const char* v = std::getenv("LDPC_SIMD");
+    env_present = v != nullptr;
+    if (env_present) env_tier = parse_tier(v);
+  }
+};
+
+DispatchState& state() {
+  static DispatchState s;
+  return s;
+}
+
+Tier clamp(Tier tier, Tier ceiling) {
+  return static_cast<int>(tier) > static_cast<int>(ceiling) ? ceiling : tier;
+}
+
+}  // namespace
+
+Tier detected_tier() { return state().detected; }
+
+Tier active_tier() {
+  const DispatchState& s = state();
+  if (s.forced) return clamp(s.forced_tier, s.detected);
+  if (s.env_present) return clamp(s.env_tier, s.detected);
+  return s.detected;
+}
+
+Tier force_tier(Tier tier) {
+  DispatchState& s = state();
+  s.forced = true;
+  s.forced_tier = tier;
+  return clamp(tier, s.detected);
+}
+
+void clear_forced_tier() { state().forced = false; }
+
+void reload_env() { state().read_env(); }
+
+MinSumRowFn row_kernel(Tier tier, int lanes) {
+  if (lanes != 8 && lanes != 16)
+    throw std::invalid_argument("kernels::row_kernel: lane width must be "
+                                "8 or 16");
+  switch (clamp(tier, state().detected)) {
+#ifdef LDPC_KERNELS_HAVE_AVX512
+    case Tier::kAvx512: return avx512_row_kernel(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+    case Tier::kAvx2: return avx2_row_kernel(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+    case Tier::kSse42: return sse42_row_kernel(lanes);
+#endif
+    default: return scalar_row_kernel(lanes);
+  }
+}
+
+MinSumRowFn row_kernel(int lanes) { return row_kernel(active_tier(), lanes); }
+
+}  // namespace ldpc::core::kernels

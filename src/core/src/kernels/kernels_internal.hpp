@@ -1,0 +1,21 @@
+// Internal cross-TU interface of the kernel layer: each tier's translation
+// unit (compiled with that tier's -m flags) exports one getter; dispatch.cpp
+// selects among them. Not installed — include only from src/core/src/kernels.
+#pragma once
+
+#include "ldpc/core/kernels/minsum_kernels.hpp"
+
+namespace ldpc::core::kernels {
+
+MinSumRowFn scalar_row_kernel(int lanes);
+#ifdef LDPC_KERNELS_HAVE_SSE42
+MinSumRowFn sse42_row_kernel(int lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+MinSumRowFn avx2_row_kernel(int lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX512
+MinSumRowFn avx512_row_kernel(int lanes);
+#endif
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,19 @@
+// AVX2 tier: 8 x int32 per 256-bit vector. An 8-lane engine runs one
+// vector per operation; a 16-lane engine runs two. This TU is compiled
+// with -mavx2 — dispatch.cpp only hands these pointers out after
+// __builtin_cpu_supports("avx2") says the host can execute them.
+#include <immintrin.h>
+
+#include "kernels_internal.hpp"
+
+namespace ldpc::core::kernels {
+
+namespace {
+#include "minsum_row_avx2.inl"
+}  // namespace
+
+MinSumRowFn avx2_row_kernel(int lanes) {
+  return lanes == 16 ? &row_avx2_impl<16> : &row_avx2_impl<8>;
+}
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,73 @@
+// AVX-512 tier: a full 16-lane engine fits one 512-bit register per
+// operation, with compare results living in mask registers instead of
+// vector blends. An 8-lane engine under this tier reuses the AVX2 body
+// (this TU's flags include -mavx2, and any avx512f host runs AVX2).
+// Compiled with -mavx2 -mavx512f; dispatch guards execution with
+// __builtin_cpu_supports("avx512f").
+#include <immintrin.h>
+
+#include "kernels_internal.hpp"
+
+namespace ldpc::core::kernels {
+
+namespace {
+
+#include "minsum_row_avx2.inl"
+
+void row_avx512_w16(std::int32_t* const* l_rows, std::int32_t* lambda_row,
+                    std::int32_t* lam_full, std::int32_t* lam, int deg,
+                    const RowBounds& b) {
+  constexpr int W = 16;
+  const __m512i app_lo = _mm512_set1_epi32(b.app_lo);
+  const __m512i app_hi = _mm512_set1_epi32(b.app_hi);
+  const __m512i msg_lo = _mm512_set1_epi32(b.msg_lo);
+  const __m512i msg_hi = _mm512_set1_epi32(b.msg_hi);
+  const __m512i zero = _mm512_setzero_si512();
+
+  __m512i min1 = msg_hi, min2 = msg_hi;
+  __m512i argmin = _mm512_set1_epi32(-1);
+  __mmask16 signs = 0;  // set bits = odd sign parity so far
+
+  for (int e = 0; e < deg; ++e) {
+    const __m512i l = _mm512_loadu_si512(l_rows[e]);
+    const __m512i lamb = _mm512_loadu_si512(lambda_row + e * W);
+    __m512i d = _mm512_sub_epi32(l, lamb);
+    d = _mm512_min_epi32(d, app_hi);
+    d = _mm512_max_epi32(d, app_lo);
+    _mm512_storeu_si512(lam_full + e * W, d);
+    __m512i m = _mm512_min_epi32(d, msg_hi);
+    m = _mm512_max_epi32(m, msg_lo);
+    _mm512_storeu_si512(lam + e * W, m);
+
+    signs ^= _mm512_cmplt_epi32_mask(m, zero);
+    const __m512i mag = _mm512_abs_epi32(m);
+    const __mmask16 lt1 = _mm512_cmplt_epi32_mask(mag, min1);
+    min2 = _mm512_mask_blend_epi32(lt1, _mm512_min_epi32(min2, mag), min1);
+    min1 = _mm512_mask_blend_epi32(lt1, min1, mag);
+    argmin = _mm512_mask_blend_epi32(lt1, argmin, _mm512_set1_epi32(e));
+  }
+
+  for (int e = 0; e < deg; ++e) {
+    const __m512i m = _mm512_loadu_si512(lam + e * W);
+    const __m512i lf = _mm512_loadu_si512(lam_full + e * W);
+    const __mmask16 is_min =
+        _mm512_cmpeq_epi32_mask(argmin, _mm512_set1_epi32(e));
+    const __m512i mag = _mm512_mask_blend_epi32(is_min, min1, min2);
+    const __mmask16 out_neg = signs ^ _mm512_cmplt_epi32_mask(m, zero);
+    const __m512i out =
+        _mm512_mask_sub_epi32(mag, out_neg, zero, mag);
+    __m512i app = _mm512_add_epi32(lf, out);
+    app = _mm512_min_epi32(app, app_hi);
+    app = _mm512_max_epi32(app, app_lo);
+    _mm512_storeu_si512(lambda_row + e * W, out);
+    _mm512_storeu_si512(l_rows[e], app);
+  }
+}
+
+}  // namespace
+
+MinSumRowFn avx512_row_kernel(int lanes) {
+  return lanes == 16 ? &row_avx512_w16 : &row_avx2_impl<8>;
+}
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,66 @@
+// AVX2 row body (8 x int32 per 256-bit vector), shared by the AVX2 tier TU
+// and — for 8-lane engines — the AVX-512 tier TU (whose compile flags
+// include AVX2). Include inside an anonymous namespace only; the including
+// TU must be compiled with -mavx2 (or better) and have <immintrin.h>
+// visible. Arithmetic is bit-identical to row_scalar: saturate, clip,
+// strict-`<` two-minima scan (first minimum keeps argmin), sign product.
+
+template <int W>
+void row_avx2_impl(std::int32_t* const* l_rows, std::int32_t* lambda_row,
+                   std::int32_t* lam_full, std::int32_t* lam, int deg,
+                   const ldpc::core::kernels::RowBounds& b) {
+  const __m256i app_lo = _mm256_set1_epi32(b.app_lo);
+  const __m256i app_hi = _mm256_set1_epi32(b.app_hi);
+  const __m256i msg_lo = _mm256_set1_epi32(b.msg_lo);
+  const __m256i msg_hi = _mm256_set1_epi32(b.msg_hi);
+  const __m256i zero = _mm256_setzero_si256();
+
+  for (int c = 0; c < W; c += 8) {
+    __m256i min1 = msg_hi, min2 = msg_hi;
+    __m256i argmin = _mm256_set1_epi32(-1);
+    __m256i signs = zero;  // all-ones lanes = odd sign parity so far
+
+    for (int e = 0; e < deg; ++e) {
+      const __m256i l = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(l_rows[e] + c));
+      const __m256i lamb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lambda_row + e * W + c));
+      __m256i d = _mm256_sub_epi32(l, lamb);
+      d = _mm256_min_epi32(d, app_hi);
+      d = _mm256_max_epi32(d, app_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam_full + e * W + c),
+                          d);
+      __m256i m = _mm256_min_epi32(d, msg_hi);
+      m = _mm256_max_epi32(m, msg_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam + e * W + c), m);
+
+      const __m256i neg = _mm256_cmpgt_epi32(zero, m);  // m < 0
+      signs = _mm256_xor_si256(signs, neg);
+      const __m256i mag = _mm256_abs_epi32(m);
+      const __m256i lt1 = _mm256_cmpgt_epi32(min1, mag);  // mag < min1
+      min2 = _mm256_blendv_epi8(_mm256_min_epi32(min2, mag), min1, lt1);
+      min1 = _mm256_blendv_epi8(min1, mag, lt1);
+      argmin = _mm256_blendv_epi8(argmin, _mm256_set1_epi32(e), lt1);
+    }
+
+    for (int e = 0; e < deg; ++e) {
+      const __m256i m = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam + e * W + c));
+      const __m256i lf = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam_full + e * W + c));
+      const __m256i is_min =
+          _mm256_cmpeq_epi32(argmin, _mm256_set1_epi32(e));
+      const __m256i mag = _mm256_blendv_epi8(min1, min2, is_min);
+      const __m256i neg_m = _mm256_cmpgt_epi32(zero, m);
+      const __m256i out_neg = _mm256_xor_si256(signs, neg_m);
+      const __m256i out =
+          _mm256_blendv_epi8(mag, _mm256_sub_epi32(zero, mag), out_neg);
+      __m256i app = _mm256_add_epi32(lf, out);
+      app = _mm256_min_epi32(app, app_hi);
+      app = _mm256_max_epi32(app, app_lo);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(lambda_row + e * W + c), out);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(l_rows[e] + c), app);
+    }
+  }
+}

@@ -1,0 +1,93 @@
+// Portable scalar row kernel: the reference arithmetic every SIMD tier
+// must match bit for bit, and the fallback on hosts (or builds) without
+// SSE4.2. The inner loops are the autovectorisable form the lockstep
+// BatchEngine used before the explicit kernel layer existed (`#pragma omp
+// simd` + __restrict, branch-free selects), so "scalar" still vectorises
+// when the compiler feels like it — the tier ladder is about *guaranteed*
+// SIMD, not about pessimising the baseline.
+#include "kernels_internal.hpp"
+
+namespace ldpc::core::kernels {
+
+namespace {
+
+template <int W>
+void row_scalar(std::int32_t* const* l_rows, std::int32_t* lambda_row,
+                std::int32_t* lam_full, std::int32_t* lam, int deg,
+                const RowBounds& b) {
+  const std::int32_t app_lo = b.app_lo, app_hi = b.app_hi;
+  const std::int32_t msg_lo = b.msg_lo, msg_hi = b.msg_hi;
+
+  // Read + subtract + clip: lam_full = sat_app(L - Lambda), lam = the
+  // message-bus clipped copy for the min scan.
+  for (int e = 0; e < deg; ++e) {
+    const std::int32_t* __restrict lrow = l_rows[e];
+    const std::int32_t* __restrict lamb = &lambda_row[e * W];
+    std::int32_t* __restrict lf = &lam_full[e * W];
+    std::int32_t* __restrict lm = &lam[e * W];
+#pragma omp simd
+    for (int w = 0; w < W; ++w) {
+      std::int32_t d = lrow[w] - lamb[w];
+      d = d > app_hi ? app_hi : d;
+      d = d < app_lo ? app_lo : d;
+      lf[w] = d;
+      std::int32_t m = d > msg_hi ? msg_hi : d;
+      m = m < msg_lo ? msg_lo : m;
+      lm[w] = m;
+    }
+  }
+
+  // Two-minima scan with sign product — one running state per lane.
+  // Strict `<` so the FIRST minimum wins argmin (the scalar engine's tie
+  // rule; every tier reproduces it).
+  alignas(64) std::int32_t min1[W], min2[W], argmin[W], signs[W];
+#pragma omp simd
+  for (int w = 0; w < W; ++w) {
+    min1[w] = msg_hi;
+    min2[w] = msg_hi;
+    argmin[w] = -1;
+    signs[w] = 0;
+  }
+  for (int e = 0; e < deg; ++e) {
+    const std::int32_t* __restrict lm = &lam[e * W];
+#pragma omp simd
+    for (int w = 0; w < W; ++w) {
+      const std::int32_t v = lm[w];
+      const std::int32_t neg = v < 0;
+      const std::int32_t mag = neg ? -v : v;
+      signs[w] ^= neg;
+      const bool lt1 = mag < min1[w];
+      min2[w] = lt1 ? min1[w] : (mag < min2[w] ? mag : min2[w]);
+      min1[w] = lt1 ? mag : min1[w];
+      argmin[w] = lt1 ? e : argmin[w];
+    }
+  }
+
+  // Emit + write back: Lambda gets the min-sum output, L gets the
+  // APP-width saturated lam_full + output.
+  for (int e = 0; e < deg; ++e) {
+    const std::int32_t* __restrict lm = &lam[e * W];
+    const std::int32_t* __restrict lf = &lam_full[e * W];
+    std::int32_t* __restrict lamb = &lambda_row[e * W];
+    std::int32_t* __restrict lrow = l_rows[e];
+#pragma omp simd
+    for (int w = 0; w < W; ++w) {
+      const std::int32_t mag = e == argmin[w] ? min2[w] : min1[w];
+      const std::int32_t out_neg = signs[w] ^ (lm[w] < 0);
+      const std::int32_t out = out_neg ? -mag : mag;
+      std::int32_t app = lf[w] + out;
+      app = app > app_hi ? app_hi : app;
+      app = app < app_lo ? app_lo : app;
+      lamb[w] = out;
+      lrow[w] = app;
+    }
+  }
+}
+
+}  // namespace
+
+MinSumRowFn scalar_row_kernel(int lanes) {
+  return lanes == 16 ? &row_scalar<16> : &row_scalar<8>;
+}
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,77 @@
+// SSE4.2 tier: 4 x int32 per 128-bit vector (the actual instruction needs
+// are SSSE3 abs + SSE4.1 min/max/blendv; gating the tier on SSE4.2 keeps
+// the ladder conventional). Compiled with -msse4.2; dispatch guards
+// execution with __builtin_cpu_supports("sse4.2").
+#include <immintrin.h>
+
+#include "kernels_internal.hpp"
+
+namespace ldpc::core::kernels {
+
+namespace {
+
+template <int W>
+void row_sse42(std::int32_t* const* l_rows, std::int32_t* lambda_row,
+               std::int32_t* lam_full, std::int32_t* lam, int deg,
+               const RowBounds& b) {
+  const __m128i app_lo = _mm_set1_epi32(b.app_lo);
+  const __m128i app_hi = _mm_set1_epi32(b.app_hi);
+  const __m128i msg_lo = _mm_set1_epi32(b.msg_lo);
+  const __m128i msg_hi = _mm_set1_epi32(b.msg_hi);
+  const __m128i zero = _mm_setzero_si128();
+
+  for (int c = 0; c < W; c += 4) {
+    __m128i min1 = msg_hi, min2 = msg_hi;
+    __m128i argmin = _mm_set1_epi32(-1);
+    __m128i signs = zero;
+
+    for (int e = 0; e < deg; ++e) {
+      const __m128i l = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(l_rows[e] + c));
+      const __m128i lamb = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lambda_row + e * W + c));
+      __m128i d = _mm_sub_epi32(l, lamb);
+      d = _mm_min_epi32(d, app_hi);
+      d = _mm_max_epi32(d, app_lo);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lam_full + e * W + c), d);
+      __m128i m = _mm_min_epi32(d, msg_hi);
+      m = _mm_max_epi32(m, msg_lo);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lam + e * W + c), m);
+
+      const __m128i neg = _mm_cmpgt_epi32(zero, m);
+      signs = _mm_xor_si128(signs, neg);
+      const __m128i mag = _mm_abs_epi32(m);
+      const __m128i lt1 = _mm_cmpgt_epi32(min1, mag);
+      min2 = _mm_blendv_epi8(_mm_min_epi32(min2, mag), min1, lt1);
+      min1 = _mm_blendv_epi8(min1, mag, lt1);
+      argmin = _mm_blendv_epi8(argmin, _mm_set1_epi32(e), lt1);
+    }
+
+    for (int e = 0; e < deg; ++e) {
+      const __m128i m = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lam + e * W + c));
+      const __m128i lf = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lam_full + e * W + c));
+      const __m128i is_min = _mm_cmpeq_epi32(argmin, _mm_set1_epi32(e));
+      const __m128i mag = _mm_blendv_epi8(min1, min2, is_min);
+      const __m128i neg_m = _mm_cmpgt_epi32(zero, m);
+      const __m128i out_neg = _mm_xor_si128(signs, neg_m);
+      const __m128i out =
+          _mm_blendv_epi8(mag, _mm_sub_epi32(zero, mag), out_neg);
+      __m128i app = _mm_add_epi32(lf, out);
+      app = _mm_min_epi32(app, app_hi);
+      app = _mm_max_epi32(app, app_lo);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lambda_row + e * W + c),
+                       out);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(l_rows[e] + c), app);
+    }
+  }
+}
+
+}  // namespace
+
+MinSumRowFn sse42_row_kernel(int lanes) {
+  return lanes == 16 ? &row_sse42<16> : &row_sse42<8>;
+}
+
+}  // namespace ldpc::core::kernels

@@ -1,0 +1,229 @@
+#include "ldpc/core/stream_batch_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ldpc/core/soa_scan.hpp"
+
+namespace ldpc::core {
+
+int StreamBatchEngine::preferred_lanes() {
+  return kernels::active_tier() == kernels::Tier::kAvx512 ? 16 : 8;
+}
+
+StreamBatchEngine::StreamBatchEngine(DecoderConfig config, int lanes)
+    : config_(validated_batch_config(config, "StreamBatchEngine")),
+      traits_(config_) {
+  if (lanes == 0) lanes = preferred_lanes();
+  if (lanes != 8 && lanes != 16)
+    throw std::invalid_argument(
+        "StreamBatchEngine: lane width must be 8, 16 or 0 (auto)");
+  lanes_ = lanes;
+  tier_ = kernels::active_tier();
+  row_fn_ = kernels::row_kernel(tier_, lanes_);
+  app_min_ = traits_.app_fmt.raw_min();
+  app_max_ = traits_.app_fmt.raw_max();
+  msg_min_ = traits_.fmt.raw_min();
+  msg_max_ = traits_.fmt.raw_max();
+  lane_.resize(static_cast<std::size_t>(lanes_));
+}
+
+void StreamBatchEngine::reconfigure(const codes::QCCode& code) {
+  code_ = &code;
+  const auto w = static_cast<std::size_t>(lanes_);
+  l_soa_.assign(static_cast<std::size_t>(code.n()) * w, 0);
+  lambda_soa_.assign(static_cast<std::size_t>(code.edges()) * w, 0);
+  lam_full_.resize(static_cast<std::size_t>(code.max_check_degree()) * w);
+  lam_.resize(static_cast<std::size_t>(code.max_check_degree()) * w);
+  lrow_ptrs_.resize(static_cast<std::size_t>(code.max_check_degree()));
+  prev_hard_soa_.assign(static_cast<std::size_t>(code.k_info()) * w, 0);
+  raw_scratch_.resize(static_cast<std::size_t>(code.n()) * w);
+  cycles_per_iteration_ = 0;
+  for (const auto& layer : code.layers())
+    cycles_per_iteration_ +=
+        row_datapath_cycles(config_.radix, static_cast<int>(layer.size()));
+}
+
+void StreamBatchEngine::decode(std::span<const double> llrs,
+                               std::span<const int> order,
+                               std::span<FixedDecodeResult> results) {
+  if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
+  const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
+  if (results.empty() || llrs.size() != tx * results.size())
+    throw std::invalid_argument("StreamBatchEngine::decode: sizes");
+  tx_llrs_ = llrs;
+  raw_in_ = {};
+  run_queue(order, results);
+  tx_llrs_ = {};
+}
+
+void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,
+                                   std::span<const int> order,
+                                   std::span<FixedDecodeResult> results) {
+  if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
+  const auto n = static_cast<std::size_t>(code_->n());
+  if (results.empty() || raw.size() != n * results.size())
+    throw std::invalid_argument("StreamBatchEngine::decode_raw: sizes");
+  raw_in_ = raw;
+  tx_llrs_ = {};
+  run_queue(order, results);
+  raw_in_ = {};
+}
+
+void StreamBatchEngine::load_lane(int w, std::size_t f,
+                                  std::span<FixedDecodeResult> results) {
+  const auto n = static_cast<std::size_t>(code_->n());
+  const auto lw = static_cast<std::size_t>(w);
+  if (!raw_in_.empty()) {
+    staged_src_[lw] = raw_in_.data() + f * n;
+  } else {
+    // Per-lane deposit on refill: the shared scheme-aware LLR expansion
+    // (puncturing erasures, filler rails, rate-matched accumulation) runs
+    // the moment the lane is claimed, not in a batch-wide prepass.
+    const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
+    std::int32_t* slot = raw_scratch_.data() + lw * n;
+    deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
+                        std::span<std::int32_t>(slot, n), acc_);
+    staged_src_[lw] = slot;
+  }
+  fresh_[nfresh_++] = w;
+  has_prev_[lw] = 0;  // EarlyTermination::reset(), per lane
+  lane_[lw] = LaneState{static_cast<std::ptrdiff_t>(f), 0};
+  // Field-wise reset keeps the bits vector's capacity when the caller
+  // reuses a results buffer (the sim workers and benches do).
+  FixedDecodeResult& res = results[f];
+  res.bits.assign(n, 0);
+  res.iterations = 0;
+  res.converged = false;
+  res.early_terminated = false;
+  res.datapath_cycles = 0;
+}
+
+void StreamBatchEngine::apply_fresh() {
+  if (nfresh_ == 0) return;
+  const auto n = static_cast<std::size_t>(code_->n());
+  const auto lanes = static_cast<std::size_t>(lanes_);
+  // One sequential pass over the L memory serves every staged lane: the
+  // per-lane column is strided (one word per cache line), so merging the
+  // refill burst costs one traversal instead of one per lane.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::int32_t* row = &l_soa_[v * lanes];
+    for (int i = 0; i < nfresh_; ++i) {
+      const int w = fresh_[i];
+      row[w] = staged_src_[w][v];
+    }
+  }
+}
+
+void StreamBatchEngine::gather_bits(int lane,
+                                    std::vector<std::uint8_t>& bits) const {
+  const auto n = static_cast<std::size_t>(code_->n());
+  const auto lanes = static_cast<std::size_t>(lanes_);
+  for (std::size_t v = 0; v < n; ++v)
+    bits[v] =
+        l_soa_[v * lanes + static_cast<std::size_t>(lane)] < 0 ? 1 : 0;
+}
+
+void StreamBatchEngine::run_queue(std::span<const int> order,
+                                  std::span<FixedDecodeResult> results) {
+  const std::size_t frames = results.size();
+  const int j = code_->block_rows();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(j))
+    throw std::invalid_argument("StreamBatchEngine: order size");
+  const int k_info = code_->k_info();
+
+  // Prime the lanes from the head of the queue; lanes beyond the queue
+  // stay idle (their stale SoA content keeps evolving harmlessly, bounded
+  // by saturation, and is never read).
+  std::size_t next = 0;
+  int live = 0;
+  nfresh_ = 0;
+  for (auto& l : lane_) l.frame = -1;
+  for (int w = 0; w < lanes_ && next < frames; ++w) {
+    load_lane(w, next++, results);
+    ++live;
+  }
+
+  while (live > 0) {
+    // One full iteration for every lane — freshly refilled lanes at
+    // iteration 1 share the vectors with frames deep in their decode.
+    // Staged L columns are merged first; Lambda columns are zeroed in-row
+    // as the pass reaches them.
+    apply_fresh();
+    if (order.empty()) {
+      for (int l = 0; l < j; ++l) process_layer(l);
+    } else {
+      for (int l : order) process_layer(l);
+    }
+    nfresh_ = 0;  // every fresh lane's L and Lambda columns are now live
+
+    // Lane-parallel stop scans: one dense pass each over the SoA state
+    // evaluates the ET rule and the parity checks for EVERY lane — the
+    // same rules the scalar engine applies per frame, at a fraction of
+    // the cost of the per-lane gathers they replace.
+    if (config_.early_termination.enabled)
+      soa_et_scan(k_info, lanes_, config_.early_termination.threshold_raw,
+                  l_soa_.data(), prev_hard_soa_.data(), has_prev_,
+                  et_fire_);
+    if (config_.stop_on_codeword)
+      soa_codeword_scan(*code_, l_soa_.data(), lanes_, cw_ok_);
+
+    // Per-lane bookkeeping: exactly the scalar engine's post-iteration
+    // sequence (decision, ET, codeword stop) against the lane's OWN
+    // iteration counter; stopped lanes retire and refill immediately.
+    for (int w = 0; w < lanes_; ++w) {
+      LaneState& lane = lane_[static_cast<std::size_t>(w)];
+      if (lane.frame < 0) continue;
+      auto& res = results[static_cast<std::size_t>(lane.frame)];
+      res.iterations = ++lane.iterations;
+      res.datapath_cycles += cycles_per_iteration_;
+
+      const bool last_iter = lane.iterations == config_.max_iterations;
+      const SoaStopVerdict stop =
+          soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
+      if (stop.early_terminated) res.early_terminated = true;
+      if (stop.stopped || last_iter) {
+        gather_bits(w, res.bits);
+        res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
+        if (next < frames) {
+          load_lane(w, next++, results);  // refill mid-flight
+        } else {
+          lane.frame = -1;  // queue drained: lane idles until the end
+          --live;
+        }
+      }
+    }
+  }
+}
+
+void StreamBatchEngine::process_layer(int layer) {
+  const int z = code_->z();
+  const auto& blocks = code_->layers()[static_cast<std::size_t>(layer)];
+  const int deg = static_cast<int>(blocks.size());
+  const auto lanes = static_cast<std::size_t>(lanes_);
+  const kernels::RowBounds bounds{app_min_, app_max_, msg_min_, msg_max_};
+
+  for (int t = 0; t < z; ++t) {
+    const int r = layer * z + t;
+    const auto vars = code_->check_vars(r);
+    const int e0 = code_->edge_index(r, 0);
+    std::int32_t* const lambda_row =
+        &lambda_soa_[static_cast<std::size_t>(e0) * lanes];
+    // Deferred Lambda = 0 for freshly refilled lanes: these cache lines
+    // are about to be read by the kernel, so the clear is free here where
+    // a strided per-refill pass over the edge memory was not.
+    for (int i = 0; i < nfresh_; ++i) {
+      const int w = fresh_[i];
+      for (int e = 0; e < deg; ++e)
+        lambda_row[static_cast<std::size_t>(e) * lanes +
+                   static_cast<std::size_t>(w)] = 0;
+    }
+    for (int e = 0; e < deg; ++e)
+      lrow_ptrs_[static_cast<std::size_t>(e)] =
+          &l_soa_[static_cast<std::size_t>(vars[e]) * lanes];
+    row_fn_(lrow_ptrs_.data(), lambda_row, lam_full_.data(), lam_.data(),
+            deg, bounds);
+  }
+}
+
+}  // namespace ldpc::core

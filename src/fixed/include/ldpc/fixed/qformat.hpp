@@ -9,6 +9,7 @@
 // module (SISO datapath, LUTs, memories) shares one numeric convention.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -62,8 +63,20 @@ class QFormat {
 
   /// Rounds a real value to the nearest representable level (round-half-away
   /// -from-zero, as a hardware rounder built from add-half + truncate does
-  /// on the magnitude path) and saturates.
-  std::int32_t quantize(double value) const noexcept;
+  /// on the magnitude path) and saturates. Inline: the batched engines'
+  /// LLR deposit quantises every transmitted bit of every frame, and an
+  /// out-of-line call here dominated that loop.
+  std::int32_t quantize(double value) const noexcept {
+    if (std::isnan(value)) return 0;
+    const double scaled = value * static_cast<double>(std::int64_t{1}
+                                                      << frac_bits_);
+    // round-half-away-from-zero on the magnitude, like a hardware rounder.
+    const double rounded =
+        scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    if (rounded >= static_cast<double>(raw_max())) return raw_max();
+    if (rounded <= static_cast<double>(raw_min())) return raw_min();
+    return static_cast<std::int32_t>(rounded);
+  }
 
   /// Real value of a raw code.
   constexpr double to_double(std::int32_t raw) const noexcept {

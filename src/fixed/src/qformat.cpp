@@ -1,25 +1,16 @@
 #include "ldpc/fixed/qformat.hpp"
 
-#include <cmath>
-
 namespace ldpc::fixed {
 
-std::int32_t QFormat::quantize(double value) const noexcept {
-  if (std::isnan(value)) return 0;
-  const double scaled = value * static_cast<double>(std::int64_t{1}
-                                                    << frac_bits_);
-  // round-half-away-from-zero on the magnitude, like a hardware rounder.
-  const double rounded =
-      scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
-  if (rounded >= static_cast<double>(raw_max())) return raw_max();
-  if (rounded <= static_cast<double>(raw_min())) return raw_min();
-  return static_cast<std::int32_t>(rounded);
-}
-
 std::string QFormat::to_string() const {
-  return "Q" + std::to_string(total_bits_ - 1 - frac_bits_) + "." +
-         std::to_string(frac_bits_) + " (" + std::to_string(total_bits_) +
-         "b)";
+  std::string out = "Q";
+  out += std::to_string(total_bits_ - 1 - frac_bits_);
+  out += '.';
+  out += std::to_string(frac_bits_);
+  out += " (";
+  out += std::to_string(total_bits_);
+  out += "b)";
+  return out;
 }
 
 }  // namespace ldpc::fixed

@@ -56,10 +56,11 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
 /// the returned DecodeFn touches must be private to it (or immutable).
 using DecoderFactory = std::function<DecodeFn()>;
 
-/// Batched adapter: decodes llrs.size()/n frames stored back to back and
-/// returns one outcome per frame. Built per worker like DecodeFn; workers
-/// claim SimConfig::batch frames at a time and decode them in one call, so
-/// a SIMD-batched kernel (core::BatchEngine) fills its lanes.
+/// Batched adapter: decodes llrs.size()/transmitted_bits() frames stored
+/// back to back and returns one outcome per frame. Built per worker like
+/// DecodeFn; each worker's claimed chunk feeds its decoder's refill queue
+/// (core::StreamBatchEngine), so SIMD lanes are reloaded with the next
+/// pending frame the moment a frame stops early.
 using BatchDecodeFn =
     std::function<std::vector<DecodeOutcome>(std::span<const double>)>;
 using BatchDecoderFactory = std::function<BatchDecodeFn()>;
@@ -90,9 +91,10 @@ DecoderFactory fixed_decoder_factory(codes::QCCode&& code,
                                      core::DecoderConfig config = {}) =
     delete;
 /// Batched factory over ReconfigurableDecoder::decode_batch: with a
-/// quantized min-sum config the frames run through the SIMD-batched SoA
-/// kernel, filling core::BatchEngine::kLanes lanes per pass. Outcomes are
-/// bit-identical to fixed_decoder_factory with the same config.
+/// quantized min-sum config the claimed frames stream through the SIMD
+/// lane-refill kernel (core::StreamBatchEngine) — the claim is the
+/// worker's refill queue. Outcomes are bit-identical to
+/// fixed_decoder_factory with the same config, at any thread/batch count.
 BatchDecoderFactory batched_fixed_decoder_factory(
     const codes::QCCode& code, core::DecoderConfig config = {});
 BatchDecoderFactory batched_fixed_decoder_factory(
@@ -115,9 +117,11 @@ struct SimConfig {
   /// this value; it only changes wall-clock time.
   int threads = 1;
   /// Frames a worker claims (and decodes) per grab when the simulator was
-  /// built with a BatchDecoderFactory. 0 = the batched kernel's native
-  /// width (core::BatchEngine::kLanes). Results are independent of this
-  /// value too: outcomes still fold into the statistics strictly in frame
+  /// built with a BatchDecoderFactory. The claim is the worker's refill
+  /// queue: the larger it is, the more the continuous engine amortises
+  /// its end-of-queue drain. 0 = four refill rounds of the stream
+  /// engine's preferred lane width. Results are independent of this
+  /// value: outcomes still fold into the statistics strictly in frame
   /// order.
   int batch = 0;
 };

@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
-#include "ldpc/core/batch_engine.hpp"
+#include "ldpc/core/stream_batch_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/util/rng.hpp"
 
@@ -168,7 +168,12 @@ Simulator::Simulator(const codes::QCCode& code, BatchDecoderFactory factory,
   if (!batch_factory_)
     throw std::invalid_argument("Simulator: null batch factory");
   validate(config_);
-  batch_ = config_.batch > 0 ? config_.batch : core::BatchEngine::kLanes;
+  // Default claim: four refill rounds of the stream engine's lane width —
+  // wide enough that the end-of-claim drain (the only point where lanes
+  // idle) is a small fraction of the work.
+  batch_ = config_.batch > 0
+               ? config_.batch
+               : 4 * core::StreamBatchEngine::preferred_lanes();
 }
 
 SweepPoint Simulator::run_point(double ebn0_db) {

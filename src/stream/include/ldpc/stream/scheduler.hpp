@@ -23,8 +23,9 @@
 //
 // With max_burst > 1 a worker drains up to that many same-mode jobs per
 // dispatch through FramePipeline::decode_burst (one reconfiguration, and
-// the SIMD lockstep kernel when the decoder config selects min-sum) —
-// the "BatchEngine-backed software lane" serving same-mode bins.
+// the continuous SIMD lane-refill kernel when the decoder config selects
+// min-sum) — the "StreamBatchEngine-backed software lane" serving
+// same-mode bins without the lockstep slowest-lane tax.
 #pragma once
 
 #include <cstdint>

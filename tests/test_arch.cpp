@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
 
 #include "ldpc/arch/circular_shifter.hpp"
 #include "ldpc/arch/decoder_chip.hpp"
@@ -779,6 +780,65 @@ TEST(FramePipeline, BurstMatchesPerFrameAccounting) {
             one_by_one.stats().stall_cycles);
   EXPECT_EQ(burst_pipe.stats().reconfigurations,
             one_by_one.stats().reconfigurations);
+  EXPECT_EQ(burst_pipe.stats().payload_bits,
+            one_by_one.stats().payload_bits);
+  long long elapsed = 0;
+  for (const long long c : burst.frame_elapsed_cycles) elapsed += c;
+  EXPECT_EQ(elapsed, burst_pipe.stats().elapsed_cycles());
+}
+
+TEST(FramePipeline, WideMixedIterationBurstAccountingMatchesPerFrame) {
+  // A burst far wider than any SIMD lane width, with early termination
+  // and codeword stopping on so frames retire at different iterations and
+  // the continuous engine refills lanes mid-flight. The modeled chip is a
+  // serial device: host-side lane parallelism must never leak into the
+  // cycle ledger, so every stat and every per-frame elapsed share must
+  // still equal a decode_frame loop.
+  ChipChain chain({Standard::kWimax80216e, Rate::kR12, 96}, 17);
+  core::DecoderConfig cfg;
+  cfg.max_iterations = 10;
+  cfg.kernel = core::CnuKernel::kMinSum;
+  cfg.stop_on_codeword = true;
+  cfg.early_termination.enabled = true;
+  arch::DecoderChip chip_a({}, cfg), chip_b({}, cfg);
+  arch::FramePipeline one_by_one(chip_a), burst_pipe(chip_b);
+
+  const int frames = 40;
+  const auto tx = static_cast<std::size_t>(chain.code.transmitted_bits());
+  std::vector<double> llrs(tx * frames);
+  for (int f = 0; f < frames; ++f) {
+    // Alternate hard and easy frames: high iteration variance.
+    auto [cw, llr] = chain.frame(f % 2 ? 4.5 : 1.0);
+    std::copy(llr.begin(), llr.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f * tx));
+  }
+
+  std::vector<arch::ChipDecodeResult> single;
+  for (int f = 0; f < frames; ++f)
+    single.push_back(one_by_one.decode_frame(
+        chain.code, std::span<const double>(llrs).subspan(f * tx, tx)));
+  const auto burst = burst_pipe.decode_burst(chain.code, llrs);
+
+  ASSERT_EQ(burst.frames.size(), static_cast<std::size_t>(frames));
+  std::set<int> iteration_mix;
+  for (int f = 0; f < frames; ++f) {
+    const auto& b = burst.frames[static_cast<std::size_t>(f)];
+    const auto& s = single[static_cast<std::size_t>(f)];
+    EXPECT_EQ(b.functional.bits, s.functional.bits) << "frame " << f;
+    EXPECT_EQ(b.functional.iterations, s.functional.iterations)
+        << "frame " << f;
+    EXPECT_EQ(b.stats.cycles, s.stats.cycles) << "frame " << f;
+    iteration_mix.insert(b.functional.iterations);
+  }
+  // The workload must actually be mixed-iteration, or this test would
+  // never exercise a mid-flight refill.
+  EXPECT_GE(iteration_mix.size(), 2u);
+  EXPECT_EQ(burst_pipe.stats().frames, one_by_one.stats().frames);
+  EXPECT_EQ(burst_pipe.stats().decode_cycles,
+            one_by_one.stats().decode_cycles);
+  EXPECT_EQ(burst_pipe.stats().io_cycles, one_by_one.stats().io_cycles);
+  EXPECT_EQ(burst_pipe.stats().stall_cycles,
+            one_by_one.stats().stall_cycles);
   EXPECT_EQ(burst_pipe.stats().payload_bits,
             one_by_one.stats().payload_bits);
   long long elapsed = 0;

@@ -1,0 +1,338 @@
+// Refill-equivalence suite: locks the continuous lane-refill engine
+// (core::StreamBatchEngine) against the scalar engine, bit for bit.
+//
+// The contract under test: streaming a shuffled, mixed-iteration queue of
+// frames through the refill loop — lanes retiring at different iterations,
+// freshly deposited frames sharing vectors with half-decoded neighbours,
+// dead lanes evolving past the queue's end — produces per-frame hard
+// decisions, iteration counts, convergence/ET flags and datapath cycles
+// IDENTICAL to decoding each frame alone on the scalar LayerEngine. And it
+// must hold at every SIMD dispatch tier this host can run (scalar, SSE4.2,
+// AVX2, AVX-512 — forced in turn via the kernels test hooks) and at both
+// lane widths (8 and 16), because a tier or width that drifts by one
+// saturation point or min-scan tie would silently corrupt every batched
+// consumer (sim workers, chip bursts, the stream scheduler farm).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/core/decoder.hpp"
+#include "ldpc/core/golden.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/stream_batch_engine.hpp"
+#include "ldpc/enc/encoder.hpp"
+#include "ldpc/sim/simulator.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace {
+
+using namespace ldpc;
+namespace kernels = core::kernels;
+
+// Mixed-iteration decode config: early termination AND codeword stopping
+// on, so frame iteration counts spread across 1..max and lanes retire at
+// genuinely different times (the whole point of the refill engine).
+core::DecoderConfig stream_config() {
+  core::DecoderConfig cfg;
+  cfg.max_iterations = 10;
+  cfg.kernel = core::CnuKernel::kMinSum;
+  cfg.stop_on_codeword = true;
+  cfg.early_termination.enabled = true;
+  return cfg;
+}
+
+/// The dispatch tiers this host can actually execute, deduplicated
+/// (force_tier clamps to the CPUID ceiling, so on an SSE-only host all
+/// four requests collapse to {scalar, sse42}).
+std::vector<kernels::Tier> available_tiers() {
+  std::set<kernels::Tier> seen;
+  for (const kernels::Tier t :
+       {kernels::Tier::kScalar, kernels::Tier::kSse42, kernels::Tier::kAvx2,
+        kernels::Tier::kAvx512})
+    seen.insert(kernels::force_tier(t));
+  kernels::clear_forced_tier();
+  return {seen.begin(), seen.end()};
+}
+
+/// A shuffled mixed-severity frame queue: hard (low SNR, decodes run to
+/// the iteration cap) and easy (high SNR, ET/codeword-stop after a few
+/// iterations) frames interleaved in a seed-dependent order, transmitted
+/// through the code's scheme (so NR puncturing / fillers / rate matching
+/// are exercised too).
+std::vector<double> make_queue(const codes::QCCode& code, int frames,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto encoder = enc::make_encoder(code);
+  std::vector<std::uint8_t> info(
+      static_cast<std::size_t>(code.payload_bits()));
+  std::vector<double> llrs;
+  llrs.reserve(static_cast<std::size_t>(code.transmitted_bits()) *
+               static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const double ebn0_db = (rng() & 1) ? 4.5 : 1.0;
+    const double sigma = channel::ebn0_to_sigma(
+        ebn0_db, code.effective_rate(), channel::Modulation::kBpsk);
+    enc::random_bits(rng, info);
+    const auto cw = encoder->encode(info);
+    const auto llr = sim::transmit_llrs(code, cw,
+                                        channel::Modulation::kBpsk, sigma,
+                                        rng);
+    llrs.insert(llrs.end(), llr.begin(), llr.end());
+  }
+  return llrs;
+}
+
+void expect_result_eq(const core::FixedDecodeResult& ref,
+                      const core::FixedDecodeResult& got,
+                      const std::string& context) {
+  EXPECT_EQ(ref.bits, got.bits) << context << " (hard decisions)";
+  EXPECT_EQ(ref.iterations, got.iterations) << context << " (iterations)";
+  EXPECT_EQ(ref.converged, got.converged) << context;
+  EXPECT_EQ(ref.early_terminated, got.early_terminated) << context;
+  EXPECT_EQ(ref.datapath_cycles, got.datapath_cycles) << context;
+}
+
+/// The core check: scalar per-frame reference vs the refill engine over
+/// the same queue, at every available tier and both lane widths.
+void check_refill_equivalence(const codes::QCCode& code) {
+  const core::DecoderConfig cfg = stream_config();
+  // Large codes decode slower; a 10-frame queue still refills an 8-lane
+  // engine while keeping the full-registry sweep affordable.
+  const int frames = code.n() > 8000 ? 10 : 20;
+  const auto tx = static_cast<std::size_t>(code.transmitted_bits());
+  const auto llrs = make_queue(code, frames, 0xC0FFEE ^ code.n());
+
+  core::ReconfigurableDecoder scalar(code, cfg);
+  std::vector<core::FixedDecodeResult> ref;
+  ref.reserve(static_cast<std::size_t>(frames));
+  int distinct_iteration_counts = 0;
+  std::set<int> iters_seen;
+  for (int f = 0; f < frames; ++f) {
+    ref.push_back(scalar.decode(
+        std::span<const double>(llrs).subspan(
+            static_cast<std::size_t>(f) * tx, tx)));
+    iters_seen.insert(ref.back().iterations);
+  }
+  distinct_iteration_counts = static_cast<int>(iters_seen.size());
+  // The queue must be genuinely mixed-iteration, otherwise this test
+  // would not exercise mid-flight refill at all.
+  EXPECT_GE(distinct_iteration_counts, 2) << code.name();
+
+  for (const kernels::Tier tier : available_tiers()) {
+    for (const int lanes : {8, 16}) {
+      ASSERT_EQ(kernels::force_tier(tier), tier);
+      core::StreamBatchEngine engine(cfg, lanes);
+      ASSERT_EQ(engine.tier(), tier);
+      ASSERT_EQ(engine.lanes(), lanes);
+      engine.reconfigure(code);
+      std::vector<core::FixedDecodeResult> got(
+          static_cast<std::size_t>(frames));
+      engine.decode(llrs, {}, got);
+      for (int f = 0; f < frames; ++f)
+        expect_result_eq(ref[static_cast<std::size_t>(f)],
+                         got[static_cast<std::size_t>(f)],
+                         code.name() + " tier=" + to_string(tier) +
+                             " lanes=" + std::to_string(lanes) + " frame " +
+                             std::to_string(f));
+    }
+  }
+  kernels::clear_forced_tier();
+}
+
+class RefillEquivalence : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(RefillEquivalence, MatchesScalarAtEveryTierAndLaneWidth) {
+  check_refill_equivalence(codes::make_code(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RefillEquivalence,
+                         ::testing::ValuesIn(codes::all_modes()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+// The NR rate-matched golden cases (E != sendable, fillers): the per-lane
+// deposit on refill must reproduce the scalar deposit for non-degenerate
+// schemes too.
+class RefillEquivalenceNrRateMatched
+    : public ::testing::TestWithParam<core::golden::NrRateMatchedCase> {};
+
+TEST_P(RefillEquivalenceNrRateMatched,
+       MatchesScalarAtEveryTierAndLaneWidth) {
+  const auto& c = GetParam();
+  check_refill_equivalence(
+      codes::make_nr_code(c.rate, c.z, c.transmitted_bits, c.filler_bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateMatched, RefillEquivalenceNrRateMatched,
+    ::testing::ValuesIn(core::golden::nr_rate_matched_cases()),
+    [](const auto& info) {
+      return std::string(info.param.rate == codes::Rate::kR13 ? "BG1"
+                                                              : "BG2") +
+             "_z" + std::to_string(info.param.z) + "_E" +
+             std::to_string(info.param.transmitted_bits) + "_F" +
+             std::to_string(info.param.filler_bits);
+    });
+
+TEST(StreamBatchEngine, ForceScalarEnvKnobLowersDispatch) {
+  // LDPC_SIMD=scalar is the CI / bug-triage knob: it must pin the active
+  // tier (and any engine built afterwards) to the portable kernel.
+  // Preserve any ambient value — the CI forced-scalar lane exports the
+  // knob for the whole binary and later tests must still see it.
+  const char* ambient = std::getenv("LDPC_SIMD");
+  const std::string saved = ambient ? ambient : "";
+  ASSERT_EQ(setenv("LDPC_SIMD", "scalar", 1), 0);
+  kernels::reload_env();
+  EXPECT_EQ(kernels::active_tier(), kernels::Tier::kScalar);
+
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 24});
+  const core::DecoderConfig cfg = stream_config();
+  core::StreamBatchEngine engine(cfg);
+  EXPECT_EQ(engine.tier(), kernels::Tier::kScalar);
+  EXPECT_EQ(engine.lanes(), 8);  // non-AVX-512 dispatch prefers 8 lanes
+  engine.reconfigure(code);
+
+  const int frames = 12;
+  const auto llrs = make_queue(code, frames, 7);
+  core::ReconfigurableDecoder scalar(code, cfg);
+  std::vector<core::FixedDecodeResult> got(frames);
+  engine.decode(llrs, {}, got);
+  const auto tx = static_cast<std::size_t>(code.transmitted_bits());
+  for (int f = 0; f < frames; ++f)
+    expect_result_eq(scalar.decode(std::span<const double>(llrs).subspan(
+                         static_cast<std::size_t>(f) * tx, tx)),
+                     got[static_cast<std::size_t>(f)],
+                     "env=scalar frame " + std::to_string(f));
+
+  if (ambient) {
+    ASSERT_EQ(setenv("LDPC_SIMD", saved.c_str(), 1), 0);
+    kernels::reload_env();
+    const kernels::Tier want =
+        std::min(kernels::parse_tier(saved), kernels::detected_tier());
+    EXPECT_EQ(kernels::active_tier(), want);
+  } else {
+    ASSERT_EQ(unsetenv("LDPC_SIMD"), 0);
+    kernels::reload_env();
+    EXPECT_EQ(kernels::active_tier(), kernels::detected_tier());
+  }
+}
+
+TEST(StreamBatchEngine, ValidatesConfigAndLaneWidth) {
+  core::DecoderConfig cfg = stream_config();
+  EXPECT_THROW(core::StreamBatchEngine(cfg, 7), std::invalid_argument);
+  EXPECT_THROW(core::StreamBatchEngine(cfg, 32), std::invalid_argument);
+  core::DecoderConfig bp = cfg;
+  bp.kernel = core::CnuKernel::kFullBp;
+  EXPECT_THROW(core::StreamBatchEngine{bp}, std::invalid_argument);
+  core::DecoderConfig flt = cfg;
+  flt.datapath = core::Datapath::kFloat;
+  EXPECT_THROW(core::StreamBatchEngine{flt}, std::invalid_argument);
+  core::DecoderConfig iters = cfg;
+  iters.max_iterations = 0;
+  EXPECT_THROW(core::StreamBatchEngine{iters}, std::invalid_argument);
+
+  core::StreamBatchEngine unconfigured(cfg);
+  std::vector<core::FixedDecodeResult> one(1);
+  EXPECT_THROW(unconfigured.decode({}, {}, one), std::logic_error);
+
+  // preferred_lanes follows the dispatched tier: 16 only when AVX-512
+  // fills a full register, 8 otherwise.
+  const int pref = core::StreamBatchEngine::preferred_lanes();
+  EXPECT_EQ(pref,
+            kernels::active_tier() == kernels::Tier::kAvx512 ? 16 : 8);
+  core::StreamBatchEngine auto_engine(cfg);
+  EXPECT_EQ(auto_engine.lanes(), pref);
+}
+
+TEST(StreamBatchEngine, RepeatedQueuesLeaveNoStateBehind) {
+  // Dead-lane content from a drained queue (or a previous decode call)
+  // must never leak into the next queue's results: a second decode on the
+  // same engine equals a fresh engine's output bit for bit.
+  const auto code = codes::make_code(
+      {codes::Standard::kWlan80211n, codes::Rate::kR12, 27});
+  const core::DecoderConfig cfg = stream_config();
+  const auto queue_a = make_queue(code, 9, 21);   // ragged: 9 < lanes+refill
+  const auto queue_b = make_queue(code, 19, 22);  // refills past one round
+
+  core::StreamBatchEngine reused(cfg, 8);
+  reused.reconfigure(code);
+  std::vector<core::FixedDecodeResult> first(9), second(19);
+  reused.decode(queue_a, {}, first);
+  reused.decode(queue_b, {}, second);
+
+  core::StreamBatchEngine fresh(cfg, 8);
+  fresh.reconfigure(code);
+  std::vector<core::FixedDecodeResult> expect(19);
+  fresh.decode(queue_b, {}, expect);
+  for (int f = 0; f < 19; ++f)
+    expect_result_eq(expect[static_cast<std::size_t>(f)],
+                     second[static_cast<std::size_t>(f)],
+                     "reused engine frame " + std::to_string(f));
+}
+
+TEST(StreamBatchEngine, QueueOrderDoesNotPerturbPerFrameResults) {
+  // Scheduling independence: a frame's decode depends only on its own
+  // LLRs, never on which lane it lands in or which frames share the
+  // vectors — permuting the queue permutes the results exactly.
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR34A, 48});
+  const core::DecoderConfig cfg = stream_config();
+  const int frames = 17;
+  const auto tx = static_cast<std::size_t>(code.transmitted_bits());
+  const auto llrs = make_queue(code, frames, 33);
+
+  // Reversed queue: frame f of `reversed` is frame frames-1-f of `llrs`.
+  std::vector<double> reversed(llrs.size());
+  for (int f = 0; f < frames; ++f)
+    std::copy(llrs.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(f) * tx),
+              llrs.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(f + 1) * tx),
+              reversed.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      static_cast<std::size_t>(frames - 1 - f) * tx));
+
+  core::StreamBatchEngine engine(cfg);
+  engine.reconfigure(code);
+  std::vector<core::FixedDecodeResult> fwd(frames), rev(frames);
+  engine.decode(llrs, {}, fwd);
+  engine.decode(reversed, {}, rev);
+  for (int f = 0; f < frames; ++f)
+    expect_result_eq(fwd[static_cast<std::size_t>(f)],
+                     rev[static_cast<std::size_t>(frames - 1 - f)],
+                     "permuted queue frame " + std::to_string(f));
+}
+
+TEST(StreamBatchEngine, DecodeBatchEntryPointsUseRefillEngine) {
+  // ReconfigurableDecoder::decode_batch over a wide mixed-iteration batch
+  // (well past any lane width) must equal per-frame decode — the
+  // integration contract every consumer (sim workers, chip bursts,
+  // stream scheduler) leans on.
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 96});
+  const core::DecoderConfig cfg = stream_config();
+  const int frames = 40;
+  const auto tx = static_cast<std::size_t>(code.transmitted_bits());
+  const auto llrs = make_queue(code, frames, 55);
+
+  core::ReconfigurableDecoder batched(code, cfg), scalar(code, cfg);
+  const auto results = batched.decode_batch(llrs);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f)
+    expect_result_eq(scalar.decode(std::span<const double>(llrs).subspan(
+                         static_cast<std::size_t>(f) * tx, tx)),
+                     results[static_cast<std::size_t>(f)],
+                     "decode_batch frame " + std::to_string(f));
+}
+
+}  // namespace
