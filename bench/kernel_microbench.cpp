@@ -194,7 +194,7 @@ struct MixedIterationFixture {
                           .kernel = core::CnuKernel::kMinSum,
                           .early_termination = {.enabled = true},
                           .stop_on_codeword = true};
-  static constexpr int kFrames = 128;
+  static constexpr int kFrames = 512;
   std::vector<double> llrs;  // kFrames frames, 1-in-8 at 1.0 dB
 
   MixedIterationFixture() {
@@ -240,11 +240,15 @@ void BM_MinSumLockstepMixed(benchmark::State& state) {
                           MixedIterationFixture::kFrames *
                           fx.code.k_info());
 }
-BENCHMARK(BM_MinSumLockstepMixed);
+BENCHMARK(BM_MinSumLockstepMixed)->MinWarmUpTime(0.5)->MinTime(2.0);
 
+// Pinned to int32 lanes: this is the PR 5 gate case (refill-vs-lockstep
+// ratio at the same element width) and the denominator of the narrow-lane
+// gate below — auto lane-type selection would silently turn it into an
+// int16 engine and wreck both comparisons.
 void BM_MinSumStreamRefillMixed(benchmark::State& state) {
   MixedIterationFixture fx;
-  core::StreamBatchEngine engine(fx.cfg);
+  core::StreamBatchEngine engine(fx.cfg, 0, core::kernels::LaneType::kInt32);
   engine.reconfigure(fx.code);
   std::vector<core::FixedDecodeResult> results(
       static_cast<std::size_t>(MixedIterationFixture::kFrames));
@@ -258,19 +262,68 @@ void BM_MinSumStreamRefillMixed(benchmark::State& state) {
                           MixedIterationFixture::kFrames *
                           fx.code.k_info());
 }
-BENCHMARK(BM_MinSumStreamRefillMixed);
+BENCHMARK(BM_MinSumStreamRefillMixed)->MinWarmUpTime(0.5)->MinTime(2.0);
+
+// ---- narrow-lane datapath (the PR 6 tentpole) -------------------------------
+// Identical workload and arithmetic, int16 lanes: 2x the frames per vector
+// op (16 -> 32 lanes on AVX2 hosts, 32 on AVX-512BW). Bit-identical
+// results by rail containment, so items/sec here vs the int32 case above
+// is a pure lane-density win; bench/compare_bench.py gates the ratio at
+// >= 1.6x — renaming either benchmark breaks the CI gate.
+void BM_MinSumStreamRefillMixedInt16(benchmark::State& state) {
+  MixedIterationFixture fx;
+  core::StreamBatchEngine engine(fx.cfg, 0, core::kernels::LaneType::kInt16);
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(MixedIterationFixture::kFrames));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetLabel("tier=" + to_string(engine.tier()) +
+                 " lanes=" + std::to_string(engine.lanes()));
+  state.SetItemsProcessed(state.iterations() *
+                          MixedIterationFixture::kFrames *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumStreamRefillMixedInt16)->MinWarmUpTime(0.5)->MinTime(2.0);
+
+// int8 lanes under the strict 8-bit-APP config (the only config whose
+// rails fit a byte). The decode itself differs from the 10-bit-APP cases
+// above — different config, different iteration counts — so this is a
+// standalone throughput number, not a same-work ratio against them.
+void BM_MinSumStreamRefillMixedInt8(benchmark::State& state) {
+  MixedIterationFixture fx;
+  core::DecoderConfig cfg = fx.cfg;
+  cfg.app_extra_bits = 0;
+  core::StreamBatchEngine engine(cfg, 0, core::kernels::LaneType::kInt8);
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(MixedIterationFixture::kFrames));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetLabel("tier=" + to_string(engine.tier()) +
+                 " lanes=" + std::to_string(engine.lanes()));
+  state.SetItemsProcessed(state.iterations() *
+                          MixedIterationFixture::kFrames *
+                          fx.code.k_info());
+}
+BENCHMARK(BM_MinSumStreamRefillMixedInt8)->MinWarmUpTime(0.5)->MinTime(2.0);
 
 // Same refill engine pinned to the portable scalar kernels AT THE SAME
-// LANE WIDTH as the dispatched engine above (forcing scalar would
-// otherwise default to 8 lanes and conflate the lane-width effect with
-// the tier effect): the gap to BM_MinSumStreamRefillMixed is the pure
-// SIMD-dispatch win, the gap from BM_MinSumLockstepMixed to this is the
-// pure refill win.
+// LANE WIDTH and element type as the dispatched int32 engine above
+// (forcing scalar would otherwise default to 8 lanes and conflate the
+// lane-width effect with the tier effect): the gap to
+// BM_MinSumStreamRefillMixed is the pure SIMD-dispatch win, the gap from
+// BM_MinSumLockstepMixed to this is the pure refill win.
 void BM_MinSumStreamRefillMixedScalarTier(benchmark::State& state) {
   MixedIterationFixture fx;
   const int dispatched_lanes = core::StreamBatchEngine::preferred_lanes();
   core::kernels::force_tier(core::kernels::Tier::kScalar);
-  core::StreamBatchEngine engine(fx.cfg, dispatched_lanes);
+  core::StreamBatchEngine engine(fx.cfg, dispatched_lanes,
+                                 core::kernels::LaneType::kInt32);
   core::kernels::clear_forced_tier();
   engine.reconfigure(fx.code);
   std::vector<core::FixedDecodeResult> results(
@@ -284,6 +337,51 @@ void BM_MinSumStreamRefillMixedScalarTier(benchmark::State& state) {
                           fx.code.k_info());
 }
 BENCHMARK(BM_MinSumStreamRefillMixedScalarTier);
+
+// Raw row-kernel throughput per lane type at the dispatched tier and
+// preferred width: one degree-20 check row, items = edge-lanes per call.
+// The int16/int8 cases should land near 2x/4x the int32 edge-lane rate
+// (same vector count per call, more lanes per vector).
+template <class T>
+void run_row_kernel_bench(benchmark::State& state) {
+  const int lanes =
+      core::kernels::preferred_lanes(core::kernels::lane_type_of<T>);
+  const int deg = 20;
+  const auto fn = core::kernels::row_kernel<T>(lanes);
+  const std::int32_t app_hi = std::min<std::int32_t>(
+      511, core::kernels::lane_raw_max(core::kernels::lane_type_of<T>));
+  const core::kernels::RowBounds bounds{-app_hi, app_hi, -127, 127, 0, 0};
+  const auto d = static_cast<std::size_t>(deg);
+  const auto w = static_cast<std::size_t>(lanes);
+  std::vector<std::vector<T>> l(d, std::vector<T>(w));
+  std::vector<T> lambda(d * w, T{0}), full(d * w), clip(d * w);
+  std::vector<T*> rows(d);
+  for (std::size_t e = 0; e < d; ++e) {
+    for (std::size_t k = 0; k < w; ++k)
+      l[e][k] = static_cast<T>((static_cast<std::int32_t>(7 * e + 3 * k) %
+                                (2 * app_hi + 1)) -
+                               app_hi);
+    rows[e] = l[e].data();
+  }
+  for (auto _ : state) {
+    fn(rows.data(), lambda.data(), full.data(), clip.data(), deg, bounds);
+    benchmark::DoNotOptimize(lambda.data());
+  }
+  state.SetLabel("lanes=" + std::to_string(lanes));
+  state.SetItemsProcessed(state.iterations() * deg * lanes);
+}
+void BM_MinSumRowKernelInt32(benchmark::State& state) {
+  run_row_kernel_bench<std::int32_t>(state);
+}
+BENCHMARK(BM_MinSumRowKernelInt32)->MinWarmUpTime(0.2)->MinTime(1.0);
+void BM_MinSumRowKernelInt16(benchmark::State& state) {
+  run_row_kernel_bench<std::int16_t>(state);
+}
+BENCHMARK(BM_MinSumRowKernelInt16)->MinWarmUpTime(0.2)->MinTime(1.0);
+void BM_MinSumRowKernelInt8(benchmark::State& state) {
+  run_row_kernel_bench<std::int8_t>(state);
+}
+BENCHMARK(BM_MinSumRowKernelInt8)->MinWarmUpTime(0.2)->MinTime(1.0);
 
 // ---- 5G NR workload (punctured + rate-matched transmission) -----------------
 // BG1 at z = 96: transmitted frames are E = n - 2z LLRs; the decode path
@@ -334,6 +432,65 @@ void BM_NrBatchedDecode(benchmark::State& state) {
                           fx.code.payload_bits());
 }
 BENCHMARK(BM_NrBatchedDecode);
+
+// ---- NR z = 384 narrow-lane headline ---------------------------------------
+// The tentpole workload: largest NR lift (BG1, z = 384, n = 25600) through
+// the stream refill engine at int32 vs int16 lanes. Same frames, same
+// arithmetic (int16 is bit-identical by rail containment) — the items/sec
+// ratio is the measured frames/sec win recorded in BENCH_PR6.json.
+
+struct NrZ384StreamFixture {
+  codes::QCCode code = codes::make_code(
+      {codes::Standard::kNr5g, codes::Rate::kR13, 384});
+  core::DecoderConfig cfg{.max_iterations = 10,
+                          .kernel = core::CnuKernel::kMinSum,
+                          .early_termination = {.enabled = true},
+                          .stop_on_codeword = true};
+  static constexpr int kFrames = 256;
+  std::vector<double> llrs;  // kFrames transmitted frames, ~2.5 dB
+
+  NrZ384StreamFixture() {
+    auto encoder = enc::make_encoder(code);
+    util::Xoshiro256 rng(29);
+    const double sigma = channel::ebn0_to_sigma(
+        2.5, code.effective_rate(), channel::Modulation::kBpsk);
+    std::vector<std::uint8_t> info(
+        static_cast<std::size_t>(code.payload_bits()));
+    for (int f = 0; f < kFrames; ++f) {
+      enc::random_bits(rng, info);
+      const auto cw = encoder->encode(info);
+      const auto one = sim::transmit_llrs(code, cw,
+                                          channel::Modulation::kBpsk,
+                                          sigma, rng);
+      llrs.insert(llrs.end(), one.begin(), one.end());
+    }
+  }
+};
+
+template <core::kernels::LaneType Type>
+void run_nr_z384_stream_bench(benchmark::State& state) {
+  NrZ384StreamFixture fx;
+  core::StreamBatchEngine engine(fx.cfg, 0, Type);
+  engine.reconfigure(fx.code);
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(NrZ384StreamFixture::kFrames));
+  for (auto _ : state) {
+    engine.decode(fx.llrs, {}, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetLabel("tier=" + to_string(engine.tier()) +
+                 " lanes=" + std::to_string(engine.lanes()));
+  state.SetItemsProcessed(state.iterations() * NrZ384StreamFixture::kFrames *
+                          fx.code.payload_bits());
+}
+void BM_NrZ384StreamInt32(benchmark::State& state) {
+  run_nr_z384_stream_bench<core::kernels::LaneType::kInt32>(state);
+}
+BENCHMARK(BM_NrZ384StreamInt32)->MinWarmUpTime(0.5)->MinTime(4.0);
+void BM_NrZ384StreamInt16(benchmark::State& state) {
+  run_nr_z384_stream_bench<core::kernels::LaneType::kInt16>(state);
+}
+BENCHMARK(BM_NrZ384StreamInt16)->MinWarmUpTime(0.5)->MinTime(4.0);
 
 void BM_FloatEngineDecode2304(benchmark::State& state) {
   DecodeFixture fx;

@@ -82,8 +82,7 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
   const std::size_t frames = llrs.size() / tx;
   std::vector<ChipDecodeResult> results;
   results.reserve(frames);
-  if (engine_.config().kernel == core::CnuKernel::kMinSum &&
-      !stream_engine_) {
+  if (core::is_min_sum(engine_.config().kernel) && !stream_engine_) {
     stream_engine_.emplace(engine_.config());
     stream_engine_->reconfigure(*code_);
   }

@@ -90,6 +90,16 @@ class QCCode {
   /// Degree of check row r. All z rows of a layer share one degree.
   int check_degree(int r) const;
 
+  /// Raw CSR arrays behind check_vars(): row offsets (size m+1) into the
+  /// flat variable-index array (size edges). The dispatched SoA stop scans
+  /// (kernels::cw_scan_kernel) walk these directly.
+  std::span<const std::int32_t> check_row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  std::span<const std::int32_t> check_col_idx() const noexcept {
+    return col_idx_;
+  }
+
   /// Variable-node adjacency: check indices of variable n.
   std::span<const std::int32_t> var_checks(int v) const;
   int var_degree(int v) const;

@@ -4,8 +4,8 @@
 // decodes up to kLanes frames simultaneously by storing every architectural
 // word lane-major (value of frame w for variable v lives at
 // soa[v * kLanes + w]), so the hot read -> clip -> min-scan -> write-back
-// loops become dense, branch-free passes over contiguous int32 lanes,
-// executed by the runtime-dispatched row kernels in
+// loops become dense, branch-free passes over contiguous lanes, executed
+// by the runtime-dispatched row kernels in
 // ldpc/core/kernels/minsum_kernels.hpp (AVX-512 / AVX2 / SSE4.2 intrinsics
 // or the portable scalar form, selected once via CPUID). The arithmetic
 // per lane is exactly the scalar engine's quantised min-sum datapath —
@@ -14,6 +14,15 @@
 // iteration counts and datapath cycles are bit-identical to decoding each
 // frame alone (locked by tests, including ragged tails with fewer than
 // kLanes frames, across every dispatch tier).
+//
+// The engine is templated over the SoA lane element type T (int32_t /
+// int16_t / int8_t): decoded values are Qm.f raw codes whose rails must
+// fit T's symmetric saturation range (the constructor enforces this; see
+// core::narrowest_lane_type), and under that containment the narrow
+// saturating kernels are bit-identical to the int32 path while packing
+// 2x / 4x the frames into each vector op. BatchEngineT<std::int16_t> runs
+// 32 frames in lockstep, BatchEngineT<std::int8_t> 64 (strict 8-bit-APP
+// configs only).
 //
 // Frames that converge early are NOT write-masked: masking the SoA stores
 // per lane would break the dense branch-free inner loops, so finished
@@ -33,28 +42,39 @@
 
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/soa_scan.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
 
-class BatchEngine {
+template <class T>
+class BatchEngineT {
  public:
-  /// Lockstep width W: the SoA lane count. 16 int32 lanes fill an AVX-512
-  /// register exactly and give four/two full vectors on SSE2/AVX2 — wide
-  /// enough to hide the mask overhead of ragged tails.
-  static constexpr int kLanes = 16;
+  using lane_value_type = T;
 
-  /// The engine implements the min-sum CNU only; throws
+  /// Lockstep width W: the SoA lane count — one 512-bit register of T
+  /// (16 int32 / 32 int16 / 64 int8), which also gives four/two full
+  /// vectors on SSE/AVX2 — wide enough to hide the mask overhead of
+  /// ragged tails.
+  static constexpr int kLanes =
+      16 * kernels::lane_scale(kernels::lane_type_of<T>);
+
+  /// The engine implements the min-sum kernel family only; throws
   /// std::invalid_argument if `config` selects the full-BP kernel or the
-  /// float datapath (route those through the scalar engines), or carries
-  /// out-of-range values (same rules as LayerEngineT).
-  explicit BatchEngine(DecoderConfig config);
+  /// float datapath (route those through the scalar engines), carries
+  /// out-of-range values (same rules as LayerEngineT), or has rails that
+  /// do not fit the lane type T (see core::narrowest_lane_type).
+  explicit BatchEngineT(DecoderConfig config);
 
   /// Resizes the SoA memories for `code` (references, not copies).
   void reconfigure(const codes::QCCode& code);
 
   bool configured() const noexcept { return code_ != nullptr; }
   const DecoderConfig& config() const noexcept { return config_; }
+  /// The SoA lane element type tag of this instantiation.
+  static constexpr kernels::LaneType lane_type() noexcept {
+    return kernels::lane_type_of<T>;
+  }
 
   /// Decodes `results.size()` frames (1..kLanes) of channel LLRs stored
   /// frame-major at the code's *transmitted* length
@@ -66,7 +86,10 @@ class BatchEngine {
   void decode(std::span<const double> llrs, std::span<const int> order,
               std::span<FixedDecodeResult> results);
 
-  /// Same, over already-quantised frame-major raw codes.
+  /// Same, over already-quantised frame-major raw codes. Codes outside
+  /// T's range are clamped on load (the deposit/quantiser never produces
+  /// them; an int32-path caller would see them clamped by the first row
+  /// pass instead).
   void decode_raw(std::span<const std::int32_t> raw,
                   std::span<const int> order,
                   std::span<FixedDecodeResult> results);
@@ -77,29 +100,35 @@ class BatchEngine {
   DecoderConfig config_;
   DatapathTraits<std::int32_t> traits_;
   const codes::QCCode* code_ = nullptr;
-  kernels::MinSumRowFn row_fn_ = nullptr;  // dispatched at construction
+  kernels::MinSumRowFnT<T> row_fn_ = nullptr;  // dispatched at construction
 
-  std::int32_t app_min_ = 0, app_max_ = 0;  // APP-word saturation bounds
-  std::int32_t msg_min_ = 0, msg_max_ = 0;  // message-bus clip bounds
+  kernels::RowBounds bounds_{};             // rails + variant correction
   long long cycles_per_iteration_ = 0;      // sum of row cycles over layers
 
   // SoA state: [slot * kLanes + lane].
-  std::vector<std::int32_t> l_soa_;        // APP per variable
-  std::vector<std::int32_t> lambda_soa_;   // extrinsic per edge
-  std::vector<std::int32_t> lam_full_;     // APP-width row scratch
-  std::vector<std::int32_t> lam_;          // clipped row scratch
-  std::vector<std::int32_t*> lrow_ptrs_;   // per-edge L row pointers
+  SoaVector<T> l_soa_;                   // APP per variable
+  SoaVector<T> lambda_soa_;              // extrinsic per edge
+  SoaVector<T> lam_full_;                // APP-width row scratch
+  SoaVector<T> lam_;                     // clipped row scratch
+  std::vector<T*> lrow_ptrs_;              // per-edge L row pointers
   std::int32_t active_[kLanes] = {};       // 1 = lane still decoding
 
   // Lane-parallel stop-rule state (see soa_scan.hpp): previous info-bit
   // hard decisions (lane-major) + per-lane reset flag for the ET monitor,
   // and the per-iteration scan verdicts.
-  std::vector<std::int32_t> prev_hard_soa_;
+  SoaVector<T> prev_hard_soa_;
   std::uint8_t has_prev_[kLanes] = {};
   std::uint8_t et_fire_[kLanes] = {};
   std::uint8_t cw_ok_[kLanes] = {};
   std::vector<std::int32_t> raw_scratch_;  // reused quantisation buffer
   std::vector<double> acc_;                // LLR-deposit combining scratch
 };
+
+/// The int32 instantiation — the historical BatchEngine name.
+using BatchEngine = BatchEngineT<std::int32_t>;
+
+extern template class BatchEngineT<std::int32_t>;
+extern template class BatchEngineT<std::int16_t>;
+extern template class BatchEngineT<std::int8_t>;
 
 }  // namespace ldpc::core

@@ -37,9 +37,20 @@ namespace ldpc::core {
 enum class Radix { kR2, kR4 };
 
 /// Check-node kernel of the datapath. The paper's chip implements full BP;
-/// min-sum is provided for the section III-B comparison and is the kernel
-/// the SIMD-batched SoA engine implements.
-enum class CnuKernel { kFullBp, kMinSum };
+/// the min-sum family is provided for the section III-B comparison and is
+/// what the SIMD-batched SoA engines implement. kOffsetMinSum subtracts
+/// DecoderConfig::minsum_offset_raw LSBs from every emitted magnitude
+/// (floored at zero) and kNormalizedMinSum scales it by 3/4 (exact in
+/// every lane width: mag -= mag >> 2) — the two standard corrections for
+/// min-sum's overestimated extrinsics, worth a few tenths of a dB at the
+/// cost of one subtract (see the quantization_sweep ladders).
+enum class CnuKernel { kFullBp, kMinSum, kOffsetMinSum, kNormalizedMinSum };
+
+/// True for every member of the min-sum family (the kernels the batched
+/// SoA engines implement).
+constexpr bool is_min_sum(CnuKernel kernel) noexcept {
+  return kernel != CnuKernel::kFullBp;
+}
 
 /// Message value type the decoder wrappers run on. kQuantized is the
 /// paper's chip datapath (LayerEngineT<std::int32_t> under
@@ -66,6 +77,10 @@ struct DecoderConfig {
   int max_iterations = 10;  // paper Table 3
   Radix radix = Radix::kR4;
   CnuKernel kernel = CnuKernel::kFullBp;
+  /// Offset beta of kOffsetMinSum, in raw message LSBs (2 LSBs = 0.5 at
+  /// the default Q5.2 split — the conventional beta for 4-ish-bit
+  /// magnitudes). Must be >= 0 and fit the message format.
+  std::int32_t minsum_offset_raw = 2;
   /// Check-node architecture for the kFullBp kernel (see CnuArch docs:
   /// kSumSubtract is the paper's literal Eq. (1), kForwardBackward the
   /// numerically robust default).
@@ -152,6 +167,7 @@ struct DatapathTraits<std::int32_t> {
         app_fmt(config.format.total_bits() + config.app_extra_bits,
                 config.format.frac_bits()),
         exclude_zero(config.exclude_zero_input),
+        minsum_offset(config.minsum_offset_raw),
         siso_r2(config.format, config.cnu_arch),
         siso_r4(config.format, config.cnu_arch) {}
 
@@ -167,6 +183,16 @@ struct DatapathTraits<std::int32_t> {
   static value_type magnitude(value_type v) noexcept { return v < 0 ? -v : v; }
   static value_type negate(value_type v) noexcept { return -v; }
   value_type mag_max() const noexcept { return fmt.raw_max(); }
+  /// kOffsetMinSum correction of a non-negative magnitude: subtract the
+  /// configured offset, floored at zero.
+  value_type offset_correct(value_type mag) const noexcept {
+    mag -= minsum_offset;
+    return mag < 0 ? 0 : mag;
+  }
+  /// kNormalizedMinSum correction: scale by 3/4 (exact in raw LSBs).
+  value_type normalize_correct(value_type mag) const noexcept {
+    return mag - (mag >> 2);
+  }
   value_type app_sub(value_type a, value_type b) const noexcept {
     return app_fmt.sub(a, b);
   }
@@ -188,6 +214,7 @@ struct DatapathTraits<std::int32_t> {
   fixed::QFormat fmt;
   fixed::QFormat app_fmt;
   bool exclude_zero;
+  std::int32_t minsum_offset;
   SisoR2 siso_r2;
   SisoR4 siso_r4;
 };
@@ -203,6 +230,7 @@ struct DatapathTraits<double> {
   explicit DatapathTraits(const DecoderConfig& config)
       : lsb(config.format.lsb()),
         exclude_zero(config.exclude_zero_input),
+        minsum_offset(config.minsum_offset_raw * config.format.lsb()),
         arch(config.cnu_arch) {}
 
   value_type quantize_llr(double llr) const noexcept {
@@ -219,6 +247,16 @@ struct DatapathTraits<double> {
   static value_type negate(value_type v) noexcept { return -v; }
   value_type mag_max() const noexcept {
     return std::numeric_limits<double>::infinity();
+  }
+  /// Offset correction in real units: the configured raw offset times one
+  /// message LSB, so the same config means the same beta on every path.
+  value_type offset_correct(value_type mag) const noexcept {
+    mag -= minsum_offset;
+    return mag < 0.0 ? 0.0 : mag;
+  }
+  /// 3/4 scaling (the float analogue of mag -= mag >> 2).
+  static value_type normalize_correct(value_type mag) noexcept {
+    return mag * 0.75;
   }
   static value_type app_sub(value_type a, value_type b) noexcept {
     return a - b;
@@ -240,6 +278,7 @@ struct DatapathTraits<double> {
 
   double lsb;
   bool exclude_zero;
+  double minsum_offset;
   CnuArch arch;
   mutable std::vector<double> prefix_, suffix_;
 };
@@ -255,6 +294,7 @@ struct DatapathTraits<fixed::Sat<TotalBits, FracBits>> {
   explicit DatapathTraits(const DecoderConfig& config)
       : app_fmt(TotalBits + config.app_extra_bits, FracBits),
         exclude_zero(config.exclude_zero_input),
+        minsum_offset(config.minsum_offset_raw),
         arch(config.cnu_arch),
         flut(CorrectionLut::Kind::kFPlus, value_type::format()),
         glut(CorrectionLut::Kind::kGMinus, value_type::format()) {}
@@ -278,6 +318,15 @@ struct DatapathTraits<fixed::Sat<TotalBits, FracBits>> {
     return value_type::from_raw(-v.raw());
   }
   value_type mag_max() const noexcept { return value_type::max(); }
+  /// Offset / normalization corrections in the raw domain — identical
+  /// arithmetic to the int32 path for the same Qm.f split.
+  value_type offset_correct(value_type mag) const noexcept {
+    const std::int32_t m = mag.raw() - minsum_offset;
+    return value_type::from_raw(m < 0 ? 0 : m);
+  }
+  static value_type normalize_correct(value_type mag) noexcept {
+    return value_type::from_raw(mag.raw() - (mag.raw() >> 2));
+  }
   /// APP words ride in the same value type but saturate at the widened
   /// format, mirroring how the int32 path carries APP-width codes.
   value_type app_sub(value_type a, value_type b) const noexcept {
@@ -308,6 +357,7 @@ struct DatapathTraits<fixed::Sat<TotalBits, FracBits>> {
 
   fixed::QFormat app_fmt;
   bool exclude_zero;
+  std::int32_t minsum_offset;
   CnuArch arch;
   CorrectionLut flut;
   CorrectionLut glut;

@@ -1,9 +1,9 @@
 // Shared helpers of the batched SoA engines (core::BatchEngine,
 // core::StreamBatchEngine): lane-parallel stop-rule scans, the common
-// config validation, and the stop/convergence verdicts. The two engines'
-// bit-identical-results contract hangs on these staying single-sourced —
-// a stop rule fixed in one engine but not the other would silently break
-// the refill-equivalence guarantee.
+// config validation, lane-type selection, and the stop/convergence
+// verdicts. The two engines' bit-identical-results contract hangs on these
+// staying single-sourced — a stop rule fixed in one engine but not the
+// other would silently break the refill-equivalence guarantee.
 //
 // The batched datapath made the min-sum arithmetic cheap; what remained
 // expensive was the per-lane bookkeeping between iterations — gathering a
@@ -13,9 +13,12 @@
 // the vectorised datapath and, being proportional to live lanes in both
 // engines, they diluted the refill engine's advantage into the noise.
 // These scans evaluate the SAME rules for ALL lanes in one dense pass over
-// the lane-major memory (the lane loops autovectorise like the kernel
-// loops), so the stop logic costs a fraction of one layer pass instead of
-// rivalling the whole iteration.
+// the lane-major memory, dispatched into the per-tier kernel TUs so the
+// lane loops run at the active tier's full vector width (see
+// kernels::cw_scan_kernel / et_scan_kernel); the stop logic costs a
+// fraction of one layer pass instead of rivalling the whole iteration.
+// They are templated over the lane element type (int32/int16/int8) like
+// the kernels; the verdicts are type-independent.
 //
 // Semantics are bit-identical to the scalar path by construction:
 //   - soa_codeword_scan(w) == QCCode::is_codeword(hard decisions of lane w)
@@ -27,19 +30,58 @@
 // every golden mode.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/datapath.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
 
 namespace ldpc::core {
 
+/// Hard ceiling on the SoA lane count of any engine instantiation (one
+/// AVX-512 register of int8).
+inline constexpr int kMaxSoaLanes = kernels::kMaxScanLanes;
+
+/// Cache-line-aligned allocator for the engines' lane-major state. The SoA
+/// row stride at the preferred lane width is exactly one cache line (64
+/// bytes: 16 int32 / 32 int16 / 64 int8), so with a 64-byte-aligned base
+/// every row access is one line; from a plain std::vector base every
+/// 512-bit row load/store straddles TWO lines, and on the L2-resident
+/// working sets of realistic codes the doubled line traffic was eating
+/// most of the narrow lanes' per-item advantage over int32.
+template <class T>
+struct SoaAllocator {
+  using value_type = T;
+  SoaAllocator() = default;
+  template <class U>
+  SoaAllocator(const SoaAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{64});
+  }
+  template <class U>
+  bool operator==(const SoaAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Lane-major engine buffer: std::vector with 64-byte-aligned storage.
+template <class T>
+using SoaVector = std::vector<T, SoaAllocator<T>>;
+
 /// Config rules common to both batched engines: the SoA kernels implement
-/// the min-sum CNU on the quantized datapath only, under the same numeric
-/// bounds as LayerEngineT. `engine` names the thrower in the message.
+/// the min-sum family on the quantized datapath only, under the same
+/// numeric bounds as LayerEngineT. `engine` names the thrower in the
+/// message.
 inline DecoderConfig validated_batch_config(DecoderConfig config,
                                             const char* engine) {
   const std::string who = engine;
@@ -47,14 +89,101 @@ inline DecoderConfig validated_batch_config(DecoderConfig config,
     throw std::invalid_argument(who + ": max_iterations");
   if (config.app_extra_bits < 0 || config.app_extra_bits > 8)
     throw std::invalid_argument(who + ": app_extra_bits");
-  if (config.kernel != CnuKernel::kMinSum)
+  if (!is_min_sum(config.kernel))
     throw std::invalid_argument(
-        who + ": the batched kernel is min-sum only (use the scalar "
-              "LayerEngine for full BP)");
+        who + ": the batched kernels are min-sum family only (use the "
+              "scalar LayerEngine for full BP)");
+  if (config.minsum_offset_raw < 0 ||
+      config.minsum_offset_raw > config.format.raw_max())
+    throw std::invalid_argument(who + ": minsum_offset_raw");
   if (config.datapath != Datapath::kQuantized)
     throw std::invalid_argument(
         who + ": quantized datapath only (use FloatLayerEngine)");
   return config;
+}
+
+/// The narrowest lane element type whose symmetric saturation range holds
+/// every rail of `config`: both the APP word (format + app_extra_bits)
+/// and the message bus. This containment is exactly what makes the narrow
+/// kernels bit-identical to int32 — saturating narrow arithmetic followed
+/// by the rail clamps equals wide arithmetic followed by the same clamps
+/// whenever the clamp interval sits inside the saturation interval. The
+/// default Q5.2 + 2 extra APP bits (+/-511) selects int16; the strict
+/// 8-bit-APP configuration (app_extra_bits == 0, the paper's literal
+/// datapath, +/-127) selects int8.
+inline kernels::LaneType narrowest_lane_type(const DecoderConfig& config) {
+  const fixed::QFormat app_fmt(
+      config.format.total_bits() + config.app_extra_bits,
+      config.format.frac_bits());
+  const std::int32_t hi =
+      app_fmt.raw_max() > config.format.raw_max() ? app_fmt.raw_max()
+                                                  : config.format.raw_max();
+  if (hi <= kernels::lane_raw_max(kernels::LaneType::kInt8))
+    return kernels::LaneType::kInt8;
+  if (hi <= kernels::lane_raw_max(kernels::LaneType::kInt16))
+    return kernels::LaneType::kInt16;
+  return kernels::LaneType::kInt32;
+}
+
+/// True when a lane of `type` can hold every rail of `config`.
+inline bool lane_type_eligible(const DecoderConfig& config,
+                               kernels::LaneType type) {
+  return kernels::lane_scale(type) <=
+         kernels::lane_scale(narrowest_lane_type(config));
+}
+
+/// Lane element type an auto-configured engine runs `config` on: the
+/// narrowest eligible type (results are bit-identical across eligible
+/// types, so narrower is strictly better), unless the LDPC_LANE_TYPE env
+/// var / kernels::force_lane_type() requests a WIDER one. A requested type
+/// too narrow for the rails widens back to the narrowest eligible type —
+/// the env knob is a preference, so a forced-int8 CI lane can still run
+/// the standard configs.
+inline kernels::LaneType select_lane_type(const DecoderConfig& config) {
+  const kernels::LaneType narrowest = narrowest_lane_type(config);
+  const auto requested = kernels::requested_lane_type();
+  if (!requested) return narrowest;
+  return static_cast<int>(*requested) < static_cast<int>(narrowest)
+             ? *requested
+             : narrowest;
+}
+
+/// The kernel-layer bounds of one engine config: the APP / message rails
+/// plus the min-sum variant correction (RowBounds.offset / .norm).
+inline kernels::RowBounds make_row_bounds(
+    const DecoderConfig& config, const DatapathTraits<std::int32_t>& traits) {
+  kernels::RowBounds b;
+  b.app_lo = traits.app_fmt.raw_min();
+  b.app_hi = traits.app_fmt.raw_max();
+  b.msg_lo = traits.fmt.raw_min();
+  b.msg_hi = traits.fmt.raw_max();
+  b.offset = config.kernel == CnuKernel::kOffsetMinSum
+                 ? config.minsum_offset_raw
+                 : 0;
+  b.norm = config.kernel == CnuKernel::kNormalizedMinSum ? 1 : 0;
+  return b;
+}
+
+/// Clamps an int32 raw code to lane type T on load (symmetric, matching
+/// the kernels' saturation). The deposit/quantiser never produces
+/// out-of-range codes for an eligible config; this only guards
+/// decode_raw() callers handing in wilder values.
+template <class T>
+constexpr T clamp_to_lane(std::int32_t v) noexcept {
+  constexpr std::int32_t hi =
+      kernels::lane_raw_max(kernels::lane_type_of<T>);
+  return static_cast<T>(v > hi ? hi : v < -hi ? -hi : v);
+}
+
+/// Narrow-lane kernels carry the argmin edge index in a T lane: the check
+/// degree must fit (127 for int8; every registered code is far below).
+template <class T>
+inline void check_lane_degree(const codes::QCCode& code, const char* engine) {
+  if (code.max_check_degree() >
+      kernels::lane_raw_max(kernels::lane_type_of<T>))
+    throw std::invalid_argument(
+        std::string(engine) + ": check degree exceeds the " +
+        kernels::to_string(kernels::lane_type_of<T>) + " lane range");
 }
 
 struct SoaStopVerdict {
@@ -85,26 +214,18 @@ inline bool soa_converged(const DecoderConfig& config, std::uint8_t cw_ok,
 
 /// Per-lane parity check over lane-major APP state: ok[w] = 1 iff the
 /// hard decisions (sign bits) of lane w satisfy every check of `code`.
-/// `lanes` <= 16.
-inline void soa_codeword_scan(const codes::QCCode& code,
-                              const std::int32_t* l_soa, int lanes,
-                              std::uint8_t* ok) {
-  std::int32_t fail[16] = {};
-  const int m = code.m();
-  for (int r = 0; r < m; ++r) {
-    const auto vars = code.check_vars(r);
-    std::int32_t acc[16] = {};
-    for (const std::int32_t v : vars) {
-      const std::int32_t* __restrict row =
-          l_soa + static_cast<std::size_t>(v) * lanes;
-#pragma omp simd
-      for (int w = 0; w < lanes; ++w) acc[w] ^= row[w] < 0;
-    }
-#pragma omp simd
-    for (int w = 0; w < lanes; ++w) fail[w] |= acc[w];
-  }
-  for (int w = 0; w < lanes; ++w)
-    ok[w] = fail[w] ? std::uint8_t{0} : std::uint8_t{1};
+/// `lanes` <= kMaxSoaLanes. Dispatches into the per-tier kernel TUs
+/// (kernels::cw_scan_kernel): the scan loop bodies there are the reference
+/// loops compiled at the tier's full vector width with the lane count
+/// baked in — instantiated here, in an engine TU built for the default
+/// architecture, they ran at SSE2 width and dominated the per-iteration
+/// cost.
+template <class T>
+inline void soa_codeword_scan(const codes::QCCode& code, const T* l_soa,
+                              int lanes, std::uint8_t* ok) {
+  kernels::cw_scan_kernel<T>(lanes)(code.check_row_ptr().data(),
+                                    code.check_col_idx().data(), code.m(),
+                                    l_soa, ok);
 }
 
 /// Per-lane early-termination rule over lane-major APP state: for every
@@ -112,35 +233,14 @@ inline void soa_codeword_scan(const codes::QCCode& code,
 /// decisions are unchanged since it AND min |L| over the info bits exceeds
 /// `threshold` — EarlyTermination::update, vectorised across lanes.
 /// `prev_hard` (k_info * lanes, lane-major) and `has_prev` (lanes) are the
-/// monitor state; clear has_prev[w] when lane w is (re)filled.
+/// monitor state; clear has_prev[w] when lane w is (re)filled. Dispatched
+/// like soa_codeword_scan.
+template <class T>
 inline void soa_et_scan(int k_info, int lanes, std::int32_t threshold,
-                        const std::int32_t* l_soa, std::int32_t* prev_hard,
-                        std::uint8_t* has_prev, std::uint8_t* fire) {
-  std::int32_t stable[16], above[16];
-  for (int w = 0; w < lanes; ++w) {
-    stable[w] = 1;
-    above[w] = 1;
-  }
-  for (int i = 0; i < k_info; ++i) {
-    const std::int32_t* __restrict row =
-        l_soa + static_cast<std::size_t>(i) * lanes;
-    std::int32_t* __restrict prev =
-        prev_hard + static_cast<std::size_t>(i) * lanes;
-#pragma omp simd
-    for (int w = 0; w < lanes; ++w) {
-      const std::int32_t v = row[w];
-      const std::int32_t hard = v < 0;
-      const std::int32_t mag = v < 0 ? -v : v;
-      above[w] &= mag > threshold;
-      stable[w] &= hard == prev[w];
-      prev[w] = hard;
-    }
-  }
-  for (int w = 0; w < lanes; ++w) {
-    fire[w] = has_prev[w] && stable[w] && above[w] ? std::uint8_t{1}
-                                                   : std::uint8_t{0};
-    has_prev[w] = 1;
-  }
+                        const T* l_soa, T* prev_hard, std::uint8_t* has_prev,
+                        std::uint8_t* fire) {
+  kernels::et_scan_kernel<T>(lanes)(k_info, threshold, l_soa, prev_hard,
+                                    has_prev, fire);
 }
 
 }  // namespace ldpc::core

@@ -24,40 +24,56 @@
 // engine's finished lanes — write-masking them would break the dense
 // branch-free row kernels. Per-frame hard decisions, iteration counts and
 // datapath cycles are bit-identical to decoding each frame alone on the
-// scalar engine, for any queue length, lane width and SIMD dispatch tier
-// (locked by the refill-equivalence suite).
+// scalar engine, for any queue length, lane width, lane element type and
+// SIMD dispatch tier (locked by the refill-equivalence suite).
 //
 // The row arithmetic itself runs on the runtime-dispatched kernel layer
-// (ldpc/core/kernels/minsum_kernels.hpp): the lane width is a runtime
-// choice — 8 so AVX2 hosts run one 256-bit register per operation, 16 so
-// AVX-512 hosts fill one 512-bit register — selected at construction from
-// the dispatched tier (or pinned by the caller / the LDPC_SIMD env knob).
+// (ldpc/core/kernels/minsum_kernels.hpp), over a runtime-selected SoA
+// lane ELEMENT TYPE as well as lane width:
+//
+//   StreamBatchEngineT<T>   the engine over lane type T (int32_t /
+//                           int16_t / int8_t); rails must fit T
+//   StreamBatchEngine       the runtime wrapper the decode_batch() entry
+//                           points construct: picks the narrowest lane
+//                           type whose saturation range holds the
+//                           config's APP and message rails (bit-identical
+//                           by containment — int16 for the default Q5.2 +
+//                           2 APP extra bits, int8 for the strict
+//                           8-bit-APP config), honouring the
+//                           LDPC_LANE_TYPE / kernels::force_lane_type
+//                           preference when it requests a wider type.
+//
+// The lane width is the second runtime choice — one 256-bit register per
+// operation (8/16/32 lanes by type) or one 512-bit register (16/32/64) —
+// selected at construction from the dispatched tier (or pinned by the
+// caller / the LDPC_SIMD env knob).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/soa_scan.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
 
-class StreamBatchEngine {
+template <class T>
+class StreamBatchEngineT {
  public:
-  /// Hard ceiling on the lane width (one AVX-512 register of int32).
-  static constexpr int kMaxLanes = 16;
+  /// Hard ceiling on the lane width (one AVX-512 register of T).
+  static constexpr int kMaxLanes =
+      16 * kernels::lane_scale(kernels::lane_type_of<T>);
 
-  /// Lane width the dispatched SIMD tier fills exactly: 16 on AVX-512
-  /// hosts, 8 otherwise (one AVX2 register; also the narrower drain on
-  /// scalar/SSE hosts).
-  static int preferred_lanes();
-
-  /// `lanes` must be 8, 16 or 0 (= preferred_lanes()). Same config rules
-  /// as BatchEngine: min-sum kernel and quantized datapath only, throws
-  /// std::invalid_argument otherwise.
-  explicit StreamBatchEngine(DecoderConfig config, int lanes = 0);
+  /// `lanes` must be a valid width for T (8/16 int32-equivalents, see
+  /// kernels::valid_lane_width) or 0 (= kernels::preferred_lanes). Same
+  /// config rules as BatchEngineT: min-sum family, quantized datapath,
+  /// rails that fit T; throws std::invalid_argument otherwise.
+  explicit StreamBatchEngineT(DecoderConfig config, int lanes = 0);
 
   /// Resizes the SoA memories for `code` (references, not copies).
   void reconfigure(const codes::QCCode& code);
@@ -67,6 +83,10 @@ class StreamBatchEngine {
   int lanes() const noexcept { return lanes_; }
   /// The SIMD tier the row kernel was dispatched to at construction.
   kernels::Tier tier() const noexcept { return tier_; }
+  /// The SoA lane element type tag of this instantiation.
+  static constexpr kernels::LaneType lane_type() noexcept {
+    return kernels::lane_type_of<T>;
+  }
 
   /// Decodes `results.size()` frames (any count >= 1) of channel LLRs
   /// stored frame-major at the code's transmitted length, streaming them
@@ -78,6 +98,7 @@ class StreamBatchEngine {
               std::span<FixedDecodeResult> results);
 
   /// Same, over already-quantised frame-major raw codes (n per frame).
+  /// Codes outside T's range are clamped on load (see BatchEngineT).
   void decode_raw(std::span<const std::int32_t> raw,
                   std::span<const int> order,
                   std::span<FixedDecodeResult> results);
@@ -86,17 +107,18 @@ class StreamBatchEngine {
   void run_queue(std::span<const int> order,
                  std::span<FixedDecodeResult> results);
   /// Stages frame `f` into lane `w`: resolves the frame's raw codes (the
-  /// scheme-aware deposit for decode(), a pointer into the input for
-  /// decode_raw()), resets the lane's ET monitor and iteration counter,
-  /// and marks the lane FRESH. Nothing touches the SoA memories here:
-  /// per-lane column writes are one word per cache line, so a refill
-  /// burst of k lanes would stream the big arrays through the cache k
-  /// times. Instead apply_fresh() merges every staged lane's L column in
-  /// ONE sequential pass at the next iteration's start, and the lane's
-  /// Lambda entries are zeroed in-row as the layer passes reach them
-  /// (each edge belongs to exactly one check row, so each entry is
-  /// zeroed exactly once, on a cache line the kernel is pulling anyway):
-  /// the same L = channel, Lambda = 0 initialisation, amortised.
+  /// scheme-aware deposit for decode(), a narrowing copy — or, for int32,
+  /// a pointer into the input — for decode_raw()), resets the lane's ET
+  /// monitor and iteration counter, and marks the lane FRESH. Nothing
+  /// touches the SoA memories here: per-lane column writes are one word
+  /// per cache line, so a refill burst of k lanes would stream the big
+  /// arrays through the cache k times. Instead apply_fresh() merges every
+  /// staged lane's L column in ONE sequential pass at the next
+  /// iteration's start, and the lane's Lambda entries are zeroed in-row
+  /// as the layer passes reach them (each edge belongs to exactly one
+  /// check row, so each entry is zeroed exactly once, on a cache line the
+  /// kernel is pulling anyway): the same L = channel, Lambda = 0
+  /// initialisation, amortised.
   void load_lane(int w, std::size_t f,
                  std::span<FixedDecodeResult> results);
   /// Merges every staged lane's L column into the SoA memory (sequential
@@ -110,18 +132,17 @@ class StreamBatchEngine {
   const codes::QCCode* code_ = nullptr;
   int lanes_ = 0;
   kernels::Tier tier_ = kernels::Tier::kScalar;
-  kernels::MinSumRowFn row_fn_ = nullptr;
+  kernels::MinSumRowFnT<T> row_fn_ = nullptr;
 
-  std::int32_t app_min_ = 0, app_max_ = 0;  // APP-word saturation bounds
-  std::int32_t msg_min_ = 0, msg_max_ = 0;  // message-bus clip bounds
-  long long cycles_per_iteration_ = 0;      // sum of row cycles over layers
+  kernels::RowBounds bounds_{};         // rails + variant correction
+  long long cycles_per_iteration_ = 0;  // sum of row cycles over layers
 
   // SoA state: [slot * lanes_ + lane].
-  std::vector<std::int32_t> l_soa_;       // APP per variable
-  std::vector<std::int32_t> lambda_soa_;  // extrinsic per edge
-  std::vector<std::int32_t> lam_full_;    // APP-width row scratch
-  std::vector<std::int32_t> lam_;         // clipped row scratch
-  std::vector<std::int32_t*> lrow_ptrs_;  // per-edge L row pointers
+  SoaVector<T> l_soa_;       // APP per variable
+  SoaVector<T> lambda_soa_;  // extrinsic per edge
+  SoaVector<T> lam_full_;    // APP-width row scratch
+  SoaVector<T> lam_;         // clipped row scratch
+  std::vector<T*> lrow_ptrs_;  // per-edge L row pointers
 
   // Per-lane decode state.
   struct LaneState {
@@ -134,21 +155,77 @@ class StreamBatchEngine {
   // iteration (see load_lane).
   int fresh_[kMaxLanes] = {};
   int nfresh_ = 0;
-  const std::int32_t* staged_src_[kMaxLanes] = {};  // n raw codes per lane
+  const T* staged_src_[kMaxLanes] = {};  // n raw codes per lane
   // Lane-parallel early-termination monitor state (see soa_scan.hpp):
   // previous info-bit hard decisions, lane-major, plus the per-lane
   // had-a-previous-iteration flag cleared on refill.
-  std::vector<std::int32_t> prev_hard_soa_;
+  SoaVector<T> prev_hard_soa_;
   std::uint8_t has_prev_[kMaxLanes] = {};
   std::uint8_t et_fire_[kMaxLanes] = {};  // per-iteration scan results
   std::uint8_t cw_ok_[kMaxLanes] = {};
 
   // Frame source of the current decode call (exactly one is set).
-  std::span<const double> tx_llrs_;        // decode(): transmitted LLRs
-  std::span<const std::int32_t> raw_in_;   // decode_raw(): raw codes
+  std::span<const double> tx_llrs_;       // decode(): transmitted LLRs
+  std::span<const std::int32_t> raw_in_;  // decode_raw(): raw codes
 
-  std::vector<std::int32_t> raw_scratch_;  // per-lane deposit staging
-  std::vector<double> acc_;                // LLR-deposit combining scratch
+  std::vector<T> raw_scratch_;            // per-lane staging, lane slots
+  std::vector<std::int32_t> dep_scratch_; // int32 deposit before narrowing
+  std::vector<double> acc_;               // LLR-deposit combining scratch
+};
+
+extern template class StreamBatchEngineT<std::int32_t>;
+extern template class StreamBatchEngineT<std::int16_t>;
+extern template class StreamBatchEngineT<std::int8_t>;
+
+/// Runtime lane-type front end: owns one StreamBatchEngineT instantiation
+/// chosen at construction (see core::select_lane_type) and forwards the
+/// engine API. This is what ReconfigurableDecoder::decode_batch and the
+/// chip's batched entry point construct.
+class StreamBatchEngine {
+ public:
+  /// Hard ceiling on the lane width across instantiations (one AVX-512
+  /// register of int8).
+  static constexpr int kMaxLanes = 16 * 4;
+
+  /// Lane width the dispatched SIMD tier fills exactly with `type` lanes:
+  /// one 512-bit register on AVX-512 hosts (AVX-512BW for the narrow
+  /// types), one 256-bit register otherwise.
+  static int preferred_lanes(
+      kernels::LaneType type = kernels::LaneType::kInt32);
+
+  /// Constructs the engine over `lane_type` lanes — or, when nullopt,
+  /// over select_lane_type(config): the narrowest type whose saturation
+  /// range holds the config's rails (bit-identical to int32 by
+  /// containment), widened on request by the LDPC_LANE_TYPE env knob /
+  /// kernels::force_lane_type. An explicit `lane_type` is strict: throws
+  /// std::invalid_argument when the rails do not fit. `lanes` is the lane
+  /// width for the chosen type (0 = preferred_lanes(type)).
+  explicit StreamBatchEngine(
+      DecoderConfig config, int lanes = 0,
+      std::optional<kernels::LaneType> lane_type = std::nullopt);
+
+  void reconfigure(const codes::QCCode& code);
+  bool configured() const noexcept;
+  const DecoderConfig& config() const noexcept;
+  int lanes() const noexcept;
+  kernels::Tier tier() const noexcept;
+  /// The lane element type the engine was constructed over.
+  kernels::LaneType lane_type() const noexcept;
+
+  void decode(std::span<const double> llrs, std::span<const int> order,
+              std::span<FixedDecodeResult> results);
+  void decode_raw(std::span<const std::int32_t> raw,
+                  std::span<const int> order,
+                  std::span<FixedDecodeResult> results);
+
+ private:
+  using Impl = std::variant<StreamBatchEngineT<std::int32_t>,
+                            StreamBatchEngineT<std::int16_t>,
+                            StreamBatchEngineT<std::int8_t>>;
+  static Impl make_impl(DecoderConfig config, int lanes,
+                        std::optional<kernels::LaneType> lane_type);
+
+  Impl impl_;
 };
 
 }  // namespace ldpc::core

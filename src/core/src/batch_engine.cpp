@@ -2,21 +2,26 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 #include "ldpc/core/soa_scan.hpp"
 
 namespace ldpc::core {
 
-BatchEngine::BatchEngine(DecoderConfig config)
+template <class T>
+BatchEngineT<T>::BatchEngineT(DecoderConfig config)
     : config_(validated_batch_config(config, "BatchEngine")),
-      traits_(config_), row_fn_(kernels::row_kernel(kLanes)) {
-  app_min_ = traits_.app_fmt.raw_min();
-  app_max_ = traits_.app_fmt.raw_max();
-  msg_min_ = traits_.fmt.raw_min();
-  msg_max_ = traits_.fmt.raw_max();
+      traits_(config_), row_fn_(kernels::row_kernel<T>(kLanes)) {
+  if (!lane_type_eligible(config_, lane_type()))
+    throw std::invalid_argument(
+        "BatchEngine: config rails do not fit lane type " +
+        kernels::to_string(lane_type()));
+  bounds_ = make_row_bounds(config_, traits_);
 }
 
-void BatchEngine::reconfigure(const codes::QCCode& code) {
+template <class T>
+void BatchEngineT<T>::reconfigure(const codes::QCCode& code) {
+  check_lane_degree<T>(code, "BatchEngine");
   code_ = &code;
   l_soa_.assign(static_cast<std::size_t>(code.n()) * kLanes, 0);
   lambda_soa_.assign(static_cast<std::size_t>(code.edges()) * kLanes, 0);
@@ -33,9 +38,10 @@ void BatchEngine::reconfigure(const codes::QCCode& code) {
         row_datapath_cycles(config_.radix, static_cast<int>(layer.size()));
 }
 
-void BatchEngine::decode(std::span<const double> llrs,
-                         std::span<const int> order,
-                         std::span<FixedDecodeResult> results) {
+template <class T>
+void BatchEngineT<T>::decode(std::span<const double> llrs,
+                             std::span<const int> order,
+                             std::span<FixedDecodeResult> results) {
   const int frames = static_cast<int>(results.size());
   if (!code_) throw std::logic_error("BatchEngine: not configured");
   const auto n = static_cast<std::size_t>(code_->n());
@@ -56,9 +62,10 @@ void BatchEngine::decode(std::span<const double> llrs,
              order, results);
 }
 
-void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
-                             std::span<const int> order,
-                             std::span<FixedDecodeResult> results) {
+template <class T>
+void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
+                                 std::span<const int> order,
+                                 std::span<FixedDecodeResult> results) {
   if (!code_) throw std::logic_error("BatchEngine: not configured");
   const int frames = static_cast<int>(results.size());
   const auto n = static_cast<std::size_t>(code_->n());
@@ -69,13 +76,16 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
   if (!order.empty() && order.size() != static_cast<std::size_t>(j))
     throw std::invalid_argument("BatchEngine::decode_raw: order size");
 
-  // Init: L = channel LLR (transposed to SoA), Lambda = 0, all lanes live.
+  // Init: L = channel LLR (transposed to SoA, narrowed to the lane type),
+  // Lambda = 0, all lanes live.
   for (std::size_t v = 0; v < n; ++v) {
-    std::int32_t* lane = &l_soa_[v * kLanes];
+    T* lane = &l_soa_[v * kLanes];
     for (int w = 0; w < kLanes; ++w)
-      lane[w] = w < frames ? raw[static_cast<std::size_t>(w) * n + v] : 0;
+      lane[w] = w < frames
+                    ? clamp_to_lane<T>(raw[static_cast<std::size_t>(w) * n + v])
+                    : T{0};
   }
-  std::fill(lambda_soa_.begin(), lambda_soa_.end(), 0);
+  std::fill(lambda_soa_.begin(), lambda_soa_.end(), T{0});
   for (int w = 0; w < kLanes; ++w) {
     active_[w] = w < frames ? 1 : 0;
     has_prev_[w] = 0;  // EarlyTermination::reset(), per lane
@@ -134,11 +144,11 @@ void BatchEngine::decode_raw(std::span<const std::int32_t> raw,
   }
 }
 
-void BatchEngine::process_layer_soa(int layer) {
+template <class T>
+void BatchEngineT<T>::process_layer_soa(int layer) {
   const int z = code_->z();
   const auto& blocks = code_->layers()[static_cast<std::size_t>(layer)];
   const int deg = static_cast<int>(blocks.size());
-  const kernels::RowBounds bounds{app_min_, app_max_, msg_min_, msg_max_};
 
   // Each check row is one call into the dispatched kernel: read +
   // subtract + clip, two-minima scan, emit + write back over kLanes SoA
@@ -153,10 +163,22 @@ void BatchEngine::process_layer_soa(int layer) {
     for (int e = 0; e < deg; ++e)
       lrow_ptrs_[static_cast<std::size_t>(e)] =
           &l_soa_[static_cast<std::size_t>(vars[e]) * kLanes];
+    // Prefetch the NEXT row's L lines while this row computes (see
+    // StreamBatchEngineT::process_layer).
+    if (t + 1 < z) {
+      const auto nvars = code_->check_vars(r + 1);
+      for (int e = 0; e < deg; ++e)
+        __builtin_prefetch(
+            &l_soa_[static_cast<std::size_t>(nvars[e]) * kLanes], 1);
+    }
     row_fn_(lrow_ptrs_.data(),
             &lambda_soa_[static_cast<std::size_t>(e0) * kLanes],
-            lam_full_.data(), lam_.data(), deg, bounds);
+            lam_full_.data(), lam_.data(), deg, bounds_);
   }
 }
+
+template class BatchEngineT<std::int32_t>;
+template class BatchEngineT<std::int16_t>;
+template class BatchEngineT<std::int8_t>;
 
 }  // namespace ldpc::core

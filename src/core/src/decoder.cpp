@@ -62,7 +62,7 @@ std::vector<FixedDecodeResult> ReconfigurableDecoder::decode_batch(
     throw std::invalid_argument("decode_batch: llrs size");
   const std::size_t frames = llrs.size() / tx;
   std::vector<FixedDecodeResult> results(frames);
-  if (engine_ && config_.kernel == CnuKernel::kMinSum && !stream_engine_) {
+  if (engine_ && is_min_sum(config_.kernel) && !stream_engine_) {
     stream_engine_.emplace(config_);
     stream_engine_->reconfigure(*code_);
   }

@@ -1,6 +1,10 @@
 // Kernel dispatch: pick the row-kernel tier once, hand out plain function
 // pointers. Selection = CPUID ceiling, optionally lowered by the LDPC_SIMD
 // environment variable, optionally pinned by the force_tier() test hook.
+// The lane element type has the parallel LDPC_LANE_TYPE / force_lane_type
+// preference, consumed by the engines (core::select_lane_type).
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -18,11 +22,55 @@ std::string to_string(Tier tier) {
   return "scalar";
 }
 
+std::string to_string(LaneType type) {
+  switch (type) {
+    case LaneType::kInt32: return "int32";
+    case LaneType::kInt16: return "int16";
+    case LaneType::kInt8: return "int8";
+  }
+  return "int32";
+}
+
+namespace {
+
+std::string lowered(const std::string& name) {
+  std::string s = name;
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::optional<Tier> try_parse_tier(const std::string& name) {
+  const std::string s = lowered(name);
+  if (s == "avx512") return Tier::kAvx512;
+  if (s == "avx2") return Tier::kAvx2;
+  if (s == "sse42") return Tier::kSse42;
+  if (s == "scalar") return Tier::kScalar;
+  return std::nullopt;
+}
+
 Tier parse_tier(const std::string& name) {
-  if (name == "avx512") return Tier::kAvx512;
-  if (name == "avx2") return Tier::kAvx2;
-  if (name == "sse42") return Tier::kSse42;
-  return Tier::kScalar;
+  if (const auto tier = try_parse_tier(name)) return *tier;
+  throw std::invalid_argument(
+      "kernels::parse_tier: unknown SIMD tier '" + name +
+      "' (expected scalar, sse42, avx2 or avx512)");
+}
+
+std::optional<LaneType> try_parse_lane_type(const std::string& name) {
+  const std::string s = lowered(name);
+  if (s == "int32") return LaneType::kInt32;
+  if (s == "int16") return LaneType::kInt16;
+  if (s == "int8") return LaneType::kInt8;
+  return std::nullopt;
+}
+
+LaneType parse_lane_type(const std::string& name) {
+  if (const auto type = try_parse_lane_type(name)) return *type;
+  throw std::invalid_argument(
+      "kernels::parse_lane_type: unknown lane type '" + name +
+      "' (expected int32, int16 or int8)");
 }
 
 namespace {
@@ -42,18 +90,58 @@ Tier detect() {
   return Tier::kScalar;
 }
 
+bool detect_avx512bw() {
+#if defined(LDPC_KERNELS_HAVE_AVX512BW) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512bw");
+#else
+  return false;
+#endif
+}
+
 struct DispatchState {
   Tier detected = detect();
+  bool avx512bw = detect_avx512bw();
   bool forced = false;
   Tier forced_tier = Tier::kScalar;
   bool env_present = false;
   Tier env_tier = Tier::kScalar;
+  bool lane_forced = false;
+  LaneType forced_lane = LaneType::kInt32;
+  bool lane_env_present = false;
+  LaneType env_lane = LaneType::kInt32;
 
   DispatchState() { read_env(); }
   void read_env() {
-    const char* v = std::getenv("LDPC_SIMD");
-    env_present = v != nullptr;
-    if (env_present) env_tier = parse_tier(v);
+    // Lenient on the env path (a throw here would abort static init):
+    // unknown names warn once on stderr and fall back to detection
+    // instead of the old silent map-to-scalar.
+    env_present = false;
+    if (const char* v = std::getenv("LDPC_SIMD")) {
+      if (const auto tier = try_parse_tier(v)) {
+        env_present = true;
+        env_tier = *tier;
+      } else {
+        std::fprintf(stderr,
+                     "ldpc: ignoring unknown LDPC_SIMD value '%s' "
+                     "(expected scalar, sse42, avx2 or avx512)\n",
+                     v);
+      }
+    }
+    lane_env_present = false;
+    if (const char* v = std::getenv("LDPC_LANE_TYPE")) {
+      const std::string s = lowered(v);
+      if (s.empty() || s == "auto") return;
+      if (const auto type = try_parse_lane_type(s)) {
+        lane_env_present = true;
+        env_lane = *type;
+      } else {
+        std::fprintf(stderr,
+                     "ldpc: ignoring unknown LDPC_LANE_TYPE value '%s' "
+                     "(expected int32, int16, int8 or auto)\n",
+                     v);
+      }
+    }
   }
 };
 
@@ -69,6 +157,8 @@ Tier clamp(Tier tier, Tier ceiling) {
 }  // namespace
 
 Tier detected_tier() { return state().detected; }
+
+bool detected_avx512bw() { return state().avx512bw; }
 
 Tier active_tier() {
   const DispatchState& s = state();
@@ -88,24 +178,141 @@ void clear_forced_tier() { state().forced = false; }
 
 void reload_env() { state().read_env(); }
 
-MinSumRowFn row_kernel(Tier tier, int lanes) {
-  if (lanes != 8 && lanes != 16)
-    throw std::invalid_argument("kernels::row_kernel: lane width must be "
-                                "8 or 16");
-  switch (clamp(tier, state().detected)) {
-#ifdef LDPC_KERNELS_HAVE_AVX512
-    case Tier::kAvx512: return avx512_row_kernel(lanes);
-#endif
-#ifdef LDPC_KERNELS_HAVE_AVX2
-    case Tier::kAvx2: return avx2_row_kernel(lanes);
-#endif
-#ifdef LDPC_KERNELS_HAVE_SSE42
-    case Tier::kSse42: return sse42_row_kernel(lanes);
-#endif
-    default: return scalar_row_kernel(lanes);
-  }
+std::optional<LaneType> requested_lane_type() {
+  const DispatchState& s = state();
+  if (s.lane_forced) return s.forced_lane;
+  if (s.lane_env_present) return s.env_lane;
+  return std::nullopt;
 }
 
-MinSumRowFn row_kernel(int lanes) { return row_kernel(active_tier(), lanes); }
+void force_lane_type(LaneType type) {
+  DispatchState& s = state();
+  s.lane_forced = true;
+  s.forced_lane = type;
+}
+
+void clear_forced_lane_type() { state().lane_forced = false; }
+
+int preferred_lanes(LaneType type) {
+  // A full 512-bit register of narrow lanes needs the AVX-512BW ops; a
+  // host with only AVX-512F serves narrow lanes from 256-bit AVX2 bodies,
+  // so the 256-bit width is what it fills exactly.
+  const Tier tier = active_tier();
+  const bool full512 =
+      tier == Tier::kAvx512 &&
+      (type == LaneType::kInt32 || detected_avx512bw());
+  return (full512 ? 16 : 8) * lane_scale(type);
+}
+
+template <class T>
+MinSumRowFnT<T> row_kernel(Tier tier, int lanes) {
+  constexpr LaneType type = lane_type_of<T>;
+  if (!valid_lane_width(type, lanes))
+    throw std::invalid_argument(
+        "kernels::row_kernel: lane width must be " +
+        std::to_string(8 * lane_scale(type)) + " or " +
+        std::to_string(16 * lane_scale(type)) + " for " + to_string(type));
+  Tier t = clamp(tier, state().detected);
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (t == Tier::kAvx512) {
+    // Narrow lanes under kAvx512 need the host to execute AVX-512BW for
+    // the native 512-bit bodies; fall back to the AVX2 bodies otherwise.
+    if (type == LaneType::kInt32 || state().avx512bw)
+      return avx512_row_kernel<T>(lanes);
+    t = Tier::kAvx2;
+  }
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (t == Tier::kAvx2) return avx2_row_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (t == Tier::kSse42) return sse42_row_kernel<T>(lanes);
+#endif
+  (void)t;
+  return scalar_row_kernel<T>(lanes);
+}
+
+template MinSumRowFnT<std::int32_t> row_kernel<std::int32_t>(Tier, int);
+template MinSumRowFnT<std::int16_t> row_kernel<std::int16_t>(Tier, int);
+template MinSumRowFnT<std::int8_t> row_kernel<std::int8_t>(Tier, int);
+
+QuantFn quant_kernel(Tier tier) {
+  // Pure double/int32 arithmetic: no BW requirement at any tier.
+  Tier t = clamp(tier, state().detected);
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (t == Tier::kAvx512) return avx512_quant_kernel();
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (t == Tier::kAvx2) return avx2_quant_kernel();
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (t == Tier::kSse42) return sse42_quant_kernel();
+#endif
+  (void)t;
+  return scalar_quant_kernel();
+}
+
+QuantFn quant_kernel() { return quant_kernel(active_tier()); }
+
+namespace {
+
+// Shared selection for the two stop-scan kernels: like row_kernel, but the
+// avx512 TU's autovectorised scan bodies may contain AVX-512BW
+// instructions for ANY lane type (its byte-wide fail/ok state invites
+// them), so the host must execute avx512bw before that TU is eligible —
+// falling back to the AVX2 bodies otherwise.
+Tier scan_tier(Tier tier, LaneType type, int lanes, const char* who) {
+  if (!valid_lane_width(type, lanes))
+    throw std::invalid_argument(
+        std::string("kernels::") + who + ": lane width must be " +
+        std::to_string(8 * lane_scale(type)) + " or " +
+        std::to_string(16 * lane_scale(type)) + " for " + to_string(type));
+  Tier t = clamp(tier, state().detected);
+#if defined(LDPC_KERNELS_HAVE_AVX512) && defined(LDPC_KERNELS_HAVE_AVX512BW)
+  if (t == Tier::kAvx512 && !state().avx512bw) t = Tier::kAvx2;
+#endif
+  return t;
+}
+
+}  // namespace
+
+template <class T>
+CwScanFnT<T> cw_scan_kernel(Tier tier, int lanes) {
+  const Tier t = scan_tier(tier, lane_type_of<T>, lanes, "cw_scan_kernel");
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (t == Tier::kAvx512) return avx512_cw_scan_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (t == Tier::kAvx2) return avx2_cw_scan_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (t == Tier::kSse42) return sse42_cw_scan_kernel<T>(lanes);
+#endif
+  (void)t;
+  return scalar_cw_scan_kernel<T>(lanes);
+}
+
+template <class T>
+EtScanFnT<T> et_scan_kernel(Tier tier, int lanes) {
+  const Tier t = scan_tier(tier, lane_type_of<T>, lanes, "et_scan_kernel");
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (t == Tier::kAvx512) return avx512_et_scan_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (t == Tier::kAvx2) return avx2_et_scan_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (t == Tier::kSse42) return sse42_et_scan_kernel<T>(lanes);
+#endif
+  (void)t;
+  return scalar_et_scan_kernel<T>(lanes);
+}
+
+template CwScanFnT<std::int32_t> cw_scan_kernel<std::int32_t>(Tier, int);
+template CwScanFnT<std::int16_t> cw_scan_kernel<std::int16_t>(Tier, int);
+template CwScanFnT<std::int8_t> cw_scan_kernel<std::int8_t>(Tier, int);
+template EtScanFnT<std::int32_t> et_scan_kernel<std::int32_t>(Tier, int);
+template EtScanFnT<std::int16_t> et_scan_kernel<std::int16_t>(Tier, int);
+template EtScanFnT<std::int8_t> et_scan_kernel<std::int8_t>(Tier, int);
 
 }  // namespace ldpc::core::kernels

@@ -1,21 +1,190 @@
 // Internal cross-TU interface of the kernel layer: each tier's translation
-// unit (compiled with that tier's -m flags) exports one getter; dispatch.cpp
+// unit (compiled with that tier's -m flags) exports one getter template,
+// explicitly instantiated for the three lane element types; dispatch.cpp
 // selects among them. Not installed — include only from src/core/src/kernels.
 #pragma once
+
+#include <algorithm>
+#include <limits>
 
 #include "ldpc/core/kernels/minsum_kernels.hpp"
 
 namespace ldpc::core::kernels {
 
-MinSumRowFn scalar_row_kernel(int lanes);
+// One branchless quantiser body shared by every tier: each tier TU wraps
+// it in a file-local function, so the SAME source autovectorises at that
+// TU's -m width (2 doubles/vector at baseline, 4 at AVX2, 8 at AVX-512).
+// `static` is load-bearing: with ordinary `inline` linkage the linker
+// would keep ONE copy — possibly the AVX-512-compiled one — and hand it
+// to every tier, crashing hosts that cannot execute it.
+// Equivalence with the scalar QFormat::quantize path, term by term:
+//   - round-half-away-from-zero == trunc(scaled + copysign(0.5, scaled)),
+//     and the C cast to int32 IS truncation toward zero (cvttpd2dq);
+//   - clamping the adjusted value BEFORE truncation equals clamping the
+//     rounded value (the rails are integers, truncation is monotone);
+//   - NaN fails v == v and maps to 0 before the cast (the cast of NaN
+//     would be UB); the exclude-zero rule then sees a non-negative value.
+static inline void quantize_llrs_body(const double* __restrict llr,
+                                      std::int32_t* __restrict raw,
+                                      std::size_t count,
+                                      const QuantSpec& spec) {
+  const double scale = spec.scale;
+  const double hi = static_cast<double>(spec.raw_max);
+  const double lo = -hi;
+  if (spec.exclude_zero) {
+#pragma omp simd
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v = llr[i];
+      double a = v * scale;
+      a += a >= 0.0 ? 0.5 : -0.5;
+      a = a > hi ? hi : a;
+      a = a < lo ? lo : a;
+      a = v == v ? a : 0.0;
+      std::int32_t q = static_cast<std::int32_t>(a);
+      raw[i] = q != 0 ? q : (v < 0.0 ? -1 : 1);
+    }
+  } else {
+#pragma omp simd
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v = llr[i];
+      double a = v * scale;
+      a += a >= 0.0 ? 0.5 : -0.5;
+      a = a > hi ? hi : a;
+      a = a < lo ? lo : a;
+      a = v == v ? a : 0.0;
+      raw[i] = static_cast<std::int32_t>(a);
+    }
+  }
+}
+
+// The stop-rule scan bodies (CwScanFnT / EtScanFnT), shared by every tier
+// TU like quantize_llrs_body. `static` on a function template gives every
+// instantiation internal linkage — without it the linker would COMDAT-fold
+// the per-TU instantiations into one copy (possibly the AVX-512-compiled
+// one) handed to every tier.
+//
+// The bodies use GCC/Clang vector extensions rather than autovectorisable
+// loops: the per-edge row base `l_soa + col_idx[j] * W` is a non-affine
+// function of the edge index, and GCC 12's vectoriser gives up on the
+// whole nest ("evolution of base is not affine"), emitting a SCALAR
+// per-lane loop that made the stop scans cost as much per batch iteration
+// as the entire min-sum row pass — and, being fixed-cost per batch
+// iteration, it capped the narrow-lane engines at the int32 rate. A
+// 64-byte vector op per edge (one register at AVX-512, split by the
+// compiler into two at AVX2, four at SSE) is the whole inner loop.
+//
+// All scan state stays in T, not int32: a widening accumulator would pin
+// the per-element vector cost at the int32 rate and erase the narrow-lane
+// engines' scaling on these scans (which run every iteration). Truth
+// values are all-ones masks (vector compare results), not 0/1 — parity
+// under xor and the &= reductions work identically; prev_hard therefore
+// holds sign MASKS (0 / -1), an engine-private representation only these
+// bodies touch.
+template <class T, int W>
+struct ScanVecT {
+  // aligned(alignof(T)): the engines 64-byte-align their SoA bases (see
+  // core::SoaVector), but at the half-width lane counts rows sit at 32-byte
+  // strides, so loads must still be emitted as unaligned moves (same speed
+  // as aligned moves on aligned addresses).
+  typedef T type
+      __attribute__((vector_size(W * sizeof(T)), aligned(alignof(T))));
+};
+
+template <class T, int W>
+static void cw_scan_body(const std::int32_t* __restrict row_ptr,
+                         const std::int32_t* __restrict col_idx, int m,
+                         const T* __restrict l_soa,
+                         std::uint8_t* __restrict ok) {
+  using vec = typename ScanVecT<T, W>::type;
+  vec fail = {};
+  for (int r = 0; r < m; ++r) {
+    vec acc = {};
+    const std::int32_t end = row_ptr[r + 1];
+    for (std::int32_t j = row_ptr[r]; j < end; ++j) {
+      const vec row = *reinterpret_cast<const vec*>(
+          l_soa + static_cast<std::size_t>(col_idx[j]) * W);
+      acc ^= (row < vec{});
+    }
+    fail |= acc;
+  }
+  for (int w = 0; w < W; ++w)
+    ok[w] = fail[w] ? std::uint8_t{0} : std::uint8_t{1};
+}
+
+template <class T, int W>
+static void et_scan_body(int k_info, std::int32_t threshold,
+                         const T* __restrict l_soa, T* __restrict prev_hard,
+                         std::uint8_t* __restrict has_prev,
+                         std::uint8_t* __restrict fire) {
+  using vec = typename ScanVecT<T, W>::type;
+  // |v| never overflows under symmetric saturation, and a threshold beyond
+  // the lane rail clamps to the rail — mag > rail is false either way,
+  // matching the int32 compare.
+  const T thr = static_cast<T>(
+      std::min<std::int32_t>(threshold, std::numeric_limits<T>::max()));
+  vec stable = ~vec{};
+  vec above = ~vec{};
+  for (int i = 0; i < k_info; ++i) {
+    const vec v = *reinterpret_cast<const vec*>(
+        l_soa + static_cast<std::size_t>(i) * W);
+    vec* const prev =
+        reinterpret_cast<vec*>(prev_hard + static_cast<std::size_t>(i) * W);
+    const vec hard = v < vec{};
+    const vec mag = (v ^ hard) - hard;  // two's-complement |v| via the mask
+    above &= (mag > thr);
+    stable &= (hard == *prev);
+    *prev = hard;
+  }
+  for (int w = 0; w < W; ++w) {
+    fire[w] = has_prev[w] && stable[w] && above[w] ? std::uint8_t{1}
+                                                   : std::uint8_t{0};
+    has_prev[w] = 1;
+  }
+}
+
+template <class T>
+MinSumRowFnT<T> scalar_row_kernel(int lanes);
+QuantFn scalar_quant_kernel();
+template <class T>
+CwScanFnT<T> scalar_cw_scan_kernel(int lanes);
+template <class T>
+EtScanFnT<T> scalar_et_scan_kernel(int lanes);
 #ifdef LDPC_KERNELS_HAVE_SSE42
-MinSumRowFn sse42_row_kernel(int lanes);
+template <class T>
+MinSumRowFnT<T> sse42_row_kernel(int lanes);
+QuantFn sse42_quant_kernel();
+template <class T>
+CwScanFnT<T> sse42_cw_scan_kernel(int lanes);
+template <class T>
+EtScanFnT<T> sse42_et_scan_kernel(int lanes);
 #endif
 #ifdef LDPC_KERNELS_HAVE_AVX2
-MinSumRowFn avx2_row_kernel(int lanes);
+template <class T>
+MinSumRowFnT<T> avx2_row_kernel(int lanes);
+QuantFn avx2_quant_kernel();
+template <class T>
+CwScanFnT<T> avx2_cw_scan_kernel(int lanes);
+template <class T>
+EtScanFnT<T> avx2_et_scan_kernel(int lanes);
 #endif
 #ifdef LDPC_KERNELS_HAVE_AVX512
-MinSumRowFn avx512_row_kernel(int lanes);
+// For int16/int8 the returned kernel uses native 512-bit AVX-512BW bodies
+// only when the TU was compiled with BW support; dispatch additionally
+// verifies the HOST executes avx512bw before handing these out (falling
+// back to the AVX2 bodies otherwise).
+template <class T>
+MinSumRowFnT<T> avx512_row_kernel(int lanes);
+QuantFn avx512_quant_kernel();
+// The scan bodies are autovectorised in a TU that may be compiled with
+// -mavx512bw, so the compiler is free to emit BW instructions for ANY lane
+// type (the byte-wide fail/ok state invites it even at int32). Dispatch
+// therefore requires the HOST to execute avx512bw before handing these
+// out, for every lane type — unlike the intrinsics row kernels, whose
+// int32 bodies use AVX-512F ops only by construction.
+template <class T>
+CwScanFnT<T> avx512_cw_scan_kernel(int lanes);
+template <class T>
+EtScanFnT<T> avx512_et_scan_kernel(int lanes);
 #endif
 
 }  // namespace ldpc::core::kernels

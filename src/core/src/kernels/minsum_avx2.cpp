@@ -1,8 +1,10 @@
-// AVX2 tier: 8 x int32 per 256-bit vector. An 8-lane engine runs one
-// vector per operation; a 16-lane engine runs two. This TU is compiled
-// with -mavx2 — dispatch.cpp only hands these pointers out after
-// __builtin_cpu_supports("avx2") says the host can execute them.
+// AVX2 tier: one 256-bit vector holds 8 int32, 16 int16 or 32 int8 lanes.
+// The narrower widths run one vector per operation, the wider ones two.
+// This TU is compiled with -mavx2 — dispatch.cpp only hands these pointers
+// out after __builtin_cpu_supports("avx2") says the host can execute them.
 #include <immintrin.h>
+
+#include <type_traits>
 
 #include "kernels_internal.hpp"
 
@@ -12,8 +14,40 @@ namespace {
 #include "minsum_row_avx2.inl"
 }  // namespace
 
-MinSumRowFn avx2_row_kernel(int lanes) {
-  return lanes == 16 ? &row_avx2_impl<16> : &row_avx2_impl<8>;
+template <class T>
+MinSumRowFnT<T> avx2_row_kernel(int lanes) {
+  return avx2_body<T>(lanes);
 }
+
+template MinSumRowFnT<std::int32_t> avx2_row_kernel<std::int32_t>(int);
+template MinSumRowFnT<std::int16_t> avx2_row_kernel<std::int16_t>(int);
+template MinSumRowFnT<std::int8_t> avx2_row_kernel<std::int8_t>(int);
+
+namespace {
+void quantize_llrs_avx2(const double* llr, std::int32_t* raw,
+                        std::size_t count, const QuantSpec& spec) {
+  quantize_llrs_body(llr, raw, count, spec);
+}
+}  // namespace
+
+QuantFn avx2_quant_kernel() { return &quantize_llrs_avx2; }
+
+template <class T>
+CwScanFnT<T> avx2_cw_scan_kernel(int lanes) {
+  constexpr int s = lane_scale(lane_type_of<T>);
+  return lanes == 16 * s ? &cw_scan_body<T, 16 * s> : &cw_scan_body<T, 8 * s>;
+}
+template <class T>
+EtScanFnT<T> avx2_et_scan_kernel(int lanes) {
+  constexpr int s = lane_scale(lane_type_of<T>);
+  return lanes == 16 * s ? &et_scan_body<T, 16 * s> : &et_scan_body<T, 8 * s>;
+}
+
+template CwScanFnT<std::int32_t> avx2_cw_scan_kernel<std::int32_t>(int);
+template CwScanFnT<std::int16_t> avx2_cw_scan_kernel<std::int16_t>(int);
+template CwScanFnT<std::int8_t> avx2_cw_scan_kernel<std::int8_t>(int);
+template EtScanFnT<std::int32_t> avx2_et_scan_kernel<std::int32_t>(int);
+template EtScanFnT<std::int16_t> avx2_et_scan_kernel<std::int16_t>(int);
+template EtScanFnT<std::int8_t> avx2_et_scan_kernel<std::int8_t>(int);
 
 }  // namespace ldpc::core::kernels

@@ -1,9 +1,57 @@
-// AVX2 row body (8 x int32 per 256-bit vector), shared by the AVX2 tier TU
-// and — for 8-lane engines — the AVX-512 tier TU (whose compile flags
-// include AVX2). Include inside an anonymous namespace only; the including
-// TU must be compiled with -mavx2 (or better) and have <immintrin.h>
-// visible. Arithmetic is bit-identical to row_scalar: saturate, clip,
-// strict-`<` two-minima scan (first minimum keeps argmin), sign product.
+// AVX2 row bodies, shared by the AVX2 tier TU and — for lane widths or
+// lane types the AVX-512 tier does not serve natively — the AVX-512 tier
+// TU (whose compile flags include AVX2). Include inside an anonymous
+// namespace only; the including TU must be compiled with -mavx2 (or
+// better) and have <immintrin.h> visible. Arithmetic is bit-identical to
+// row_scalar: saturate, clip, strict-`<` two-minima scan (first minimum
+// keeps argmin), sign product, minima correction. Three element widths:
+//   row_avx2_impl<W>    8 x int32 per 256-bit vector
+//   row_avx2_epi16<W>  16 x int16 per vector (saturating subs/adds)
+//   row_avx2_epi8<W>   32 x int8 per vector (saturating subs/adds)
+// The narrow bodies rely on the engine-enforced eligibility rule (all
+// rails fit the lane type): the saturating ops' interval then contains the
+// clamp interval, so saturate-then-clamp == the int32 wide-then-clamp.
+
+// Min-sum variant correction of a non-negative minima vector (see
+// RowBounds): offset subtract floored at zero, then the 3/4 scaling.
+inline __m256i minima_correct_epi32(
+    __m256i mag, const ldpc::core::kernels::RowBounds& b) {
+  if (b.offset) {
+    mag = _mm256_sub_epi32(mag, _mm256_set1_epi32(b.offset));
+    mag = _mm256_max_epi32(mag, _mm256_setzero_si256());
+  }
+  if (b.norm) mag = _mm256_sub_epi32(mag, _mm256_srli_epi32(mag, 2));
+  return mag;
+}
+
+inline __m256i minima_correct_epi16(
+    __m256i mag, const ldpc::core::kernels::RowBounds& b) {
+  if (b.offset) {
+    mag = _mm256_sub_epi16(mag,
+                           _mm256_set1_epi16(static_cast<short>(b.offset)));
+    mag = _mm256_max_epi16(mag, _mm256_setzero_si256());
+  }
+  if (b.norm) mag = _mm256_sub_epi16(mag, _mm256_srli_epi16(mag, 2));
+  return mag;
+}
+
+inline __m256i minima_correct_epi8(
+    __m256i mag, const ldpc::core::kernels::RowBounds& b) {
+  if (b.offset) {
+    mag = _mm256_sub_epi8(mag,
+                          _mm256_set1_epi8(static_cast<char>(b.offset)));
+    mag = _mm256_max_epi8(mag, _mm256_setzero_si256());
+  }
+  if (b.norm) {
+    // No byte shift in AVX2: shift 16-bit lanes and clear the two bits
+    // each high byte leaked into its low neighbour (values are <= 127, so
+    // every byte of mag >> 2 fits in 6 bits).
+    const __m256i q = _mm256_and_si256(_mm256_srli_epi16(mag, 2),
+                                       _mm256_set1_epi8(0x3f));
+    mag = _mm256_sub_epi8(mag, q);
+  }
+  return mag;
+}
 
 template <int W>
 void row_avx2_impl(std::int32_t* const* l_rows, std::int32_t* lambda_row,
@@ -43,6 +91,9 @@ void row_avx2_impl(std::int32_t* const* l_rows, std::int32_t* lambda_row,
       argmin = _mm256_blendv_epi8(argmin, _mm256_set1_epi32(e), lt1);
     }
 
+    min1 = minima_correct_epi32(min1, b);
+    min2 = minima_correct_epi32(min2, b);
+
     for (int e = 0; e < deg; ++e) {
       const __m256i m = _mm256_loadu_si256(
           reinterpret_cast<const __m256i*>(lam + e * W + c));
@@ -63,4 +114,146 @@ void row_avx2_impl(std::int32_t* const* l_rows, std::int32_t* lambda_row,
       _mm256_storeu_si256(reinterpret_cast<__m256i*>(l_rows[e] + c), app);
     }
   }
+}
+
+template <int W>
+void row_avx2_epi16(std::int16_t* const* l_rows, std::int16_t* lambda_row,
+                    std::int16_t* lam_full, std::int16_t* lam, int deg,
+                    const ldpc::core::kernels::RowBounds& b) {
+  const __m256i app_lo = _mm256_set1_epi16(static_cast<short>(b.app_lo));
+  const __m256i app_hi = _mm256_set1_epi16(static_cast<short>(b.app_hi));
+  const __m256i msg_lo = _mm256_set1_epi16(static_cast<short>(b.msg_lo));
+  const __m256i msg_hi = _mm256_set1_epi16(static_cast<short>(b.msg_hi));
+  const __m256i zero = _mm256_setzero_si256();
+
+  for (int c = 0; c < W; c += 16) {
+    __m256i min1 = msg_hi, min2 = msg_hi;
+    __m256i argmin = _mm256_set1_epi16(-1);
+    __m256i signs = zero;
+
+    for (int e = 0; e < deg; ++e) {
+      const __m256i l = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(l_rows[e] + c));
+      const __m256i lamb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lambda_row + e * W + c));
+      __m256i d = _mm256_subs_epi16(l, lamb);
+      d = _mm256_min_epi16(d, app_hi);
+      d = _mm256_max_epi16(d, app_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam_full + e * W + c),
+                          d);
+      __m256i m = _mm256_min_epi16(d, msg_hi);
+      m = _mm256_max_epi16(m, msg_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam + e * W + c), m);
+
+      const __m256i neg = _mm256_cmpgt_epi16(zero, m);
+      signs = _mm256_xor_si256(signs, neg);
+      const __m256i mag = _mm256_abs_epi16(m);
+      const __m256i lt1 = _mm256_cmpgt_epi16(min1, mag);
+      min2 = _mm256_blendv_epi8(_mm256_min_epi16(min2, mag), min1, lt1);
+      min1 = _mm256_blendv_epi8(min1, mag, lt1);
+      argmin = _mm256_blendv_epi8(
+          argmin, _mm256_set1_epi16(static_cast<short>(e)), lt1);
+    }
+
+    min1 = minima_correct_epi16(min1, b);
+    min2 = minima_correct_epi16(min2, b);
+
+    for (int e = 0; e < deg; ++e) {
+      const __m256i m = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam + e * W + c));
+      const __m256i lf = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam_full + e * W + c));
+      const __m256i is_min = _mm256_cmpeq_epi16(
+          argmin, _mm256_set1_epi16(static_cast<short>(e)));
+      const __m256i mag = _mm256_blendv_epi8(min1, min2, is_min);
+      const __m256i neg_m = _mm256_cmpgt_epi16(zero, m);
+      const __m256i out_neg = _mm256_xor_si256(signs, neg_m);
+      const __m256i out =
+          _mm256_blendv_epi8(mag, _mm256_sub_epi16(zero, mag), out_neg);
+      __m256i app = _mm256_adds_epi16(lf, out);
+      app = _mm256_min_epi16(app, app_hi);
+      app = _mm256_max_epi16(app, app_lo);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(lambda_row + e * W + c), out);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(l_rows[e] + c), app);
+    }
+  }
+}
+
+template <int W>
+void row_avx2_epi8(std::int8_t* const* l_rows, std::int8_t* lambda_row,
+                   std::int8_t* lam_full, std::int8_t* lam, int deg,
+                   const ldpc::core::kernels::RowBounds& b) {
+  const __m256i app_lo = _mm256_set1_epi8(static_cast<char>(b.app_lo));
+  const __m256i app_hi = _mm256_set1_epi8(static_cast<char>(b.app_hi));
+  const __m256i msg_lo = _mm256_set1_epi8(static_cast<char>(b.msg_lo));
+  const __m256i msg_hi = _mm256_set1_epi8(static_cast<char>(b.msg_hi));
+  const __m256i zero = _mm256_setzero_si256();
+
+  for (int c = 0; c < W; c += 32) {
+    __m256i min1 = msg_hi, min2 = msg_hi;
+    __m256i argmin = _mm256_set1_epi8(-1);
+    __m256i signs = zero;
+
+    // Edge indices ride in int8 lanes: the engines cap the check degree at
+    // 127 for int8 engines (any registered code is far below).
+    for (int e = 0; e < deg; ++e) {
+      const __m256i l = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(l_rows[e] + c));
+      const __m256i lamb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lambda_row + e * W + c));
+      __m256i d = _mm256_subs_epi8(l, lamb);
+      d = _mm256_min_epi8(d, app_hi);
+      d = _mm256_max_epi8(d, app_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam_full + e * W + c),
+                          d);
+      __m256i m = _mm256_min_epi8(d, msg_hi);
+      m = _mm256_max_epi8(m, msg_lo);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lam + e * W + c), m);
+
+      const __m256i neg = _mm256_cmpgt_epi8(zero, m);
+      signs = _mm256_xor_si256(signs, neg);
+      const __m256i mag = _mm256_abs_epi8(m);
+      const __m256i lt1 = _mm256_cmpgt_epi8(min1, mag);
+      min2 = _mm256_blendv_epi8(_mm256_min_epi8(min2, mag), min1, lt1);
+      min1 = _mm256_blendv_epi8(min1, mag, lt1);
+      argmin = _mm256_blendv_epi8(
+          argmin, _mm256_set1_epi8(static_cast<char>(e)), lt1);
+    }
+
+    min1 = minima_correct_epi8(min1, b);
+    min2 = minima_correct_epi8(min2, b);
+
+    for (int e = 0; e < deg; ++e) {
+      const __m256i m = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam + e * W + c));
+      const __m256i lf = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lam_full + e * W + c));
+      const __m256i is_min = _mm256_cmpeq_epi8(
+          argmin, _mm256_set1_epi8(static_cast<char>(e)));
+      const __m256i mag = _mm256_blendv_epi8(min1, min2, is_min);
+      const __m256i neg_m = _mm256_cmpgt_epi8(zero, m);
+      const __m256i out_neg = _mm256_xor_si256(signs, neg_m);
+      const __m256i out =
+          _mm256_blendv_epi8(mag, _mm256_sub_epi8(zero, mag), out_neg);
+      __m256i app = _mm256_adds_epi8(lf, out);
+      app = _mm256_min_epi8(app, app_hi);
+      app = _mm256_max_epi8(app, app_lo);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(lambda_row + e * W + c), out);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(l_rows[e] + c), app);
+    }
+  }
+}
+
+// Tier-TU body selector shared by the AVX2 getter and the AVX-512 getter's
+// non-native fallbacks.
+template <class T>
+ldpc::core::kernels::MinSumRowFnT<T> avx2_body(int lanes) {
+  if constexpr (std::is_same_v<T, std::int32_t>)
+    return lanes == 16 ? &row_avx2_impl<16> : &row_avx2_impl<8>;
+  else if constexpr (std::is_same_v<T, std::int16_t>)
+    return lanes == 32 ? &row_avx2_epi16<32> : &row_avx2_epi16<16>;
+  else
+    return lanes == 64 ? &row_avx2_epi8<64> : &row_avx2_epi8<32>;
 }

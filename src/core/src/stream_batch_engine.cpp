@@ -2,33 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
 #include "ldpc/core/soa_scan.hpp"
 
 namespace ldpc::core {
 
-int StreamBatchEngine::preferred_lanes() {
-  return kernels::active_tier() == kernels::Tier::kAvx512 ? 16 : 8;
-}
-
-StreamBatchEngine::StreamBatchEngine(DecoderConfig config, int lanes)
+template <class T>
+StreamBatchEngineT<T>::StreamBatchEngineT(DecoderConfig config, int lanes)
     : config_(validated_batch_config(config, "StreamBatchEngine")),
       traits_(config_) {
-  if (lanes == 0) lanes = preferred_lanes();
-  if (lanes != 8 && lanes != 16)
+  if (!lane_type_eligible(config_, lane_type()))
     throw std::invalid_argument(
-        "StreamBatchEngine: lane width must be 8, 16 or 0 (auto)");
+        "StreamBatchEngine: config rails do not fit lane type " +
+        kernels::to_string(lane_type()));
+  if (lanes == 0) lanes = kernels::preferred_lanes(lane_type());
   lanes_ = lanes;
   tier_ = kernels::active_tier();
-  row_fn_ = kernels::row_kernel(tier_, lanes_);
-  app_min_ = traits_.app_fmt.raw_min();
-  app_max_ = traits_.app_fmt.raw_max();
-  msg_min_ = traits_.fmt.raw_min();
-  msg_max_ = traits_.fmt.raw_max();
+  row_fn_ = kernels::row_kernel<T>(tier_, lanes_);  // validates the width
+  bounds_ = make_row_bounds(config_, traits_);
   lane_.resize(static_cast<std::size_t>(lanes_));
 }
 
-void StreamBatchEngine::reconfigure(const codes::QCCode& code) {
+template <class T>
+void StreamBatchEngineT<T>::reconfigure(const codes::QCCode& code) {
+  check_lane_degree<T>(code, "StreamBatchEngine");
   code_ = &code;
   const auto w = static_cast<std::size_t>(lanes_);
   l_soa_.assign(static_cast<std::size_t>(code.n()) * w, 0);
@@ -38,15 +37,18 @@ void StreamBatchEngine::reconfigure(const codes::QCCode& code) {
   lrow_ptrs_.resize(static_cast<std::size_t>(code.max_check_degree()));
   prev_hard_soa_.assign(static_cast<std::size_t>(code.k_info()) * w, 0);
   raw_scratch_.resize(static_cast<std::size_t>(code.n()) * w);
+  if constexpr (!std::is_same_v<T, std::int32_t>)
+    dep_scratch_.resize(static_cast<std::size_t>(code.n()));
   cycles_per_iteration_ = 0;
   for (const auto& layer : code.layers())
     cycles_per_iteration_ +=
         row_datapath_cycles(config_.radix, static_cast<int>(layer.size()));
 }
 
-void StreamBatchEngine::decode(std::span<const double> llrs,
-                               std::span<const int> order,
-                               std::span<FixedDecodeResult> results) {
+template <class T>
+void StreamBatchEngineT<T>::decode(std::span<const double> llrs,
+                                   std::span<const int> order,
+                                   std::span<FixedDecodeResult> results) {
   if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
   const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
   if (results.empty() || llrs.size() != tx * results.size())
@@ -57,9 +59,10 @@ void StreamBatchEngine::decode(std::span<const double> llrs,
   tx_llrs_ = {};
 }
 
-void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,
-                                   std::span<const int> order,
-                                   std::span<FixedDecodeResult> results) {
+template <class T>
+void StreamBatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
+                                       std::span<const int> order,
+                                       std::span<FixedDecodeResult> results) {
   if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
   const auto n = static_cast<std::size_t>(code_->n());
   if (results.empty() || raw.size() != n * results.size())
@@ -70,20 +73,41 @@ void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,
   raw_in_ = {};
 }
 
-void StreamBatchEngine::load_lane(int w, std::size_t f,
-                                  std::span<FixedDecodeResult> results) {
+template <class T>
+void StreamBatchEngineT<T>::load_lane(int w, std::size_t f,
+                                      std::span<FixedDecodeResult> results) {
   const auto n = static_cast<std::size_t>(code_->n());
   const auto lw = static_cast<std::size_t>(w);
   if (!raw_in_.empty()) {
-    staged_src_[lw] = raw_in_.data() + f * n;
+    if constexpr (std::is_same_v<T, std::int32_t>) {
+      staged_src_[lw] = raw_in_.data() + f * n;
+    } else {
+      // Narrowing copy into the lane's staging slot; out-of-range caller
+      // values clamp to the lane rails like BatchEngineT::decode_raw.
+      const std::int32_t* src = raw_in_.data() + f * n;
+      T* slot = raw_scratch_.data() + lw * n;
+#pragma omp simd
+      for (std::size_t v = 0; v < n; ++v) slot[v] = clamp_to_lane<T>(src[v]);
+      staged_src_[lw] = slot;
+    }
   } else {
     // Per-lane deposit on refill: the shared scheme-aware LLR expansion
     // (puncturing erasures, filler rails, rate-matched accumulation) runs
     // the moment the lane is claimed, not in a batch-wide prepass.
     const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
-    std::int32_t* slot = raw_scratch_.data() + lw * n;
-    deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
-                        std::span<std::int32_t>(slot, n), acc_);
+    T* slot = raw_scratch_.data() + lw * n;
+    if constexpr (std::is_same_v<T, std::int32_t>) {
+      deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
+                          std::span<std::int32_t>(slot, n), acc_);
+    } else {
+      // The deposit emits int32 raw codes; for an eligible config they all
+      // fit T, so the narrowing pass is a plain cast-and-clamp.
+      deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
+                          std::span<std::int32_t>(dep_scratch_), acc_);
+#pragma omp simd
+      for (std::size_t v = 0; v < n; ++v)
+        slot[v] = clamp_to_lane<T>(dep_scratch_[v]);
+    }
     staged_src_[lw] = slot;
   }
   fresh_[nfresh_++] = w;
@@ -99,7 +123,8 @@ void StreamBatchEngine::load_lane(int w, std::size_t f,
   res.datapath_cycles = 0;
 }
 
-void StreamBatchEngine::apply_fresh() {
+template <class T>
+void StreamBatchEngineT<T>::apply_fresh() {
   if (nfresh_ == 0) return;
   const auto n = static_cast<std::size_t>(code_->n());
   const auto lanes = static_cast<std::size_t>(lanes_);
@@ -107,7 +132,7 @@ void StreamBatchEngine::apply_fresh() {
   // per-lane column is strided (one word per cache line), so merging the
   // refill burst costs one traversal instead of one per lane.
   for (std::size_t v = 0; v < n; ++v) {
-    std::int32_t* row = &l_soa_[v * lanes];
+    T* row = &l_soa_[v * lanes];
     for (int i = 0; i < nfresh_; ++i) {
       const int w = fresh_[i];
       row[w] = staged_src_[w][v];
@@ -115,8 +140,9 @@ void StreamBatchEngine::apply_fresh() {
   }
 }
 
-void StreamBatchEngine::gather_bits(int lane,
-                                    std::vector<std::uint8_t>& bits) const {
+template <class T>
+void StreamBatchEngineT<T>::gather_bits(
+    int lane, std::vector<std::uint8_t>& bits) const {
   const auto n = static_cast<std::size_t>(code_->n());
   const auto lanes = static_cast<std::size_t>(lanes_);
   for (std::size_t v = 0; v < n; ++v)
@@ -124,8 +150,9 @@ void StreamBatchEngine::gather_bits(int lane,
         l_soa_[v * lanes + static_cast<std::size_t>(lane)] < 0 ? 1 : 0;
 }
 
-void StreamBatchEngine::run_queue(std::span<const int> order,
-                                  std::span<FixedDecodeResult> results) {
+template <class T>
+void StreamBatchEngineT<T>::run_queue(std::span<const int> order,
+                                      std::span<FixedDecodeResult> results) {
   const std::size_t frames = results.size();
   const int j = code_->block_rows();
   if (!order.empty() && order.size() != static_cast<std::size_t>(j))
@@ -171,6 +198,14 @@ void StreamBatchEngine::run_queue(std::span<const int> order,
     // Per-lane bookkeeping: exactly the scalar engine's post-iteration
     // sequence (decision, ET, codeword stop) against the lane's OWN
     // iteration counter; stopped lanes retire and refill immediately.
+    // Retiring lanes are collected first so ONE traversal of the L memory
+    // serves every retirement of this pass (the mirror of apply_fresh —
+    // the per-lane column is strided, one word per cache line, so a
+    // per-frame gather pass was per-frame constant cost that did not
+    // shrink with lane count).
+    int nretire = 0;
+    int retire_w[kMaxLanes];
+    std::uint8_t* retire_bits[kMaxLanes];
     for (int w = 0; w < lanes_; ++w) {
       LaneState& lane = lane_[static_cast<std::size_t>(w)];
       if (lane.frame < 0) continue;
@@ -183,7 +218,23 @@ void StreamBatchEngine::run_queue(std::span<const int> order,
           soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
       if (stop.early_terminated) res.early_terminated = true;
       if (stop.stopped || last_iter) {
-        gather_bits(w, res.bits);
+        retire_w[nretire] = w;
+        retire_bits[nretire] = res.bits.data();
+        ++nretire;
+      }
+    }
+    if (nretire > 0) {
+      const auto n = static_cast<std::size_t>(code_->n());
+      const auto lanes = static_cast<std::size_t>(lanes_);
+      for (std::size_t v = 0; v < n; ++v) {
+        const T* row = &l_soa_[v * lanes];
+        for (int i = 0; i < nretire; ++i)
+          retire_bits[i][v] = row[retire_w[i]] < 0 ? 1 : 0;
+      }
+      for (int i = 0; i < nretire; ++i) {
+        const int w = retire_w[i];
+        LaneState& lane = lane_[static_cast<std::size_t>(w)];
+        auto& res = results[static_cast<std::size_t>(lane.frame)];
         res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
         if (next < frames) {
           load_lane(w, next++, results);  // refill mid-flight
@@ -196,19 +247,18 @@ void StreamBatchEngine::run_queue(std::span<const int> order,
   }
 }
 
-void StreamBatchEngine::process_layer(int layer) {
+template <class T>
+void StreamBatchEngineT<T>::process_layer(int layer) {
   const int z = code_->z();
   const auto& blocks = code_->layers()[static_cast<std::size_t>(layer)];
   const int deg = static_cast<int>(blocks.size());
   const auto lanes = static_cast<std::size_t>(lanes_);
-  const kernels::RowBounds bounds{app_min_, app_max_, msg_min_, msg_max_};
 
   for (int t = 0; t < z; ++t) {
     const int r = layer * z + t;
     const auto vars = code_->check_vars(r);
     const int e0 = code_->edge_index(r, 0);
-    std::int32_t* const lambda_row =
-        &lambda_soa_[static_cast<std::size_t>(e0) * lanes];
+    T* const lambda_row = &lambda_soa_[static_cast<std::size_t>(e0) * lanes];
     // Deferred Lambda = 0 for freshly refilled lanes: these cache lines
     // are about to be read by the kernel, so the clear is free here where
     // a strided per-refill pass over the edge memory was not.
@@ -221,9 +271,101 @@ void StreamBatchEngine::process_layer(int layer) {
     for (int e = 0; e < deg; ++e)
       lrow_ptrs_[static_cast<std::size_t>(e)] =
           &l_soa_[static_cast<std::size_t>(vars[e]) * lanes];
+    // Prefetch the NEXT row's L lines while this row computes: the L rows
+    // are scattered by the base-graph columns (no hardware-prefetchable
+    // pattern, unlike the sequential Lambda stream), and on large codes
+    // they live in L2/L3.
+    if (t + 1 < z) {
+      const auto nvars = code_->check_vars(r + 1);
+      for (int e = 0; e < deg; ++e)
+        __builtin_prefetch(
+            &l_soa_[static_cast<std::size_t>(nvars[e]) * lanes], 1);
+    }
     row_fn_(lrow_ptrs_.data(), lambda_row, lam_full_.data(), lam_.data(),
-            deg, bounds);
+            deg, bounds_);
   }
+}
+
+template class StreamBatchEngineT<std::int32_t>;
+template class StreamBatchEngineT<std::int16_t>;
+template class StreamBatchEngineT<std::int8_t>;
+
+// ---------------------------------------------------------------------------
+// Runtime lane-type wrapper.
+
+int StreamBatchEngine::preferred_lanes(kernels::LaneType type) {
+  return kernels::preferred_lanes(type);
+}
+
+StreamBatchEngine::Impl StreamBatchEngine::make_impl(
+    DecoderConfig config, int lanes,
+    std::optional<kernels::LaneType> lane_type) {
+  kernels::LaneType type;
+  if (lane_type) {
+    // An explicitly requested type is strict: the caller asked for THIS
+    // datapath, so a config whose rails overflow it is an error, not a
+    // silent widening (contrast the LDPC_LANE_TYPE preference, which
+    // select_lane_type clamps back to the narrowest eligible type).
+    if (!lane_type_eligible(config, *lane_type))
+      throw std::invalid_argument(
+          "StreamBatchEngine: config rails do not fit lane type " +
+          kernels::to_string(*lane_type));
+    type = *lane_type;
+  } else {
+    type = select_lane_type(config);
+  }
+  switch (type) {
+    case kernels::LaneType::kInt16:
+      return StreamBatchEngineT<std::int16_t>(std::move(config), lanes);
+    case kernels::LaneType::kInt8:
+      return StreamBatchEngineT<std::int8_t>(std::move(config), lanes);
+    case kernels::LaneType::kInt32:
+    default:
+      return StreamBatchEngineT<std::int32_t>(std::move(config), lanes);
+  }
+}
+
+StreamBatchEngine::StreamBatchEngine(
+    DecoderConfig config, int lanes,
+    std::optional<kernels::LaneType> lane_type)
+    : impl_(make_impl(std::move(config), lanes, lane_type)) {}
+
+void StreamBatchEngine::reconfigure(const codes::QCCode& code) {
+  std::visit([&](auto& e) { e.reconfigure(code); }, impl_);
+}
+
+bool StreamBatchEngine::configured() const noexcept {
+  return std::visit([](const auto& e) { return e.configured(); }, impl_);
+}
+
+const DecoderConfig& StreamBatchEngine::config() const noexcept {
+  return std::visit(
+      [](const auto& e) -> const DecoderConfig& { return e.config(); },
+      impl_);
+}
+
+int StreamBatchEngine::lanes() const noexcept {
+  return std::visit([](const auto& e) { return e.lanes(); }, impl_);
+}
+
+kernels::Tier StreamBatchEngine::tier() const noexcept {
+  return std::visit([](const auto& e) { return e.tier(); }, impl_);
+}
+
+kernels::LaneType StreamBatchEngine::lane_type() const noexcept {
+  return std::visit([](const auto& e) { return e.lane_type(); }, impl_);
+}
+
+void StreamBatchEngine::decode(std::span<const double> llrs,
+                               std::span<const int> order,
+                               std::span<FixedDecodeResult> results) {
+  std::visit([&](auto& e) { e.decode(llrs, order, results); }, impl_);
+}
+
+void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,
+                                   std::span<const int> order,
+                                   std::span<FixedDecodeResult> results) {
+  std::visit([&](auto& e) { e.decode_raw(raw, order, results); }, impl_);
 }
 
 }  // namespace ldpc::core

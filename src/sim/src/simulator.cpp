@@ -170,10 +170,13 @@ Simulator::Simulator(const codes::QCCode& code, BatchDecoderFactory factory,
   validate(config_);
   // Default claim: four refill rounds of the stream engine's lane width —
   // wide enough that the end-of-claim drain (the only point where lanes
-  // idle) is a small fraction of the work.
+  // idle) is a small fraction of the work. Sized for the int16 lane type
+  // the default decoder configs select (a wider claim is also fine for an
+  // int32 engine: it just spans more refill rounds).
   batch_ = config_.batch > 0
                ? config_.batch
-               : 4 * core::StreamBatchEngine::preferred_lanes();
+               : 4 * core::StreamBatchEngine::preferred_lanes(
+                         core::kernels::LaneType::kInt16);
 }
 
 SweepPoint Simulator::run_point(double ebn0_db) {

@@ -1,0 +1,265 @@
+// Kernel-layer unit tests: the dispatch knobs (tier / lane-type parsing,
+// width validation) and the row-kernel matrix itself — every SIMD tier ×
+// lane element type × lane width × min-sum variant, locked lane-for-lane
+// against the scalar int32 kernel on random in-rail inputs. The
+// engine-level refill-equivalence suite pins absolute decode semantics;
+// this suite pins the kernels directly, so a drift in one tier's saturation
+// point, tie-breaking or correction shows up as a one-word diff here
+// instead of a whole-decode divergence there.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ldpc/core/kernels/minsum_kernels.hpp"
+
+namespace {
+
+using namespace ldpc::core;
+
+TEST(Kernels, ParseTierAcceptsCaseInsensitively) {
+  EXPECT_EQ(kernels::parse_tier("scalar"), kernels::Tier::kScalar);
+  EXPECT_EQ(kernels::parse_tier("Scalar"), kernels::Tier::kScalar);
+  EXPECT_EQ(kernels::parse_tier("SSE42"), kernels::Tier::kSse42);
+  EXPECT_EQ(kernels::parse_tier("sse42"), kernels::Tier::kSse42);
+  EXPECT_EQ(kernels::parse_tier("avx2"), kernels::Tier::kAvx2);
+  EXPECT_EQ(kernels::parse_tier("AVX2"), kernels::Tier::kAvx2);
+  EXPECT_EQ(kernels::parse_tier("Avx512"), kernels::Tier::kAvx512);
+  EXPECT_EQ(kernels::parse_tier("AVX512"), kernels::Tier::kAvx512);
+}
+
+TEST(Kernels, ParseTierRejectsUnknownNames) {
+  // A silent kScalar mapping here once forfeited the whole SIMD win on an
+  // LDPC_SIMD typo; unknown names must now be loud.
+  EXPECT_THROW(kernels::parse_tier("avx1024"), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_tier(""), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_tier("sse4.2"), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_tier(" avx2"), std::invalid_argument);
+  EXPECT_FALSE(kernels::try_parse_tier("neon").has_value());
+  ASSERT_TRUE(kernels::try_parse_tier("aVx512").has_value());
+  EXPECT_EQ(*kernels::try_parse_tier("aVx512"), kernels::Tier::kAvx512);
+}
+
+TEST(Kernels, ParseLaneTypeMirrorsTierParsing) {
+  EXPECT_EQ(kernels::parse_lane_type("int32"), kernels::LaneType::kInt32);
+  EXPECT_EQ(kernels::parse_lane_type("Int16"), kernels::LaneType::kInt16);
+  EXPECT_EQ(kernels::parse_lane_type("INT8"), kernels::LaneType::kInt8);
+  EXPECT_THROW(kernels::parse_lane_type("int64"), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_lane_type(""), std::invalid_argument);
+  EXPECT_FALSE(kernels::try_parse_lane_type("short").has_value());
+  ASSERT_TRUE(kernels::try_parse_lane_type("InT8").has_value());
+  EXPECT_EQ(*kernels::try_parse_lane_type("InT8"), kernels::LaneType::kInt8);
+}
+
+TEST(Kernels, LaneTypeHelpers) {
+  EXPECT_EQ(kernels::lane_scale(kernels::LaneType::kInt32), 1);
+  EXPECT_EQ(kernels::lane_scale(kernels::LaneType::kInt16), 2);
+  EXPECT_EQ(kernels::lane_scale(kernels::LaneType::kInt8), 4);
+  EXPECT_EQ(kernels::lane_raw_max(kernels::LaneType::kInt16), 32767);
+  EXPECT_EQ(kernels::lane_raw_max(kernels::LaneType::kInt8), 127);
+  EXPECT_TRUE(kernels::valid_lane_width(kernels::LaneType::kInt32, 8));
+  EXPECT_TRUE(kernels::valid_lane_width(kernels::LaneType::kInt16, 32));
+  EXPECT_TRUE(kernels::valid_lane_width(kernels::LaneType::kInt8, 64));
+  EXPECT_FALSE(kernels::valid_lane_width(kernels::LaneType::kInt32, 32));
+  EXPECT_FALSE(kernels::valid_lane_width(kernels::LaneType::kInt16, 8));
+  EXPECT_FALSE(kernels::valid_lane_width(kernels::LaneType::kInt8, 16));
+  EXPECT_EQ(kernels::to_string(kernels::LaneType::kInt16), "int16");
+}
+
+TEST(Kernels, RowKernelValidatesWidthPerType) {
+  EXPECT_NE(kernels::row_kernel<std::int32_t>(kernels::Tier::kScalar, 8),
+            nullptr);
+  EXPECT_NE(kernels::row_kernel<std::int16_t>(kernels::Tier::kScalar, 32),
+            nullptr);
+  EXPECT_NE(kernels::row_kernel<std::int8_t>(kernels::Tier::kScalar, 64),
+            nullptr);
+  EXPECT_THROW(kernels::row_kernel<std::int32_t>(kernels::Tier::kScalar, 32),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::row_kernel<std::int16_t>(kernels::Tier::kScalar, 8),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::row_kernel<std::int8_t>(kernels::Tier::kScalar, 7),
+               std::invalid_argument);
+}
+
+/// The dispatch tiers this host can actually execute, deduplicated.
+std::vector<kernels::Tier> available_tiers() {
+  std::set<kernels::Tier> seen;
+  for (const kernels::Tier t :
+       {kernels::Tier::kScalar, kernels::Tier::kSse42, kernels::Tier::kAvx2,
+        kernels::Tier::kAvx512})
+    seen.insert(kernels::force_tier(t));
+  kernels::clear_forced_tier();
+  return {seen.begin(), seen.end()};
+}
+
+/// One random row case: `deg` edges over `lanes` lanes of type T, inputs
+/// uniform within the rails of `bounds`, executed by the kernel under test
+/// and — in 8-lane chunks — by the scalar int32 reference kernel. Every
+/// output word (updated L rows and Lambda row) must match exactly. When
+/// `alias` is set, edge 2 shares its L row with edge 0 (a variable
+/// appearing twice in one check), locking the write-back ordering too.
+template <class T>
+void check_row_against_scalar_ref(kernels::Tier tier, int lanes, int deg,
+                                  const kernels::RowBounds& bounds,
+                                  bool alias, std::uint32_t seed) {
+  SCOPED_TRACE("tier=" + kernels::to_string(tier) + " type=" +
+               kernels::to_string(kernels::lane_type_of<T>) + " lanes=" +
+               std::to_string(lanes) + " deg=" + std::to_string(deg) +
+               (alias ? " aliased" : "") + " seed=" + std::to_string(seed));
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int32_t> app_dist(bounds.app_lo,
+                                                       bounds.app_hi);
+  std::uniform_int_distribution<std::int32_t> msg_dist(bounds.msg_lo,
+                                                       bounds.msg_hi);
+  const auto d = static_cast<std::size_t>(deg);
+  const auto w = static_cast<std::size_t>(lanes);
+
+  // Master copies in int32 (all values fit T by construction).
+  std::vector<std::vector<std::int32_t>> l0(d,
+                                            std::vector<std::int32_t>(w));
+  std::vector<std::int32_t> lam0(d * w);
+  for (std::size_t e = 0; e < d; ++e)
+    for (std::size_t k = 0; k < w; ++k) l0[e][k] = app_dist(rng);
+  if (alias && d > 2) l0[2] = l0[0];
+  for (auto& v : lam0) v = msg_dist(rng);
+
+  // Reference: the scalar int32 kernel over 8-lane chunks.
+  const auto ref_fn =
+      kernels::row_kernel<std::int32_t>(kernels::Tier::kScalar, 8);
+  std::vector<std::vector<std::int32_t>> l_ref = l0;
+  std::vector<std::int32_t> lam_ref = lam0;
+  std::vector<std::int32_t> chunk_lam(d * 8), full8(d * 8), clip8(d * 8);
+  std::vector<std::vector<std::int32_t>> chunk_l(d,
+                                                 std::vector<std::int32_t>(8));
+  std::vector<std::int32_t*> rows8(d);
+  for (int c = 0; c < lanes / 8; ++c) {
+    const auto base = static_cast<std::size_t>(c) * 8;
+    for (std::size_t e = 0; e < d; ++e) {
+      for (std::size_t k = 0; k < 8; ++k)
+        chunk_l[e][k] = l_ref[e][base + k];
+      rows8[e] = chunk_l[e].data();
+      for (std::size_t k = 0; k < 8; ++k)
+        chunk_lam[e * 8 + k] = lam_ref[e * w + base + k];
+    }
+    if (alias && d > 2) rows8[2] = rows8[0];  // mirror the aliasing
+    ref_fn(rows8.data(), chunk_lam.data(), full8.data(), clip8.data(), deg,
+           bounds);
+    for (std::size_t e = 0; e < d; ++e) {
+      const std::int32_t* out =
+          (alias && e == 2 && d > 2) ? chunk_l[0].data() : chunk_l[e].data();
+      for (std::size_t k = 0; k < 8; ++k) {
+        l_ref[e][base + k] = out[k];
+        lam_ref[e * w + base + k] = chunk_lam[e * 8 + k];
+      }
+    }
+    if (alias && d > 2)
+      for (std::size_t k = 0; k < 8; ++k) l_ref[2][base + k] = l_ref[0][base + k];
+  }
+
+  // Kernel under test, on narrowed copies of the same inputs.
+  const auto fn = kernels::row_kernel<T>(tier, lanes);
+  ASSERT_NE(fn, nullptr);
+  std::vector<std::vector<T>> l_got(d, std::vector<T>(w));
+  std::vector<T> lam_got(d * w), full_got(d * w), clip_got(d * w);
+  std::vector<T*> rows(d);
+  for (std::size_t e = 0; e < d; ++e) {
+    for (std::size_t k = 0; k < w; ++k)
+      l_got[e][k] = static_cast<T>(l0[e][k]);
+    rows[e] = l_got[e].data();
+    for (std::size_t k = 0; k < w; ++k)
+      lam_got[e * w + k] = static_cast<T>(lam0[e * w + k]);
+  }
+  if (alias && d > 2) rows[2] = rows[0];
+  fn(rows.data(), lam_got.data(), full_got.data(), clip_got.data(), deg,
+     bounds);
+
+  for (std::size_t e = 0; e < d; ++e) {
+    const T* out = (alias && e == 2 && d > 2) ? l_got[0].data()
+                                              : l_got[e].data();
+    for (std::size_t k = 0; k < w; ++k) {
+      ASSERT_EQ(l_ref[e][k], static_cast<std::int32_t>(out[k]))
+          << "L edge " << e << " lane " << k;
+      ASSERT_EQ(lam_ref[e * w + k],
+                static_cast<std::int32_t>(lam_got[e * w + k]))
+          << "Lambda edge " << e << " lane " << k;
+    }
+  }
+}
+
+/// RowBounds of the standard config (Q5.2 messages, 10-bit APP) and of the
+/// strict 8-bit-APP config, with the requested variant correction.
+kernels::RowBounds standard_bounds(std::int32_t offset, std::int32_t norm) {
+  return {.app_lo = -511, .app_hi = 511, .msg_lo = -127, .msg_hi = 127,
+          .offset = offset, .norm = norm};
+}
+kernels::RowBounds strict_bounds(std::int32_t offset, std::int32_t norm) {
+  return {.app_lo = -127, .app_hi = 127, .msg_lo = -127, .msg_hi = 127,
+          .offset = offset, .norm = norm};
+}
+
+TEST(Kernels, RowKernelMatrixMatchesScalarReference) {
+  for (const kernels::Tier tier : available_tiers()) {
+    // Plain, offset (beta = 2 LSBs) and normalized (3/4) min-sum: the
+    // correction rides in RowBounds, so the same matrix covers all three.
+    for (const auto& bounds :
+         {standard_bounds(0, 0), standard_bounds(2, 0),
+          standard_bounds(0, 1)}) {
+      for (const int deg : {2, 7, 19}) {
+        for (const bool alias : {false, true}) {
+          std::uint32_t seed = 1;
+          for (const int lanes : {8, 16})
+            check_row_against_scalar_ref<std::int32_t>(tier, lanes, deg,
+                                                       bounds, alias, seed++);
+          for (const int lanes : {16, 32})
+            check_row_against_scalar_ref<std::int16_t>(tier, lanes, deg,
+                                                       bounds, alias, seed++);
+        }
+      }
+    }
+    // int8 lanes require the strict rails (everything within +/-127).
+    for (const auto& bounds :
+         {strict_bounds(0, 0), strict_bounds(2, 0), strict_bounds(0, 1)}) {
+      for (const int deg : {2, 7, 19}) {
+        for (const bool alias : {false, true}) {
+          std::uint32_t seed = 101;
+          for (const int lanes : {32, 64})
+            check_row_against_scalar_ref<std::int8_t>(tier, lanes, deg,
+                                                      bounds, alias, seed++);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, PreferredLanesFollowsTierAndType) {
+  for (const kernels::Tier tier : available_tiers()) {
+    ASSERT_EQ(kernels::force_tier(tier), tier);
+    const bool full512 = tier == kernels::Tier::kAvx512;
+    EXPECT_EQ(kernels::preferred_lanes(kernels::LaneType::kInt32),
+              full512 ? 16 : 8);
+    // Narrow types only fill a 512-bit register when AVX-512BW is there.
+    const bool narrow512 = full512 && kernels::detected_avx512bw();
+    EXPECT_EQ(kernels::preferred_lanes(kernels::LaneType::kInt16),
+              narrow512 ? 32 : 16);
+    EXPECT_EQ(kernels::preferred_lanes(kernels::LaneType::kInt8),
+              narrow512 ? 64 : 32);
+  }
+  kernels::clear_forced_tier();
+}
+
+TEST(Kernels, ForceLaneTypePinsThePreference) {
+  kernels::force_lane_type(kernels::LaneType::kInt32);
+  ASSERT_TRUE(kernels::requested_lane_type().has_value());
+  EXPECT_EQ(*kernels::requested_lane_type(), kernels::LaneType::kInt32);
+  kernels::clear_forced_lane_type();
+  // Back to the env var (absent in this test binary unless CI set it).
+  const char* env = std::getenv("LDPC_LANE_TYPE");
+  if (!env || kernels::try_parse_lane_type(env) == std::nullopt) {
+    EXPECT_EQ(kernels::requested_lane_type(), std::nullopt);
+  }
+}
+
+}  // namespace

@@ -349,6 +349,154 @@ TEST(BatchEngine, RaggedBatchesMatchScalarBitExactly) {
   }
 }
 
+// Narrow-lane lockstep equivalence: the int16 instantiation (32 lanes)
+// must be bit-identical to scalar per-frame decoding for the standard
+// config — the containment argument (saturate-then-clamp == wide-then-
+// clamp when the rails fit the lane type) made executable.
+TEST(BatchEngine, Int16LanesMatchScalarBitExactly) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWlan80211n, codes::Rate::kR34, 81});
+  const core::DecoderConfig cfg{.max_iterations = 6,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .early_termination = {.enabled = true},
+                                .stop_on_codeword = true};
+  core::BatchEngineT<std::int16_t> batch(cfg);
+  static_assert(core::BatchEngineT<std::int16_t>::kLanes == 32);
+  batch.reconfigure(code);
+  core::LayerEngine scalar(cfg);
+  scalar.reconfigure(code);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = 32;
+  std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 5100 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                 static_cast<std::ptrdiff_t>(n));
+  }
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(frames));
+  batch.decode(llrs, {}, results);
+  std::vector<std::int32_t> raw(n);
+  for (int f = 0; f < frames; ++f) {
+    scalar.quantize(std::span<const double>(llrs).subspan(
+                        static_cast<std::size_t>(f) * n, n),
+                    raw);
+    const auto single = scalar.run(raw);
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].bits, single.bits) << f;
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].iterations,
+              single.iterations)
+        << f;
+  }
+}
+
+// int8 lanes (64 in lockstep) under the strict 8-bit-APP config, against a
+// scalar golden re-derived under the same config.
+TEST(BatchEngine, Int8LanesMatchStrictAppScalarBitExactly) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR23A, 36});
+  const core::DecoderConfig cfg{.app_extra_bits = 0,
+                                .max_iterations = 6,
+                                .kernel = core::CnuKernel::kMinSum,
+                                .stop_on_codeword = true};
+  core::BatchEngineT<std::int8_t> batch(cfg);
+  static_assert(core::BatchEngineT<std::int8_t>::kLanes == 64);
+  batch.reconfigure(code);
+  core::LayerEngine scalar(cfg);
+  scalar.reconfigure(code);
+
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = 64;
+  std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 6200 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                 static_cast<std::ptrdiff_t>(n));
+  }
+  std::vector<core::FixedDecodeResult> results(
+      static_cast<std::size_t>(frames));
+  batch.decode(llrs, {}, results);
+  std::vector<std::int32_t> raw(n);
+  for (int f = 0; f < frames; ++f) {
+    scalar.quantize(std::span<const double>(llrs).subspan(
+                        static_cast<std::size_t>(f) * n, n),
+                    raw);
+    const auto single = scalar.run(raw);
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].bits, single.bits) << f;
+    EXPECT_EQ(results[static_cast<std::size_t>(f)].iterations,
+              single.iterations)
+        << f;
+  }
+}
+
+// An int8 engine cannot hold the standard config's 10-bit APP words, and
+// an out-of-range offset is rejected everywhere.
+TEST(BatchEngine, RejectsIneligibleLaneTypeAndBadOffset) {
+  EXPECT_THROW(core::BatchEngineT<std::int8_t>(
+                   {.kernel = core::CnuKernel::kMinSum}),
+               std::invalid_argument);
+  EXPECT_THROW(core::BatchEngine({.kernel = core::CnuKernel::kOffsetMinSum,
+                                  .minsum_offset_raw = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(core::BatchEngine({.kernel = core::CnuKernel::kOffsetMinSum,
+                                  .minsum_offset_raw = 10000}),
+               std::invalid_argument);
+  EXPECT_THROW(core::LayerEngine({.kernel = core::CnuKernel::kOffsetMinSum,
+                                  .minsum_offset_raw = -1}),
+               std::invalid_argument);
+}
+
+// Offset / normalized min-sum: the SoA kernels (at the auto-selected lane
+// type) must track the scalar engine bit for bit, and the correction must
+// actually bite (a variant that silently decodes as plain min-sum would
+// pass every equivalence test).
+TEST(BatchEngine, MinSumVariantsMatchScalarAndDifferFromPlain) {
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR12, 48});
+  const auto n = static_cast<std::size_t>(code.n());
+  const int frames = 8;
+  std::vector<double> llrs(n * static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const auto one = random_llrs(code, 7300 + static_cast<std::uint64_t>(f));
+    std::copy(one.begin(), one.end(),
+              llrs.begin() + static_cast<std::ptrdiff_t>(f) *
+                                 static_cast<std::ptrdiff_t>(n));
+  }
+
+  std::vector<std::vector<std::uint8_t>> per_kernel_bits;
+  for (const core::CnuKernel kernel :
+       {core::CnuKernel::kMinSum, core::CnuKernel::kOffsetMinSum,
+        core::CnuKernel::kNormalizedMinSum}) {
+    const core::DecoderConfig cfg{.max_iterations = 4, .kernel = kernel};
+    core::BatchEngineT<std::int16_t> batch(cfg);
+    batch.reconfigure(code);
+    core::LayerEngine scalar(cfg);
+    scalar.reconfigure(code);
+    std::vector<core::FixedDecodeResult> results(
+        static_cast<std::size_t>(frames));
+    batch.decode(llrs, {}, results);
+    std::vector<std::int32_t> raw(n);
+    std::vector<std::uint8_t> all_bits;
+    for (int f = 0; f < frames; ++f) {
+      scalar.quantize(std::span<const double>(llrs).subspan(
+                          static_cast<std::size_t>(f) * n, n),
+                      raw);
+      const auto single = scalar.run(raw);
+      EXPECT_EQ(results[static_cast<std::size_t>(f)].bits, single.bits)
+          << "kernel " << static_cast<int>(kernel) << " frame " << f;
+      all_bits.insert(all_bits.end(), single.bits.begin(),
+                      single.bits.end());
+    }
+    per_kernel_bits.push_back(std::move(all_bits));
+  }
+  // On random (non-codeword) inputs the three kernels should disagree
+  // somewhere — if they never do, the correction is not being applied.
+  EXPECT_NE(per_kernel_bits[0], per_kernel_bits[1]);
+  EXPECT_NE(per_kernel_bits[0], per_kernel_bits[2]);
+}
+
 // decode_batch() on a min-sum decoder routes through the SoA kernel; a
 // batch larger than kLanes with a ragged tail (N not divisible by the SIMD
 // width) must still be bit-identical to per-frame decoding.

@@ -7,15 +7,20 @@
 // dead lanes evolving past the queue's end — produces per-frame hard
 // decisions, iteration counts, convergence/ET flags and datapath cycles
 // IDENTICAL to decoding each frame alone on the scalar LayerEngine. And it
-// must hold at every SIMD dispatch tier this host can run (scalar, SSE4.2,
-// AVX2, AVX-512 — forced in turn via the kernels test hooks) and at both
-// lane widths (8 and 16), because a tier or width that drifts by one
-// saturation point or min-scan tie would silently corrupt every batched
-// consumer (sim workers, chip bursts, the stream scheduler farm).
+// must hold across the whole kernel matrix: every SIMD dispatch tier this
+// host can run (scalar, SSE4.2, AVX2, AVX-512 — forced in turn via the
+// kernels test hooks), every lane ELEMENT TYPE the config's rails admit
+// (int32 and int16 for the standard configs; int8 for the strict
+// 8-bit-APP config, checked against its own re-derived scalar golden), and
+// both lane widths of each type — because a tier, type or width that
+// drifts by one saturation point or min-scan tie would silently corrupt
+// every batched consumer (sim workers, chip bursts, the stream scheduler
+// farm).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdlib>
+#include <initializer_list>
 #include <set>
 #include <string>
 
@@ -23,6 +28,7 @@
 #include "ldpc/core/decoder.hpp"
 #include "ldpc/core/golden.hpp"
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/soa_scan.hpp"
 #include "ldpc/core/stream_batch_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/sim/simulator.hpp"
@@ -42,6 +48,14 @@ core::DecoderConfig stream_config() {
   cfg.kernel = core::CnuKernel::kMinSum;
   cfg.stop_on_codeword = true;
   cfg.early_termination.enabled = true;
+  return cfg;
+}
+
+// The strict 8-bit-APP configuration (the paper's literal datapath): APP
+// words saturate at the message rails, so every value fits an int8 lane.
+core::DecoderConfig strict_app_config() {
+  core::DecoderConfig cfg = stream_config();
+  cfg.app_extra_bits = 0;
   return cfg;
 }
 
@@ -96,11 +110,14 @@ void expect_result_eq(const core::FixedDecodeResult& ref,
   EXPECT_EQ(ref.datapath_cycles, got.datapath_cycles) << context;
 }
 
-/// The core check: scalar per-frame reference vs the refill engine over
-/// the same queue, at every available tier and both lane widths.
-void check_refill_equivalence(const codes::QCCode& code) {
-  const core::DecoderConfig cfg = stream_config();
-  // Large codes decode slower; a 10-frame queue still refills an 8-lane
+/// The core check: scalar per-frame reference under `cfg` vs the refill
+/// engine over the same queue, at every available tier, every lane type in
+/// `types` (each must be eligible for `cfg`) and both lane widths of each
+/// type.
+void check_refill_equivalence(
+    const codes::QCCode& code, const core::DecoderConfig& cfg,
+    std::initializer_list<kernels::LaneType> types) {
+  // Large codes decode slower; a 10-frame queue still refills the widest
   // engine while keeping the full-registry sweep affordable.
   const int frames = code.n() > 8000 ? 10 : 20;
   const auto tx = static_cast<std::size_t>(code.transmitted_bits());
@@ -109,7 +126,6 @@ void check_refill_equivalence(const codes::QCCode& code) {
   core::ReconfigurableDecoder scalar(code, cfg);
   std::vector<core::FixedDecodeResult> ref;
   ref.reserve(static_cast<std::size_t>(frames));
-  int distinct_iteration_counts = 0;
   std::set<int> iters_seen;
   for (int f = 0; f < frames; ++f) {
     ref.push_back(scalar.decode(
@@ -117,27 +133,31 @@ void check_refill_equivalence(const codes::QCCode& code) {
             static_cast<std::size_t>(f) * tx, tx)));
     iters_seen.insert(ref.back().iterations);
   }
-  distinct_iteration_counts = static_cast<int>(iters_seen.size());
   // The queue must be genuinely mixed-iteration, otherwise this test
   // would not exercise mid-flight refill at all.
-  EXPECT_GE(distinct_iteration_counts, 2) << code.name();
+  EXPECT_GE(iters_seen.size(), 2u) << code.name();
 
   for (const kernels::Tier tier : available_tiers()) {
-    for (const int lanes : {8, 16}) {
-      ASSERT_EQ(kernels::force_tier(tier), tier);
-      core::StreamBatchEngine engine(cfg, lanes);
-      ASSERT_EQ(engine.tier(), tier);
-      ASSERT_EQ(engine.lanes(), lanes);
-      engine.reconfigure(code);
-      std::vector<core::FixedDecodeResult> got(
-          static_cast<std::size_t>(frames));
-      engine.decode(llrs, {}, got);
-      for (int f = 0; f < frames; ++f)
-        expect_result_eq(ref[static_cast<std::size_t>(f)],
-                         got[static_cast<std::size_t>(f)],
-                         code.name() + " tier=" + to_string(tier) +
-                             " lanes=" + std::to_string(lanes) + " frame " +
-                             std::to_string(f));
+    for (const kernels::LaneType type : types) {
+      const int scale = kernels::lane_scale(type);
+      for (const int lanes : {8 * scale, 16 * scale}) {
+        ASSERT_EQ(kernels::force_tier(tier), tier);
+        core::StreamBatchEngine engine(cfg, lanes, type);
+        ASSERT_EQ(engine.tier(), tier);
+        ASSERT_EQ(engine.lane_type(), type);
+        ASSERT_EQ(engine.lanes(), lanes);
+        engine.reconfigure(code);
+        std::vector<core::FixedDecodeResult> got(
+            static_cast<std::size_t>(frames));
+        engine.decode(llrs, {}, got);
+        for (int f = 0; f < frames; ++f)
+          expect_result_eq(ref[static_cast<std::size_t>(f)],
+                           got[static_cast<std::size_t>(f)],
+                           code.name() + " tier=" + to_string(tier) +
+                               " type=" + to_string(type) + " lanes=" +
+                               std::to_string(lanes) + " frame " +
+                               std::to_string(f));
+      }
     }
   }
   kernels::clear_forced_tier();
@@ -145,8 +165,20 @@ void check_refill_equivalence(const codes::QCCode& code) {
 
 class RefillEquivalence : public ::testing::TestWithParam<codes::CodeId> {};
 
-TEST_P(RefillEquivalence, MatchesScalarAtEveryTierAndLaneWidth) {
-  check_refill_equivalence(codes::make_code(GetParam()));
+TEST_P(RefillEquivalence, MatchesScalarAtEveryTierTypeAndLaneWidth) {
+  check_refill_equivalence(
+      codes::make_code(GetParam()), stream_config(),
+      {kernels::LaneType::kInt32, kernels::LaneType::kInt16});
+}
+
+TEST_P(RefillEquivalence, StrictAppInt8MatchesRederivedScalar) {
+  // int8 lanes need the strict 8-bit-APP config (rails +/-127); the scalar
+  // golden is re-derived under the same config, so this locks the int8
+  // datapath — saturating byte arithmetic, byte min-scan, byte argmin —
+  // against the int32 scalar arithmetic bit for bit.
+  check_refill_equivalence(codes::make_code(GetParam()),
+                           strict_app_config(),
+                           {kernels::LaneType::kInt8});
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModes, RefillEquivalence,
@@ -161,15 +193,25 @@ INSTANTIATE_TEST_SUITE_P(AllModes, RefillEquivalence,
 
 // The NR rate-matched golden cases (E != sendable, fillers): the per-lane
 // deposit on refill must reproduce the scalar deposit for non-degenerate
-// schemes too.
+// schemes too — including the narrowing deposit of the int16/int8 lanes
+// (filler rails land at the APP maximum, the exact lane saturation point).
 class RefillEquivalenceNrRateMatched
     : public ::testing::TestWithParam<core::golden::NrRateMatchedCase> {};
 
 TEST_P(RefillEquivalenceNrRateMatched,
-       MatchesScalarAtEveryTierAndLaneWidth) {
+       MatchesScalarAtEveryTierTypeAndLaneWidth) {
   const auto& c = GetParam();
   check_refill_equivalence(
-      codes::make_nr_code(c.rate, c.z, c.transmitted_bits, c.filler_bits));
+      codes::make_nr_code(c.rate, c.z, c.transmitted_bits, c.filler_bits),
+      stream_config(),
+      {kernels::LaneType::kInt32, kernels::LaneType::kInt16});
+}
+
+TEST_P(RefillEquivalenceNrRateMatched, StrictAppInt8MatchesRederivedScalar) {
+  const auto& c = GetParam();
+  check_refill_equivalence(
+      codes::make_nr_code(c.rate, c.z, c.transmitted_bits, c.filler_bits),
+      strict_app_config(), {kernels::LaneType::kInt8});
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -182,6 +224,84 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.transmitted_bits) + "_F" +
              std::to_string(info.param.filler_bits);
     });
+
+TEST(StreamBatchEngine, SelectsNarrowestEligibleLaneType) {
+  // This test asserts the DEFAULT auto-selection, so it must neutralise
+  // any ambient LDPC_LANE_TYPE (the forced-lane CI jobs export one for
+  // the whole binary, which would legitimately widen the strict-config
+  // pick from int8 to int16).
+  const char* ambient = std::getenv("LDPC_LANE_TYPE");
+  const std::string saved = ambient ? ambient : "";
+  ASSERT_EQ(unsetenv("LDPC_LANE_TYPE"), 0);
+  kernels::reload_env();
+
+  // The default config's APP words span 10 bits -> int16; the strict
+  // 8-bit-APP config fits int8. QFormat caps words at 16 bits, so every
+  // supported config fits int16 — int32 is only reachable by request
+  // (it remains the reference instantiation the matrix tests pin).
+  EXPECT_EQ(core::select_lane_type(stream_config()),
+            kernels::LaneType::kInt16);
+  EXPECT_EQ(core::select_lane_type(strict_app_config()),
+            kernels::LaneType::kInt8);
+  core::DecoderConfig wide = stream_config();
+  wide.format = fixed::QFormat(14, 2);  // 16-bit APP words: still int16
+  EXPECT_EQ(core::select_lane_type(wide), kernels::LaneType::kInt16);
+
+  core::StreamBatchEngine standard(stream_config());
+  EXPECT_EQ(standard.lane_type(), kernels::LaneType::kInt16);
+  EXPECT_EQ(standard.lanes(),
+            core::StreamBatchEngine::preferred_lanes(
+                kernels::LaneType::kInt16));
+  core::StreamBatchEngine strict(strict_app_config());
+  EXPECT_EQ(strict.lane_type(), kernels::LaneType::kInt8);
+
+  // An EXPLICITLY requested type is strict: int8 cannot hold the standard
+  // config's 10-bit APP words.
+  EXPECT_THROW(core::StreamBatchEngine(stream_config(), 0,
+                                       kernels::LaneType::kInt8),
+               std::invalid_argument);
+  // ...but any wider type than the narrowest eligible one is fine.
+  core::StreamBatchEngine wide32(stream_config(), 0,
+                                 kernels::LaneType::kInt32);
+  EXPECT_EQ(wide32.lane_type(), kernels::LaneType::kInt32);
+
+  if (ambient) {
+    ASSERT_EQ(setenv("LDPC_LANE_TYPE", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("LDPC_LANE_TYPE"), 0);
+  }
+  kernels::reload_env();
+}
+
+TEST(StreamBatchEngine, LaneTypeEnvKnobIsAClampedPreference) {
+  // LDPC_LANE_TYPE mirrors LDPC_SIMD: it pins the lane type of engines
+  // built afterwards — but as a PREFERENCE clamped to eligibility, so a
+  // forced-int8 CI lane can still run standard configs (they widen back
+  // to int16 instead of throwing).
+  const char* ambient = std::getenv("LDPC_LANE_TYPE");
+  const std::string saved = ambient ? ambient : "";
+
+  ASSERT_EQ(setenv("LDPC_LANE_TYPE", "int32", 1), 0);
+  kernels::reload_env();
+  ASSERT_TRUE(kernels::requested_lane_type().has_value());
+  EXPECT_EQ(*kernels::requested_lane_type(), kernels::LaneType::kInt32);
+  core::StreamBatchEngine widened(stream_config());
+  EXPECT_EQ(widened.lane_type(), kernels::LaneType::kInt32);
+
+  ASSERT_EQ(setenv("LDPC_LANE_TYPE", "int8", 1), 0);
+  kernels::reload_env();
+  core::StreamBatchEngine clamped(stream_config());
+  EXPECT_EQ(clamped.lane_type(), kernels::LaneType::kInt16);  // widened back
+  core::StreamBatchEngine narrow(strict_app_config());
+  EXPECT_EQ(narrow.lane_type(), kernels::LaneType::kInt8);
+
+  if (ambient) {
+    ASSERT_EQ(setenv("LDPC_LANE_TYPE", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("LDPC_LANE_TYPE"), 0);
+  }
+  kernels::reload_env();
+}
 
 TEST(StreamBatchEngine, ForceScalarEnvKnobLowersDispatch) {
   // LDPC_SIMD=scalar is the CI / bug-triage knob: it must pin the active
@@ -199,7 +319,8 @@ TEST(StreamBatchEngine, ForceScalarEnvKnobLowersDispatch) {
   const core::DecoderConfig cfg = stream_config();
   core::StreamBatchEngine engine(cfg);
   EXPECT_EQ(engine.tier(), kernels::Tier::kScalar);
-  EXPECT_EQ(engine.lanes(), 8);  // non-AVX-512 dispatch prefers 8 lanes
+  // Non-AVX-512 dispatch prefers one 256-bit register's worth of lanes.
+  EXPECT_EQ(engine.lanes(), 8 * kernels::lane_scale(engine.lane_type()));
   engine.reconfigure(code);
 
   const int frames = 12;
@@ -229,8 +350,13 @@ TEST(StreamBatchEngine, ForceScalarEnvKnobLowersDispatch) {
 
 TEST(StreamBatchEngine, ValidatesConfigAndLaneWidth) {
   core::DecoderConfig cfg = stream_config();
+  // The default config selects int16 lanes: valid widths are 16 and 32.
   EXPECT_THROW(core::StreamBatchEngine(cfg, 7), std::invalid_argument);
-  EXPECT_THROW(core::StreamBatchEngine(cfg, 32), std::invalid_argument);
+  EXPECT_THROW(core::StreamBatchEngine(cfg, 8), std::invalid_argument);
+  EXPECT_THROW(core::StreamBatchEngine(cfg, 64), std::invalid_argument);
+  // Width validation is per chosen type: 32 lanes of int32 is no engine.
+  EXPECT_THROW(core::StreamBatchEngine(cfg, 32, kernels::LaneType::kInt32),
+               std::invalid_argument);
   core::DecoderConfig bp = cfg;
   bp.kernel = core::CnuKernel::kFullBp;
   EXPECT_THROW(core::StreamBatchEngine{bp}, std::invalid_argument);
@@ -240,18 +366,31 @@ TEST(StreamBatchEngine, ValidatesConfigAndLaneWidth) {
   core::DecoderConfig iters = cfg;
   iters.max_iterations = 0;
   EXPECT_THROW(core::StreamBatchEngine{iters}, std::invalid_argument);
+  core::DecoderConfig offs = cfg;
+  offs.kernel = core::CnuKernel::kOffsetMinSum;
+  offs.minsum_offset_raw = -1;
+  EXPECT_THROW(core::StreamBatchEngine{offs}, std::invalid_argument);
 
   core::StreamBatchEngine unconfigured(cfg);
   std::vector<core::FixedDecodeResult> one(1);
   EXPECT_THROW(unconfigured.decode({}, {}, one), std::logic_error);
 
-  // preferred_lanes follows the dispatched tier: 16 only when AVX-512
-  // fills a full register, 8 otherwise.
-  const int pref = core::StreamBatchEngine::preferred_lanes();
-  EXPECT_EQ(pref,
-            kernels::active_tier() == kernels::Tier::kAvx512 ? 16 : 8);
+  // preferred_lanes follows the dispatched tier — one full 512-bit
+  // register only on AVX-512 (AVX-512BW for the narrow types), one 256-bit
+  // register otherwise — scaled by the element width.
+  const bool avx512 = kernels::active_tier() == kernels::Tier::kAvx512;
+  EXPECT_EQ(core::StreamBatchEngine::preferred_lanes(), avx512 ? 16 : 8);
+  const bool wide_narrow = avx512 && kernels::detected_avx512bw();
+  EXPECT_EQ(
+      core::StreamBatchEngine::preferred_lanes(kernels::LaneType::kInt16),
+      wide_narrow ? 32 : 16);
+  EXPECT_EQ(
+      core::StreamBatchEngine::preferred_lanes(kernels::LaneType::kInt8),
+      wide_narrow ? 64 : 32);
   core::StreamBatchEngine auto_engine(cfg);
-  EXPECT_EQ(auto_engine.lanes(), pref);
+  EXPECT_EQ(auto_engine.lanes(),
+            core::StreamBatchEngine::preferred_lanes(
+                auto_engine.lane_type()));
 }
 
 TEST(StreamBatchEngine, RepeatedQueuesLeaveNoStateBehind) {
@@ -263,14 +402,15 @@ TEST(StreamBatchEngine, RepeatedQueuesLeaveNoStateBehind) {
   const core::DecoderConfig cfg = stream_config();
   const auto queue_a = make_queue(code, 9, 21);   // ragged: 9 < lanes+refill
   const auto queue_b = make_queue(code, 19, 22);  // refills past one round
+  const int lanes = 16;  // the default config runs int16 lanes
 
-  core::StreamBatchEngine reused(cfg, 8);
+  core::StreamBatchEngine reused(cfg, lanes);
   reused.reconfigure(code);
   std::vector<core::FixedDecodeResult> first(9), second(19);
   reused.decode(queue_a, {}, first);
   reused.decode(queue_b, {}, second);
 
-  core::StreamBatchEngine fresh(cfg, 8);
+  core::StreamBatchEngine fresh(cfg, lanes);
   fresh.reconfigure(code);
   std::vector<core::FixedDecodeResult> expect(19);
   fresh.decode(queue_b, {}, expect);
@@ -333,6 +473,24 @@ TEST(StreamBatchEngine, DecodeBatchEntryPointsUseRefillEngine) {
                          static_cast<std::size_t>(f) * tx, tx)),
                      results[static_cast<std::size_t>(f)],
                      "decode_batch frame " + std::to_string(f));
+}
+
+TEST(StreamBatchEngine, MinSumVariantsStreamBitExactly) {
+  // Offset and normalized min-sum run through the same kernel matrix (the
+  // correction rides in RowBounds): lock each variant's refill decode
+  // against its scalar engine at the narrow lane type it selects.
+  const auto code = codes::make_code(
+      {codes::Standard::kWimax80216e, codes::Rate::kR23B, 36});
+  for (const core::CnuKernel kernel :
+       {core::CnuKernel::kOffsetMinSum, core::CnuKernel::kNormalizedMinSum}) {
+    core::DecoderConfig cfg = stream_config();
+    cfg.kernel = kernel;
+    check_refill_equivalence(code, cfg, {kernels::LaneType::kInt32,
+                                         kernels::LaneType::kInt16});
+    core::DecoderConfig strict = strict_app_config();
+    strict.kernel = kernel;
+    check_refill_equivalence(code, strict, {kernels::LaneType::kInt8});
+  }
 }
 
 }  // namespace
