@@ -7,6 +7,7 @@ Usage:
                      [--min-int16-ratio 1.6]
                      [--min-int16-engine-ratio 1.1]
                      [--min-int16-nr-ratio 1.25]
+                     [--min-service-scaling 0.55]
 
 Three independent checks:
 
@@ -46,6 +47,22 @@ Three independent checks:
     int16 lanes are bit-identical to int32 by rail containment, so every
     ratio above is a pure frames/sec (or rows/sec) ratio.
 
+    c.  Live-service scaling tripwire (PR 7): the wall-clock
+        DecodeService must not collapse when workers are added —
+            BM_DecodeServiceW2 / BM_DecodeServiceW1
+        must be >= --min-service-scaling. The floor is deliberately
+        BELOW 1.0 (CI passes 0.55): hosted runners span 1..4 vCPUs,
+        and on a single core a second worker can only add contention
+        (measured ~0.7-0.9x there), so this is a lock-regression
+        tripwire (a broken queue or a serialized farm drops the ratio
+        far below the floor), not a speedup claim. The
+        committed BENCH_PR7.json records the reference machine's
+        absolute wall frames/s, which the baseline comparison gates.
+
+    Any ratio floor <= 0 skips that gate entirely (so a run that only
+    produced one benchmark family — e.g. the service sweep without the
+    kernel microbench — can still be gated on what it did measure).
+
 3.  Baseline comparison (only when --baseline exists): every benchmark
     reporting items_per_second may not regress by more than --threshold
     (default 15%) against the committed baseline. Absolute rates vary
@@ -69,11 +86,18 @@ INT16_ENGINE_NUM = "BM_MinSumStreamRefillMixedInt16"
 INT16_ENGINE_DEN = "BM_MinSumStreamRefillMixed"
 INT16_NR_NUM = "BM_NrZ384StreamInt16"
 INT16_NR_DEN = "BM_NrZ384StreamInt32"
+SERVICE_NUM = "BM_DecodeServiceW2"
+SERVICE_DEN = "BM_DecodeServiceW1"
 
 
 def ratio_floor(current, num, den, floor, what):
     """Enforce current[num]/current[den] >= floor; missing names fail hard
-    (a rename would otherwise silently disarm the gate)."""
+    (a rename would otherwise silently disarm the gate). floor <= 0
+    disables the gate — the explicit way to run one benchmark family
+    through the script without tripping the others' missing-name check."""
+    if floor <= 0:
+        print(f"{what} ratio gate disabled (floor {floor:.2f} <= 0)")
+        return False
     if num in current and den in current:
         ratio = current[num] / current[den]
         ok = ratio >= floor
@@ -123,6 +147,11 @@ def main():
     ap.add_argument("--min-int16-nr-ratio", type=float, default=1.25,
                     help="floor for int16 / int32 stream frames per "
                          "second on the NR z=384 workload")
+    ap.add_argument("--min-service-scaling", type=float, default=0.0,
+                    help="floor for 2-worker / 1-worker live-service "
+                         "wall frames per second (<= 0 disables; CI "
+                         "passes 0.55 as a contention-collapse tripwire "
+                         "that holds even on a 1-vCPU host)")
     ap.add_argument("--write-best", default=None, metavar="PATH",
                     help="write a baseline JSON holding the per-benchmark "
                          "BEST items/sec of current and baseline (the CI "
@@ -155,6 +184,8 @@ def main():
                           args.min_int16_engine_ratio, "int16-engine")
     failed |= ratio_floor(current, INT16_NR_NUM, INT16_NR_DEN,
                           args.min_int16_nr_ratio, "int16-nr")
+    failed |= ratio_floor(current, SERVICE_NUM, SERVICE_DEN,
+                          args.min_service_scaling, "service-scaling")
 
     # 3. Per-benchmark regression vs the committed baseline, when present.
     baseline = {}

@@ -52,6 +52,17 @@ struct ChipDimensions {
   static ChipDimensions universal();
 };
 
+/// The optimised layer schedule DecoderChip::configure programs for
+/// `code` under `config` at chip dimensions `dims` (pipeline-stall
+/// minimisation with the chip's shifter latency and read reordering).
+/// Layer order changes layered-BP arithmetic, so any path that must stay
+/// bit-identical to the chip-modeled reference — the live
+/// stream::DecodeService in particular — must decode under this exact
+/// order rather than the natural one.
+std::vector<int> chip_layer_order(const codes::QCCode& code,
+                                  const core::DecoderConfig& config,
+                                  const ChipDimensions& dims);
+
 struct ChipDecodeStats {
   long long cycles = 0;           // total, incl. stalls and shifter latency
   long long l_mem_reads = 0;
@@ -118,7 +129,6 @@ class DecoderChip {
   core::LayerEngine engine_;  // the fixed-point (int32) instantiation
   std::optional<core::StreamBatchEngine> stream_engine_;
   HardwareObserver observer_;
-  CircularShifter shifter_;
   std::optional<PipelineModel> pipeline_;
   std::vector<int> order_;
   IterationTiming timing_;

@@ -18,8 +18,29 @@ ChipDimensions ChipDimensions::universal() {
           .row_degree_max = 32};
 }
 
+namespace {
+
+PipelineConfig chip_pipeline_config(const core::DecoderConfig& config,
+                                    const ChipDimensions& dims) {
+  PipelineConfig pc;
+  pc.radix = config.radix;
+  pc.include_shifter_latency = true;
+  pc.shifter_stages = CircularShifter(dims.z_max).latency_cycles();
+  pc.reorder_reads = true;
+  return pc;
+}
+
+}  // namespace
+
+std::vector<int> chip_layer_order(const codes::QCCode& code,
+                                  const core::DecoderConfig& config,
+                                  const ChipDimensions& dims) {
+  return PipelineModel(code, chip_pipeline_config(config, dims))
+      .optimize_order();
+}
+
 DecoderChip::DecoderChip(ChipDimensions dims, core::DecoderConfig config)
-    : dims_(dims), engine_(config), shifter_(dims.z_max) {
+    : dims_(dims), engine_(config) {
   if (config.datapath != core::Datapath::kQuantized)
     throw std::invalid_argument(
         "DecoderChip: the chip is the fixed-point datapath instantiation "
@@ -36,12 +57,7 @@ void DecoderChip::configure(const codes::QCCode& code) {
   engine_.reconfigure(code);
   if (stream_engine_) stream_engine_->reconfigure(code);
   raw_.resize(static_cast<std::size_t>(code.n()));
-  PipelineConfig pc;
-  pc.radix = engine_.config().radix;
-  pc.include_shifter_latency = true;
-  pc.shifter_stages = shifter_.latency_cycles();
-  pc.reorder_reads = true;
-  pipeline_.emplace(code, pc);
+  pipeline_.emplace(code, chip_pipeline_config(engine_.config(), dims_));
   order_ = pipeline_->optimize_order();
   timing_ = pipeline_->analyze(order_);
   observer_.set_timing({.cycles_per_iteration = timing_.cycles_per_iteration,

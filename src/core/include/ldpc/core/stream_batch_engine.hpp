@@ -97,6 +97,17 @@ class StreamBatchEngineT {
   void decode(std::span<const double> llrs, std::span<const int> order,
               std::span<FixedDecodeResult> results);
 
+  /// As decode(), but each frame's transmitted-length LLR buffer is named
+  /// by a pointer instead of living in one contiguous frame-major block
+  /// (`frames.size()` must equal `results.size()`). This is the serving
+  /// handoff: stream::DecodeService workers bin jobs whose LLR payloads
+  /// are scattered across queue entries, and gathering them into a
+  /// contiguous staging buffer would copy every frame once per dispatch
+  /// for no benefit — load_lane reads each frame exactly once, on refill.
+  void decode_frames(std::span<const double* const> frames,
+                     std::span<const int> order,
+                     std::span<FixedDecodeResult> results);
+
   /// Same, over already-quantised frame-major raw codes (n per frame).
   /// Codes outside T's range are clamped on load (see BatchEngineT).
   void decode_raw(std::span<const std::int32_t> raw,
@@ -166,6 +177,7 @@ class StreamBatchEngineT {
 
   // Frame source of the current decode call (exactly one is set).
   std::span<const double> tx_llrs_;       // decode(): transmitted LLRs
+  std::span<const double* const> tx_frame_ptrs_;  // decode_frames()
   std::span<const std::int32_t> raw_in_;  // decode_raw(): raw codes
 
   std::vector<T> raw_scratch_;            // per-lane staging, lane slots
@@ -214,6 +226,9 @@ class StreamBatchEngine {
 
   void decode(std::span<const double> llrs, std::span<const int> order,
               std::span<FixedDecodeResult> results);
+  void decode_frames(std::span<const double* const> frames,
+                     std::span<const int> order,
+                     std::span<FixedDecodeResult> results);
   void decode_raw(std::span<const std::int32_t> raw,
                   std::span<const int> order,
                   std::span<FixedDecodeResult> results);

@@ -54,9 +54,28 @@ void StreamBatchEngineT<T>::decode(std::span<const double> llrs,
   if (results.empty() || llrs.size() != tx * results.size())
     throw std::invalid_argument("StreamBatchEngine::decode: sizes");
   tx_llrs_ = llrs;
+  tx_frame_ptrs_ = {};
   raw_in_ = {};
   run_queue(order, results);
   tx_llrs_ = {};
+}
+
+template <class T>
+void StreamBatchEngineT<T>::decode_frames(
+    std::span<const double* const> frames, std::span<const int> order,
+    std::span<FixedDecodeResult> results) {
+  if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
+  if (results.empty() || frames.size() != results.size())
+    throw std::invalid_argument("StreamBatchEngine::decode_frames: sizes");
+  for (const double* frame : frames)
+    if (frame == nullptr)
+      throw std::invalid_argument(
+          "StreamBatchEngine::decode_frames: null frame");
+  tx_frame_ptrs_ = frames;
+  tx_llrs_ = {};
+  raw_in_ = {};
+  run_queue(order, results);
+  tx_frame_ptrs_ = {};
 }
 
 template <class T>
@@ -69,6 +88,7 @@ void StreamBatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
     throw std::invalid_argument("StreamBatchEngine::decode_raw: sizes");
   raw_in_ = raw;
   tx_llrs_ = {};
+  tx_frame_ptrs_ = {};
   run_queue(order, results);
   raw_in_ = {};
 }
@@ -95,14 +115,18 @@ void StreamBatchEngineT<T>::load_lane(int w, std::size_t f,
     // (puncturing erasures, filler rails, rate-matched accumulation) runs
     // the moment the lane is claimed, not in a batch-wide prepass.
     const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
+    const std::span<const double> llrs =
+        tx_frame_ptrs_.empty()
+            ? tx_llrs_.subspan(f * tx, tx)
+            : std::span<const double>(tx_frame_ptrs_[f], tx);
     T* slot = raw_scratch_.data() + lw * n;
     if constexpr (std::is_same_v<T, std::int32_t>) {
-      deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
+      deposit_transmitted(*code_, traits_, llrs,
                           std::span<std::int32_t>(slot, n), acc_);
     } else {
       // The deposit emits int32 raw codes; for an eligible config they all
       // fit T, so the narrowing pass is a plain cast-and-clamp.
-      deposit_transmitted(*code_, traits_, tx_llrs_.subspan(f * tx, tx),
+      deposit_transmitted(*code_, traits_, llrs,
                           std::span<std::int32_t>(dep_scratch_), acc_);
 #pragma omp simd
       for (std::size_t v = 0; v < n; ++v)
@@ -360,6 +384,13 @@ void StreamBatchEngine::decode(std::span<const double> llrs,
                                std::span<const int> order,
                                std::span<FixedDecodeResult> results) {
   std::visit([&](auto& e) { e.decode(llrs, order, results); }, impl_);
+}
+
+void StreamBatchEngine::decode_frames(
+    std::span<const double* const> frames, std::span<const int> order,
+    std::span<FixedDecodeResult> results) {
+  std::visit([&](auto& e) { e.decode_frames(frames, order, results); },
+             impl_);
 }
 
 void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,

@@ -1,0 +1,192 @@
+// Bounded multi-producer/multi-consumer job queue: the admission point of
+// the live serving path (stream::DecodeService).
+//
+// Semantics chosen for a decode service rather than a generic channel:
+//
+//   capacity > 0   classic bounded queue: push blocks (or try_push fails)
+//                  while `capacity` items are waiting.
+//   capacity == 0  rendezvous: a push can only complete by handing the
+//                  item to a consumer that is already blocked in a
+//                  waiting pop — the strictest backpressure (no buffered
+//                  latency hiding at all). try_push succeeds only when a
+//                  consumer is waiting.
+//   close()        producers: push/try_push return false immediately
+//                  (blocked pushes wake and fail — a shutdown while full
+//                  rejects the stragglers instead of deadlocking).
+//                  Consumers: pops drain the remaining items, then return
+//                  nullopt.
+//
+// Consumers may pick WHICH waiting item to take: the *_select variants
+// call a selector under the queue lock with a const view of the deque
+// (index 0 = oldest) and remove the chosen index — this is how the
+// service implements EDF and reconfiguration-aware binning without a
+// priority-queue rebuild per policy. claim() extends that to a bin grab:
+// the selector picks a seed item and the claim sweeps the remaining items
+// in queue order, taking those the predicate accepts (same mode, same
+// class), up to a cap — one lock hold per dispatched batch.
+//
+// Plain mutex + two condition variables by design: every operation is
+// O(queue length) at worst and the queue hands out millisecond-scale
+// decode jobs, so lock-free subtlety would buy nothing measurable while
+// costing the selector/claim flexibility. TSan runs the whole thing in CI.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ldpc::stream {
+
+template <class T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks until the item is admitted (or handed off, at capacity 0);
+  /// returns false — with the item dropped — once the queue is closed.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || can_push_locked(); });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: false when closed or when backpressure would
+  /// block (full queue, or no waiting consumer at capacity 0).
+  bool try_push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_ || !can_push_locked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_pop_;
+    // A rendezvous producer may only proceed while a consumer waits.
+    if (capacity_ == 0) not_full_.notify_all();
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    --waiting_pop_;
+    return take_locked(0);
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return take_locked(0);
+  }
+
+  /// Waits up to `timeout` for an item, then removes the one the selector
+  /// picks: `selector(const std::deque<T>&) -> std::size_t` runs under
+  /// the queue lock (index 0 = oldest; an out-of-range return falls back
+  /// to the oldest). nullopt on timeout or when closed and drained.
+  template <class Selector>
+  std::optional<T> pop_select_for(Selector&& selector,
+                                  std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_pop_;
+    if (capacity_ == 0) not_full_.notify_all();
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    --waiting_pop_;
+    if (items_.empty()) return std::nullopt;
+    std::size_t idx = selector(std::as_const(items_));
+    if (idx >= items_.size()) idx = 0;
+    return take_locked(idx);
+  }
+
+  /// Non-blocking bin grab: the selector picks a seed item, then the
+  /// remaining items are swept in queue order and every one accepted by
+  /// `pred(seed, candidate)` joins the bin, up to `max_total` items in
+  /// all. Taken items are appended to `out`; returns the count (0 when
+  /// the queue is empty or the selector declines by returning
+  /// out-of-range).
+  template <class Selector, class Pred>
+  std::size_t claim(Selector&& selector, Pred&& pred, std::size_t max_total,
+                    std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() || max_total == 0) return 0;
+    const std::size_t idx = selector(std::as_const(items_));
+    if (idx >= items_.size()) return 0;
+    const std::size_t seed_at = out.size();
+    out.push_back(std::move(items_[idx]));
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(idx));
+    std::size_t taken = 1;
+    for (std::size_t i = 0; i < items_.size() && taken < max_total;) {
+      if (pred(std::as_const(out[seed_at]), std::as_const(items_[i]))) {
+        out.push_back(std::move(items_[i]));
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++taken;
+      } else {
+        ++i;
+      }
+    }
+    not_full_.notify_all();
+    return taken;
+  }
+
+  /// Wakes every blocked producer (push -> false) and consumer (pops
+  /// drain, then nullopt). Idempotent.
+  void close() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  bool can_push_locked() const {
+    return capacity_ > 0 ? items_.size() < capacity_
+                         : items_.size() < waiting_pop_;
+  }
+
+  std::optional<T> take_locked(std::size_t idx) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_[idx]);
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(idx));
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  std::size_t waiting_pop_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ldpc::stream

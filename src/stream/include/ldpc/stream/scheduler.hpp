@@ -28,12 +28,11 @@
 // same-mode bins without the lockstep slowest-lane tax.
 #pragma once
 
-#include <cstdint>
 #include <string>
-#include <vector>
 
 #include "ldpc/arch/frame_pipeline.hpp"
 #include "ldpc/core/datapath.hpp"
+#include "ldpc/stream/stream_types.hpp"
 #include "ldpc/stream/traffic.hpp"
 
 namespace ldpc::stream {
@@ -55,47 +54,9 @@ struct SchedulerConfig {
   core::DecoderConfig decoder{};
 };
 
-/// Per-job outcome: the decode result identity (hash of the hard
-/// decisions + iteration count) and the job's modeled timeline.
-struct JobRecord {
-  long long id = 0;
-  int mode = 0;
-  int worker = 0;
-  int iterations = 0;
-  bool converged = false;
-  /// Decoded information bits match the transmitted payload.
-  bool payload_ok = false;
-  /// FNV-1a over the n hard-decision bits: the per-frame decode identity
-  /// the policy/worker-count invariance tests compare.
-  std::uint64_t decision_hash = 0;
-  long long arrival_cycle = 0;
-  long long start_cycle = 0;
-  long long finish_cycle = 0;
-  long long latency_cycles() const noexcept {
-    return finish_cycle - arrival_cycle;
-  }
-};
-
-struct StreamReport {
-  std::vector<JobRecord> jobs;  // ordered by job id
-  /// One FramePipelineStats ledger per worker.
-  std::vector<arch::FramePipelineStats> worker_ledgers;
-  /// merge() of every worker ledger; totals.payload_bits must equal
-  /// total_payload_bits (conservation, test-locked).
-  arch::FramePipelineStats totals;
-  /// Payload bits summed over the job records (source-side accounting).
-  long long total_payload_bits = 0;
-  /// Last completion cycle across the farm.
-  long long makespan_cycles = 0;
-
-  /// Aggregate delivered payload throughput at `f_clk_hz` over the
-  /// makespan.
-  double aggregate_payload_bps(double f_clk_hz) const;
-  /// Fraction of the makespan worker `w` spent occupied (decode+stall).
-  double worker_occupancy(int w) const;
-  /// Nearest-rank latency percentile in modeled cycles (0 < p <= 100).
-  long long latency_percentile(double percentile) const;
-};
+// StreamJob and StreamReport (the shared per-job record and composed
+// ledger vocabulary, also produced by stream::DecodeService) live in
+// ldpc/stream/stream_types.hpp.
 
 class StreamScheduler {
  public:
@@ -105,6 +66,9 @@ class StreamScheduler {
   StreamScheduler(TrafficSource& source, SchedulerConfig config);
 
   /// Draws `jobs` jobs from the source and runs the farm to completion.
+  /// `jobs == 0` is valid and yields an empty report (zero jobs, one
+  /// empty ledger per worker, all-zero percentiles/occupancy); a negative
+  /// count throws std::invalid_argument.
   StreamReport run(long long jobs);
 
   const SchedulerConfig& config() const noexcept { return config_; }

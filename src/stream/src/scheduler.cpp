@@ -9,51 +9,8 @@
 
 namespace ldpc::stream {
 
-namespace {
-
-std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 std::string to_string(Policy policy) {
   return policy == Policy::kFifo ? "fifo" : "binned";
-}
-
-double StreamReport::aggregate_payload_bps(double f_clk_hz) const {
-  return makespan_cycles
-             ? static_cast<double>(total_payload_bits) * f_clk_hz /
-                   static_cast<double>(makespan_cycles)
-             : 0.0;
-}
-
-double StreamReport::worker_occupancy(int w) const {
-  const auto& ledger = worker_ledgers.at(static_cast<std::size_t>(w));
-  return makespan_cycles
-             ? static_cast<double>(ledger.elapsed_cycles()) /
-                   static_cast<double>(makespan_cycles)
-             : 0.0;
-}
-
-long long StreamReport::latency_percentile(double percentile) const {
-  if (percentile <= 0.0 || percentile > 100.0)
-    throw std::invalid_argument("StreamReport: percentile");
-  if (jobs.empty()) return 0;
-  std::vector<long long> lat;
-  lat.reserve(jobs.size());
-  for (const auto& r : jobs) lat.push_back(r.latency_cycles());
-  std::sort(lat.begin(), lat.end());
-  // Nearest rank: the smallest latency covering `percentile` of jobs.
-  const auto rank = static_cast<std::size_t>(
-      std::max(1.0, std::ceil(percentile / 100.0 *
-                              static_cast<double>(lat.size()))));
-  return lat[rank - 1];
 }
 
 StreamScheduler::StreamScheduler(TrafficSource& source,
@@ -65,10 +22,20 @@ StreamScheduler::StreamScheduler(TrafficSource& source,
 }
 
 StreamReport StreamScheduler::run(long long njobs) {
-  if (njobs <= 0) throw std::invalid_argument("StreamScheduler: jobs");
+  if (njobs < 0) throw std::invalid_argument("StreamScheduler: jobs");
   const int nmodes = source_.mode_count();
   if (nmodes == 0)
     throw std::logic_error("StreamScheduler: source has no modes");
+  if (njobs == 0) {
+    // An empty stream is a valid (degenerate) serving run: every worker
+    // contributes an empty ledger and every derived statistic —
+    // occupancy, percentiles, throughput — is well-defined zero rather
+    // than a division by the zero makespan.
+    StreamReport report;
+    report.worker_ledgers.assign(static_cast<std::size_t>(config_.workers),
+                                 arch::FramePipelineStats{});
+    return report;
+  }
 
   std::vector<Job> jobs;
   jobs.reserve(static_cast<std::size_t>(njobs));
@@ -174,7 +141,7 @@ StreamReport StreamScheduler::run(long long njobs) {
     for (std::size_t f = 0; f < burst_ids.size(); ++f) {
       const Job& job = jobs[static_cast<std::size_t>(burst_ids[f])];
       const auto& result = burst.frames[f];
-      JobRecord& rec =
+      StreamJob& rec =
           report.jobs[static_cast<std::size_t>(job.id - base_id)];
       rec.id = job.id;
       rec.mode = job.mode;

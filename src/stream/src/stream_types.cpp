@@ -1,0 +1,76 @@
+#include "ldpc/stream/stream_types.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpc::stream {
+
+std::string to_string(TrafficClass cls) {
+  return cls == TrafficClass::kDeadline ? "deadline" : "best-effort";
+}
+
+namespace {
+
+long long nearest_rank(std::vector<long long>& samples, double p) {
+  if (p <= 0.0 || p > 100.0)
+    throw std::invalid_argument("LatencyHistogram: percentile");
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest rank: the smallest sample covering `p` percent of the set.
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p / 100.0 *
+                              static_cast<double>(samples.size()))));
+  return samples[rank - 1];
+}
+
+}  // namespace
+
+long long LatencyHistogram::percentile(double p) const {
+  std::vector<long long> sorted = samples_;
+  return nearest_rank(sorted, p);
+}
+
+double StreamReport::aggregate_payload_bps(double f_clk_hz) const {
+  return makespan_cycles
+             ? static_cast<double>(total_payload_bits) * f_clk_hz /
+                   static_cast<double>(makespan_cycles)
+             : 0.0;
+}
+
+double StreamReport::worker_occupancy(int w) const {
+  const auto& ledger = worker_ledgers.at(static_cast<std::size_t>(w));
+  return makespan_cycles
+             ? static_cast<double>(ledger.elapsed_cycles()) /
+                   static_cast<double>(makespan_cycles)
+             : 0.0;
+}
+
+long long StreamReport::latency_percentile(double percentile) const {
+  LatencyHistogram hist;
+  for (const auto& r : jobs) hist.add(r.latency_cycles());
+  return hist.percentile(percentile);
+}
+
+double StreamReport::wall_frames_per_sec() const {
+  return wall_elapsed_ns > 0
+             ? static_cast<double>(jobs.size()) * 1e9 /
+                   static_cast<double>(wall_elapsed_ns)
+             : 0.0;
+}
+
+long long StreamReport::wall_latency_percentile_ns(double percentile) const {
+  LatencyHistogram hist;
+  for (const auto& r : jobs) hist.add(r.wall_latency_ns());
+  return hist.percentile(percentile);
+}
+
+long long StreamReport::wall_latency_percentile_ns(double percentile,
+                                                   TrafficClass cls) const {
+  LatencyHistogram hist;
+  for (const auto& r : jobs)
+    if (r.cls == cls) hist.add(r.wall_latency_ns());
+  return hist.percentile(percentile);
+}
+
+}  // namespace ldpc::stream

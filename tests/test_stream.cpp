@@ -307,10 +307,63 @@ TEST(StreamScheduler, InvalidConfigThrows) {
   EXPECT_THROW(StreamScheduler(src, {.max_burst = 0}),
                std::invalid_argument);
   StreamScheduler sched(src, {.workers = 1});
-  EXPECT_THROW(sched.run(0), std::invalid_argument);
+  EXPECT_THROW(sched.run(-1), std::invalid_argument);
   TrafficSource empty;
   StreamScheduler no_modes(empty, {.workers = 1});
   EXPECT_THROW(no_modes.run(1), std::logic_error);
+}
+
+// ---- scheduler: empty-stream edge (regression) ------------------------------
+// run(0) used to throw; worse, a hand-built empty report divided by the
+// zero makespan in occupancy/percentile computation. An empty stream is a
+// valid degenerate serving run.
+
+TEST(StreamScheduler, ZeroJobsProducesValidEmptyReport) {
+  auto src = make_mixed_source(5);
+  StreamScheduler sched(src, fast_config(Policy::kBinned, 3, 4));
+  const auto report = sched.run(0);
+  EXPECT_TRUE(report.jobs.empty());
+  ASSERT_EQ(report.worker_ledgers.size(), 3u);
+  for (const auto& ledger : report.worker_ledgers) {
+    EXPECT_EQ(ledger.frames, 0);
+    EXPECT_EQ(ledger.payload_bits, 0);
+  }
+  EXPECT_EQ(report.makespan_cycles, 0);
+  EXPECT_EQ(report.total_payload_bits, 0);
+  // Every derived statistic must be a well-defined zero, not a
+  // divide-by-zero.
+  EXPECT_EQ(report.latency_percentile(50.0), 0);
+  EXPECT_EQ(report.latency_percentile(99.0), 0);
+  EXPECT_EQ(report.aggregate_payload_bps(450e6), 0.0);
+  for (int w = 0; w < 3; ++w)
+    EXPECT_EQ(report.worker_occupancy(w), 0.0);
+  // Argument validation still applies on the empty report.
+  EXPECT_THROW(report.latency_percentile(0.0), std::invalid_argument);
+  EXPECT_THROW(report.latency_percentile(101.0), std::invalid_argument);
+  // The run consumed nothing: the next run starts at job 0.
+  const auto follow_up = sched.run(4);
+  ASSERT_EQ(follow_up.jobs.size(), 4u);
+  EXPECT_EQ(follow_up.jobs.front().id, 0);
+}
+
+TEST(StreamScheduler, AllTrafficOnOneModeLeavesOtherQueuesIdle) {
+  // Several registered modes but every job drawn from one (the rest at
+  // zero weight): the untouched per-mode queues and the single-mode
+  // ledger composition must not trip the farm loop or the report.
+  TrafficSource src({.seed = 9});
+  src.add_mode(codes::make_code({Standard::kWimax80216e, Rate::kR12, 24}),
+               3.0, 1.0);
+  src.add_mode(codes::make_code({Standard::kWlan80211n, Rate::kR12, 27}),
+               3.0, 0.0);
+  src.add_mode(codes::make_code({Standard::kDmbT, Rate::kR25, 127}), 4.0,
+               0.0);
+  StreamScheduler sched(src, fast_config(Policy::kBinned, 2, 4));
+  const auto report = sched.run(12);
+  ASSERT_EQ(report.jobs.size(), 12u);
+  for (const auto& rec : report.jobs) EXPECT_EQ(rec.mode, 0);
+  // One mode: at most one reconfiguration per worker, ever.
+  EXPECT_LE(report.totals.reconfigurations, 2);
+  EXPECT_GT(report.aggregate_payload_bps(450e6), 0.0);
 }
 
 }  // namespace
