@@ -9,18 +9,28 @@
 // mismatch prints to stderr and the bench exits non-zero, which is what
 // the CI smoke run checks. The table reports what the serving layer
 // controls: wall-clock frames/s, per-job latency percentiles, steals and
-// reconfigurations.
+// reconfigurations. A second sweep re-runs the binned policy with
+// pre-quantised submissions (TrafficSource::emit_quantised →
+// ServiceRequest::quantised), verified against the SAME reference.
 //
 //   ./stream_service [--frames 96] [--workers 4] [--seed 1] [--csv]
 //                    [--json PATH]
 //
-// --json writes google-benchmark-format JSON with one entry per worker
-// count (BM_DecodeServiceW1/W2/W4...) holding the binned-policy wall
-// frames/s, consumed by bench/compare_bench.py --min-service-scaling.
+// --json writes google-benchmark-format JSON — a `context` block (host,
+// num_cpus, date) like google-benchmark's own, then one entry per cell
+// (BM_DecodeServiceW1/W2/... and BM_DecodeServiceQuantW1/W2/...) holding
+// the binned-policy wall frames/s plus the cell's worker count and an
+// `oversubscribed` flag (workers > num_cpus — such cells measure thread
+// contention, not scaling, and bench/compare_bench.py
+// --min-service-scaling skips them).
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "ldpc/codes/registry.hpp"
@@ -93,6 +103,24 @@ bool verify(const stream::StreamReport& got, const stream::StreamReport& want,
   return true;
 }
 
+/// One JSON entry: a named frames/s number annotated with the cell's
+/// worker count and whether the cell oversubscribed the host's cores.
+struct JsonCell {
+  std::string name;
+  double items_per_second = 0.0;
+  int workers = 0;
+  bool oversubscribed = false;
+};
+
+std::string iso_date_now() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm{};
+  localtime_r(&now, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +136,8 @@ int main(int argc, char** argv) {
   const long long jobs = opt.frames > 0 ? opt.frames : 96;
   const int max_workers = opt.threads > 0 ? opt.threads : 4;
   const auto decoder = service_decoder();
+  const int num_cpus =
+      static_cast<int>(std::thread::hardware_concurrency());
 
   // The modeled single-threaded reference every live cell must reproduce.
   auto ref_source = make_source(opt.seed);
@@ -127,16 +157,24 @@ int main(int argc, char** argv) {
     std::string name;
     long long max_bin_delay_ns;
     bool slo;
+    bool quantised;
   };
-  const PolicyCell policies[] = {{"fifo", 0, false},
-                                 {"binned", 2'000'000, false},
-                                 {"slo", 2'000'000, true}};
+  const PolicyCell policies[] = {{"fifo", 0, false, false},
+                                 {"binned", 2'000'000, false, false},
+                                 {"slo", 2'000'000, true, false},
+                                 {"binned-quant", 2'000'000, false, true}};
 
   bool deterministic = true;
-  std::vector<std::pair<std::string, double>> json_rates;
+  std::vector<JsonCell> json_cells;
   for (int workers = 1; workers <= max_workers; workers *= 2) {
     for (const auto& policy : policies) {
       auto source = make_source(opt.seed);
+      // The quantised cells ship pre-quantised raw codes end to end: the
+      // source runs the front-end quantiser once per frame, the submit
+      // payload is 1-2 bytes per variable instead of 8 per transmitted
+      // bit, and the engines alias the codes into their lanes. Results
+      // must still match the double-domain modeled reference exactly.
+      if (policy.quantised) source.emit_quantised(decoder);
       const auto synth = synthesize(source, jobs);
 
       stream::ServiceConfig cfg;
@@ -158,7 +196,10 @@ int main(int argc, char** argv) {
         req.cls = policy.slo && s.job.id % 4 == 0
                       ? stream::TrafficClass::kDeadline
                       : stream::TrafficClass::kBestEffort;
-        req.llrs = s.frame.llrs;
+        if (policy.quantised)
+          req.quantised = s.frame.quantised;
+        else
+          req.llrs = s.frame.llrs;
         if (!service.submit(std::move(req))) {
           std::cerr << "unexpected rejection (kBlock admission) at "
                     << policy.name << "/" << workers << " workers\n";
@@ -179,20 +220,38 @@ int main(int argc, char** argv) {
              util::fmt_group(report.wall_latency_percentile_ns(99.0) / 1000),
              std::to_string(steals),
              std::to_string(report.totals.reconfigurations)});
-      if (policy.name == "binned")
-        json_rates.emplace_back("BM_DecodeServiceW" + std::to_string(workers),
-                                report.wall_frames_per_sec());
+      if (policy.name == "binned" || policy.name == "binned-quant") {
+        JsonCell cell;
+        cell.name =
+            (policy.quantised ? "BM_DecodeServiceQuantW" : "BM_DecodeServiceW") +
+            std::to_string(workers);
+        cell.items_per_second = report.wall_frames_per_sec();
+        cell.workers = workers;
+        cell.oversubscribed = num_cpus > 0 && workers > num_cpus;
+        json_cells.push_back(std::move(cell));
+      }
     }
   }
   bench::emit(t, opt);
 
   if (!json_path.empty()) {
+    char host[256] = "unknown";
+    gethostname(host, sizeof host - 1);
     std::ofstream out(json_path);
-    out << "{\n  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < json_rates.size(); ++i)
-      out << "    {\"name\": \"" << json_rates[i].first
-          << "\", \"items_per_second\": " << json_rates[i].second << "}"
-          << (i + 1 < json_rates.size() ? "," : "") << "\n";
+    out << "{\n  \"context\": {\n"
+        << "    \"date\": \"" << iso_date_now() << "\",\n"
+        << "    \"host_name\": \"" << host << "\",\n"
+        << "    \"num_cpus\": " << num_cpus << ",\n"
+        << "    \"executable\": \"stream_service\"\n"
+        << "  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < json_cells.size(); ++i) {
+      const JsonCell& c = json_cells[i];
+      out << "    {\"name\": \"" << c.name
+          << "\", \"items_per_second\": " << c.items_per_second
+          << ", \"workers\": " << c.workers << ", \"oversubscribed\": "
+          << (c.oversubscribed ? "true" : "false") << "}"
+          << (i + 1 < json_cells.size() ? "," : "") << "\n";
+    }
     out << "  ]\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }

@@ -96,6 +96,10 @@ class BatchEngineT {
 
  private:
   void process_layer_soa(int layer);
+  // Shared decode loop: L is already staged in SoA form; initialises
+  // Lambda / liveness / results and runs the layered iterations.
+  void run(int frames, std::span<const int> order,
+           std::span<FixedDecodeResult> results);
 
   DecoderConfig config_;
   DatapathTraits<std::int32_t> traits_;
@@ -120,7 +124,11 @@ class BatchEngineT {
   std::uint8_t has_prev_[kLanes] = {};
   std::uint8_t et_fire_[kLanes] = {};
   std::uint8_t cw_ok_[kLanes] = {};
-  std::vector<std::int32_t> raw_scratch_;  // reused quantisation buffer
+  // Packed hard decisions from the codeword scan (bit w of hard_mask_[v] =
+  // lane w's sign of variable v): retiring lanes read their bits from
+  // here — the retire-fold — instead of re-walking strided L columns.
+  std::vector<std::uint64_t> hard_mask_;
+  std::vector<T> raw_scratch_;             // fused-deposit buffer (T codes)
   std::vector<double> acc_;                // LLR-deposit combining scratch
 };
 

@@ -217,18 +217,43 @@ struct QuantSpec {
   bool exclude_zero = true;    // quantised 0 becomes ±1 by channel sign
 };
 
-/// Quantises `count` LLRs into raw codes. Element-for-element identical to
+/// Quantises `count` LLRs into raw codes of lane element type T.
+/// Element-for-element identical to
 ///   raw[i] = fmt.quantize(llr[i]);
 ///   if (raw[i] == 0 && exclude_zero) raw[i] = llr[i] < 0 ? -1 : 1;
 /// including NaN (-> 0, then the exclude-zero rule sees a non-negative
-/// channel value) and round-half-away-from-zero.
-using QuantFn = void (*)(const double* llr, std::int32_t* raw,
-                         std::size_t count, const QuantSpec& spec);
+/// channel value) and round-half-away-from-zero. The narrow instantiations
+/// emit the int32 codes narrowed on store — the caller guarantees
+/// spec.raw_max fits T (lane-type eligibility), so the cast is
+/// value-preserving and the fused quantise-into-stage deposit is
+/// bit-identical to quantise-to-int32-then-narrow.
+template <class T>
+using QuantFnT = void (*)(const double* llr, T* raw, std::size_t count,
+                          const QuantSpec& spec);
+using QuantFn = QuantFnT<std::int32_t>;
 
-/// Quantiser of a specific tier (clamped to detected_tier()).
-QuantFn quant_kernel(Tier tier);
-/// Quantiser of the active tier.
-QuantFn quant_kernel();
+/// Quantiser of a specific tier (clamped to detected_tier()) emitting lane
+/// type T. Narrow outputs under kAvx512 require the HOST to execute
+/// AVX-512BW (the autovectorised narrow stores may use BW instructions);
+/// without it the AVX2 body serves.
+template <class T>
+QuantFnT<T> quant_kernel(Tier tier);
+/// Quantiser of the active tier emitting lane type T.
+template <class T>
+QuantFnT<T> quant_kernel() {
+  return quant_kernel<T>(active_tier());
+}
+
+extern template QuantFnT<std::int32_t> quant_kernel<std::int32_t>(Tier);
+extern template QuantFnT<std::int16_t> quant_kernel<std::int16_t>(Tier);
+extern template QuantFnT<std::int8_t> quant_kernel<std::int8_t>(Tier);
+
+/// The int32 quantiser of a specific tier (legacy spelling).
+inline QuantFn quant_kernel(Tier tier) {
+  return quant_kernel<std::int32_t>(tier);
+}
+/// The int32 quantiser of the active tier.
+inline QuantFn quant_kernel() { return quant_kernel<std::int32_t>(); }
 
 /// Hard ceiling on the SoA lane count of any engine instantiation (one
 /// AVX-512 register of int8). core::kMaxSoaLanes aliases this.
@@ -242,9 +267,18 @@ inline constexpr int kMaxScanLanes = 64;
 /// width — the engines' stop scans run every iteration and were the
 /// dominant per-iteration cost when instantiated in the engine TU at the
 /// default (SSE2) architecture.
+///
+/// The scan also emits the hard decisions it walks: hard_mask (size n, the
+/// variable count) receives one packed lane mask per variable — bit w of
+/// hard_mask[v] is the sign of lane w's APP value for variable v. Retiring
+/// lanes read their decisions from these masks instead of re-gathering the
+/// strided L columns (the retire-fold), and the parity reduction itself
+/// runs over the packed masks: 8 bytes per edge instead of a full lane
+/// row, with the per-variable pack done once in a dense movemask pass.
 template <class T>
 using CwScanFnT = void (*)(const std::int32_t* row_ptr,
-                           const std::int32_t* col_idx, int m, const T* l_soa,
+                           const std::int32_t* col_idx, int m, int n,
+                           const T* l_soa, std::uint64_t* hard_mask,
                            std::uint8_t* ok);
 
 /// Per-lane early-termination rule over lane-major APP state: fire[w] =
@@ -291,5 +325,39 @@ extern template EtScanFnT<std::int32_t> et_scan_kernel<std::int32_t>(Tier,
 extern template EtScanFnT<std::int16_t> et_scan_kernel<std::int16_t>(Tier,
                                                                      int);
 extern template EtScanFnT<std::int8_t> et_scan_kernel<std::int8_t>(Tier, int);
+
+/// Fresh-lane column merge for the continuous-refill engine: for each lane
+/// w in fresh[0..nfresh), write that lane's staged frame into its L column,
+///   l_soa[v * W + w] = staged[w][v]   for v in [0, n).
+/// This is the per-refill L = channel initialisation, batched — and a
+/// lane-count-INDEPENDENT (per-frame) cost, so on the narrow engines it
+/// dilutes the lane-parallel win; the wide-lane bodies turn the column
+/// scatter into a register block transpose with per-row masked stores.
+/// Entries of `staged` outside the fresh list are never read (they may
+/// dangle from an earlier refill). nfresh >= 1.
+template <class T>
+using MergeFreshFnT = void (*)(const T* const* staged, const int* fresh,
+                               int nfresh, T* l_soa, std::size_t n);
+
+/// Merge kernel of a specific tier (clamped to detected_tier()) at lane
+/// width `lanes` (see valid_lane_width; throws std::invalid_argument
+/// otherwise). Like the stop scans, the kAvx512 bodies need the host to
+/// execute AVX-512BW (masked epi16 stores) — the AVX2-tier body serves
+/// otherwise.
+template <class T>
+MergeFreshFnT<T> merge_kernel(Tier tier, int lanes);
+
+/// Merge kernel of the active tier.
+template <class T>
+MergeFreshFnT<T> merge_kernel(int lanes) {
+  return merge_kernel<T>(active_tier(), lanes);
+}
+
+extern template MergeFreshFnT<std::int32_t> merge_kernel<std::int32_t>(Tier,
+                                                                       int);
+extern template MergeFreshFnT<std::int16_t> merge_kernel<std::int16_t>(Tier,
+                                                                       int);
+extern template MergeFreshFnT<std::int8_t> merge_kernel<std::int8_t>(Tier,
+                                                                     int);
 
 }  // namespace ldpc::core::kernels

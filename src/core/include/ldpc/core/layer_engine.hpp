@@ -77,6 +77,94 @@ constexpr int row_datapath_cycles(Radix radix, int degree) noexcept {
   return radix == Radix::kR2 ? 2 * degree : 2 * ((degree + 1) / 2);
 }
 
+/// The runtime-format (int32) deposit fused with the lane-type narrowing:
+/// maps one frame of *transmitted* channel LLRs (size
+/// code.transmitted_bits()) onto the full codeword memory (size n) per the
+/// code's TransmissionScheme, emitting lane element type T raw codes
+/// directly — the batched engines stage channel frames straight into
+/// their narrow SoA columns with no int32 intermediate buffer and no
+/// second narrowing pass. It runs the dispatched batch quantiser: the
+/// element arithmetic is QFormat::quantize + the zero-excluding rule
+/// exactly, and the sendable range maps onto AT MOST TWO contiguous
+/// codeword segments (the punctured prefix is skipped once, the filler gap
+/// once — see tx_bit_index), so even the scheme-aware path quantises dense
+/// spans. The per-element scalar loop this replaced was the single largest
+/// cost of the batched engines (47% of stream-decode runtime).
+///
+/// Punctured and never-sent bits get an exact zero (an erasure —
+/// deliberately bypassing the zero-excluding input quantiser, which is for
+/// *channel* zeros); known-zero fillers get the strongest positive prior
+/// (the APP rail, which fits T — see the eligibility check); repeated bits
+/// (E > sendable, circular-buffer wraparound) accumulate in the WIDENED
+/// double-domain accumulator `acc` before the single quantisation, exactly
+/// like a soft combiner in front of the chip — quantising each repeat
+/// separately would round twice and rail early, diverging from the scalar
+/// combiner. Because the quantiser clamps to the int32 rails before the
+/// narrowing store, every emitted code equals the int32 deposit's code
+/// narrowed: the fused path is bit-identical by construction. `acc` is
+/// caller-provided scratch.
+template <class T>
+void deposit_transmitted_quant(const codes::QCCode& code,
+                               const DatapathTraits<std::int32_t>& traits,
+                               std::span<const double> tx, std::span<T> raw,
+                               std::vector<double>& acc) {
+  const int n = code.n();
+  if (tx.size() != static_cast<std::size_t>(code.transmitted_bits()))
+    throw std::invalid_argument("deposit_transmitted_quant: tx size");
+  if (raw.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("deposit_transmitted_quant: raw size");
+  if (traits.app_fmt.raw_max() >
+      kernels::lane_raw_max(kernels::lane_type_of<T>))
+    throw std::invalid_argument(
+        "deposit_transmitted_quant: config rails exceed lane type " +
+        kernels::to_string(kernels::lane_type_of<T>));
+  const codes::TransmissionScheme& scheme = code.scheme();
+
+  const kernels::QuantSpec spec{
+      static_cast<double>(std::int64_t{1} << traits.fmt.frac_bits()),
+      traits.fmt.raw_max(), traits.exclude_zero};
+  const kernels::QuantFnT<T> quant = kernels::quant_kernel<T>();
+  if (scheme.is_degenerate()) {
+    quant(tx.data(), raw.data(), tx.size(), spec);
+    return;
+  }
+  std::fill(raw.begin(), raw.end(), T{});
+  const int sendable = code.sendable_bits();
+  const int e_bits = code.transmitted_bits();
+  const int punct = code.tx_bit_index(0);
+  // Sendable positions before the filler gap land at punct + s; the rest
+  // shift up by filler_bits. Both ranges are contiguous in s.
+  const int s_break = code.k_info() - scheme.filler_bits - punct;
+  if (e_bits <= sendable) {
+    // No circular-buffer repetition: quantise straight from tx. Bits
+    // beyond E keep the exact-zero erasure with the punctured prefix.
+    const int a = std::min(e_bits, s_break);
+    if (a > 0) quant(tx.data(), raw.data() + punct, a, spec);
+    if (e_bits > a)
+      quant(tx.data() + a, raw.data() + punct + a + scheme.filler_bits,
+            static_cast<std::size_t>(e_bits - a), spec);
+  } else {
+    // Repetition (E > sendable): accumulate in the double domain first —
+    // a soft combiner in front of the chip — then quantise once, from
+    // the same two contiguous segments of the accumulator.
+    acc.assign(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < e_bits; ++i)
+      acc[static_cast<std::size_t>(code.tx_bit_index(i % sendable))] +=
+          tx[i];
+    const int a = std::min(sendable, s_break);
+    if (a > 0) quant(acc.data() + punct, raw.data() + punct, a, spec);
+    if (sendable > a) {
+      const int base = punct + a + scheme.filler_bits;
+      quant(acc.data() + base, raw.data() + base,
+            static_cast<std::size_t>(sendable - a), spec);
+    }
+  }
+  const int filler_start = code.k_info() - scheme.filler_bits;
+  for (int f = 0; f < scheme.filler_bits; ++f)
+    raw[static_cast<std::size_t>(filler_start + f)] =
+        static_cast<T>(traits.filler_value());
+}
+
 /// The LLR deposit shared by every datapath: maps one frame of
 /// *transmitted* channel LLRs (size code.transmitted_bits()) onto the full
 /// codeword memory (size n) per the code's TransmissionScheme. Punctured
@@ -86,73 +174,24 @@ constexpr int row_datapath_cycles(Radix radix, int degree) noexcept {
 /// bits (E > sendable, circular-buffer wraparound) accumulate in the
 /// double domain before the single quantisation, exactly like a soft
 /// combiner in front of the chip. Degenerate schemes reduce to the plain
-/// quantiser, bit for bit. `acc` is caller-provided scratch.
+/// quantiser, bit for bit. `acc` is caller-provided scratch. The runtime
+/// (int32) instantiation is deposit_transmitted_quant<int32> — the fused
+/// template above generalises it to the narrow lane element types.
 template <class Traits>
 void deposit_transmitted(const codes::QCCode& code, const Traits& traits,
                          std::span<const double> tx,
                          std::span<typename Traits::value_type> raw,
                          std::vector<double>& acc) {
   using V = typename Traits::value_type;
-  const int n = code.n();
-  if (tx.size() != static_cast<std::size_t>(code.transmitted_bits()))
-    throw std::invalid_argument("deposit_transmitted: tx size");
-  if (raw.size() != static_cast<std::size_t>(n))
-    throw std::invalid_argument("deposit_transmitted: raw size");
-  const codes::TransmissionScheme& scheme = code.scheme();
-
-  // Runtime-format (int32) deposits run the dispatched batch quantiser:
-  // the element arithmetic is QFormat::quantize + the zero-excluding rule
-  // exactly, and the sendable range maps onto AT MOST TWO contiguous
-  // codeword segments (the punctured prefix is skipped once, the filler
-  // gap once — see tx_bit_index), so even the scheme-aware path quantises
-  // dense spans. The per-element scalar loop this replaces was the single
-  // largest cost of the batched engines (47% of stream-decode runtime).
   if constexpr (std::is_same_v<V, std::int32_t>) {
-    const kernels::QuantSpec spec{
-        static_cast<double>(std::int64_t{1} << traits.fmt.frac_bits()),
-        traits.fmt.raw_max(), traits.exclude_zero};
-    const kernels::QuantFn quant = kernels::quant_kernel();
-    if (scheme.is_degenerate()) {
-      quant(tx.data(), raw.data(), tx.size(), spec);
-      return;
-    }
-    std::fill(raw.begin(), raw.end(), V{});
-    const int sendable = code.sendable_bits();
-    const int e_bits = code.transmitted_bits();
-    const int punct = code.tx_bit_index(0);
-    // Sendable positions before the filler gap land at punct + s; the rest
-    // shift up by filler_bits. Both ranges are contiguous in s.
-    const int s_break = code.k_info() - scheme.filler_bits - punct;
-    if (e_bits <= sendable) {
-      // No circular-buffer repetition: quantise straight from tx. Bits
-      // beyond E keep the exact-zero erasure with the punctured prefix.
-      const int a = std::min(e_bits, s_break);
-      if (a > 0) quant(tx.data(), raw.data() + punct, a, spec);
-      if (e_bits > a)
-        quant(tx.data() + a, raw.data() + punct + a + scheme.filler_bits,
-              static_cast<std::size_t>(e_bits - a), spec);
-    } else {
-      // Repetition (E > sendable): accumulate in the double domain first —
-      // a soft combiner in front of the chip — then quantise once, from
-      // the same two contiguous segments of the accumulator.
-      acc.assign(static_cast<std::size_t>(n), 0.0);
-      for (int i = 0; i < e_bits; ++i)
-        acc[static_cast<std::size_t>(code.tx_bit_index(i % sendable))] +=
-            tx[i];
-      const int a = std::min(sendable, s_break);
-      if (a > 0) quant(acc.data() + punct, raw.data() + punct, a, spec);
-      if (sendable > a) {
-        const int base = punct + a + scheme.filler_bits;
-        quant(acc.data() + base, raw.data() + base,
-              static_cast<std::size_t>(sendable - a), spec);
-      }
-    }
-    const int filler_start = code.k_info() - scheme.filler_bits;
-    for (int f = 0; f < scheme.filler_bits; ++f)
-      raw[static_cast<std::size_t>(filler_start + f)] =
-          traits.filler_value();
-    return;
+    deposit_transmitted_quant<std::int32_t>(code, traits, tx, raw, acc);
   } else {
+    const int n = code.n();
+    if (tx.size() != static_cast<std::size_t>(code.transmitted_bits()))
+      throw std::invalid_argument("deposit_transmitted: tx size");
+    if (raw.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("deposit_transmitted: raw size");
+    const codes::TransmissionScheme& scheme = code.scheme();
     if (scheme.is_degenerate()) {
       for (std::size_t i = 0; i < tx.size(); ++i)
         raw[i] = traits.quantize_llr(tx[i]);

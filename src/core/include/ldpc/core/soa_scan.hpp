@@ -220,12 +220,20 @@ inline bool soa_converged(const DecoderConfig& config, std::uint8_t cw_ok,
 /// baked in — instantiated here, in an engine TU built for the default
 /// architecture, they ran at SSE2 width and dominated the per-iteration
 /// cost.
+///
+/// `hard_mask` (size code.n()) receives the packed hard decisions the scan
+/// walks: bit w of hard_mask[v] is lane w's sign for variable v. Retiring
+/// lanes read their decisions from these masks — the retire-fold — so the
+/// engines never re-gather strided L columns after a codeword-stopped
+/// iteration. The masks are valid for the L state the scan saw; engines
+/// that keep iterating must use the masks of the stopping iteration.
 template <class T>
 inline void soa_codeword_scan(const codes::QCCode& code, const T* l_soa,
-                              int lanes, std::uint8_t* ok) {
+                              int lanes, std::uint64_t* hard_mask,
+                              std::uint8_t* ok) {
   kernels::cw_scan_kernel<T>(lanes)(code.check_row_ptr().data(),
                                     code.check_col_idx().data(), code.m(),
-                                    l_soa, ok);
+                                    code.n(), l_soa, hard_mask, ok);
 }
 
 /// Per-lane early-termination rule over lane-major APP state: for every

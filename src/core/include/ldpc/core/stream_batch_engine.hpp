@@ -57,6 +57,7 @@
 
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/core/soa_scan.hpp"
 #include "ldpc/core/layer_engine.hpp"
 
@@ -114,6 +115,17 @@ class StreamBatchEngineT {
                   std::span<const int> order,
                   std::span<FixedDecodeResult> results);
 
+  /// As decode_frames(), over pre-quantised frames (core::QuantisedFrame,
+  /// produced under this engine's config — e.g. sim::quantise_llrs): the
+  /// quantised-domain serving path, no double-LLR work per frame. A frame
+  /// stored at this engine's own lane type stages by POINTER (zero copy);
+  /// a narrower stored type widens on staging (value-preserving); a wider
+  /// stored type clamps like decode_raw. Bit-identical to submitting the
+  /// frame's source LLRs through decode_frames().
+  void decode_quantised(std::span<const QuantisedFrame* const> frames,
+                        std::span<const int> order,
+                        std::span<FixedDecodeResult> results);
+
  private:
   void run_queue(std::span<const int> order,
                  std::span<FixedDecodeResult> results);
@@ -136,7 +148,6 @@ class StreamBatchEngineT {
   /// traversal, all fresh lanes per pass).
   void apply_fresh();
   void process_layer(int layer);
-  void gather_bits(int lane, std::vector<std::uint8_t>& bits) const;
 
   DecoderConfig config_;
   DatapathTraits<std::int32_t> traits_;
@@ -144,6 +155,7 @@ class StreamBatchEngineT {
   int lanes_ = 0;
   kernels::Tier tier_ = kernels::Tier::kScalar;
   kernels::MinSumRowFnT<T> row_fn_ = nullptr;
+  kernels::MergeFreshFnT<T> merge_fn_ = nullptr;
 
   kernels::RowBounds bounds_{};         // rails + variant correction
   long long cycles_per_iteration_ = 0;  // sum of row cycles over layers
@@ -174,15 +186,20 @@ class StreamBatchEngineT {
   std::uint8_t has_prev_[kMaxLanes] = {};
   std::uint8_t et_fire_[kMaxLanes] = {};  // per-iteration scan results
   std::uint8_t cw_ok_[kMaxLanes] = {};
+  // Packed hard decisions of the last codeword scan (bit w of hard_mask_[v]
+  // = lane w's sign for variable v): the retire-fold source. Valid for the
+  // iteration the scan ran on — exactly the iteration a codeword-stopped
+  // lane retires from.
+  std::vector<std::uint64_t> hard_mask_;
 
   // Frame source of the current decode call (exactly one is set).
   std::span<const double> tx_llrs_;       // decode(): transmitted LLRs
   std::span<const double* const> tx_frame_ptrs_;  // decode_frames()
   std::span<const std::int32_t> raw_in_;  // decode_raw(): raw codes
+  std::span<const QuantisedFrame* const> q_frames_;  // decode_quantised()
 
-  std::vector<T> raw_scratch_;            // per-lane staging, lane slots
-  std::vector<std::int32_t> dep_scratch_; // int32 deposit before narrowing
-  std::vector<double> acc_;               // LLR-deposit combining scratch
+  std::vector<T> raw_scratch_;  // per-lane staging, lane slots
+  std::vector<double> acc_;     // LLR-deposit combining scratch
 };
 
 extern template class StreamBatchEngineT<std::int32_t>;
@@ -232,6 +249,9 @@ class StreamBatchEngine {
   void decode_raw(std::span<const std::int32_t> raw,
                   std::span<const int> order,
                   std::span<FixedDecodeResult> results);
+  void decode_quantised(std::span<const QuantisedFrame* const> frames,
+                        std::span<const int> order,
+                        std::span<FixedDecodeResult> results);
 
  private:
   using Impl = std::variant<StreamBatchEngineT<std::int32_t>,

@@ -31,6 +31,7 @@ void BatchEngineT<T>::reconfigure(const codes::QCCode& code) {
   lrow_ptrs_.resize(static_cast<std::size_t>(code.max_check_degree()));
   prev_hard_soa_.assign(static_cast<std::size_t>(code.k_info()) * kLanes,
                         0);
+  hard_mask_.assign(static_cast<std::size_t>(code.n()), 0);
   raw_scratch_.resize(static_cast<std::size_t>(code.n()) * kLanes);
   cycles_per_iteration_ = 0;
   for (const auto& layer : code.layers())
@@ -52,14 +53,23 @@ void BatchEngineT<T>::decode(std::span<const double> llrs,
   if (frames < 1 || frames > kLanes ||
       llrs.size() != tx * static_cast<std::size_t>(frames))
     throw std::invalid_argument("BatchEngine::decode: sizes");
+  // Fused quantise-into-stage: the dispatched quantiser emits T raw codes
+  // directly (deposit_transmitted_quant), so the transpose below is a
+  // plain copy — no int32 intermediate, no second narrowing pass.
   for (int f = 0; f < frames; ++f)
-    deposit_transmitted(
+    deposit_transmitted_quant<T>(
         *code_, traits_, llrs.subspan(static_cast<std::size_t>(f) * tx, tx),
-        std::span<std::int32_t>(raw_scratch_)
+        std::span<T>(raw_scratch_)
             .subspan(static_cast<std::size_t>(f) * n, n),
         acc_);
-  decode_raw({raw_scratch_.data(), n * static_cast<std::size_t>(frames)},
-             order, results);
+  for (std::size_t v = 0; v < n; ++v) {
+    T* lane = &l_soa_[v * kLanes];
+    for (int w = 0; w < kLanes; ++w)
+      lane[w] =
+          w < frames ? raw_scratch_[static_cast<std::size_t>(w) * n + v]
+                     : T{0};
+  }
+  run(frames, order, results);
 }
 
 template <class T>
@@ -69,15 +79,11 @@ void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
   if (!code_) throw std::logic_error("BatchEngine: not configured");
   const int frames = static_cast<int>(results.size());
   const auto n = static_cast<std::size_t>(code_->n());
-  const int j = code_->block_rows();
   if (frames < 1 || frames > kLanes ||
       raw.size() != n * static_cast<std::size_t>(frames))
     throw std::invalid_argument("BatchEngine::decode_raw: sizes");
-  if (!order.empty() && order.size() != static_cast<std::size_t>(j))
-    throw std::invalid_argument("BatchEngine::decode_raw: order size");
 
-  // Init: L = channel LLR (transposed to SoA, narrowed to the lane type),
-  // Lambda = 0, all lanes live.
+  // Init: L = channel LLR (transposed to SoA, narrowed to the lane type).
   for (std::size_t v = 0; v < n; ++v) {
     T* lane = &l_soa_[v * kLanes];
     for (int w = 0; w < kLanes; ++w)
@@ -85,6 +91,18 @@ void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
                     ? clamp_to_lane<T>(raw[static_cast<std::size_t>(w) * n + v])
                     : T{0};
   }
+  run(frames, order, results);
+}
+
+template <class T>
+void BatchEngineT<T>::run(int frames, std::span<const int> order,
+                          std::span<FixedDecodeResult> results) {
+  const auto n = static_cast<std::size_t>(code_->n());
+  const int j = code_->block_rows();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(j))
+    throw std::invalid_argument("BatchEngine: order size");
+
+  // Lambda = 0, all lanes live.
   std::fill(lambda_soa_.begin(), lambda_soa_.end(), T{0});
   for (int w = 0; w < kLanes; ++w) {
     active_[w] = w < frames ? 1 : 0;
@@ -92,9 +110,10 @@ void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
   }
   for (int w = 0; w < frames; ++w) {
     // Field-wise reset keeps the bits vector's capacity when the caller
-    // reuses a results buffer.
+    // reuses a results buffer. resize, not assign: retirement writes all
+    // n bits, so zero-filling here would be a dead store per frame.
     FixedDecodeResult& res = results[static_cast<std::size_t>(w)];
-    res.bits.assign(n, 0);
+    res.bits.resize(n);
     res.iterations = 0;
     res.converged = false;
     res.early_terminated = false;
@@ -117,7 +136,8 @@ void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
                   l_soa_.data(), prev_hard_soa_.data(), has_prev_,
                   et_fire_);
     if (config_.stop_on_codeword)
-      soa_codeword_scan(*code_, l_soa_.data(), kLanes, cw_ok_);
+      soa_codeword_scan(*code_, l_soa_.data(), kLanes, hard_mask_.data(),
+                        cw_ok_);
 
     // Per-lane bookkeeping: exactly the scalar engine's post-iteration
     // sequence (decision, ET, codeword stop), applied to live lanes only.
@@ -132,10 +152,17 @@ void BatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
           soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
       if (stop.early_terminated) res.early_terminated = true;
       if (stop.stopped || last_iter) {
-        for (std::size_t v = 0; v < n; ++v)
-          res.bits[v] = l_soa_[v * kLanes + static_cast<std::size_t>(w)] < 0
-                            ? 1
-                            : 0;
+        if (config_.stop_on_codeword) {
+          // Retire-fold: this iteration's parity scan already packed the
+          // hard decisions; read the lane's bit column from the masks.
+          for (std::size_t v = 0; v < n; ++v)
+            res.bits[v] =
+                static_cast<std::uint8_t>((hard_mask_[v] >> w) & 1);
+        } else {
+          for (std::size_t v = 0; v < n; ++v)
+            res.bits[v] =
+                l_soa_[v * kLanes + static_cast<std::size_t>(w)] < 0 ? 1 : 0;
+        }
         res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
         active_[w] = 0;
         --live;

@@ -236,23 +236,33 @@ template MinSumRowFnT<std::int32_t> row_kernel<std::int32_t>(Tier, int);
 template MinSumRowFnT<std::int16_t> row_kernel<std::int16_t>(Tier, int);
 template MinSumRowFnT<std::int8_t> row_kernel<std::int8_t>(Tier, int);
 
-QuantFn quant_kernel(Tier tier) {
-  // Pure double/int32 arithmetic: no BW requirement at any tier.
+template <class T>
+QuantFnT<T> quant_kernel(Tier tier) {
   Tier t = clamp(tier, state().detected);
 #ifdef LDPC_KERNELS_HAVE_AVX512
-  if (t == Tier::kAvx512) return avx512_quant_kernel();
+  if (t == Tier::kAvx512) {
+    // int32 output is pure double/int32 arithmetic (AVX-512F only by
+    // construction); the narrow-output bodies autovectorise their int16 /
+    // int8 stores, which in a -mavx512bw TU may use BW instructions — the
+    // host must execute them, else the AVX2 body serves.
+    if (lane_type_of<T> == LaneType::kInt32 || state().avx512bw)
+      return avx512_quant_kernel<T>();
+    t = Tier::kAvx2;
+  }
 #endif
 #ifdef LDPC_KERNELS_HAVE_AVX2
-  if (t == Tier::kAvx2) return avx2_quant_kernel();
+  if (t == Tier::kAvx2) return avx2_quant_kernel<T>();
 #endif
 #ifdef LDPC_KERNELS_HAVE_SSE42
-  if (t == Tier::kSse42) return sse42_quant_kernel();
+  if (t == Tier::kSse42) return sse42_quant_kernel<T>();
 #endif
   (void)t;
-  return scalar_quant_kernel();
+  return scalar_quant_kernel<T>();
 }
 
-QuantFn quant_kernel() { return quant_kernel(active_tier()); }
+template QuantFnT<std::int32_t> quant_kernel<std::int32_t>(Tier);
+template QuantFnT<std::int16_t> quant_kernel<std::int16_t>(Tier);
+template QuantFnT<std::int8_t> quant_kernel<std::int8_t>(Tier);
 
 namespace {
 
@@ -314,5 +324,28 @@ template CwScanFnT<std::int8_t> cw_scan_kernel<std::int8_t>(Tier, int);
 template EtScanFnT<std::int32_t> et_scan_kernel<std::int32_t>(Tier, int);
 template EtScanFnT<std::int16_t> et_scan_kernel<std::int16_t>(Tier, int);
 template EtScanFnT<std::int8_t> et_scan_kernel<std::int8_t>(Tier, int);
+
+template <class T>
+MergeFreshFnT<T> merge_kernel(Tier tier, int lanes) {
+  // Same host gate as the stop scans: the avx512 TU's int16 body issues
+  // k-masked epi16 stores (AVX-512BW), so without host BW the AVX2-tier
+  // body serves.
+  const Tier t = scan_tier(tier, lane_type_of<T>, lanes, "merge_kernel");
+#ifdef LDPC_KERNELS_HAVE_AVX512
+  if (t == Tier::kAvx512) return avx512_merge_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_AVX2
+  if (t == Tier::kAvx2) return avx2_merge_kernel<T>(lanes);
+#endif
+#ifdef LDPC_KERNELS_HAVE_SSE42
+  if (t == Tier::kSse42) return sse42_merge_kernel<T>(lanes);
+#endif
+  (void)t;
+  return scalar_merge_kernel<T>(lanes);
+}
+
+template MergeFreshFnT<std::int32_t> merge_kernel<std::int32_t>(Tier, int);
+template MergeFreshFnT<std::int16_t> merge_kernel<std::int16_t>(Tier, int);
+template MergeFreshFnT<std::int8_t> merge_kernel<std::int8_t>(Tier, int);
 
 }  // namespace ldpc::core::kernels

@@ -5,9 +5,18 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <type_traits>
 
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+
+// The x86-64 baseline includes SSE2, so even the scalar TU can use the
+// movemask sign-pack helpers below; each tier TU's own -m flags unlock the
+// wider variants.
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
 
 namespace ldpc::core::kernels {
 
@@ -24,9 +33,14 @@ namespace ldpc::core::kernels {
 //     rounded value (the rails are integers, truncation is monotone);
 //   - NaN fails v == v and maps to 0 before the cast (the cast of NaN
 //     would be UB); the exclude-zero rule then sees a non-negative value.
+// The body is additionally templated over the OUTPUT lane element type:
+// the narrow instantiations clamp to spec.raw_max exactly like the int32
+// one (the caller guarantees raw_max fits T — lane-type eligibility), so
+// the final cast only narrows the store and the fused quantise-into-stage
+// deposit is bit-identical to quantise-to-int32-then-narrow.
+template <class T>
 static inline void quantize_llrs_body(const double* __restrict llr,
-                                      std::int32_t* __restrict raw,
-                                      std::size_t count,
+                                      T* __restrict raw, std::size_t count,
                                       const QuantSpec& spec) {
   const double scale = spec.scale;
   const double hi = static_cast<double>(spec.raw_max);
@@ -40,8 +54,8 @@ static inline void quantize_llrs_body(const double* __restrict llr,
       a = a > hi ? hi : a;
       a = a < lo ? lo : a;
       a = v == v ? a : 0.0;
-      std::int32_t q = static_cast<std::int32_t>(a);
-      raw[i] = q != 0 ? q : (v < 0.0 ? -1 : 1);
+      const std::int32_t q = static_cast<std::int32_t>(a);
+      raw[i] = static_cast<T>(q != 0 ? q : (v < 0.0 ? -1 : 1));
     }
   } else {
 #pragma omp simd
@@ -52,7 +66,7 @@ static inline void quantize_llrs_body(const double* __restrict llr,
       a = a > hi ? hi : a;
       a = a < lo ? lo : a;
       a = v == v ? a : 0.0;
-      raw[i] = static_cast<std::int32_t>(a);
+      raw[i] = static_cast<T>(static_cast<std::int32_t>(a));
     }
   }
 }
@@ -63,23 +77,23 @@ static inline void quantize_llrs_body(const double* __restrict llr,
 // the per-TU instantiations into one copy (possibly the AVX-512-compiled
 // one) handed to every tier.
 //
-// The bodies use GCC/Clang vector extensions rather than autovectorisable
-// loops: the per-edge row base `l_soa + col_idx[j] * W` is a non-affine
-// function of the edge index, and GCC 12's vectoriser gives up on the
-// whole nest ("evolution of base is not affine"), emitting a SCALAR
-// per-lane loop that made the stop scans cost as much per batch iteration
-// as the entire min-sum row pass — and, being fixed-cost per batch
-// iteration, it capped the narrow-lane engines at the int32 rate. A
-// 64-byte vector op per edge (one register at AVX-512, split by the
-// compiler into two at AVX2, four at SSE) is the whole inner loop.
+// The ET body uses GCC/Clang vector extensions rather than
+// autovectorisable loops: the per-variable row base `l_soa + i * W` defeats
+// GCC 12's vectoriser when mixed with the mask state updates, which would
+// emit a SCALAR per-lane loop costing as much per batch iteration as the
+// entire min-sum row pass. A 64-byte vector op per variable (one register
+// at AVX-512, split by the compiler into two at AVX2, four at SSE) is the
+// whole inner loop. The codeword body instead packs each variable's lane
+// signs into a uint64 with one movemask (dense pass, affine addressing)
+// and reduces parity over the packed masks — the gather-addressed
+// `col_idx[j] * W` rows are never re-read vector-wide.
 //
-// All scan state stays in T, not int32: a widening accumulator would pin
-// the per-element vector cost at the int32 rate and erase the narrow-lane
-// engines' scaling on these scans (which run every iteration). Truth
-// values are all-ones masks (vector compare results), not 0/1 — parity
-// under xor and the &= reductions work identically; prev_hard therefore
-// holds sign MASKS (0 / -1), an engine-private representation only these
-// bodies touch.
+// All ET scan state stays in T, not int32: a widening accumulator would
+// pin the per-element vector cost at the int32 rate and erase the
+// narrow-lane engines' scaling on these scans (which run every iteration).
+// Truth values are all-ones masks (vector compare results), not 0/1 — the
+// &= reductions work identically; prev_hard therefore holds sign MASKS
+// (0 / -1), an engine-private representation only these bodies touch.
 template <class T, int W>
 struct ScanVecT {
   // aligned(alignof(T)): the engines 64-byte-align their SoA bases (see
@@ -90,25 +104,129 @@ struct ScanVecT {
       __attribute__((vector_size(W * sizeof(T)), aligned(alignof(T))));
 };
 
+// Packs the sign bits of one W-lane SoA row into a uint64: bit w is set
+// iff lane w's value is negative. The movemask family does a full row per
+// instruction; the `#if` ladder keys on the TU's own -m flags, so each
+// tier's compiled copy only uses instructions dispatch has already
+// verified the host executes (the TU flags are a subset of the runtime
+// tier check). `static` linkage per the COMDAT note above.
+template <class T, int W>
+static inline std::uint64_t pack_sign_mask(const T* __restrict row) {
+  if constexpr (std::is_same_v<T, std::int8_t>) {
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    if constexpr (W == 64)
+      return static_cast<std::uint64_t>(_mm512_movepi8_mask(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(row))));
+#endif
+#if defined(__AVX2__)
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 32)
+      m |= static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(_mm256_movemask_epi8(
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(row + c)))))
+           << c;
+    return m;
+#elif defined(__SSE2__)
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 16)
+      m |= static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_loadu_si128(
+                   reinterpret_cast<const __m128i*>(row + c)))))
+           << c;
+    return m;
+#endif
+  } else if constexpr (std::is_same_v<T, std::int16_t>) {
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    if constexpr (W == 32)
+      return static_cast<std::uint64_t>(_mm512_movepi16_mask(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(row))));
+#endif
+#if defined(__AVX2__)
+    // packs saturates int16 to int8 (sign-preserving); the pack interleaves
+    // 128-bit halves, so un-shuffle the qwords before the byte movemask.
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 16) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + c));
+      const __m256i p = _mm256_permute4x64_epi64(
+          _mm256_packs_epi16(a, _mm256_setzero_si256()), 0xd8);
+      m |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               _mm256_movemask_epi8(p)) &
+                                      0xffffu)
+           << c;
+    }
+    return m;
+#elif defined(__SSE2__)
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 16) {
+      const __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + c));
+      const __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + c + 8));
+      m |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               _mm_movemask_epi8(_mm_packs_epi16(a, b))))
+           << c;
+    }
+    return m;
+#endif
+  } else {
+#if defined(__AVX512F__)
+    if constexpr (W == 16)
+      return static_cast<std::uint64_t>(_mm512_cmplt_epi32_mask(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(row)),
+          _mm512_setzero_si512()));
+#endif
+#if defined(__AVX2__)
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 8)
+      m |= static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                   _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(row + c))))))
+           << c;
+    return m;
+#elif defined(__SSE2__)
+    std::uint64_t m = 0;
+    for (int c = 0; c < W; c += 4)
+      m |= static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(
+                   _mm_loadu_si128(
+                       reinterpret_cast<const __m128i*>(row + c))))))
+           << c;
+    return m;
+#endif
+  }
+  std::uint64_t m = 0;
+  for (int w = 0; w < W; ++w)
+    m |= static_cast<std::uint64_t>(row[w] < 0) << w;
+  return m;
+}
+
+// Codeword scan = one dense sign-pack pass over the n variables (filling
+// the caller's hard_mask), then a scalar uint64 parity reduction over the
+// CSR edges. Compared with the previous full-lane-row xor per edge this
+// reads 8 bytes per edge instead of W*sizeof(T), and the packed masks
+// double as the retiring lanes' hard decisions (the retire-fold) — the
+// engines stop re-gathering strided L columns at retirement.
 template <class T, int W>
 static void cw_scan_body(const std::int32_t* __restrict row_ptr,
-                         const std::int32_t* __restrict col_idx, int m,
+                         const std::int32_t* __restrict col_idx, int m, int n,
                          const T* __restrict l_soa,
+                         std::uint64_t* __restrict hard_mask,
                          std::uint8_t* __restrict ok) {
-  using vec = typename ScanVecT<T, W>::type;
-  vec fail = {};
+  for (int v = 0; v < n; ++v)
+    hard_mask[v] = pack_sign_mask<T, W>(l_soa + static_cast<std::size_t>(v) * W);
+  std::uint64_t fail = 0;
   for (int r = 0; r < m; ++r) {
-    vec acc = {};
+    std::uint64_t acc = 0;
     const std::int32_t end = row_ptr[r + 1];
-    for (std::int32_t j = row_ptr[r]; j < end; ++j) {
-      const vec row = *reinterpret_cast<const vec*>(
-          l_soa + static_cast<std::size_t>(col_idx[j]) * W);
-      acc ^= (row < vec{});
-    }
+    for (std::int32_t j = row_ptr[r]; j < end; ++j)
+      acc ^= hard_mask[col_idx[j]];
     fail |= acc;
   }
   for (int w = 0; w < W; ++w)
-    ok[w] = fail[w] ? std::uint8_t{0} : std::uint8_t{1};
+    ok[w] = (fail >> w) & 1 ? std::uint8_t{0} : std::uint8_t{1};
 }
 
 template <class T, int W>
@@ -142,30 +260,62 @@ static void et_scan_body(int k_info, std::int32_t threshold,
   }
 }
 
+// Fresh-lane column merge, reference body: blocked lane-outer /
+// variable-inner traversal. Each staged frame streams sequentially; the
+// row-block cap keeps the strided column stores inside an L1-resident
+// window (a W-lane row is one cache line at every lane type), so
+// revisiting a block once per fresh lane costs L1 hits, not a re-fetch of
+// the whole L memory. The wide-lane AVX-512BW body replaces the scatter
+// with a register block transpose (see minsum_avx512.cpp).
+template <class T, int W>
+static void merge_fresh_body(const T* const* staged, const int* fresh,
+                             int nfresh, T* __restrict l_soa, std::size_t n) {
+  constexpr std::size_t kBlockBytes = 16 * 1024;
+  constexpr std::size_t block = kBlockBytes / (W * sizeof(T));
+  for (std::size_t v0 = 0; v0 < n; v0 += block) {
+    const std::size_t v1 = n < v0 + block ? n : v0 + block;
+    for (int i = 0; i < nfresh; ++i) {
+      const int w = fresh[i];
+      const T* __restrict src = staged[w];
+      T* __restrict col = l_soa + w;
+      for (std::size_t v = v0; v < v1; ++v) col[v * W] = src[v];
+    }
+  }
+}
+
 template <class T>
 MinSumRowFnT<T> scalar_row_kernel(int lanes);
-QuantFn scalar_quant_kernel();
+template <class T>
+QuantFnT<T> scalar_quant_kernel();
 template <class T>
 CwScanFnT<T> scalar_cw_scan_kernel(int lanes);
 template <class T>
 EtScanFnT<T> scalar_et_scan_kernel(int lanes);
+template <class T>
+MergeFreshFnT<T> scalar_merge_kernel(int lanes);
 #ifdef LDPC_KERNELS_HAVE_SSE42
 template <class T>
 MinSumRowFnT<T> sse42_row_kernel(int lanes);
-QuantFn sse42_quant_kernel();
+template <class T>
+QuantFnT<T> sse42_quant_kernel();
 template <class T>
 CwScanFnT<T> sse42_cw_scan_kernel(int lanes);
 template <class T>
 EtScanFnT<T> sse42_et_scan_kernel(int lanes);
+template <class T>
+MergeFreshFnT<T> sse42_merge_kernel(int lanes);
 #endif
 #ifdef LDPC_KERNELS_HAVE_AVX2
 template <class T>
 MinSumRowFnT<T> avx2_row_kernel(int lanes);
-QuantFn avx2_quant_kernel();
+template <class T>
+QuantFnT<T> avx2_quant_kernel();
 template <class T>
 CwScanFnT<T> avx2_cw_scan_kernel(int lanes);
 template <class T>
 EtScanFnT<T> avx2_et_scan_kernel(int lanes);
+template <class T>
+MergeFreshFnT<T> avx2_merge_kernel(int lanes);
 #endif
 #ifdef LDPC_KERNELS_HAVE_AVX512
 // For int16/int8 the returned kernel uses native 512-bit AVX-512BW bodies
@@ -174,10 +324,15 @@ EtScanFnT<T> avx2_et_scan_kernel(int lanes);
 // back to the AVX2 bodies otherwise).
 template <class T>
 MinSumRowFnT<T> avx512_row_kernel(int lanes);
-QuantFn avx512_quant_kernel();
-// The scan bodies are autovectorised in a TU that may be compiled with
-// -mavx512bw, so the compiler is free to emit BW instructions for ANY lane
-// type (the byte-wide fail/ok state invites it even at int32). Dispatch
+// The narrow-output quantiser bodies are autovectorised in a TU that may
+// be compiled with -mavx512bw; the int16/int8 stores invite BW
+// instructions, so dispatch requires the HOST to execute avx512bw before
+// handing those out (int32 output stays AVX-512F-only by construction).
+template <class T>
+QuantFnT<T> avx512_quant_kernel();
+// The scan bodies are compiled in a TU that may use -mavx512bw (the ET
+// vector-extension body's byte-wide state invites BW even at int32; the
+// codeword body's int16/int8 sign packs use BW movemasks). Dispatch
 // therefore requires the HOST to execute avx512bw before handing these
 // out, for every lane type — unlike the intrinsics row kernels, whose
 // int32 bodies use AVX-512F ops only by construction.
@@ -185,6 +340,11 @@ template <class T>
 CwScanFnT<T> avx512_cw_scan_kernel(int lanes);
 template <class T>
 EtScanFnT<T> avx512_et_scan_kernel(int lanes);
+// The int16 full-width merge body is a 32x32 register block transpose with
+// k-masked epi16 column stores — AVX-512BW instructions, so dispatch gates
+// on the host executing avx512bw like the scans.
+template <class T>
+MergeFreshFnT<T> avx512_merge_kernel(int lanes);
 #endif
 
 }  // namespace ldpc::core::kernels

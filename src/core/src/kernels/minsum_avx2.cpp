@@ -24,13 +24,21 @@ template MinSumRowFnT<std::int16_t> avx2_row_kernel<std::int16_t>(int);
 template MinSumRowFnT<std::int8_t> avx2_row_kernel<std::int8_t>(int);
 
 namespace {
-void quantize_llrs_avx2(const double* llr, std::int32_t* raw,
-                        std::size_t count, const QuantSpec& spec) {
-  quantize_llrs_body(llr, raw, count, spec);
+template <class T>
+void quantize_llrs_avx2(const double* llr, T* raw, std::size_t count,
+                        const QuantSpec& spec) {
+  quantize_llrs_body<T>(llr, raw, count, spec);
 }
 }  // namespace
 
-QuantFn avx2_quant_kernel() { return &quantize_llrs_avx2; }
+template <class T>
+QuantFnT<T> avx2_quant_kernel() {
+  return &quantize_llrs_avx2<T>;
+}
+
+template QuantFnT<std::int32_t> avx2_quant_kernel<std::int32_t>();
+template QuantFnT<std::int16_t> avx2_quant_kernel<std::int16_t>();
+template QuantFnT<std::int8_t> avx2_quant_kernel<std::int8_t>();
 
 template <class T>
 CwScanFnT<T> avx2_cw_scan_kernel(int lanes) {
@@ -49,5 +57,16 @@ template CwScanFnT<std::int8_t> avx2_cw_scan_kernel<std::int8_t>(int);
 template EtScanFnT<std::int32_t> avx2_et_scan_kernel<std::int32_t>(int);
 template EtScanFnT<std::int16_t> avx2_et_scan_kernel<std::int16_t>(int);
 template EtScanFnT<std::int8_t> avx2_et_scan_kernel<std::int8_t>(int);
+
+template <class T>
+MergeFreshFnT<T> avx2_merge_kernel(int lanes) {
+  constexpr int s = lane_scale(lane_type_of<T>);
+  return lanes == 16 * s ? &merge_fresh_body<T, 16 * s>
+                         : &merge_fresh_body<T, 8 * s>;
+}
+
+template MergeFreshFnT<std::int32_t> avx2_merge_kernel<std::int32_t>(int);
+template MergeFreshFnT<std::int16_t> avx2_merge_kernel<std::int16_t>(int);
+template MergeFreshFnT<std::int8_t> avx2_merge_kernel<std::int8_t>(int);
 
 }  // namespace ldpc::core::kernels

@@ -123,13 +123,21 @@ template MinSumRowFnT<std::int16_t> scalar_row_kernel<std::int16_t>(int);
 template MinSumRowFnT<std::int8_t> scalar_row_kernel<std::int8_t>(int);
 
 namespace {
-void quantize_llrs_scalar(const double* llr, std::int32_t* raw,
-                          std::size_t count, const QuantSpec& spec) {
-  quantize_llrs_body(llr, raw, count, spec);
+template <class T>
+void quantize_llrs_scalar(const double* llr, T* raw, std::size_t count,
+                          const QuantSpec& spec) {
+  quantize_llrs_body<T>(llr, raw, count, spec);
 }
 }  // namespace
 
-QuantFn scalar_quant_kernel() { return &quantize_llrs_scalar; }
+template <class T>
+QuantFnT<T> scalar_quant_kernel() {
+  return &quantize_llrs_scalar<T>;
+}
+
+template QuantFnT<std::int32_t> scalar_quant_kernel<std::int32_t>();
+template QuantFnT<std::int16_t> scalar_quant_kernel<std::int16_t>();
+template QuantFnT<std::int8_t> scalar_quant_kernel<std::int8_t>();
 
 template <class T>
 CwScanFnT<T> scalar_cw_scan_kernel(int lanes) {
@@ -148,5 +156,16 @@ template CwScanFnT<std::int8_t> scalar_cw_scan_kernel<std::int8_t>(int);
 template EtScanFnT<std::int32_t> scalar_et_scan_kernel<std::int32_t>(int);
 template EtScanFnT<std::int16_t> scalar_et_scan_kernel<std::int16_t>(int);
 template EtScanFnT<std::int8_t> scalar_et_scan_kernel<std::int8_t>(int);
+
+template <class T>
+MergeFreshFnT<T> scalar_merge_kernel(int lanes) {
+  constexpr int s = lane_scale(lane_type_of<T>);
+  return lanes == 16 * s ? &merge_fresh_body<T, 16 * s>
+                         : &merge_fresh_body<T, 8 * s>;
+}
+
+template MergeFreshFnT<std::int32_t> scalar_merge_kernel<std::int32_t>(int);
+template MergeFreshFnT<std::int16_t> scalar_merge_kernel<std::int16_t>(int);
+template MergeFreshFnT<std::int8_t> scalar_merge_kernel<std::int8_t>(int);
 
 }  // namespace ldpc::core::kernels

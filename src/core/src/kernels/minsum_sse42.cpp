@@ -250,13 +250,21 @@ template MinSumRowFnT<std::int16_t> sse42_row_kernel<std::int16_t>(int);
 template MinSumRowFnT<std::int8_t> sse42_row_kernel<std::int8_t>(int);
 
 namespace {
-void quantize_llrs_sse42(const double* llr, std::int32_t* raw,
-                         std::size_t count, const QuantSpec& spec) {
-  quantize_llrs_body(llr, raw, count, spec);
+template <class T>
+void quantize_llrs_sse42(const double* llr, T* raw, std::size_t count,
+                         const QuantSpec& spec) {
+  quantize_llrs_body<T>(llr, raw, count, spec);
 }
 }  // namespace
 
-QuantFn sse42_quant_kernel() { return &quantize_llrs_sse42; }
+template <class T>
+QuantFnT<T> sse42_quant_kernel() {
+  return &quantize_llrs_sse42<T>;
+}
+
+template QuantFnT<std::int32_t> sse42_quant_kernel<std::int32_t>();
+template QuantFnT<std::int16_t> sse42_quant_kernel<std::int16_t>();
+template QuantFnT<std::int8_t> sse42_quant_kernel<std::int8_t>();
 
 template <class T>
 CwScanFnT<T> sse42_cw_scan_kernel(int lanes) {
@@ -275,5 +283,16 @@ template CwScanFnT<std::int8_t> sse42_cw_scan_kernel<std::int8_t>(int);
 template EtScanFnT<std::int32_t> sse42_et_scan_kernel<std::int32_t>(int);
 template EtScanFnT<std::int16_t> sse42_et_scan_kernel<std::int16_t>(int);
 template EtScanFnT<std::int8_t> sse42_et_scan_kernel<std::int8_t>(int);
+
+template <class T>
+MergeFreshFnT<T> sse42_merge_kernel(int lanes) {
+  constexpr int s = lane_scale(lane_type_of<T>);
+  return lanes == 16 * s ? &merge_fresh_body<T, 16 * s>
+                         : &merge_fresh_body<T, 8 * s>;
+}
+
+template MergeFreshFnT<std::int32_t> sse42_merge_kernel<std::int32_t>(int);
+template MergeFreshFnT<std::int16_t> sse42_merge_kernel<std::int16_t>(int);
+template MergeFreshFnT<std::int8_t> sse42_merge_kernel<std::int8_t>(int);
 
 }  // namespace ldpc::core::kernels

@@ -21,6 +21,7 @@ StreamBatchEngineT<T>::StreamBatchEngineT(DecoderConfig config, int lanes)
   lanes_ = lanes;
   tier_ = kernels::active_tier();
   row_fn_ = kernels::row_kernel<T>(tier_, lanes_);  // validates the width
+  merge_fn_ = kernels::merge_kernel<T>(tier_, lanes_);
   bounds_ = make_row_bounds(config_, traits_);
   lane_.resize(static_cast<std::size_t>(lanes_));
 }
@@ -37,8 +38,7 @@ void StreamBatchEngineT<T>::reconfigure(const codes::QCCode& code) {
   lrow_ptrs_.resize(static_cast<std::size_t>(code.max_check_degree()));
   prev_hard_soa_.assign(static_cast<std::size_t>(code.k_info()) * w, 0);
   raw_scratch_.resize(static_cast<std::size_t>(code.n()) * w);
-  if constexpr (!std::is_same_v<T, std::int32_t>)
-    dep_scratch_.resize(static_cast<std::size_t>(code.n()));
+  hard_mask_.assign(static_cast<std::size_t>(code.n()), 0);
   cycles_per_iteration_ = 0;
   for (const auto& layer : code.layers())
     cycles_per_iteration_ +=
@@ -56,6 +56,7 @@ void StreamBatchEngineT<T>::decode(std::span<const double> llrs,
   tx_llrs_ = llrs;
   tx_frame_ptrs_ = {};
   raw_in_ = {};
+  q_frames_ = {};
   run_queue(order, results);
   tx_llrs_ = {};
 }
@@ -74,6 +75,7 @@ void StreamBatchEngineT<T>::decode_frames(
   tx_frame_ptrs_ = frames;
   tx_llrs_ = {};
   raw_in_ = {};
+  q_frames_ = {};
   run_queue(order, results);
   tx_frame_ptrs_ = {};
 }
@@ -89,8 +91,37 @@ void StreamBatchEngineT<T>::decode_raw(std::span<const std::int32_t> raw,
   raw_in_ = raw;
   tx_llrs_ = {};
   tx_frame_ptrs_ = {};
+  q_frames_ = {};
   run_queue(order, results);
   raw_in_ = {};
+}
+
+template <class T>
+void StreamBatchEngineT<T>::decode_quantised(
+    std::span<const QuantisedFrame* const> frames, std::span<const int> order,
+    std::span<FixedDecodeResult> results) {
+  if (!code_) throw std::logic_error("StreamBatchEngine: not configured");
+  const auto n = static_cast<std::size_t>(code_->n());
+  if (results.empty() || frames.size() != results.size())
+    throw std::invalid_argument(
+        "StreamBatchEngine::decode_quantised: sizes");
+  for (const QuantisedFrame* frame : frames) {
+    if (frame == nullptr)
+      throw std::invalid_argument(
+          "StreamBatchEngine::decode_quantised: null frame");
+    if (frame->n != code_->n() ||
+        frame->bytes.size() != frame->expected_bytes())
+      throw std::invalid_argument(
+          "StreamBatchEngine::decode_quantised: frame does not match the "
+          "configured code (expected " +
+          std::to_string(n) + " raw codes)");
+  }
+  q_frames_ = frames;
+  tx_llrs_ = {};
+  tx_frame_ptrs_ = {};
+  raw_in_ = {};
+  run_queue(order, results);
+  q_frames_ = {};
 }
 
 template <class T>
@@ -110,37 +141,69 @@ void StreamBatchEngineT<T>::load_lane(int w, std::size_t f,
       for (std::size_t v = 0; v < n; ++v) slot[v] = clamp_to_lane<T>(src[v]);
       staged_src_[lw] = slot;
     }
+  } else if (!q_frames_.empty()) {
+    // Pre-quantised ingest: a frame stored at this engine's own lane type
+    // stages by pointer; any other stored type stages via a clamped
+    // widening/narrowing copy (a producer under an eligible config never
+    // stores wider than T, so the clamp is the decode_raw guard, not a
+    // value change).
+    const QuantisedFrame& qf = *q_frames_[f];
+    if (qf.type == lane_type()) {
+      staged_src_[lw] = qf.as<T>().data();
+    } else {
+      T* slot = raw_scratch_.data() + lw * n;
+      switch (qf.type) {
+        case kernels::LaneType::kInt8: {
+          const std::int8_t* src = qf.as<std::int8_t>().data();
+#pragma omp simd
+          for (std::size_t v = 0; v < n; ++v)
+            slot[v] = static_cast<T>(src[v]);
+          break;
+        }
+        case kernels::LaneType::kInt16: {
+          const std::int16_t* src = qf.as<std::int16_t>().data();
+#pragma omp simd
+          for (std::size_t v = 0; v < n; ++v)
+            slot[v] = clamp_to_lane<T>(src[v]);
+          break;
+        }
+        case kernels::LaneType::kInt32:
+        default: {
+          const std::int32_t* src = qf.as<std::int32_t>().data();
+#pragma omp simd
+          for (std::size_t v = 0; v < n; ++v)
+            slot[v] = clamp_to_lane<T>(src[v]);
+          break;
+        }
+      }
+      staged_src_[lw] = slot;
+    }
   } else {
     // Per-lane deposit on refill: the shared scheme-aware LLR expansion
     // (puncturing erasures, filler rails, rate-matched accumulation) runs
-    // the moment the lane is claimed, not in a batch-wide prepass.
+    // the moment the lane is claimed, not in a batch-wide prepass — and
+    // the dispatched quantiser emits T directly into the lane's staging
+    // slot (deposit_transmitted_quant), so no int32 intermediate buffer
+    // or second narrowing pass exists on this path.
     const auto tx = static_cast<std::size_t>(code_->transmitted_bits());
     const std::span<const double> llrs =
         tx_frame_ptrs_.empty()
             ? tx_llrs_.subspan(f * tx, tx)
             : std::span<const double>(tx_frame_ptrs_[f], tx);
     T* slot = raw_scratch_.data() + lw * n;
-    if constexpr (std::is_same_v<T, std::int32_t>) {
-      deposit_transmitted(*code_, traits_, llrs,
-                          std::span<std::int32_t>(slot, n), acc_);
-    } else {
-      // The deposit emits int32 raw codes; for an eligible config they all
-      // fit T, so the narrowing pass is a plain cast-and-clamp.
-      deposit_transmitted(*code_, traits_, llrs,
-                          std::span<std::int32_t>(dep_scratch_), acc_);
-#pragma omp simd
-      for (std::size_t v = 0; v < n; ++v)
-        slot[v] = clamp_to_lane<T>(dep_scratch_[v]);
-    }
+    deposit_transmitted_quant<T>(*code_, traits_, llrs,
+                                 std::span<T>(slot, n), acc_);
     staged_src_[lw] = slot;
   }
   fresh_[nfresh_++] = w;
   has_prev_[lw] = 0;  // EarlyTermination::reset(), per lane
   lane_[lw] = LaneState{static_cast<std::ptrdiff_t>(f), 0};
   // Field-wise reset keeps the bits vector's capacity when the caller
-  // reuses a results buffer (the sim workers and benches do).
+  // reuses a results buffer (the sim workers and benches do). resize, not
+  // assign: retirement writes every one of the n bits exactly once, so
+  // zero-filling here would be a dead n-byte store per frame.
   FixedDecodeResult& res = results[f];
-  res.bits.assign(n, 0);
+  res.bits.resize(n);
   res.iterations = 0;
   res.converged = false;
   res.early_terminated = false;
@@ -150,28 +213,15 @@ void StreamBatchEngineT<T>::load_lane(int w, std::size_t f,
 template <class T>
 void StreamBatchEngineT<T>::apply_fresh() {
   if (nfresh_ == 0) return;
-  const auto n = static_cast<std::size_t>(code_->n());
-  const auto lanes = static_cast<std::size_t>(lanes_);
-  // One sequential pass over the L memory serves every staged lane: the
-  // per-lane column is strided (one word per cache line), so merging the
-  // refill burst costs one traversal instead of one per lane.
-  for (std::size_t v = 0; v < n; ++v) {
-    T* row = &l_soa_[v * lanes];
-    for (int i = 0; i < nfresh_; ++i) {
-      const int w = fresh_[i];
-      row[w] = staged_src_[w][v];
-    }
-  }
-}
-
-template <class T>
-void StreamBatchEngineT<T>::gather_bits(
-    int lane, std::vector<std::uint8_t>& bits) const {
-  const auto n = static_cast<std::size_t>(code_->n());
-  const auto lanes = static_cast<std::size_t>(lanes_);
-  for (std::size_t v = 0; v < n; ++v)
-    bits[v] =
-        l_soa_[v * lanes + static_cast<std::size_t>(lane)] < 0 ? 1 : 0;
+  // Dispatched column merge (kernels::merge_kernel): the reference body is
+  // a blocked lane-outer traversal whose row-block cap keeps the strided
+  // column stores L1-resident; the full-width AVX-512BW int16 body
+  // replaces the scatter with a 32x32 register block transpose and one
+  // k-masked store per variable row. At high-churn mixes a refill burst
+  // covers a third of the lanes, and this merge was the largest
+  // lane-count-independent cost left on the quantised path.
+  merge_fn_(staged_src_, fresh_, nfresh_, l_soa_.data(),
+            static_cast<std::size_t>(code_->n()));
 }
 
 template <class T>
@@ -217,7 +267,8 @@ void StreamBatchEngineT<T>::run_queue(std::span<const int> order,
                   l_soa_.data(), prev_hard_soa_.data(), has_prev_,
                   et_fire_);
     if (config_.stop_on_codeword)
-      soa_codeword_scan(*code_, l_soa_.data(), lanes_, cw_ok_);
+      soa_codeword_scan(*code_, l_soa_.data(), lanes_, hard_mask_.data(),
+                        cw_ok_);
 
     // Per-lane bookkeeping: exactly the scalar engine's post-iteration
     // sequence (decision, ET, codeword stop) against the lane's OWN
@@ -249,11 +300,29 @@ void StreamBatchEngineT<T>::run_queue(std::span<const int> order,
     }
     if (nretire > 0) {
       const auto n = static_cast<std::size_t>(code_->n());
-      const auto lanes = static_cast<std::size_t>(lanes_);
-      for (std::size_t v = 0; v < n; ++v) {
-        const T* row = &l_soa_[v * lanes];
-        for (int i = 0; i < nretire; ++i)
-          retire_bits[i][v] = row[retire_w[i]] < 0 ? 1 : 0;
+      if (config_.stop_on_codeword) {
+        // Retire-fold: this iteration's parity scan already packed every
+        // lane's hard decisions into hard_mask_, so retirement is a dense
+        // read of one bit column per retiree — no strided re-walk of the
+        // L memory. Retirees stay on the OUTER loop: a fixed shift count
+        // lets the column extraction vectorize (qword shift + narrowing
+        // pack), which beats sharing the mask load across retirees.
+        for (int i = 0; i < nretire; ++i) {
+          const int w = retire_w[i];
+          std::uint8_t* bits = retire_bits[i];
+          const std::uint64_t* mask = hard_mask_.data();
+          for (std::size_t v = 0; v < n; ++v)
+            bits[v] = static_cast<std::uint8_t>((mask[v] >> w) & 1);
+        }
+      } else {
+        // Without codeword stopping no scan ran this iteration; gather the
+        // decisions in one strided traversal serving every retiree.
+        const auto lanes = static_cast<std::size_t>(lanes_);
+        for (std::size_t v = 0; v < n; ++v) {
+          const T* row = &l_soa_[v * lanes];
+          for (int i = 0; i < nretire; ++i)
+            retire_bits[i][v] = row[retire_w[i]] < 0 ? 1 : 0;
+        }
       }
       for (int i = 0; i < nretire; ++i) {
         const int w = retire_w[i];
@@ -397,6 +466,13 @@ void StreamBatchEngine::decode_raw(std::span<const std::int32_t> raw,
                                    std::span<const int> order,
                                    std::span<FixedDecodeResult> results) {
   std::visit([&](auto& e) { e.decode_raw(raw, order, results); }, impl_);
+}
+
+void StreamBatchEngine::decode_quantised(
+    std::span<const QuantisedFrame* const> frames, std::span<const int> order,
+    std::span<FixedDecodeResult> results) {
+  std::visit([&](auto& e) { e.decode_quantised(frames, order, results); },
+             impl_);
 }
 
 }  // namespace ldpc::core

@@ -24,6 +24,7 @@
 #include "ldpc/channel/channel.hpp"
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/decoder.hpp"
+#include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/util/stats.hpp"
 
 namespace ldpc::sim {
@@ -50,6 +51,19 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
                                   std::span<const std::uint8_t> codeword,
                                   channel::Modulation modulation,
                                   double sigma, util::Xoshiro256& rng);
+
+/// Front-end quantisation: runs the full scheme-aware LLR deposit +
+/// quantiser (core::deposit_transmitted_quant — puncturing erasures,
+/// filler rails, wraparound repeat combining) over one frame of
+/// transmitted-length channel LLRs and stores the resulting n raw codes at
+/// the narrowest lane type `config` admits. The frame feeds
+/// core::StreamBatchEngine::decode_quantised / the DecodeService quantised
+/// submit path with results bit-identical to submitting the doubles, at a
+/// 4-8x smaller payload. Throws std::invalid_argument when llrs is not
+/// transmitted_bits() long or `config` is not a quantized-datapath config.
+core::QuantisedFrame quantise_llrs(const codes::QCCode& code,
+                                   const core::DecoderConfig& config,
+                                   std::span<const double> llrs);
 
 /// Builds one independent DecodeFn per worker thread. The factory is
 /// called once per worker per point, from that worker's thread; everything

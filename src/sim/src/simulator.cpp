@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ldpc/core/layer_engine.hpp"
+#include "ldpc/core/soa_scan.hpp"
 #include "ldpc/core/stream_batch_engine.hpp"
 #include "ldpc/enc/encoder.hpp"
 #include "ldpc/util/rng.hpp"
@@ -57,6 +59,37 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
   auto mod = channel::modulate(tx, modulation);
   chan.transmit(mod.samples, rng);
   return channel::demap_llr(mod, sigma);
+}
+
+core::QuantisedFrame quantise_llrs(const codes::QCCode& code,
+                                   const core::DecoderConfig& config,
+                                   std::span<const double> llrs) {
+  if (config.datapath != core::Datapath::kQuantized)
+    throw std::invalid_argument(
+        "quantise_llrs: quantized datapath configs only");
+  const core::DatapathTraits<std::int32_t> traits{config};
+  const auto type = core::narrowest_lane_type(config);
+  core::QuantisedFrame frame;
+  std::vector<double> acc;
+  switch (type) {
+    case core::kernels::LaneType::kInt8:
+      core::deposit_transmitted_quant<std::int8_t>(
+          code, traits, llrs,
+          frame.emplace<std::int8_t>(type, code.n()), acc);
+      break;
+    case core::kernels::LaneType::kInt16:
+      core::deposit_transmitted_quant<std::int16_t>(
+          code, traits, llrs,
+          frame.emplace<std::int16_t>(type, code.n()), acc);
+      break;
+    case core::kernels::LaneType::kInt32:
+    default:
+      core::deposit_transmitted_quant<std::int32_t>(
+          code, traits, llrs,
+          frame.emplace<std::int32_t>(type, code.n()), acc);
+      break;
+  }
+  return frame;
 }
 
 DecodeFn adapt(core::ReconfigurableDecoder& decoder) {

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "ldpc/core/datapath.hpp"
+#include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/stream/mpmc_queue.hpp"
 #include "ldpc/stream/stream_types.hpp"
 #include "ldpc/stream/traffic.hpp"
@@ -97,12 +98,17 @@ struct ServiceConfig {
 
 /// One decode request. The submitter owns frame synthesis (the service
 /// never touches TrafficSource::make_frame, which is not thread-safe):
-/// `llrs` must hold the mode's transmitted_bits() channel LLRs.
+/// either `llrs` holds the mode's transmitted_bits() channel LLRs, or
+/// `quantised` holds the mode's n pre-quantised raw codes
+/// (sim::quantise_llrs under the service's decoder config) and `llrs`
+/// stays empty — the quantised-domain ingest path, bit-identical to
+/// submitting the doubles at a 4-8x smaller payload.
 struct ServiceRequest {
   long long id = 0;
   int mode = 0;
   TrafficClass cls = TrafficClass::kBestEffort;
   std::vector<double> llrs;
+  core::QuantisedFrame quantised;
   /// Optional: the first payload_bits() bits of the expected codeword;
   /// when present the job's StreamJob::payload_ok is evaluated.
   std::vector<std::uint8_t> expected_payload;

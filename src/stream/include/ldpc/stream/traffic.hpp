@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/datapath.hpp"
+#include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/enc/encoder.hpp"
 
 namespace ldpc::stream {
@@ -46,6 +48,11 @@ struct JobFrame {
   std::vector<std::uint8_t> payload;   // payload_bits() information bits
   std::vector<std::uint8_t> codeword;  // expected codeword, size n
   std::vector<double> llrs;            // transmitted_bits() channel LLRs
+  /// Pre-quantised raw codes derived from the SAME llrs
+  /// (sim::quantise_llrs), filled only when the source was switched to
+  /// quantised emission (TrafficSource::emit_quantised) — the front end of
+  /// the quantised-domain serving path.
+  core::QuantisedFrame quantised;
 };
 
 class TrafficSource {
@@ -80,11 +87,23 @@ class TrafficSource {
   /// thread-compatible for distinct jobs only through distinct sources.
   JobFrame make_frame(const Job& job) const;
 
+  /// Switches the source to quantised emission: every subsequent
+  /// make_frame additionally runs the front-end quantiser
+  /// (sim::quantise_llrs under `config`) and fills JobFrame::quantised
+  /// with the narrowest-lane raw codes — the payload a submitter hands to
+  /// the service's quantised ingest path. The double llrs stay populated
+  /// so reference decodes and payload checks are unchanged. Throws
+  /// std::invalid_argument for a non-quantized-datapath config.
+  void emit_quantised(core::DecoderConfig config);
+  bool emits_quantised() const noexcept { return emit_quantised_; }
+
   const TrafficConfig& config() const noexcept { return config_; }
 
  private:
   struct Mode;
   TrafficConfig config_;
+  bool emit_quantised_ = false;
+  core::DecoderConfig quant_config_{};
   std::vector<std::unique_ptr<Mode>> modes_;
   double total_weight_ = 0.0;
   long long cursor_ = 0;

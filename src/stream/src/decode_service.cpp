@@ -83,9 +83,20 @@ bool DecodeService::submit(ServiceRequest request) {
   if (request.mode < 0 || request.mode >= source_.mode_count())
     throw std::invalid_argument("DecodeService::submit: unknown mode");
   const codes::QCCode& code = source_.code(request.mode);
-  if (request.llrs.size() !=
-      static_cast<std::size_t>(code.transmitted_bits()))
+  if (!request.quantised.empty()) {
+    // Quantised-domain submission: the payload is the mode's n raw codes;
+    // the double llrs must be absent (exactly one ingest domain per job).
+    if (!request.llrs.empty())
+      throw std::invalid_argument(
+          "DecodeService::submit: both llrs and quantised payloads");
+    if (request.quantised.n != code.n() ||
+        request.quantised.bytes.size() != request.quantised.expected_bytes())
+      throw std::invalid_argument(
+          "DecodeService::submit: quantised frame size");
+  } else if (request.llrs.size() !=
+             static_cast<std::size_t>(code.transmitted_bits())) {
     throw std::invalid_argument("DecodeService::submit: llr size");
+  }
   const long long payload = code.payload_bits();
   if (!request.expected_payload.empty() &&
       request.expected_payload.size() < static_cast<std::size_t>(payload))
@@ -220,14 +231,38 @@ void DecodeService::decode_bin(int index, std::vector<QueuedJob>& bin) {
     w.ledger.reconfigurations += 1;
   }
 
-  std::vector<const double*> frames;
-  frames.reserve(bin.size());
-  for (const QueuedJob& job : bin) frames.push_back(job.req.llrs.data());
+  // A bin is same-mode but may mix ingest domains (double-LLR jobs next
+  // to pre-quantised ones): dispatch each group through its own engine
+  // entry and scatter the results back to bin order. Outcomes are
+  // bit-identical across the two domains, so the split cannot change any
+  // job's decisions — only which ingest path staged it.
+  std::vector<std::size_t> llr_idx, quant_idx;
+  llr_idx.reserve(bin.size());
+  for (std::size_t f = 0; f < bin.size(); ++f)
+    (bin[f].req.quantised.empty() ? llr_idx : quant_idx).push_back(f);
   std::vector<core::FixedDecodeResult> results(bin.size());
+  const auto& order = orders_[static_cast<std::size_t>(mode)];
 
   const long long start = now_ns();
-  w.engine.decode_frames(frames, orders_[static_cast<std::size_t>(mode)],
-                         results);
+  if (!llr_idx.empty()) {
+    std::vector<const double*> frames;
+    frames.reserve(llr_idx.size());
+    for (std::size_t f : llr_idx) frames.push_back(bin[f].req.llrs.data());
+    std::vector<core::FixedDecodeResult> group(llr_idx.size());
+    w.engine.decode_frames(frames, order, group);
+    for (std::size_t k = 0; k < llr_idx.size(); ++k)
+      results[llr_idx[k]] = std::move(group[k]);
+  }
+  if (!quant_idx.empty()) {
+    std::vector<const core::QuantisedFrame*> frames;
+    frames.reserve(quant_idx.size());
+    for (std::size_t f : quant_idx)
+      frames.push_back(&bin[f].req.quantised);
+    std::vector<core::FixedDecodeResult> group(quant_idx.size());
+    w.engine.decode_quantised(frames, order, group);
+    for (std::size_t k = 0; k < quant_idx.size(); ++k)
+      results[quant_idx[k]] = std::move(group[k]);
+  }
   const long long finish = now_ns();
 
   const auto payload = static_cast<std::size_t>(code.payload_bits());

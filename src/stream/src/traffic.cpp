@@ -104,7 +104,17 @@ JobFrame TrafficSource::make_frame(const Job& job) const {
   frame.codeword = m.encoder->encode(frame.payload);
   frame.llrs = sim::transmit_llrs(m.code, frame.codeword,
                                   channel::Modulation::kBpsk, m.sigma, rng);
+  if (emit_quantised_)
+    frame.quantised = sim::quantise_llrs(m.code, quant_config_, frame.llrs);
   return frame;
+}
+
+void TrafficSource::emit_quantised(core::DecoderConfig config) {
+  if (config.datapath != core::Datapath::kQuantized)
+    throw std::invalid_argument(
+        "TrafficSource::emit_quantised: quantized datapath configs only");
+  quant_config_ = config;
+  emit_quantised_ = true;
 }
 
 }  // namespace ldpc::stream

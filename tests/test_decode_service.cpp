@@ -150,6 +150,70 @@ TEST(DecodeServiceDeterminism, MatchesModeledSchedulerAcrossWorkerCounts) {
   }
 }
 
+TEST(DecodeServiceDeterminism, QuantisedSubmissionMatchesModeledScheduler) {
+  // The quantised-domain serving path: the source pre-quantises every
+  // frame (sim::quantise_llrs under the service's decoder config), the
+  // submitter ships ONLY the raw codes, and per-frame results must still
+  // equal the modeled double-LLR reference bit for bit — including mixed
+  // bins, since every odd job keeps submitting doubles.
+  const std::uint64_t seed = 0xD15C1;
+  const int njobs = 48;
+  const auto reference = modeled_reference(seed, njobs);
+  ASSERT_EQ(reference.jobs.size(), static_cast<std::size_t>(njobs));
+  for (const int workers : {1, 4}) {
+    auto src = make_mixed_source(seed);
+    src.emit_quantised(service_decoder());
+    ASSERT_TRUE(src.emits_quantised());
+    const auto jobs = synthesize(src, njobs);
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queue_capacity = 16;
+    cfg.decoder = service_decoder();
+    DecodeService service(src, cfg);
+    for (const auto& s : jobs) {
+      ServiceRequest req = request_for(src, s);
+      if (s.job.id % 2 == 0) {
+        ASSERT_FALSE(s.frame.quantised.empty());
+        req.quantised = s.frame.quantised;
+        req.llrs.clear();
+      }
+      EXPECT_TRUE(service.submit(std::move(req)));
+    }
+    expect_matches_reference(service.finish(), reference,
+                             "quantised workers=" + std::to_string(workers));
+  }
+}
+
+TEST(DecodeService, SubmitValidatesQuantisedPayloads) {
+  auto src = make_mixed_source(0xD15C2);
+  src.emit_quantised(service_decoder());
+  const auto jobs = synthesize(src, 1);
+  ServiceConfig cfg;
+  cfg.decoder = service_decoder();
+  DecodeService service(src, cfg);
+
+  // Both payloads present: ambiguous ingest domain.
+  ServiceRequest both = request_for(src, jobs[0]);
+  both.quantised = jobs[0].frame.quantised;
+  EXPECT_THROW(service.submit(std::move(both)), std::invalid_argument);
+
+  // Truncated quantised payload.
+  ServiceRequest bad = request_for(src, jobs[0]);
+  bad.llrs.clear();
+  bad.quantised = jobs[0].frame.quantised;
+  bad.quantised.bytes.pop_back();
+  EXPECT_THROW(service.submit(std::move(bad)), std::invalid_argument);
+
+  // A valid quantised job still decodes.
+  ServiceRequest good = request_for(src, jobs[0]);
+  good.llrs.clear();
+  good.quantised = jobs[0].frame.quantised;
+  EXPECT_TRUE(service.submit(std::move(good)));
+  const auto report = service.finish();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_TRUE(report.jobs[0].payload_ok);
+}
+
 TEST(DecodeServiceDeterminism, StealHeavyAndStealFreeAgree) {
   const std::uint64_t seed = 0x57EA1;
   const int njobs = 48;
