@@ -9,6 +9,7 @@ Usage:
                      [--min-int8-engine-ratio 1.9]
                      [--min-int16-nr-ratio 1.25]
                      [--min-service-scaling 0.55]
+                     [--min-harq-goodput 0.10]
 
 Three independent checks:
 
@@ -70,6 +71,18 @@ Three independent checks:
         BENCH_PR7.json records the reference machine's absolute wall
         frames/s, which the baseline comparison gates.
 
+    d.  HARQ link goodput floor (PR 9): the closed-loop link layer must
+        deliver —
+            BM_HarqLinkGoodputFading >= --min-harq-goodput
+        (payload bits delivered per transmitted bit on the Rayleigh
+        link, bench/harq_link.cpp). Unlike the wall-clock cells this is
+        an ABSOLUTE floor, not a ratio: the HARQ loop is fully
+        counter-seeded, so the number is bit-deterministic per
+        (seed, sessions) and identical on every host — CI gates the
+        default cell (seed 1, 64 sessions, measured 0.118 ~ 71% of the
+        one-shot code rate) at 0.10. A combining, retransmission or
+        channel regression drops it far below the floor.
+
     Any ratio floor <= 0 skips that gate entirely (so a run that only
     produced one benchmark family — e.g. the service sweep without the
     kernel microbench — can still be gated on what it did measure).
@@ -101,6 +114,7 @@ INT16_NR_NUM = "BM_NrZ384StreamInt16"
 INT16_NR_DEN = "BM_NrZ384StreamInt32"
 SERVICE_NUM = "BM_DecodeServiceW2"
 SERVICE_DEN = "BM_DecodeServiceW1"
+HARQ_GOODPUT = "BM_HarqLinkGoodputFading"
 
 
 def ratio_floor(current, num, den, floor, what):
@@ -119,6 +133,22 @@ def ratio_floor(current, num, den, floor, what):
         return not ok
     print(f"compare_bench: {num} / {den} missing from the current run — "
           f"the {what}-ratio gate cannot run (renamed benchmark?) FAIL")
+    return True
+
+
+def absolute_floor(current, name, floor, what):
+    """Enforce current[name] >= floor for a deterministic scalar cell;
+    same missing-name and floor <= 0 semantics as ratio_floor."""
+    if floor <= 0:
+        print(f"{what} floor gate disabled (floor {floor:.2f} <= 0)")
+        return False
+    if name in current:
+        ok = current[name] >= floor
+        print(f"{what} {name} = {current[name]:.3f} "
+              f"(floor {floor:.2f}) {'OK' if ok else 'FAIL'}")
+        return not ok
+    print(f"compare_bench: {name} missing from the current run — the "
+          f"{what} gate cannot run (renamed benchmark?) FAIL")
     return True
 
 
@@ -194,6 +224,11 @@ def main():
                          "wall frames per second (<= 0 disables; CI "
                          "passes 0.55 as a contention-collapse tripwire "
                          "that holds even on a 1-vCPU host)")
+    ap.add_argument("--min-harq-goodput", type=float, default=0.0,
+                    help="absolute floor for the HARQ closed-loop fading "
+                         "goodput cell (deterministic per seed/sessions; "
+                         "<= 0 disables; CI passes 0.10 against the "
+                         "default cell's 0.118)")
     ap.add_argument("--write-best", default=None, metavar="PATH",
                     help="write a baseline JSON holding the per-benchmark "
                          "BEST items/sec of current and baseline (the CI "
@@ -239,6 +274,8 @@ def main():
     else:
         failed |= ratio_floor(current, SERVICE_NUM, SERVICE_DEN,
                               args.min_service_scaling, "service-scaling")
+    failed |= absolute_floor(current, HARQ_GOODPUT, args.min_harq_goodput,
+                             "harq-goodput")
 
     # 3. Per-benchmark regression vs the committed baseline, when present.
     baseline = {}

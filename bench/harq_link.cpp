@@ -1,0 +1,217 @@
+// Closed-loop HARQ link bench: goodput and per-round delivery of the
+// session-aware serving layer, on both serving paths.
+//
+// One fading NR mode (BG2, z=36, E=1500) runs `--frames` sessions through
+// run_harq_modeled (discrete-event farm) and run_harq_live (wall-clock
+// DecodeService), AWGN alongside as the no-fading reference. The modeled
+// and live paths must produce bit-identical per-(session, round) decode
+// results — any divergence prints to stderr and the bench exits non-zero,
+// which is what the CI smoke run checks.
+//
+//   ./harq_link [--frames 64] [--workers 2] [--seed 1] [--csv]
+//               [--json PATH]
+//
+// --json writes google-benchmark-format JSON for bench/compare_bench.py:
+//
+//   BM_HarqLinkGoodputFading   items_per_second = payload bits delivered
+//                              per transmitted bit on the Rayleigh link —
+//                              the IR-combining acceptance number. The
+//                              loop is fully counter-seeded, so the value
+//                              is DETERMINISTIC per (seed, frames): the
+//                              --min-harq-goodput floor is machine-
+//                              independent and tight, not a statistical
+//                              bound.
+//   BM_HarqLinkGoodputAwgn     the same efficiency on the AWGN link
+//                              (near the one-shot effective rate at this
+//                              Es/N0 — fading is what HARQ exists for).
+//   BM_HarqLiveFps             wall frames/s of the live closed loop
+//                              (worker count + oversubscribed annotation
+//                              like the service sweep; baseline-gated,
+//                              never ratio-gated).
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/stream/harq_stream.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+core::DecoderConfig harq_decoder() {
+  core::DecoderConfig cfg;
+  cfg.kernel = core::CnuKernel::kMinSum;
+  cfg.max_iterations = 10;
+  cfg.stop_on_codeword = true;
+  cfg.early_termination = {.enabled = true, .threshold_raw = 8};
+  return cfg;
+}
+
+stream::TrafficSource make_source(std::uint64_t seed,
+                                  channel::ChannelKind kind) {
+  stream::TrafficSource source({.seed = seed});
+  source.add_mode(codes::make_nr_code(codes::Rate::kR15, 36, 1500, 40), 2.0,
+                  1.0, kind, 0);
+  source.emit_quantised(harq_decoder());
+  return source;
+}
+
+using RoundKey = std::pair<long long, int>;  // (session, round)
+
+std::map<RoundKey, std::tuple<std::uint64_t, int, bool>> by_round(
+    const stream::StreamReport& report) {
+  std::map<RoundKey, std::tuple<std::uint64_t, int, bool>> out;
+  for (const auto& job : report.jobs)
+    out[{job.session, job.round}] = {job.decision_hash, job.iterations,
+                                     job.converged};
+  return out;
+}
+
+struct JsonCell {
+  std::string name;
+  double items_per_second = 0.0;
+  int workers = 0;
+  bool oversubscribed = false;
+};
+
+std::string iso_date_now() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm{};
+  localtime_r(&now, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv,
+                        {"csv", "frames", "seed", "workers", "json"});
+  bench::Options opt;
+  opt.csv = args.get_or("csv", false);
+  opt.frames = args.get_or("frames", 0LL);
+  opt.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
+  const int workers = static_cast<int>(args.get_or("workers", 2LL));
+  const std::string json_path = args.get_or("json", std::string{});
+
+  const long long sessions = opt.frames > 0 ? opt.frames : 64;
+  const stream::HarqStreamConfig harq{.max_rounds = 4,
+                                      .feedback_delay_cycles = 0};
+  const int num_cpus = static_cast<int>(std::thread::hardware_concurrency());
+
+  stream::SchedulerConfig modeled_cfg;
+  modeled_cfg.workers = workers;
+  modeled_cfg.policy = stream::Policy::kBinned;
+  modeled_cfg.max_burst = 4;
+  modeled_cfg.decoder = harq_decoder();
+
+  util::Table t("HARQ closed loop: " + std::to_string(sessions) +
+                " sessions, NR BG2 z=36 E=1500, Es/N0 2.0 dB, 4 rounds");
+  t.header({"channel", "path", "delivered", "goodput", "resid FER", "r0 ack",
+            "r1 ack", "r2 ack", "r3 ack"});
+
+  const struct {
+    const char* name;
+    channel::ChannelKind kind;
+  } channels[] = {{"awgn", channel::ChannelKind::kAwgn},
+                  {"rayleigh", channel::ChannelKind::kRayleighBlock}};
+
+  bool deterministic = true;
+  std::vector<JsonCell> json_cells;
+  for (const auto& ch : channels) {
+    auto modeled_source = make_source(opt.seed, ch.kind);
+    const auto modeled = stream::run_harq_modeled(modeled_source, modeled_cfg,
+                                                  sessions, harq);
+
+    stream::ServiceConfig live_cfg;
+    live_cfg.workers = workers;
+    live_cfg.queue_capacity = static_cast<std::size_t>(workers) * 128;
+    live_cfg.decoder = harq_decoder();
+    auto live_source = make_source(opt.seed, ch.kind);
+    const auto live = stream::run_harq_live(live_source, live_cfg, sessions,
+                                            harq);
+
+    if (by_round(modeled) != by_round(live)) {
+      std::cerr << "determinism VIOLATED on " << ch.name
+                << ": live per-(session, round) results diverge from the "
+                   "modeled farm\n";
+      deterministic = false;
+    }
+
+    for (const auto* r : {&modeled, &live}) {
+      const auto& h = r->harq;
+      std::vector<std::string> row{ch.name, r == &modeled ? "modeled" : "live",
+                                   std::to_string(h.delivered) + "/" +
+                                       std::to_string(h.sessions),
+                                   util::fmt_fixed(h.goodput(), 3),
+                                   util::fmt_fixed(h.residual_fer(), 3)};
+      for (int round = 0; round < harq.max_rounds; ++round) {
+        const auto& serving = h.rounds[static_cast<std::size_t>(round)];
+        row.push_back(serving.attempts
+                          ? std::to_string(serving.acks) + "/" +
+                                std::to_string(serving.attempts)
+                          : "-");
+      }
+      t.row(row);
+    }
+
+    JsonCell goodput;
+    goodput.name = std::string("BM_HarqLinkGoodput") +
+                   (ch.kind == channel::ChannelKind::kAwgn ? "Awgn"
+                                                           : "Fading");
+    goodput.items_per_second = modeled.harq.goodput();
+    goodput.workers = workers;
+    json_cells.push_back(goodput);
+    if (ch.kind == channel::ChannelKind::kRayleighBlock) {
+      JsonCell fps;
+      fps.name = "BM_HarqLiveFps";
+      fps.items_per_second = live.wall_frames_per_sec();
+      fps.workers = workers;
+      fps.oversubscribed = num_cpus > 0 && workers > num_cpus;
+      json_cells.push_back(fps);
+    }
+  }
+  bench::emit(t, opt);
+
+  if (!json_path.empty()) {
+    char host[256] = "unknown";
+    gethostname(host, sizeof host - 1);
+    std::ofstream out(json_path);
+    out << "{\n  \"context\": {\n"
+        << "    \"date\": \"" << iso_date_now() << "\",\n"
+        << "    \"host_name\": \"" << host << "\",\n"
+        << "    \"num_cpus\": " << num_cpus << ",\n"
+        << "    \"executable\": \"harq_link\"\n"
+        << "  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < json_cells.size(); ++i) {
+      const JsonCell& c = json_cells[i];
+      out << "    {\"name\": \"" << c.name
+          << "\", \"items_per_second\": " << c.items_per_second
+          << ", \"workers\": " << c.workers << ", \"oversubscribed\": "
+          << (c.oversubscribed ? "true" : "false") << "}"
+          << (i + 1 < json_cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  std::cout << (deterministic
+                    ? "determinism holds: live per-(session, round) results "
+                      "match the modeled farm bit for bit on both channels\n"
+                    : "DETERMINISM VIOLATION (see stderr)\n")
+            << "expected shape: AWGN delivers nearly everything in round 0; "
+               "Rayleigh leans on IR combining, so goodput sits below the "
+               "one-shot rate but residual FER collapses by round 2-3.\n";
+  return deterministic ? 0 : 1;
+}

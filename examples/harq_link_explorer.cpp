@@ -1,0 +1,157 @@
+// Closed-loop HARQ link explorer: goodput-vs-SNR and residual-FER-per-
+// round tables for AWGN vs block-Rayleigh, with and without incremental-
+// redundancy combining.
+//
+//   ./harq_link_explorer [--from -4.0 --to 2.0 --step 1.0] [--rounds 4]
+//                        [--users 4] [--blocks 48] [--coherence 0]
+//                        [--threads 0] [--seed 1] [--csv]
+//
+// Each cell runs the full closed loop (sim::LinkSimulator) over an NR
+// BG2 z=36 E=1500 transport block: transmit rv0, decode, retransmit the
+// NACKs with the next redundancy version of the {0, 2, 3, 1} sequence,
+// combining rounds in the HARQ soft buffer before each retry. The
+// "no-IR" columns rerun the identical channel realisations with
+// combining off — every round decodes its own LLRs alone — so the gap
+// between the column pairs IS the combining gain, same noise, same
+// fades.
+//
+// What the tables show:
+//   - On AWGN the SNR is the SNR: round 0 either clears it or the link
+//     is simply below threshold, and combining mostly converts repeat
+//     energy near the waterfall.
+//   - On Rayleigh each round sees fresh fades, so retransmission is
+//     diversity: residual FER collapses round over round, and IR
+//     combining delivers at Es/N0 where the no-IR loop stalls. The
+//     cumulative Eb/N0 column prices that reliability in energy per
+//     delivered payload bit.
+#include <iostream>
+#include <vector>
+
+#include "ldpc/codes/registry.hpp"
+#include "ldpc/sim/harq_link.hpp"
+#include "ldpc/util/args.hpp"
+#include "ldpc/util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+core::DecoderConfig decoder_config() {
+  core::DecoderConfig cfg;
+  cfg.kernel = core::CnuKernel::kMinSum;
+  cfg.max_iterations = 10;
+  cfg.stop_on_codeword = true;
+  cfg.early_termination = {.enabled = true, .threshold_raw = 8};
+  return cfg;
+}
+
+sim::HarqConfig link_config(const util::Args& args,
+                            channel::ChannelKind kind, bool combine) {
+  sim::HarqConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_or("seed", 1LL));
+  cfg.channel = kind;
+  cfg.coherence_bits = static_cast<int>(args.get_or("coherence", 0LL));
+  cfg.max_rounds = static_cast<int>(args.get_or("rounds", 4LL));
+  cfg.combine = combine;
+  cfg.users = static_cast<int>(args.get_or("users", 4LL));
+  cfg.blocks_per_user = static_cast<int>(args.get_or("blocks", 48LL));
+  cfg.threads = static_cast<int>(args.get_or("threads", 0LL));
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv,
+                          {"from", "to", "step", "rounds", "users", "blocks",
+                           "coherence", "threads", "seed", "csv"});
+    const bool csv = args.get_or("csv", false);
+    const double from = args.get_or("from", -4.0);
+    const double to = args.get_or("to", 2.0);
+    const double step = args.get_or("step", 1.0);
+
+    std::vector<double> esn0s;
+    for (double db = from; db <= to + 1e-9; db += step) esn0s.push_back(db);
+
+    const auto code = codes::make_nr_code(codes::Rate::kR15, 36, 1500, 40);
+    const std::vector<const codes::QCCode*> modes{&code};
+    const auto decoder = decoder_config();
+
+    const struct {
+      const char* name;
+      channel::ChannelKind kind;
+    } channels[] = {{"awgn", channel::ChannelKind::kAwgn},
+                    {"rayleigh", channel::ChannelKind::kRayleighBlock}};
+
+    for (const auto& ch : channels) {
+      sim::LinkSimulator ir(modes, decoder,
+                            link_config(args, ch.kind, /*combine=*/true));
+      sim::LinkSimulator no_ir(modes, decoder,
+                               link_config(args, ch.kind, /*combine=*/false));
+      const auto with = ir.sweep(esn0s);
+      const auto without = no_ir.sweep(esn0s);
+
+      util::Table goodput(std::string("goodput vs Es/N0 — ") + ch.name +
+                          ", NR BG2 z=36 E=1500, " +
+                          std::to_string(with.front().rounds.size()) +
+                          " rounds (one-shot rate " +
+                          util::fmt_fixed(code.effective_rate(), 3) + ")");
+      goodput.header({"Es/N0 dB", "goodput IR", "goodput no-IR",
+                      "resid FER IR", "resid FER no-IR", "cum Eb/N0 IR",
+                      "avg rounds IR"});
+      for (std::size_t p = 0; p < with.size(); ++p) {
+        goodput.row({util::fmt_fixed(with[p].esn0_db, 1),
+                     util::fmt_fixed(with[p].goodput(), 3),
+                     util::fmt_fixed(without[p].goodput(), 3),
+                     util::fmt_fixed(with[p].residual_fer(), 3),
+                     util::fmt_fixed(without[p].residual_fer(), 3),
+                     with[p].payload_bits_delivered
+                         ? util::fmt_fixed(with[p].cumulative_ebn0_db(), 2)
+                         : "-",
+                     util::fmt_fixed(with[p].rounds_to_ack.mean(), 2)});
+      }
+      if (csv)
+        goodput.print_csv(std::cout);
+      else
+        goodput.print(std::cout);
+      std::cout << '\n';
+
+      util::Table fer(std::string("residual FER per round — ") + ch.name +
+                      " (IR / no-IR at each Es/N0)");
+      std::vector<std::string> head{"Es/N0 dB"};
+      for (std::size_t r = 0; r < with.front().rounds.size(); ++r)
+        head.push_back("after r" + std::to_string(r));
+      fer.header(head);
+      for (std::size_t p = 0; p < with.size(); ++p) {
+        std::vector<std::string> row{util::fmt_fixed(with[p].esn0_db, 1)};
+        for (std::size_t r = 0; r < with[p].rounds.size(); ++r) {
+          const auto& a = with[p].rounds[r];
+          const auto& b = without[p].rounds[r];
+          row.push_back(a.attempts ? util::fmt_fixed(a.residual_fer(), 3) +
+                                         " / " +
+                                         util::fmt_fixed(b.residual_fer(), 3)
+                                   : "-");
+        }
+        fer.row(row);
+      }
+      if (csv)
+        fer.print_csv(std::cout);
+      else
+        fer.print(std::cout);
+      std::cout << '\n';
+    }
+
+    std::cout
+        << "reading the tables: the IR / no-IR pairs decode the identical "
+           "channel realisations, so their gap is the combining gain "
+           "alone. On Rayleigh the per-round FER columns collapse with "
+           "round index (diversity + accumulated mutual information); "
+           "cumulative Eb/N0 shows the energy each point actually spent "
+           "per delivered payload bit.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "harq_link_explorer: " << e.what() << '\n';
+    return 1;
+  }
+}

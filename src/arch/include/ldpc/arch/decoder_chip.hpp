@@ -31,6 +31,7 @@
 #include "ldpc/arch/pipeline.hpp"
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/decoder.hpp"
+#include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/core/stream_batch_engine.hpp"
 
 namespace ldpc::arch {
@@ -115,6 +116,16 @@ class DecoderChip {
   /// configurations stream through the SoA lane-refill kernel (results
   /// and stats bit-identical to per-frame decode()).
   std::vector<ChipDecodeResult> decode_batch(std::span<const double> llrs);
+
+  /// Quantised-ingest batch: frames arrive as size-n pre-deposited raw
+  /// codes (core::QuantisedFrame — one-shot quantise_llrs output or
+  /// cross-round HARQ combined state from quantise_combined) instead of
+  /// channel doubles. Same streaming kernel, layer order and per-frame
+  /// stats replay as decode_batch; results are bit-identical to decoding
+  /// the doubles the frames were quantised from. Every frame must be
+  /// non-empty, sized n, and carry a lane type no wider than the config's.
+  std::vector<ChipDecodeResult> decode_batch_quantised(
+      std::span<const core::QuantisedFrame* const> frames);
 
  private:
   ChipDecodeResult decode_quantized();

@@ -113,6 +113,16 @@ class FramePipeline {
   BurstDecodeResult decode_burst(const codes::QCCode& code,
                                  std::span<const double> llrs);
 
+  /// Quantised-ingest burst (DecoderChip::decode_batch_quantised): the
+  /// frames carry pre-deposited size-n raw codes — one-shot quantised
+  /// frames or HARQ combined soft state. Cycle accounting is identical to
+  /// decode_burst: the modeled chip interface still receives
+  /// transmitted_bits() soft words per frame (the host-side
+  /// representation is not the modeled wire format).
+  BurstDecodeResult decode_burst_quantised(
+      const codes::QCCode& code,
+      std::span<const core::QuantisedFrame* const> frames);
+
   const FramePipelineStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 

@@ -120,6 +120,56 @@ std::vector<ChipDecodeResult> DecoderChip::decode_batch(
   return results;
 }
 
+std::vector<ChipDecodeResult> DecoderChip::decode_batch_quantised(
+    std::span<const core::QuantisedFrame* const> frames) {
+  if (!code_) throw std::logic_error("DecoderChip: not configured");
+  if (frames.empty())
+    throw std::invalid_argument(
+        "DecoderChip::decode_batch_quantised: empty batch");
+  for (const core::QuantisedFrame* f : frames) {
+    if (!f || f->empty() || f->n != code_->n())
+      throw std::invalid_argument(
+          "DecoderChip::decode_batch_quantised: frame size");
+  }
+  std::vector<ChipDecodeResult> results;
+  results.reserve(frames.size());
+  if (core::is_min_sum(engine_.config().kernel) && !stream_engine_) {
+    stream_engine_.emplace(engine_.config());
+    stream_engine_->reconfigure(*code_);
+  }
+  if (stream_engine_) {
+    std::vector<core::FixedDecodeResult> functional(frames.size());
+    stream_engine_->decode_quantised(frames, order_, functional);
+    for (auto& f : functional)
+      results.push_back(finish_replayed(std::move(f)));
+    return results;
+  }
+  // Non-min-sum fallback: widen each frame's stored codes into the raw
+  // int32 buffer the engine runs on (the same staging the stream engine
+  // performs) and decode per frame.
+  for (const core::QuantisedFrame* f : frames) {
+    switch (f->type) {
+      case core::kernels::LaneType::kInt8: {
+        const auto codes = f->as<std::int8_t>();
+        std::copy(codes.begin(), codes.end(), raw_.begin());
+        break;
+      }
+      case core::kernels::LaneType::kInt16: {
+        const auto codes = f->as<std::int16_t>();
+        std::copy(codes.begin(), codes.end(), raw_.begin());
+        break;
+      }
+      case core::kernels::LaneType::kInt32: {
+        const auto codes = f->as<std::int32_t>();
+        std::copy(codes.begin(), codes.end(), raw_.begin());
+        break;
+      }
+    }
+    results.push_back(decode_quantized());
+  }
+  return results;
+}
+
 ChipDecodeResult DecoderChip::finish_replayed(
     core::FixedDecodeResult functional) {
   observer_.reset();

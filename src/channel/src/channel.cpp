@@ -34,6 +34,11 @@ double ebn0_to_sigma(double ebn0_db, double code_rate, Modulation mod) {
   return std::sqrt(a2 / (2.0 * code_rate * ebn0));
 }
 
+double esn0_to_sigma(double esn0_db, Modulation mod) {
+  // Es per transmitted coded bit = a^2; sigma^2 = a^2 / (2 * Es/N0).
+  return ebn0_to_sigma(esn0_db, 1.0, mod);
+}
+
 AwgnChannel::AwgnChannel(double sigma) : sigma_(sigma) {
   if (!(sigma > 0.0)) throw std::invalid_argument("AwgnChannel: sigma <= 0");
 }
@@ -41,6 +46,60 @@ AwgnChannel::AwgnChannel(double sigma) : sigma_(sigma) {
 void AwgnChannel::transmit(std::span<double> samples,
                            util::Xoshiro256& rng) const {
   for (double& s : samples) s += sigma_ * rng.gaussian();
+}
+
+std::vector<double> AwgnChannel::transmit_demap(const ModulatedFrame& frame,
+                                                util::Xoshiro256& rng) const {
+  const double scale = 2.0 * frame.amplitude / (sigma_ * sigma_);
+  std::vector<double> llr;
+  llr.reserve(frame.samples.size());
+  for (double y : frame.samples)
+    llr.push_back(scale * (y + sigma_ * rng.gaussian()));
+  return llr;
+}
+
+BlockFadingChannel::BlockFadingChannel(double sigma, int coherence_bits)
+    : sigma_(sigma), coherence_bits_(coherence_bits) {
+  if (!(sigma > 0.0))
+    throw std::invalid_argument("BlockFadingChannel: sigma <= 0");
+  if (coherence_bits < 0)
+    throw std::invalid_argument("BlockFadingChannel: coherence < 0");
+}
+
+std::vector<double> BlockFadingChannel::transmit_demap(
+    const ModulatedFrame& frame, util::Xoshiro256& rng) const {
+  const std::size_t block = coherence_bits_ == 0
+                                ? frame.samples.size()
+                                : static_cast<std::size_t>(coherence_bits_);
+  const double scale = 2.0 * frame.amplitude / (sigma_ * sigma_);
+  std::vector<double> llr;
+  llr.reserve(frame.samples.size());
+  for (std::size_t start = 0; start < frame.samples.size(); start += block) {
+    // Rayleigh amplitude with E[h^2] = 1: h = |g1 + i g2| / sqrt(2).
+    const double g1 = rng.gaussian();
+    const double g2 = rng.gaussian();
+    const double h = std::sqrt((g1 * g1 + g2 * g2) / 2.0);
+    const std::size_t end =
+        std::min(start + block, frame.samples.size());
+    for (std::size_t i = start; i < end; ++i) {
+      const double y = h * frame.samples[i] + sigma_ * rng.gaussian();
+      llr.push_back(scale * h * y);
+    }
+  }
+  return llr;
+}
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind, double sigma,
+                                      int coherence_bits) {
+  switch (kind) {
+    case ChannelKind::kAwgn:
+      return std::make_unique<AwgnChannel>(sigma);
+    case ChannelKind::kRayleighBlock:
+      return std::make_unique<BlockFadingChannel>(sigma, coherence_bits);
+    case ChannelKind::kRayleighIid:
+      return std::make_unique<BlockFadingChannel>(sigma, 1);
+  }
+  throw std::invalid_argument("make_channel: kind");
 }
 
 std::vector<double> demap_llr(const ModulatedFrame& frame, double sigma) {

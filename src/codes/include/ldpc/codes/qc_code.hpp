@@ -40,12 +40,17 @@ struct TransmissionScheme {
   /// Rate-matched transmission length E. 0 means "every sendable bit
   /// exactly once" (E = n - punctured - fillers).
   int transmitted_bits = 0;
+  /// HARQ redundancy version in [0, 4): selects the read start position k0
+  /// into the circular buffer (TS 38.212 style), so each retransmission
+  /// round extracts a different E-bit window. rv0 starts at 0 — the
+  /// historical behaviour — so every pre-HARQ scheme is unchanged.
+  int redundancy_version = 0;
 
   /// True for the classic full-codeword transmission (802.11n / 802.16e /
   /// DMB-T): every datapath behaves exactly as before the scheme existed.
   bool is_degenerate() const noexcept {
     return punctured_block_cols == 0 && filler_bits == 0 &&
-           transmitted_bits == 0;
+           transmitted_bits == 0 && redundancy_version == 0;
   }
 
   friend bool operator==(const TransmissionScheme&,
@@ -153,10 +158,25 @@ class QCCode {
     if (idx >= k_info() - scheme_.filler_bits) idx += scheme_.filler_bits;
     return idx;
   }
+  /// Circular-buffer read start position k0 for redundancy version rv in
+  /// [0, 4), z-aligned as in TS 38.212 Table 5.4.2.1-2: BG1 (68 block
+  /// cols) uses {0, 17, 33, 56}/66 of the buffer, BG2 (52) uses
+  /// {0, 13, 25, 43}/50; other codes fall back to quarters. rv0 is always
+  /// 0. Transmitted position i of round rv maps through
+  /// tx_bit_index((k0 + i) % sendable_bits()).
+  int rv_start(int rv) const;
+  /// rv_start(scheme().redundancy_version): the read offset of the
+  /// attached scheme.
+  int rv_start() const { return rv_start(scheme_.redundancy_version); }
   /// Extracts the transmitted sequence (size transmitted_bits(), with
-  /// wraparound repetition) from a full codeword (size n).
+  /// wraparound repetition) from a full codeword (size n), reading from
+  /// the attached scheme's redundancy-version start offset.
   void extract_transmitted(std::span<const std::uint8_t> codeword,
                            std::span<std::uint8_t> tx) const;
+  /// Same, reading from redundancy version `rv`'s start offset instead of
+  /// the attached scheme's.
+  void extract_transmitted(std::span<const std::uint8_t> codeword,
+                           std::span<std::uint8_t> tx, int rv) const;
 
  private:
   std::string name_;

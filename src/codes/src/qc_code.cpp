@@ -73,19 +73,64 @@ void QCCode::set_scheme(TransmissionScheme scheme) {
       (scheme.transmitted_bits == 0 && !scheme.is_degenerate() &&
        n() - scheme.punctured_block_cols * z_ - scheme.filler_bits <= 0))
     throw std::invalid_argument("QCCode::set_scheme: transmitted bits");
+  if (scheme.redundancy_version < 0 || scheme.redundancy_version >= 4)
+    throw std::invalid_argument("QCCode::set_scheme: redundancy version");
   scheme_ = scheme;
+}
+
+int QCCode::rv_start(int rv) const {
+  if (rv < 0 || rv >= 4)
+    throw std::invalid_argument("QCCode::rv_start: rv");
+  if (rv == 0) return 0;
+  // TS 38.212 fixes k0 as z-aligned fractions of the full circular buffer
+  // N_cb: BG1 has N_cb = 66 z (68 block cols minus 2 punctured), BG2 has
+  // 50 z. The fractions are expressed over that full buffer; our sendable
+  // length differs from N_cb by the filler bits, which the standard keeps
+  // in the buffer as <NULL> positions. Scaling over sendable_bits() keeps
+  // the same geometry while staying valid for shortened (filler-bearing)
+  // codes: k0 = z * floor(num * sendable / (den * z)), clamped into the
+  // buffer.
+  static constexpr int kBg1Num[4] = {0, 17, 33, 56};
+  static constexpr int kBg2Num[4] = {0, 13, 25, 43};
+  const int* num = nullptr;
+  int den = 4;
+  if (block_cols() == 68) {
+    num = kBg1Num;
+    den = 66;
+  } else if (block_cols() == 52) {
+    num = kBg2Num;
+    den = 50;
+  }
+  const long long sendable = sendable_bits();
+  long long k0;
+  if (num) {
+    k0 = static_cast<long long>(z_) *
+         (static_cast<long long>(num[rv]) * sendable /
+          (static_cast<long long>(den) * z_));
+  } else {
+    // Codes without a standard table: quarter offsets, z-aligned.
+    k0 = static_cast<long long>(z_) *
+         (static_cast<long long>(rv) * sendable / (4LL * z_));
+  }
+  return static_cast<int>(k0 % sendable);
 }
 
 void QCCode::extract_transmitted(std::span<const std::uint8_t> codeword,
                                  std::span<std::uint8_t> tx) const {
+  extract_transmitted(codeword, tx, scheme_.redundancy_version);
+}
+
+void QCCode::extract_transmitted(std::span<const std::uint8_t> codeword,
+                                 std::span<std::uint8_t> tx, int rv) const {
   if (codeword.size() != static_cast<std::size_t>(n()))
     throw std::invalid_argument("QCCode::extract_transmitted: codeword");
   if (tx.size() != static_cast<std::size_t>(transmitted_bits()))
     throw std::invalid_argument("QCCode::extract_transmitted: tx size");
   const int sendable = sendable_bits();
+  const int k0 = rv_start(rv);
   for (std::size_t i = 0; i < tx.size(); ++i)
     tx[i] = codeword[static_cast<std::size_t>(
-        tx_bit_index(static_cast<int>(i) % sendable))];
+        tx_bit_index((k0 + static_cast<int>(i)) % sendable))];
 }
 
 std::span<const std::int32_t> QCCode::check_vars(int r) const {

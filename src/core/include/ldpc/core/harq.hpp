@@ -1,0 +1,169 @@
+// HARQ soft-buffer combining in front of the deposit layer.
+//
+// Incremental-redundancy HARQ keeps the receiver's soft information alive
+// across retransmission rounds: round r transmits the E-bit circular-buffer
+// window starting at rv_start(rv_r), and the receiver adds the new channel
+// LLRs onto the retained sum before decoding again. The repo's deposit
+// layer already does exactly this *within* one round for E > sendable
+// (wraparound repeats accumulate in a widened double-domain accumulator
+// before a single quantise — see deposit_transmitted); HarqSoftBuffer
+// extends the same accumulate-then-quantise discipline *across* rounds, so
+// cross-round combining is bit-identical to the one-shot wraparound path by
+// construction:
+//
+//   - every received transmitted position adds its unquantised LLR into a
+//     codeword-indexed double accumulator via the identical
+//     tx_bit_index((k0 + i) % sendable) walk;
+//   - quantisation happens exactly once, when the combined frame is handed
+//     to a decoder — never per round (quantising each round separately
+//     would round twice and rail early, losing the combining gain);
+//   - positions no round has covered stay exact-zero erasures, punctured
+//     columns stay erasures, fillers rail to the APP max — the same
+//     semantics as the one-shot deposit.
+//
+// A buffer holding exactly one rv0 round therefore quantises to the same
+// raw codes as deposit_transmitted on that round's LLRs, which is what
+// makes round-1 HARQ free: no special case anywhere downstream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/datapath.hpp"
+#include "ldpc/core/kernels/minsum_kernels.hpp"
+
+namespace ldpc::core {
+
+/// Per-session receiver soft state: the double-domain LLR accumulator over
+/// the full codeword plus the coverage mask separating "received, sums to
+/// x" from "never transmitted" (an exact-zero erasure — quantisers must
+/// not apply the zero-excluding nudge there).
+class HarqSoftBuffer {
+ public:
+  HarqSoftBuffer() = default;
+
+  /// Clears the buffer for a new transport block of code `code`.
+  void reset(const codes::QCCode& code) {
+    acc_.assign(static_cast<std::size_t>(code.n()), 0.0);
+    covered_.assign(static_cast<std::size_t>(code.n()), 0);
+    rounds_ = 0;
+  }
+
+  /// Accumulates one round's transmitted LLRs (size
+  /// code.transmitted_bits()) received with redundancy version `rv`. The
+  /// walk is the deposit layer's own: transmitted position i lands on
+  /// codeword index tx_bit_index((rv_start(rv) + i) % sendable).
+  void add_round(const codes::QCCode& code, std::span<const double> tx,
+                 int rv) {
+    if (acc_.size() != static_cast<std::size_t>(code.n()))
+      throw std::invalid_argument("HarqSoftBuffer::add_round: not reset");
+    if (tx.size() != static_cast<std::size_t>(code.transmitted_bits()))
+      throw std::invalid_argument("HarqSoftBuffer::add_round: tx size");
+    const int sendable = code.sendable_bits();
+    const int k0 = code.rv_start(rv);
+    for (int i = 0; i < static_cast<int>(tx.size()); ++i) {
+      const auto v = static_cast<std::size_t>(
+          code.tx_bit_index((k0 + i) % sendable));
+      acc_[v] += tx[i];
+      covered_[v] = 1;
+    }
+    ++rounds_;
+  }
+
+  int rounds() const noexcept { return rounds_; }
+  std::span<const double> llrs() const noexcept { return acc_; }
+  std::span<const std::uint8_t> covered() const noexcept { return covered_; }
+
+ private:
+  std::vector<double> acc_;          // codeword-indexed LLR sums
+  std::vector<std::uint8_t> covered_;  // 1 = at least one round hit it
+  int rounds_ = 0;
+};
+
+/// Quantises a combined soft buffer into lane element type T raw codes
+/// (size n) with the dispatched batch quantiser — the fused counterpart of
+/// deposit_transmitted_quant for the cross-round case. The union of rv
+/// windows is not contiguous in general, so this quantises the two dense
+/// sendable segments wholesale and then restores the exact-zero erasure on
+/// uncovered positions (cheap: one branchy pass over n), keeping every
+/// emitted code equal to the int32 path's code narrowed.
+template <class T>
+void deposit_combined_quant(const codes::QCCode& code,
+                            const DatapathTraits<std::int32_t>& traits,
+                            const HarqSoftBuffer& buf, std::span<T> raw) {
+  const int n = code.n();
+  if (buf.llrs().size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("deposit_combined_quant: buffer size");
+  if (raw.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("deposit_combined_quant: raw size");
+  if (traits.app_fmt.raw_max() >
+      kernels::lane_raw_max(kernels::lane_type_of<T>))
+    throw std::invalid_argument(
+        "deposit_combined_quant: config rails exceed lane type " +
+        kernels::to_string(kernels::lane_type_of<T>));
+  const codes::TransmissionScheme& scheme = code.scheme();
+
+  const kernels::QuantSpec spec{
+      static_cast<double>(std::int64_t{1} << traits.fmt.frac_bits()),
+      traits.fmt.raw_max(), traits.exclude_zero};
+  const kernels::QuantFnT<T> quant = kernels::quant_kernel<T>();
+  const std::span<const double> acc = buf.llrs();
+  const std::span<const std::uint8_t> covered = buf.covered();
+
+  const int sendable = code.sendable_bits();
+  const int punct = code.tx_bit_index(0);
+  const int s_break = code.k_info() - scheme.filler_bits - punct;
+  std::fill(raw.begin(), raw.end(), T{});
+  const int a = std::min(sendable, s_break);
+  if (a > 0) quant(acc.data() + punct, raw.data() + punct, a, spec);
+  if (sendable > a) {
+    const int base = punct + a + scheme.filler_bits;
+    quant(acc.data() + base, raw.data() + base,
+          static_cast<std::size_t>(sendable - a), spec);
+  }
+  for (int v = 0; v < n; ++v)
+    if (!covered[static_cast<std::size_t>(v)])
+      raw[static_cast<std::size_t>(v)] = T{};
+  const int filler_start = code.k_info() - scheme.filler_bits;
+  for (int f = 0; f < scheme.filler_bits; ++f)
+    raw[static_cast<std::size_t>(filler_start + f)] =
+        static_cast<T>(traits.filler_value());
+}
+
+/// The generic (any DatapathTraits) combined deposit: scalar
+/// quantize_llr on covered positions, erasures elsewhere, fillers railed —
+/// the cross-round analogue of deposit_transmitted. The int32
+/// instantiation routes through the fused kernel above.
+template <class Traits>
+void deposit_combined(const codes::QCCode& code, const Traits& traits,
+                      const HarqSoftBuffer& buf,
+                      std::span<typename Traits::value_type> raw) {
+  using V = typename Traits::value_type;
+  if constexpr (std::is_same_v<V, std::int32_t>) {
+    deposit_combined_quant<std::int32_t>(code, traits, buf, raw);
+  } else {
+    const int n = code.n();
+    if (buf.llrs().size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("deposit_combined: buffer size");
+    if (raw.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("deposit_combined: raw size");
+    const codes::TransmissionScheme& scheme = code.scheme();
+    const std::span<const double> acc = buf.llrs();
+    const std::span<const std::uint8_t> covered = buf.covered();
+    for (int v = 0; v < n; ++v)
+      raw[static_cast<std::size_t>(v)] =
+          covered[static_cast<std::size_t>(v)]
+              ? traits.quantize_llr(acc[static_cast<std::size_t>(v)])
+              : V{};
+    const int filler_start = code.k_info() - scheme.filler_bits;
+    for (int f = 0; f < scheme.filler_bits; ++f)
+      raw[static_cast<std::size_t>(filler_start + f)] = traits.filler_value();
+  }
+}
+
+}  // namespace ldpc::core

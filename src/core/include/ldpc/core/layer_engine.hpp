@@ -135,22 +135,37 @@ void deposit_transmitted_quant(const codes::QCCode& code,
   // Sendable positions before the filler gap land at punct + s; the rest
   // shift up by filler_bits. Both ranges are contiguous in s.
   const int s_break = code.k_info() - scheme.filler_bits - punct;
+  const int k0 = code.rv_start();
+  // Quantises the s-interval [lo, hi) of the circular buffer from the
+  // dense source `src` (src[0] holds position lo): one interval crosses
+  // the filler gap at most once, so it is at most two dense codeword
+  // segments.
+  const auto quant_interval = [&](const double* src, int lo, int hi) {
+    const int a = std::clamp(s_break, lo, hi);
+    if (a > lo)
+      quant(src, raw.data() + punct + lo, static_cast<std::size_t>(a - lo),
+            spec);
+    if (hi > a)
+      quant(src + (a - lo), raw.data() + punct + a + scheme.filler_bits,
+            static_cast<std::size_t>(hi - a), spec);
+  };
   if (e_bits <= sendable) {
-    // No circular-buffer repetition: quantise straight from tx. Bits
-    // beyond E keep the exact-zero erasure with the punctured prefix.
-    const int a = std::min(e_bits, s_break);
-    if (a > 0) quant(tx.data(), raw.data() + punct, a, spec);
-    if (e_bits > a)
-      quant(tx.data() + a, raw.data() + punct + a + scheme.filler_bits,
-            static_cast<std::size_t>(e_bits - a), spec);
+    // No circular-buffer repetition: quantise straight from tx. Bits the
+    // rv window [k0, k0 + E) never reaches keep the exact-zero erasure
+    // with the punctured prefix. The window wraps the buffer end at most
+    // once, so this is at most two s-intervals (four dense segments).
+    const int first = std::min(e_bits, sendable - k0);
+    quant_interval(tx.data(), k0, k0 + first);
+    if (e_bits > first) quant_interval(tx.data() + first, 0, e_bits - first);
   } else {
-    // Repetition (E > sendable): accumulate in the double domain first —
+    // Repetition (E > sendable): every buffer position is covered at
+    // least once whatever k0 is. Accumulate in the double domain first —
     // a soft combiner in front of the chip — then quantise once, from
     // the same two contiguous segments of the accumulator.
     acc.assign(static_cast<std::size_t>(n), 0.0);
     for (int i = 0; i < e_bits; ++i)
-      acc[static_cast<std::size_t>(code.tx_bit_index(i % sendable))] +=
-          tx[i];
+      acc[static_cast<std::size_t>(
+          code.tx_bit_index((k0 + i) % sendable))] += tx[i];
     const int a = std::min(sendable, s_break);
     if (a > 0) quant(acc.data() + punct, raw.data() + punct, a, spec);
     if (sendable > a) {
@@ -201,14 +216,15 @@ void deposit_transmitted(const codes::QCCode& code, const Traits& traits,
     acc.assign(static_cast<std::size_t>(n), 0.0);
     const int sendable = code.sendable_bits();
     const int e_bits = code.transmitted_bits();
+    const int k0 = code.rv_start();
     for (int i = 0; i < e_bits; ++i)
-      acc[static_cast<std::size_t>(code.tx_bit_index(i % sendable))] +=
-          tx[i];
-    // Positions beyond E never received a transmission (E < sendable):
-    // they keep the exact-zero erasure along with the punctured prefix.
+      acc[static_cast<std::size_t>(
+          code.tx_bit_index((k0 + i) % sendable))] += tx[i];
+    // Positions the rv window never reaches (E < sendable) keep the
+    // exact-zero erasure along with the punctured prefix.
     const int sent = std::min(e_bits, sendable);
-    for (int s = 0; s < sent; ++s) {
-      const int v = code.tx_bit_index(s);
+    for (int j = 0; j < sent; ++j) {
+      const int v = code.tx_bit_index((k0 + j) % sendable);
       raw[static_cast<std::size_t>(v)] =
           traits.quantize_llr(acc[static_cast<std::size_t>(v)]);
     }

@@ -1,0 +1,160 @@
+// Closed-loop HARQ link simulator: ACK/NACK retransmission with
+// incremental-redundancy combining and outer MCS adaptation.
+//
+// Where Simulator measures one-shot BER/FER at a nominal Eb/N0, the link
+// simulator models what a base station scheduler actually sees: each user
+// carries a sequence of transport blocks; a block that fails to decode is
+// retransmitted with the next redundancy version (a different window of
+// the rate-matching circular buffer — QCCode::rv_start) and the receiver
+// combines the rounds' LLRs in a HarqSoftBuffer before decoding again, up
+// to max_rounds. An outer MCS policy steps the user's mode down on a
+// delivery failure and back up after a run of clean first-round ACKs.
+//
+// The honest figure of merit is goodput: payload bits delivered per
+// channel bit actually transmitted, swept against Es/N0 *per transmitted
+// coded bit* — the quantity that stays fixed while retransmissions spend
+// more energy per payload bit. The per-point cumulative Eb/N0
+// (esn0 + 10 log10(tx_bits / delivered_payload_bits)) recovers the classic
+// one-shot Eb/N0 when every block delivers in round 1, and grows with the
+// retransmission overhead otherwise — see LinkPoint::cumulative_ebn0_db.
+//
+// Determinism: users are mutually independent closed loops, so the worker
+// pool parallelises over users and folds per-user tallies in user order.
+// Every (user, block, round) derives its generator from nested
+// substream_seed counters; results are bit-identical at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/channel/channel.hpp"
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/core/datapath.hpp"
+#include "ldpc/util/stats.hpp"
+
+namespace ldpc::sim {
+
+/// Outer-loop link adaptation: one instance per user. Modes are indexed
+/// 0..num_modes-1 from most robust to most aggressive; a delivery failure
+/// steps down immediately, `up_after_acks` consecutive first-round
+/// deliveries step up.
+class McsPolicy {
+ public:
+  struct Config {
+    int up_after_acks = 4;
+    int initial_mode = 0;
+  };
+
+  McsPolicy(int num_modes, Config config);
+
+  int mode() const noexcept { return mode_; }
+  /// Reports one transport block's outcome: whether it was delivered and
+  /// in how many rounds.
+  void report(bool delivered, int rounds);
+
+ private:
+  int num_modes_;
+  Config config_;
+  int mode_;
+  int streak_ = 0;  // consecutive first-round deliveries at this mode
+};
+
+struct HarqConfig {
+  std::uint64_t seed = 1;
+  channel::Modulation modulation = channel::Modulation::kBpsk;
+  channel::ChannelKind channel = channel::ChannelKind::kAwgn;
+  /// Fade coherence in bits for kRayleighBlock (0 = one fade per round's
+  /// transmission); ignored for the other kinds.
+  int coherence_bits = 0;
+  /// HARQ rounds per transport block, >= 1 (1 = no retransmission).
+  int max_rounds = 4;
+  /// Redundancy version of round r = rv_sequence[r % 4] (TS 38.212's
+  /// default {0, 2, 3, 1}: rv2 starts deep in the parity so rounds 1-2
+  /// together cover most of the buffer).
+  std::array<int, 4> rv_sequence{0, 2, 3, 1};
+  /// Incremental-redundancy combining across rounds. Off = every round
+  /// decodes its own LLRs alone (measures the combining gain).
+  bool combine = true;
+  int users = 4;
+  int blocks_per_user = 64;  // transport blocks per user
+  /// Worker threads over users (0 = hardware concurrency). Results are
+  /// independent of this value.
+  int threads = 1;
+  /// Outer MCS adaptation; with false every block uses mcs.initial_mode.
+  bool adapt_mcs = false;
+  McsPolicy::Config mcs;
+};
+
+/// Tallies of one HARQ round index across a point's blocks.
+struct RoundStats {
+  long long attempts = 0;  // blocks that transmitted this round
+  long long failures = 0;  // still undecoded after this round's attempt
+  /// Residual FER after this round: failures / attempts of round 0's
+  /// population is the classic FER; deeper rounds show the combining gain.
+  double residual_fer() const {
+    return attempts ? static_cast<double>(failures) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+struct LinkPoint {
+  double esn0_db = 0.0;
+  long long blocks = 0;     // transport blocks attempted
+  long long delivered = 0;  // ACKed (decoder converged) within max_rounds
+  /// Converged-but-wrong-payload deliveries (the ACK a CRC would veto).
+  long long undetected = 0;
+  long long payload_bits_delivered = 0;
+  /// Channel bits actually transmitted: sum over every round sent. This
+  /// is the denominator of goodput and of the cumulative-energy Eb/N0.
+  long long tx_bits_sent = 0;
+  std::vector<RoundStats> rounds;     // size max_rounds
+  util::ErrorCounter info_errors;     // BER over final-round decisions
+  util::RunningStats rounds_to_ack;   // over delivered blocks
+  util::RunningStats iterations;      // decoder iterations, every attempt
+
+  /// Payload bits delivered per transmitted channel bit.
+  double goodput() const {
+    return tx_bits_sent ? static_cast<double>(payload_bits_delivered) /
+                              static_cast<double>(tx_bits_sent)
+                        : 0.0;
+  }
+  /// Blocks never delivered within max_rounds.
+  double residual_fer() const {
+    return blocks ? static_cast<double>(blocks - delivered) /
+                        static_cast<double>(blocks)
+                  : 0.0;
+  }
+  /// Energy actually spent per delivered payload bit, as an Eb/N0 in dB:
+  /// esn0 + 10 log10(tx_bits_sent / payload_bits_delivered). Equals the
+  /// nominal one-shot Eb/N0 (esn0 - 10 log10(effective_rate)) when every
+  /// block delivers in round 1 without repetition; retransmissions push
+  /// it up by exactly the extra energy they spend.
+  double cumulative_ebn0_db() const;
+};
+
+/// Runs the closed loops. The simulator references the mode codes; the
+/// caller keeps them alive. Modes must be ordered most-robust first (the
+/// MCS policy steps down towards index 0).
+class LinkSimulator {
+ public:
+  LinkSimulator(std::vector<const codes::QCCode*> modes,
+                core::DecoderConfig decoder_config, HarqConfig config);
+
+  /// Runs one Es/N0 point (dB per transmitted coded bit) across the
+  /// worker pool.
+  LinkPoint run_point(double esn0_db);
+
+  std::vector<LinkPoint> sweep(const std::vector<double>& esn0_dbs);
+
+  int threads() const noexcept { return threads_; }
+
+ private:
+  std::vector<const codes::QCCode*> modes_;
+  core::DecoderConfig decoder_config_;
+  HarqConfig config_;
+  int threads_;
+};
+
+}  // namespace ldpc::sim

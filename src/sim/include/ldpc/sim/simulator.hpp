@@ -24,6 +24,7 @@
 #include "ldpc/channel/channel.hpp"
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/decoder.hpp"
+#include "ldpc/core/harq.hpp"
 #include "ldpc/core/quantised_frame.hpp"
 #include "ldpc/util/stats.hpp"
 
@@ -52,6 +53,16 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
                                   channel::Modulation modulation,
                                   double sigma, util::Xoshiro256& rng);
 
+/// Channel- and redundancy-version-aware transmit chain: extracts the rv
+/// window (see QCCode::rv_start) and runs it through an arbitrary Channel
+/// model (AWGN, Rayleigh block fading). With an AwgnChannel and rv 0 this
+/// draws the identical noise stream as the sigma overload above.
+std::vector<double> transmit_llrs(const codes::QCCode& code,
+                                  std::span<const std::uint8_t> codeword,
+                                  channel::Modulation modulation,
+                                  const channel::Channel& chan,
+                                  util::Xoshiro256& rng, int rv);
+
 /// Front-end quantisation: runs the full scheme-aware LLR deposit +
 /// quantiser (core::deposit_transmitted_quant — puncturing erasures,
 /// filler rails, wraparound repeat combining) over one frame of
@@ -64,6 +75,16 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
 core::QuantisedFrame quantise_llrs(const codes::QCCode& code,
                                    const core::DecoderConfig& config,
                                    std::span<const double> llrs);
+
+/// Cross-round HARQ counterpart of quantise_llrs: quantises a combined
+/// soft buffer (core::HarqSoftBuffer — LLR sums over every received round,
+/// still in the double domain) into a QuantisedFrame at the narrowest lane
+/// type `config` admits, via core::deposit_combined_quant. A buffer
+/// holding exactly one rv0 round produces the same frame as quantise_llrs
+/// on that round's LLRs.
+core::QuantisedFrame quantise_combined(const codes::QCCode& code,
+                                       const core::DecoderConfig& config,
+                                       const core::HarqSoftBuffer& soft);
 
 /// Builds one independent DecodeFn per worker thread. The factory is
 /// called once per worker per point, from that worker's thread; everything

@@ -47,18 +47,25 @@ std::vector<double> transmit_llrs(const codes::QCCode& code,
                                   channel::Modulation modulation,
                                   double sigma, util::Xoshiro256& rng) {
   const channel::AwgnChannel chan(sigma);
-  if (code.scheme().is_degenerate()) {
+  return transmit_llrs(code, codeword, modulation, chan, rng,
+                       code.scheme().redundancy_version);
+}
+
+std::vector<double> transmit_llrs(const codes::QCCode& code,
+                                  std::span<const std::uint8_t> codeword,
+                                  channel::Modulation modulation,
+                                  const channel::Channel& chan,
+                                  util::Xoshiro256& rng, int rv) {
+  if (code.scheme().is_degenerate() && rv == 0) {
     // Classic full-codeword chain (identical noise stream as ever).
-    auto mod = channel::modulate(codeword, modulation);
-    chan.transmit(mod.samples, rng);
-    return channel::demap_llr(mod, sigma);
+    const auto mod = channel::modulate(codeword, modulation);
+    return chan.transmit_demap(mod, rng);
   }
   std::vector<std::uint8_t> tx(
       static_cast<std::size_t>(code.transmitted_bits()));
-  code.extract_transmitted(codeword, tx);
-  auto mod = channel::modulate(tx, modulation);
-  chan.transmit(mod.samples, rng);
-  return channel::demap_llr(mod, sigma);
+  code.extract_transmitted(codeword, tx, rv);
+  const auto mod = channel::modulate(tx, modulation);
+  return chan.transmit_demap(mod, rng);
 }
 
 core::QuantisedFrame quantise_llrs(const codes::QCCode& code,
@@ -87,6 +94,33 @@ core::QuantisedFrame quantise_llrs(const codes::QCCode& code,
       core::deposit_transmitted_quant<std::int32_t>(
           code, traits, llrs,
           frame.emplace<std::int32_t>(type, code.n()), acc);
+      break;
+  }
+  return frame;
+}
+
+core::QuantisedFrame quantise_combined(const codes::QCCode& code,
+                                       const core::DecoderConfig& config,
+                                       const core::HarqSoftBuffer& soft) {
+  if (config.datapath != core::Datapath::kQuantized)
+    throw std::invalid_argument(
+        "quantise_combined: quantized datapath configs only");
+  const core::DatapathTraits<std::int32_t> traits{config};
+  const auto type = core::narrowest_lane_type(config);
+  core::QuantisedFrame frame;
+  switch (type) {
+    case core::kernels::LaneType::kInt8:
+      core::deposit_combined_quant<std::int8_t>(
+          code, traits, soft, frame.emplace<std::int8_t>(type, code.n()));
+      break;
+    case core::kernels::LaneType::kInt16:
+      core::deposit_combined_quant<std::int16_t>(
+          code, traits, soft, frame.emplace<std::int16_t>(type, code.n()));
+      break;
+    case core::kernels::LaneType::kInt32:
+    default:
+      core::deposit_combined_quant<std::int32_t>(
+          code, traits, soft, frame.emplace<std::int32_t>(type, code.n()));
       break;
   }
   return frame;

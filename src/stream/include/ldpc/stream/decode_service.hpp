@@ -49,6 +49,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -94,6 +95,15 @@ struct ServiceConfig {
   core::DecoderConfig decoder{};
   /// Engine lane width override (0 = the dispatched tier's preference).
   int lanes = 0;
+  /// Completion hook: invoked from the decoding worker's thread with each
+  /// finished job record, before finish() composes the report. This is
+  /// the live ACK/NACK feedback path — a closed-loop HARQ driver watches
+  /// `converged` and submits the session's next round (submit() is safe
+  /// from the callback's consumer side as long as the caller routes the
+  /// resubmission through a non-worker thread; see stream::run_harq_live).
+  /// The callback must be thread-safe; it runs concurrently from every
+  /// worker. Leave empty for no hook.
+  std::function<void(const StreamJob&)> on_complete;
 };
 
 /// One decode request. The submitter owns frame synthesis (the service
@@ -106,6 +116,13 @@ struct ServiceConfig {
 struct ServiceRequest {
   long long id = 0;
   int mode = 0;
+  /// HARQ identity, copied into the job record verbatim (the service
+  /// itself is round-agnostic: a round-r request simply carries the
+  /// combined soft state in `quantised`). Leave session negative to
+  /// default it to `id`.
+  long long session = -1;
+  int round = 0;
+  int rv = 0;
   TrafficClass cls = TrafficClass::kBestEffort;
   std::vector<double> llrs;
   core::QuantisedFrame quantised;

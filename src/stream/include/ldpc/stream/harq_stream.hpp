@@ -1,0 +1,72 @@
+// Closed-loop HARQ serving: ACK/NACK feedback driven through BOTH serving
+// paths of `src/stream`.
+//
+//   run_harq_modeled  generation-by-generation over StreamScheduler: draw
+//                     one generation of transport blocks, decode it on the
+//                     modeled farm, feed every NACK back into the
+//                     TrafficSource as a retransmission job (same session,
+//                     next redundancy version, arriving decode-finish +
+//                     feedback-delay cycles later), and run the next
+//                     generation — until every session ACKs or exhausts
+//                     its round budget. Generations serialise on the
+//                     modeled clock (a round-r retransmission never
+//                     competes with round-(r-1) work), which keeps the
+//                     discrete-event model deterministic.
+//
+//   run_harq_live     the same closed loop against the wall-clock
+//                     DecodeService: the driver thread synthesises and
+//                     submits round-0 frames, collects completions through
+//                     the service's on_complete hook, and submits each
+//                     NACKed session's next round (combined soft state,
+//                     quantised ingest) from the driver thread — workers
+//                     never submit, so admission backpressure cannot
+//                     deadlock the farm.
+//
+// Both paths decode a round-r attempt from the SAME combined
+// core::QuantisedFrame (TrafficSource::make_frame is pure in
+// (seed, session, round)) under the SAME chip layer order, so per-
+// (session, round) decode results — decision hash, iterations,
+// convergence — are bit-identical between the modeled and live paths and
+// across worker counts; only timelines differ. The report's
+// StreamReport::harq block carries sessions/delivered/goodput and
+// per-round attempt/ACK/latency tallies.
+#pragma once
+
+#include <array>
+
+#include "ldpc/stream/decode_service.hpp"
+#include "ldpc/stream/scheduler.hpp"
+#include "ldpc/stream/stream_types.hpp"
+#include "ldpc/stream/traffic.hpp"
+
+namespace ldpc::stream {
+
+struct HarqStreamConfig {
+  /// HARQ rounds per session, >= 1 (1 = one-shot, no feedback).
+  int max_rounds = 4;
+  /// Modeled ACK/NACK feedback delay: a NACKed session's next round
+  /// arrives this many cycles after the failed decode finished (modeled
+  /// path only; the live path's feedback latency is the real wall clock).
+  long long feedback_delay_cycles = 0;
+};
+
+/// Runs `sessions` transport blocks through the modeled farm with closed-
+/// loop retransmission. The source must emit quantised frames (HARQ
+/// rounds carry combined soft state — TrafficSource::emit_quantised with
+/// the scheduler's decoder config) and should be freshly reset: the
+/// driver owns the draw order. Returns the merged report: job records of
+/// every round (ordered by id), summed ledgers, the makespan of the last
+/// generation, and the filled HarqStreamStats.
+StreamReport run_harq_modeled(TrafficSource& source, SchedulerConfig config,
+                              long long sessions, HarqStreamConfig harq);
+
+/// The live counterpart over DecodeService. `service_config.on_complete`
+/// must be empty (the driver installs its own feedback hook); the decoder
+/// config must match the source's quantised-emission config for the
+/// served frames to be the modeled path's bit-identical twins. Round
+/// latencies land in StreamReport::harq in wall nanoseconds.
+StreamReport run_harq_live(TrafficSource& source,
+                           ServiceConfig service_config, long long sessions,
+                           HarqStreamConfig harq);
+
+}  // namespace ldpc::stream

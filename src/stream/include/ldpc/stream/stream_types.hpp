@@ -70,6 +70,13 @@ struct StreamJob {
   long long id = 0;
   int mode = 0;
   int worker = 0;
+  /// HARQ identity (filled by the closed-loop drivers; a plain stream
+  /// leaves session == id and round == rv == 0). `session` is the id of
+  /// the session's round-0 job; a round-r record decoded the combined
+  /// soft state of rounds 0..r.
+  long long session = 0;
+  int round = 0;
+  int rv = 0;
   int iterations = 0;
   bool converged = false;
   /// Decoded information bits match the transmitted payload (only
@@ -107,6 +114,44 @@ struct StreamJob {
   }
 };
 
+/// Per-HARQ-round serving tallies: how many round-r attempts the farm
+/// decoded, how many ACKed, and their latency profile (modeled cycles for
+/// the scheduler path, wall nanoseconds for the live service).
+struct HarqRoundServing {
+  long long attempts = 0;
+  long long acks = 0;
+  LatencyHistogram latency;
+  double ack_rate() const {
+    return attempts ? static_cast<double>(acks) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+/// Closed-loop HARQ accounting over a served stream (filled by the
+/// run_harq_* drivers; `enabled` stays false for plain one-shot streams).
+struct HarqStreamStats {
+  bool enabled = false;
+  long long sessions = 0;   // transport blocks entered
+  long long delivered = 0;  // ACKed within the round budget
+  long long tx_bits_sent = 0;           // channel bits across every round
+  long long payload_bits_delivered = 0; // payload of ACKed sessions
+  std::vector<HarqRoundServing> rounds; // indexed by HARQ round
+
+  /// Payload bits delivered per transmitted channel bit (the link-layer
+  /// goodput of the served stream).
+  double goodput() const {
+    return tx_bits_sent ? static_cast<double>(payload_bits_delivered) /
+                              static_cast<double>(tx_bits_sent)
+                        : 0.0;
+  }
+  double residual_fer() const {
+    return sessions ? static_cast<double>(sessions - delivered) /
+                          static_cast<double>(sessions)
+                    : 0.0;
+  }
+};
+
 struct StreamReport {
   std::vector<StreamJob> jobs;  // ordered by job id
   /// One FramePipelineStats ledger per worker. The modeled scheduler
@@ -130,6 +175,9 @@ struct StreamReport {
   std::vector<long long> worker_steals;
   /// First submit -> last completion on the service's wall clock.
   long long wall_elapsed_ns = 0;
+
+  /// Closed-loop HARQ accounting (run_harq_modeled / run_harq_live).
+  HarqStreamStats harq;
 
   /// Aggregate delivered payload throughput at `f_clk_hz` over the
   /// modeled makespan.

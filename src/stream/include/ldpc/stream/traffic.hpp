@@ -17,10 +17,12 @@
 // synthesis can be recomputed independently.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "ldpc/channel/channel.hpp"
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/datapath.hpp"
 #include "ldpc/core/quantised_frame.hpp"
@@ -34,13 +36,25 @@ struct TrafficConfig {
   /// (exponential, counter-seeded draws). 0 = saturated source: every job
   /// is available at cycle 0 and latency measures pure queueing + service.
   double mean_interarrival_cycles = 0.0;
+  /// HARQ redundancy version of round r = rv_sequence[r % 4] (TS 38.212's
+  /// default). Modes whose scheme is degenerate always retransmit rv0
+  /// (Chase combining) regardless of this sequence.
+  std::array<int, 4> rv_sequence{0, 2, 3, 1};
 };
 
 /// One frame's worth of work: which mode, and when it reaches the farm.
+/// HARQ retransmissions are jobs too: a round-r job repeats session
+/// `session`'s transport block with the round-r redundancy version, and
+/// its frame carries the *combined* soft state of rounds 0..r.
 struct Job {
   long long id = 0;           // global sequence number, 0-based
   int mode = 0;               // index into the source's registered modes
   long long arrival_cycle = 0;
+  /// HARQ session this job belongs to: the id of the session's round-0
+  /// job. Fresh jobs have session == id.
+  long long session = 0;
+  int round = 0;  // 0-based HARQ round (0 = first transmission)
+  int rv = 0;     // redundancy version transmitted this round
 };
 
 /// The deterministic frame behind a job.
@@ -68,6 +82,12 @@ class TrafficSource {
   /// share of the arrival mix; `ebn0_db` sets the modeled channel quality
   /// (sigma derived from the code's effective rate).
   int add_mode(codes::QCCode code, double ebn0_db, double weight = 1.0);
+  /// Channel-aware overload: the mode's frames traverse `kind`
+  /// (kAwgn reproduces the default overload bit-for-bit;
+  /// kRayleighBlock/kRayleighIid add fading with `coherence_bits`-bit
+  /// fades — see channel::make_channel).
+  int add_mode(codes::QCCode code, double ebn0_db, double weight,
+               channel::ChannelKind kind, int coherence_bits = 0);
 
   int mode_count() const noexcept;
   const codes::QCCode& code(int mode) const;
@@ -76,15 +96,41 @@ class TrafficSource {
   /// The next job of the stream (sequential cursor; arrivals are
   /// monotone non-decreasing). Throws std::logic_error with no registered
   /// modes.
+  ///
+  /// Pending retransmissions take strict priority: whenever
+  /// push_retransmission has queued feedback, next() returns the earliest
+  /// queued retransmission (ordered by arrival, ties by session) before
+  /// drawing fresh traffic. Closed-loop drivers alternate draw phases —
+  /// fresh generation, then its NACKed retransmissions — so arrivals stay
+  /// monotone within each scheduler run.
   Job next();
-  /// Rewinds the cursor to job 0: the identical stream replays (used to
-  /// compare scheduling policies on the same traffic).
+  /// Queues the next HARQ round of `failed`'s session: same session id,
+  /// round + 1, the next redundancy version of the configured sequence
+  /// (rv0 for degenerate-scheme modes — Chase combining), arriving at
+  /// `arrival_cycle` (decode finish + modeled ACK/NACK feedback delay).
+  /// The job id is assigned from the global cursor when next() emits it.
+  void push_retransmission(const Job& failed, long long arrival_cycle);
+  /// Rewinds the cursor to job 0 and drops pending retransmissions: the
+  /// identical fresh stream replays (used to compare scheduling policies
+  /// on the same traffic).
   void reset() noexcept;
 
   /// Synthesises the frame behind `job`: payload bits, systematic
   /// codeword (fillers inserted by the encoder), and transmitted-length
-  /// channel LLRs under the mode's Eb/N0. Pure in (seed, job.id);
-  /// thread-compatible for distinct jobs only through distinct sources.
+  /// channel LLRs under the mode's Eb/N0. Pure in (seed, job.session,
+  /// job.round); thread-compatible for distinct jobs only through
+  /// distinct sources.
+  ///
+  /// HARQ rounds: a round-r job re-derives its session's payload and
+  /// every earlier round's channel LLRs (round q's noise comes from
+  /// substream_seed(content_key, q) for q >= 1; round 0 continues the
+  /// content generator exactly like a fresh job), accumulates rounds
+  /// 0..r into a core::HarqSoftBuffer and emits the *combined* soft state
+  /// as JobFrame::quantised via sim::quantise_combined. JobFrame::llrs
+  /// holds round r's own transmitted LLRs (reference/diagnostics only —
+  /// decoding a round > 0 frame from them would discard the combining
+  /// gain). Rounds > 0 therefore require emit_quantised; make_frame
+  /// throws std::logic_error otherwise.
   JobFrame make_frame(const Job& job) const;
 
   /// Switches the source to quantised emission: every subsequent
@@ -99,8 +145,22 @@ class TrafficSource {
 
   const TrafficConfig& config() const noexcept { return config_; }
 
+  /// Redundancy version round `round` of a `mode` session transmits:
+  /// rv_sequence[round % 4], forced to 0 (Chase combining) for
+  /// degenerate-scheme modes.
+  int rv_for_round(int mode, int round) const;
+
  private:
   struct Mode;
+  /// A queued HARQ retransmission: a Job missing only its final id.
+  struct PendingRetx {
+    long long arrival_cycle = 0;
+    long long session = 0;
+    int mode = 0;
+    int round = 0;
+    int rv = 0;
+  };
+
   TrafficConfig config_;
   bool emit_quantised_ = false;
   core::DecoderConfig quant_config_{};
@@ -108,6 +168,7 @@ class TrafficSource {
   double total_weight_ = 0.0;
   long long cursor_ = 0;
   long long clock_ = 0;  // arrival cycle of the stream head
+  std::vector<PendingRetx> retx_;  // min-heap by (arrival, session)
 };
 
 }  // namespace ldpc::stream

@@ -273,6 +273,9 @@ void DecodeService::decode_bin(int index, std::vector<QueuedJob>& bin) {
     rec.id = job.req.id;
     rec.mode = mode;
     rec.worker = index;
+    rec.session = job.req.session >= 0 ? job.req.session : job.req.id;
+    rec.round = job.req.round;
+    rec.rv = job.req.rv;
     rec.iterations = result.iterations;
     rec.converged = result.converged;
     rec.payload_ok =
@@ -287,6 +290,7 @@ void DecodeService::decode_bin(int index, std::vector<QueuedJob>& bin) {
     rec.wall_finish_ns = finish;
     rec.deadline_ns = job.deadline_abs_ns;
     rec.finish_seq = finish_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.on_complete) config_.on_complete(rec);
     w.records.push_back(std::move(rec));
 
     w.ledger.frames += 1;

@@ -1,0 +1,175 @@
+#include "ldpc/stream/harq_stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace ldpc::stream {
+
+namespace {
+
+void validate(const TrafficSource& source, long long sessions,
+              const HarqStreamConfig& harq) {
+  if (sessions < 0) throw std::invalid_argument("run_harq: sessions");
+  if (harq.max_rounds < 1)
+    throw std::invalid_argument("run_harq: max_rounds");
+  if (harq.feedback_delay_cycles < 0)
+    throw std::invalid_argument("run_harq: feedback_delay_cycles");
+  if (!source.emits_quantised())
+    throw std::logic_error(
+        "run_harq: HARQ rounds carry combined soft state; switch the "
+        "source to quantised emission first (emit_quantised)");
+}
+
+/// Fills report.harq from the completed job records. ACK = the decoder
+/// converged (the undetected-error case a CRC would veto stays visible
+/// through StreamJob::payload_ok). Latency unit: modeled cycles or wall
+/// nanoseconds depending on which path produced the records.
+void fill_harq_stats(const TrafficSource& source, long long sessions,
+                     int max_rounds, bool modeled, StreamReport& report) {
+  HarqStreamStats& h = report.harq;
+  h.enabled = true;
+  h.sessions = sessions;
+  h.rounds.assign(static_cast<std::size_t>(max_rounds), HarqRoundServing{});
+  for (const StreamJob& rec : report.jobs) {
+    const codes::QCCode& code = source.code(rec.mode);
+    HarqRoundServing& round = h.rounds.at(static_cast<std::size_t>(rec.round));
+    ++round.attempts;
+    round.latency.add(modeled ? rec.latency_cycles()
+                              : rec.wall_latency_ns());
+    h.tx_bits_sent += code.transmitted_bits();
+    if (rec.converged) {
+      ++round.acks;
+      ++h.delivered;
+      h.payload_bits_delivered += code.payload_bits();
+    }
+  }
+}
+
+}  // namespace
+
+StreamReport run_harq_modeled(TrafficSource& source, SchedulerConfig config,
+                              long long sessions, HarqStreamConfig harq) {
+  validate(source, sessions, harq);
+  StreamScheduler scheduler(source, config);
+
+  StreamReport merged;
+  merged.worker_ledgers.assign(static_cast<std::size_t>(config.workers),
+                               arch::FramePipelineStats{});
+
+  long long generation_jobs = sessions;
+  while (generation_jobs > 0) {
+    const StreamReport gen = scheduler.run(generation_jobs);
+
+    // Feed every NACK with budget left back as the session's next round,
+    // arriving one modeled feedback delay after its decode finished.
+    // Records are walked in id order, so the push sequence — and with it
+    // the retransmission draw order — is deterministic.
+    generation_jobs = 0;
+    for (const StreamJob& rec : gen.jobs) {
+      if (!rec.converged && rec.round + 1 < harq.max_rounds) {
+        Job failed;
+        failed.mode = rec.mode;
+        failed.session = rec.session;
+        failed.round = rec.round;
+        source.push_retransmission(
+            failed, rec.finish_cycle + harq.feedback_delay_cycles);
+        ++generation_jobs;
+      }
+    }
+
+    for (const StreamJob& rec : gen.jobs) merged.jobs.push_back(rec);
+    for (std::size_t w = 0; w < gen.worker_ledgers.size(); ++w)
+      merged.worker_ledgers[w].merge(gen.worker_ledgers[w]);
+    merged.totals.merge(gen.totals);
+    merged.total_payload_bits += gen.total_payload_bits;
+    merged.makespan_cycles =
+        std::max(merged.makespan_cycles, gen.makespan_cycles);
+  }
+
+  std::sort(merged.jobs.begin(), merged.jobs.end(),
+            [](const StreamJob& a, const StreamJob& b) {
+              return a.id < b.id;
+            });
+  fill_harq_stats(source, sessions, harq.max_rounds, /*modeled=*/true,
+                  merged);
+  return merged;
+}
+
+StreamReport run_harq_live(TrafficSource& source,
+                           ServiceConfig service_config, long long sessions,
+                           HarqStreamConfig harq) {
+  validate(source, sessions, harq);
+  if (service_config.on_complete)
+    throw std::invalid_argument(
+        "run_harq_live: the driver owns the completion hook");
+
+  // Completions flow worker threads -> this queue -> the driver thread.
+  // The driver alone calls make_frame (not thread-safe) and submit, so
+  // admission backpressure can never block a decoding worker.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<StreamJob> completions;
+  service_config.on_complete = [&](const StreamJob& rec) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      completions.push_back(rec);
+    }
+    cv.notify_one();
+  };
+
+  DecodeService service(source, service_config);
+
+  auto submit_round = [&](const Job& job) {
+    const JobFrame frame = source.make_frame(job);
+    ServiceRequest req;
+    req.id = job.id;
+    req.mode = job.mode;
+    req.session = job.session;
+    req.round = job.round;
+    req.rv = source.rv_for_round(job.mode, job.round);
+    req.quantised = frame.quantised;
+    req.expected_payload = frame.codeword;
+    return service.submit(std::move(req));
+  };
+
+  long long outstanding = 0;
+  for (long long s = 0; s < sessions; ++s) {
+    const Job job = source.next();
+    if (submit_round(job)) ++outstanding;
+  }
+
+  long long next_id = sessions;
+  while (outstanding > 0) {
+    StreamJob rec;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (!cv.wait_for(lock, std::chrono::seconds(30),
+                       [&] { return !completions.empty(); }))
+        throw std::runtime_error(
+            "run_harq_live: no completion within 30s (worker stalled?)");
+      rec = completions.front();
+      completions.pop_front();
+    }
+    if (rec.converged || rec.round + 1 >= harq.max_rounds) {
+      --outstanding;
+      continue;
+    }
+    Job retx;
+    retx.id = next_id++;
+    retx.mode = rec.mode;
+    retx.session = rec.session;
+    retx.round = rec.round + 1;
+    if (!submit_round(retx)) --outstanding;  // admission closed/refused
+  }
+
+  StreamReport report = service.finish();
+  fill_harq_stats(source, sessions, harq.max_rounds, /*modeled=*/false,
+                  report);
+  return report;
+}
+
+}  // namespace ldpc::stream

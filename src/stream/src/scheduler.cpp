@@ -122,18 +122,32 @@ StreamReport StreamScheduler::run(long long njobs) {
 
     const codes::QCCode& code = source_.code(mode);
     const auto tx = static_cast<std::size_t>(code.transmitted_bits());
-    burst_llrs.resize(tx * burst_ids.size());
     std::vector<JobFrame> frames;
     frames.reserve(burst_ids.size());
-    for (std::size_t f = 0; f < burst_ids.size(); ++f) {
-      frames.push_back(source_.make_frame(
-          jobs[static_cast<std::size_t>(burst_ids[f])]));
-      std::copy(frames[f].llrs.begin(), frames[f].llrs.end(),
-                burst_llrs.begin() + static_cast<std::ptrdiff_t>(f * tx));
+    arch::BurstDecodeResult burst;
+    if (source_.emits_quantised()) {
+      // Quantised ingest: the frames already carry deposited size-n raw
+      // codes — for HARQ rounds > 0 the *combined* soft state, which only
+      // exists in this domain. Bit-identical to the double path for
+      // one-shot frames (test-locked at the engine layer).
+      std::vector<const core::QuantisedFrame*> burst_frames;
+      burst_frames.reserve(burst_ids.size());
+      for (std::size_t f = 0; f < burst_ids.size(); ++f) {
+        frames.push_back(source_.make_frame(
+            jobs[static_cast<std::size_t>(burst_ids[f])]));
+        burst_frames.push_back(&frames[f].quantised);
+      }
+      burst = w.pipe->decode_burst_quantised(code, burst_frames);
+    } else {
+      burst_llrs.resize(tx * burst_ids.size());
+      for (std::size_t f = 0; f < burst_ids.size(); ++f) {
+        frames.push_back(source_.make_frame(
+            jobs[static_cast<std::size_t>(burst_ids[f])]));
+        std::copy(frames[f].llrs.begin(), frames[f].llrs.end(),
+                  burst_llrs.begin() + static_cast<std::ptrdiff_t>(f * tx));
+      }
+      burst = w.pipe->decode_burst(code, burst_llrs);
     }
-
-    const arch::BurstDecodeResult burst =
-        w.pipe->decode_burst(code, burst_llrs);
     w.mode = mode;
 
     long long t = now;
@@ -146,6 +160,9 @@ StreamReport StreamScheduler::run(long long njobs) {
       rec.id = job.id;
       rec.mode = job.mode;
       rec.worker = wi;
+      rec.session = job.session;
+      rec.round = job.round;
+      rec.rv = job.rv;
       rec.iterations = result.functional.iterations;
       rec.converged = result.functional.converged;
       rec.payload_ok = std::equal(

@@ -1,13 +1,28 @@
 #include "ldpc/stream/traffic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
-#include "ldpc/channel/channel.hpp"
+#include "ldpc/core/harq.hpp"
 #include "ldpc/sim/simulator.hpp"
 #include "ldpc/util/rng.hpp"
 
 namespace ldpc::stream {
+
+namespace {
+
+/// Heap order for pending retransmissions: std::push_heap/pop_heap build a
+/// max-heap, so this comparator ranks *later* arrivals (ties: larger
+/// sessions) as smaller — popping yields the earliest arrival with a
+/// deterministic total order.
+constexpr auto retx_later = [](const auto& a, const auto& b) {
+  if (a.arrival_cycle != b.arrival_cycle)
+    return a.arrival_cycle > b.arrival_cycle;
+  return a.session > b.session;
+};
+
+}  // namespace
 
 struct TrafficSource::Mode {
   codes::QCCode code;
@@ -15,17 +30,28 @@ struct TrafficSource::Mode {
   double ebn0_db = 0.0;
   double weight = 1.0;
   double sigma = 0.0;
+  std::unique_ptr<channel::Channel> channel;
 
-  Mode(codes::QCCode c, double ebn0, double w)
+  Mode(codes::QCCode c, double ebn0, double w, channel::ChannelKind kind,
+       int coherence_bits)
       : code(std::move(c)), encoder(enc::make_encoder(code)), ebn0_db(ebn0),
         weight(w),
         sigma(channel::ebn0_to_sigma(ebn0, code.effective_rate(),
-                                     channel::Modulation::kBpsk)) {}
+                                     channel::Modulation::kBpsk)),
+        channel(channel::make_channel(kind, sigma, coherence_bits)) {}
 };
 
 TrafficSource::TrafficSource(TrafficConfig config) : config_(config) {
   if (config_.mean_interarrival_cycles < 0.0)
     throw std::invalid_argument("TrafficSource: mean_interarrival_cycles");
+  for (int rv : config_.rv_sequence)
+    if (rv < 0 || rv >= 4)
+      throw std::invalid_argument("TrafficSource: rv_sequence");
+  // First transmissions must be rv0: the one-shot quantiser
+  // (sim::quantise_llrs) deposits at the scheme's redundancy version, and
+  // schemes describe the self-decodable rv0 window.
+  if (config_.rv_sequence[0] != 0)
+    throw std::invalid_argument("TrafficSource: rv_sequence[0] must be 0");
 }
 
 TrafficSource::~TrafficSource() = default;
@@ -34,16 +60,46 @@ TrafficSource& TrafficSource::operator=(TrafficSource&&) noexcept = default;
 
 int TrafficSource::add_mode(codes::QCCode code, double ebn0_db,
                             double weight) {
+  return add_mode(std::move(code), ebn0_db, weight,
+                  channel::ChannelKind::kAwgn, 0);
+}
+
+int TrafficSource::add_mode(codes::QCCode code, double ebn0_db,
+                            double weight, channel::ChannelKind kind,
+                            int coherence_bits) {
   if (weight < 0.0 || !std::isfinite(weight))
     throw std::invalid_argument("TrafficSource: weight");
   if (cursor_ != 0)
     throw std::logic_error(
         "TrafficSource: register every mode before drawing jobs (the mode "
         "mix is part of the stream's deterministic identity)");
-  modes_.push_back(
-      std::make_unique<Mode>(std::move(code), ebn0_db, weight));
+  modes_.push_back(std::make_unique<Mode>(std::move(code), ebn0_db, weight,
+                                          kind, coherence_bits));
   total_weight_ += weight;
   return static_cast<int>(modes_.size()) - 1;
+}
+
+int TrafficSource::rv_for_round(int mode, int round) const {
+  const Mode& m = *modes_.at(static_cast<std::size_t>(mode));
+  if (m.code.scheme().is_degenerate()) return 0;  // Chase combining
+  return config_.rv_sequence[static_cast<std::size_t>(
+      round % static_cast<int>(config_.rv_sequence.size()))];
+}
+
+void TrafficSource::push_retransmission(const Job& failed,
+                                        long long arrival_cycle) {
+  if (failed.mode < 0 || failed.mode >= mode_count())
+    throw std::invalid_argument("TrafficSource::push_retransmission: mode");
+  if (failed.round < 0)
+    throw std::invalid_argument("TrafficSource::push_retransmission: round");
+  PendingRetx retx;
+  retx.arrival_cycle = arrival_cycle;
+  retx.session = failed.session;
+  retx.mode = failed.mode;
+  retx.round = failed.round + 1;
+  retx.rv = rv_for_round(failed.mode, retx.round);
+  retx_.push_back(retx);
+  std::push_heap(retx_.begin(), retx_.end(), retx_later);
 }
 
 int TrafficSource::mode_count() const noexcept {
@@ -61,6 +117,19 @@ double TrafficSource::ebn0_db(int mode) const {
 Job TrafficSource::next() {
   if (modes_.empty())
     throw std::logic_error("TrafficSource: no modes registered");
+  if (!retx_.empty()) {
+    std::pop_heap(retx_.begin(), retx_.end(), retx_later);
+    const PendingRetx retx = retx_.back();
+    retx_.pop_back();
+    Job job;
+    job.id = cursor_++;  // retransmissions consume stream ids too
+    job.mode = retx.mode;
+    job.arrival_cycle = retx.arrival_cycle;
+    job.session = retx.session;
+    job.round = retx.round;
+    job.rv = retx.rv;
+    return job;
+  }
   if (total_weight_ <= 0.0)
     throw std::logic_error("TrafficSource: all mode weights are zero");
   const long long id = cursor_++;
@@ -71,6 +140,7 @@ Job TrafficSource::next() {
   // job 0 arrives at cycle 0 and arrivals are monotone.
   Job job;
   job.id = id;
+  job.session = id;  // fresh job: it heads its own HARQ session
   job.arrival_cycle = clock_;
   double u = meta.uniform() * total_weight_;
   int mode = 0;
@@ -79,6 +149,7 @@ Job TrafficSource::next() {
     if (u < 0.0) break;
   }
   job.mode = mode;
+  job.rv = rv_for_round(mode, 0);
 
   if (config_.mean_interarrival_cycles > 0.0) {
     const double gap = -config_.mean_interarrival_cycles *
@@ -91,21 +162,56 @@ Job TrafficSource::next() {
 void TrafficSource::reset() noexcept {
   cursor_ = 0;
   clock_ = 0;
+  retx_.clear();
 }
 
 JobFrame TrafficSource::make_frame(const Job& job) const {
   const Mode& m = *modes_.at(static_cast<std::size_t>(job.mode));
-  util::Xoshiro256 rng(util::substream_seed(
-      config_.seed, 2ULL * static_cast<std::uint64_t>(job.id) + 1));
+  if (job.round < 0)
+    throw std::invalid_argument("TrafficSource::make_frame: round");
+  // Content is keyed on the session head's id, so every round of a session
+  // re-derives the same payload. A fresh (round-0) job has session == id,
+  // which keeps this byte-identical to the historical per-id keying.
+  const std::uint64_t content_key = util::substream_seed(
+      config_.seed, 2ULL * static_cast<std::uint64_t>(job.session) + 1);
+  util::Xoshiro256 rng(content_key);
 
   JobFrame frame;
   frame.payload.resize(static_cast<std::size_t>(m.code.payload_bits()));
   enc::random_bits(rng, frame.payload);
   frame.codeword = m.encoder->encode(frame.payload);
-  frame.llrs = sim::transmit_llrs(m.code, frame.codeword,
-                                  channel::Modulation::kBpsk, m.sigma, rng);
-  if (emit_quantised_)
-    frame.quantised = sim::quantise_llrs(m.code, quant_config_, frame.llrs);
+  // Round 0's noise continues the content generator (the historical
+  // stream); round q >= 1 draws from its own substream so any round's
+  // frame is synthesised without replaying the rounds before it.
+  frame.llrs =
+      sim::transmit_llrs(m.code, frame.codeword, channel::Modulation::kBpsk,
+                         *m.channel, rng, rv_for_round(job.mode, 0));
+  if (job.round == 0) {
+    if (emit_quantised_)
+      frame.quantised =
+          sim::quantise_llrs(m.code, quant_config_, frame.llrs);
+    return frame;
+  }
+
+  if (!emit_quantised_)
+    throw std::logic_error(
+        "TrafficSource::make_frame: HARQ rounds > 0 carry combined soft "
+        "state and need quantised emission (call emit_quantised first)");
+  core::HarqSoftBuffer soft;
+  soft.reset(m.code);
+  soft.add_round(m.code, frame.llrs, rv_for_round(job.mode, 0));
+  for (int q = 1; q <= job.round; ++q) {
+    util::Xoshiro256 round_rng(
+        util::substream_seed(content_key, static_cast<std::uint64_t>(q)));
+    const int rv = rv_for_round(job.mode, q);
+    auto round_llrs =
+        sim::transmit_llrs(m.code, frame.codeword,
+                           channel::Modulation::kBpsk, *m.channel,
+                           round_rng, rv);
+    soft.add_round(m.code, round_llrs, rv);
+    if (q == job.round) frame.llrs = std::move(round_llrs);
+  }
+  frame.quantised = sim::quantise_combined(m.code, quant_config_, soft);
   return frame;
 }
 
