@@ -10,6 +10,8 @@ Usage:
                      [--min-int16-nr-ratio 1.25]
                      [--min-service-scaling 0.55]
                      [--min-harq-goodput 0.10]
+                     [--min-storage-uber-exp 3.0]
+                     [--min-storage-ledger 1.0]
 
 Three independent checks:
 
@@ -83,6 +85,24 @@ Three independent checks:
         one-shot code rate) at 0.10. A combining, retransmission or
         channel regression drops it far below the floor.
 
+    e.  Storage read-path floors (PR 10), absolute like the HARQ
+        goodput because the NAND ladder is fully counter-seeded —
+        bench/storage_read_path.cpp emits bit-deterministic cells per
+        (seed, frames):
+            BM_StorageUberExpDeepest >= --min-storage-uber-exp
+        gates -log10(UBER) after the full read-retry ladder (clamped
+        at 12 when no uncorrectable bits remain; the default run
+        measures exactly 12 — every frame delivered — against a
+        hard-read-only UBER of ~1.2e-1, so CI's floor of 3.0 means
+        "the ladder must still buy >= 2 orders of magnitude"). And
+            BM_StorageLedgerConserved >= --min-storage-ledger
+        gates the retry-ladder ledger's conservation self-check (the
+        bench emits 1.0 only when per-rung deliveries and read
+        latency sum to the totals on every curve point AND the live
+        serving path reproduced the modeled farm per (frame, rung) —
+        CI floors it at 1.0, i.e. any violation fails the gate even
+        if the exit code were ignored).
+
     Any ratio floor <= 0 skips that gate entirely (so a run that only
     produced one benchmark family — e.g. the service sweep without the
     kernel microbench — can still be gated on what it did measure).
@@ -115,6 +135,8 @@ INT16_NR_DEN = "BM_NrZ384StreamInt32"
 SERVICE_NUM = "BM_DecodeServiceW2"
 SERVICE_DEN = "BM_DecodeServiceW1"
 HARQ_GOODPUT = "BM_HarqLinkGoodputFading"
+STORAGE_UBER_EXP = "BM_StorageUberExpDeepest"
+STORAGE_LEDGER = "BM_StorageLedgerConserved"
 
 
 def ratio_floor(current, num, den, floor, what):
@@ -229,6 +251,15 @@ def main():
                          "goodput cell (deterministic per seed/sessions; "
                          "<= 0 disables; CI passes 0.10 against the "
                          "default cell's 0.118)")
+    ap.add_argument("--min-storage-uber-exp", type=float, default=0.0,
+                    help="absolute floor for -log10(UBER) at the deepest "
+                         "storage read-retry rung (deterministic per "
+                         "seed/frames; <= 0 disables; CI passes 3.0 "
+                         "against the default cell's 12.0)")
+    ap.add_argument("--min-storage-ledger", type=float, default=0.0,
+                    help="absolute floor for the storage ledger "
+                         "conservation cell (1.0 = all self-checks held; "
+                         "<= 0 disables; CI passes 1.0)")
     ap.add_argument("--write-best", default=None, metavar="PATH",
                     help="write a baseline JSON holding the per-benchmark "
                          "BEST items/sec of current and baseline (the CI "
@@ -276,6 +307,10 @@ def main():
                               args.min_service_scaling, "service-scaling")
     failed |= absolute_floor(current, HARQ_GOODPUT, args.min_harq_goodput,
                              "harq-goodput")
+    failed |= absolute_floor(current, STORAGE_UBER_EXP,
+                             args.min_storage_uber_exp, "storage-uber")
+    failed |= absolute_floor(current, STORAGE_LEDGER,
+                             args.min_storage_ledger, "storage-ledger")
 
     # 3. Per-benchmark regression vs the committed baseline, when present.
     baseline = {}

@@ -130,6 +130,10 @@ class BatchEngineT {
   std::vector<std::uint64_t> hard_mask_;
   std::vector<T> raw_scratch_;             // fused-deposit buffer (T codes)
   std::vector<double> acc_;                // LLR-deposit combining scratch
+  // CRC-aided stopping scratch: gathered payload decisions for the stop
+  // gate, |APP| reliability keys for the flip fallback.
+  std::vector<std::uint8_t> crc_scratch_;
+  std::vector<double> crc_keys_;
 };
 
 /// The int32 instantiation — the historical BatchEngine name.

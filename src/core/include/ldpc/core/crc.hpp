@@ -1,0 +1,65 @@
+// Outer frame CRC for CRC-aided decoding (the storage read-path workload).
+//
+// An outer CRC rides in the TAIL of the payload bits: the producer fills
+// payload_bits - crc_bits(kind) data bits and calls crc_append(); the
+// decoder recomputes the CRC over the data prefix at every stop scan and
+// compares it with the stored tail (crc_check). A codeword-valid frame
+// whose CRC fails is a miscorrection candidate — the engines keep
+// iterating instead of stopping on it — and a frame that exhausts its
+// iteration budget near a codeword gets one bounded bit-flip repair
+// attempt (crc_flip_repair), the ft8_lib decode.c recovery idiom: try
+// flipping the least-reliable payload bits one at a time and accept the
+// first flip that makes the CRC pass.
+//
+// Two generators are provided, both computed BITWISE over the payload bit
+// stream (the decoder's natural domain — no byte packing ever happens):
+//
+//   kCrc16   CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, unreflected;
+//            tail stored MSB-first. Check value over "123456789" (bits
+//            MSB-first per byte): 0x29B1.
+//   kCrc32   CRC-32/ISO-HDLC: reflected poly 0xEDB88320, init and xorout
+//            0xFFFFFFFF; tail stored LSB-first. Check value over
+//            "123456789" (bits LSB-first per byte): 0xCBF43926.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ldpc::core {
+
+/// Outer frame CRC selector carried by DecoderConfig::frame_crc and by
+/// each traffic mode; kNone disables every CRC code path bit-exactly.
+enum class FrameCrc { kNone, kCrc16, kCrc32 };
+
+/// CLI/report name of a FrameCrc ("none" / "crc16" / "crc32").
+std::string to_string(FrameCrc kind);
+
+/// Number of payload tail bits the CRC occupies (0 / 16 / 32).
+int crc_bits(FrameCrc kind) noexcept;
+
+/// CRC register value over a bit stream (one bit per byte, values 0/1).
+/// kNone returns 0.
+std::uint32_t crc_compute(FrameCrc kind, std::span<const std::uint8_t> bits);
+
+/// Computes the CRC over payload[0, size - crc_bits) and writes it into
+/// the tail payload[size - crc_bits, size). Throws std::invalid_argument
+/// when the payload is not strictly larger than the CRC. No-op for kNone.
+void crc_append(FrameCrc kind, std::span<std::uint8_t> payload);
+
+/// True iff the payload tail holds the CRC of the data prefix — the rule
+/// crc_append established. Vacuously true for kNone; false when the
+/// payload is not strictly larger than the CRC.
+bool crc_check(FrameCrc kind, std::span<const std::uint8_t> payload);
+
+/// Bounded near-miss fallback: tries flipping the `budget` payload bits
+/// with the smallest reliability keys (ties broken by position), one at a
+/// time, and keeps the FIRST flip under which crc_check passes. Returns
+/// the flipped position, or -1 with `payload` unchanged when no single
+/// flip repairs it. `mag_keys` (one non-negative reliability per payload
+/// bit, e.g. |APP|) must match `payload` in size; work is O(budget) CRC
+/// passes plus one sort of the key order.
+int crc_flip_repair(FrameCrc kind, std::span<std::uint8_t> payload,
+                    std::span<const double> mag_keys, int budget);
+
+}  // namespace ldpc::core

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "ldpc/core/crc.hpp"
 #include "ldpc/core/early_termination.hpp"
 #include "ldpc/core/siso.hpp"
 #include "ldpc/fixed/qformat.hpp"
@@ -89,6 +90,17 @@ struct DecoderConfig {
   /// Stop as soon as the hard decisions form a codeword (genie check used
   /// by simulations; the chip itself only stops via early termination).
   bool stop_on_codeword = false;
+  /// Outer payload CRC the stop rules consult (CRC-aided early
+  /// termination): when not kNone, a stop — ET fire or codeword stop —
+  /// only takes effect if the payload tail CRC checks out; a
+  /// codeword-valid frame with a failing CRC keeps iterating. kNone keeps
+  /// every engine bit-exactly on the historical stop rules.
+  FrameCrc frame_crc = FrameCrc::kNone;
+  /// Near-miss fallback budget: when a frame exhausts max_iterations
+  /// unconverged with a failing CRC, try flipping up to this many of the
+  /// least-reliable payload bits (one at a time, crc_flip_repair) and
+  /// keep the first flip that repairs the CRC. 0 disables the fallback.
+  int crc_flip_budget = 0;
   /// Which value type the decoder wrappers instantiate the engine with.
   Datapath datapath = Datapath::kQuantized;
 };

@@ -42,6 +42,14 @@ struct FixedDecodeResult {
   int iterations = 0;              // full iterations executed
   bool converged = false;          // hard decisions form a codeword
   bool early_terminated = false;   // ET fired before max_iterations
+  /// Payload tail CRC passed (vacuously true when DecoderConfig::frame_crc
+  /// is kNone). With a CRC configured this is the delivery verdict:
+  /// converged && crc_ok.
+  bool crc_ok = true;
+  /// crc_ok was only achieved by the bounded bit-flip fallback
+  /// (crc_flip_budget); `bits` carries the repaired payload and
+  /// `converged` stays false.
+  bool crc_repaired = false;
   /// Idealised SISO datapath cycles (one layer's rows run in parallel
   /// across z SISO cores, so each layer costs one row's cycles).
   long long datapath_cycles = 0;
@@ -314,6 +322,7 @@ class LayerEngineT {
     result.bits.assign(static_cast<std::size_t>(n), 0);
 
     const int k_info = code_->k_info();
+    const auto payload = static_cast<std::size_t>(code_->payload_bits());
     const V threshold = traits_.et_threshold(config_.early_termination);
     for (int iter = 1; iter <= config_.max_iterations; ++iter) {
       if (order.empty()) {
@@ -329,16 +338,47 @@ class LayerEngineT {
         result.bits[static_cast<std::size_t>(v)] =
             Traits::is_negative(l_mem_[static_cast<std::size_t>(v)]) ? 1 : 0;
 
-      if (et_.update(std::span<const V>{l_mem_.data(),
+      // Stop rules — ET first, then codeword stopping — gated by the
+      // outer CRC when one is configured: a stop with a failing payload
+      // CRC is vetoed (likely miscorrection) and the frame keeps
+      // iterating. frame_crc == kNone short-circuits to the historical
+      // behaviour bit for bit.
+      const bool et_fire =
+          et_.update(std::span<const V>{l_mem_.data(),
                                         static_cast<std::size_t>(k_info)},
-                     threshold)) {
-        result.early_terminated = true;
-        break;
+                     threshold);
+      const bool cw_stop = !et_fire && config_.stop_on_codeword &&
+                           code_->is_codeword(result.bits);
+      if (et_fire || cw_stop) {
+        if (config_.frame_crc == FrameCrc::kNone ||
+            crc_check(config_.frame_crc,
+                      std::span<const std::uint8_t>{result.bits.data(),
+                                                    payload})) {
+          result.early_terminated = et_fire;
+          break;
+        }
       }
-      if (config_.stop_on_codeword && code_->is_codeword(result.bits)) break;
     }
 
     result.converged = code_->is_codeword(result.bits);
+    if (config_.frame_crc != FrameCrc::kNone) {
+      const std::span<std::uint8_t> pay{result.bits.data(), payload};
+      result.crc_ok = crc_check(config_.frame_crc, pay);
+      if (!result.crc_ok && !result.converged &&
+          config_.crc_flip_budget > 0) {
+        // Near-miss fallback: reliability keys are |APP| of the payload
+        // positions. The double keys represent raw integer codes exactly,
+        // so the candidate order matches across every lane type.
+        mag_keys_.resize(payload);
+        for (std::size_t v = 0; v < payload; ++v)
+          mag_keys_[v] = mag_key(l_mem_[v]);
+        if (crc_flip_repair(config_.frame_crc, pay, mag_keys_,
+                            config_.crc_flip_budget) >= 0) {
+          result.crc_ok = true;
+          result.crc_repaired = true;
+        }
+      }
+    }
     result.datapath_cycles = cycles;
     return result;
   }
@@ -356,7 +396,21 @@ class LayerEngineT {
     if (config.minsum_offset_raw < 0 ||
         config.minsum_offset_raw > config.format.raw_max())
       throw std::invalid_argument("LayerEngine: minsum_offset_raw");
+    if (config.crc_flip_budget < 0)
+      throw std::invalid_argument("LayerEngine: crc_flip_budget");
     return config;
+  }
+
+  /// |APP| of one L word as a double reliability key for the CRC flip
+  /// fallback (exact for every integer datapath; |LLR| for the float one).
+  static double mag_key(V v) noexcept {
+    if constexpr (std::is_arithmetic_v<V>) {
+      const double d = static_cast<double>(v);
+      return d < 0.0 ? -d : d;
+    } else {
+      const std::int32_t r = v.raw();
+      return static_cast<double>(r < 0 ? -r : r);
+    }
   }
 
   /// One layer of the schedule; returns the layer's idealised datapath
@@ -457,6 +511,8 @@ class LayerEngineT {
   std::vector<V> lam_, lam_full_, lam_new_;
   // LLR-deposit accumulation scratch (rate-matched repetition combining).
   std::vector<double> acc_;
+  // CRC flip-fallback reliability keys (payload positions).
+  std::vector<double> mag_keys_;
 };
 
 /// The bit-accurate fixed-point instantiation (runtime Qm.f codes) — the

@@ -41,6 +41,7 @@
 #include "ldpc/codes/qc_code.hpp"
 #include "ldpc/core/datapath.hpp"
 #include "ldpc/core/kernels/minsum_kernels.hpp"
+#include "ldpc/core/layer_engine.hpp"
 
 namespace ldpc::core {
 
@@ -99,6 +100,8 @@ inline DecoderConfig validated_batch_config(DecoderConfig config,
   if (config.datapath != Datapath::kQuantized)
     throw std::invalid_argument(
         who + ": quantized datapath only (use FloatLayerEngine)");
+  if (config.crc_flip_budget < 0)
+    throw std::invalid_argument(who + ": crc_flip_budget");
   return config;
 }
 
@@ -210,6 +213,64 @@ inline bool soa_converged(const DecoderConfig& config, std::uint8_t cw_ok,
                           const codes::QCCode& code,
                           const std::vector<std::uint8_t>& bits) {
   return config.stop_on_codeword ? cw_ok != 0 : code.is_codeword(bits);
+}
+
+/// CRC gate of lane w's pending stop — the batched mirror of the scalar
+/// engine's CRC-aided stop rule. Gathers the lane's payload hard decisions
+/// (from the packed codeword-scan masks when that scan ran this iteration,
+/// else a strided sign read of the APP column) into `scratch` and checks
+/// the payload tail CRC. True = the stop stands; false = miscorrection
+/// veto, the lane keeps iterating. Always true for frame_crc == kNone.
+template <class T>
+inline bool soa_crc_gate(const DecoderConfig& config,
+                         const codes::QCCode& code, const T* l_soa, int lanes,
+                         const std::uint64_t* hard_mask, int w,
+                         std::vector<std::uint8_t>& scratch) {
+  if (config.frame_crc == FrameCrc::kNone) return true;
+  const auto p = static_cast<std::size_t>(code.payload_bits());
+  scratch.resize(p);
+  if (config.stop_on_codeword) {
+    for (std::size_t v = 0; v < p; ++v)
+      scratch[v] = static_cast<std::uint8_t>((hard_mask[v] >> w) & 1);
+  } else {
+    for (std::size_t v = 0; v < p; ++v)
+      scratch[v] =
+          l_soa[v * static_cast<std::size_t>(lanes) +
+                static_cast<std::size_t>(w)] < 0
+              ? 1
+              : 0;
+  }
+  return crc_check(config.frame_crc, scratch);
+}
+
+/// CRC finish of one retiring lane: sets crc_ok/crc_repaired on the
+/// captured result exactly like the scalar engine's post-loop sequence —
+/// check the payload tail, and for an unconverged cap retirement run the
+/// bounded flip fallback with |APP| reliability keys gathered from the
+/// lane's column (double keys represent the raw codes exactly, so the
+/// candidate order matches across lane types). No-op for kNone.
+template <class T>
+inline void soa_finish_crc(const DecoderConfig& config,
+                           const codes::QCCode& code, const T* l_soa,
+                           int lanes, int w, FixedDecodeResult& res,
+                           std::vector<double>& keys) {
+  if (config.frame_crc == FrameCrc::kNone) return;
+  const auto p = static_cast<std::size_t>(code.payload_bits());
+  const std::span<std::uint8_t> pay{res.bits.data(), p};
+  res.crc_ok = crc_check(config.frame_crc, pay);
+  if (res.crc_ok || res.converged || config.crc_flip_budget <= 0) return;
+  keys.resize(p);
+  for (std::size_t v = 0; v < p; ++v) {
+    const auto raw = static_cast<double>(
+        l_soa[v * static_cast<std::size_t>(lanes) +
+              static_cast<std::size_t>(w)]);
+    keys[v] = raw < 0.0 ? -raw : raw;
+  }
+  if (crc_flip_repair(config.frame_crc, pay, keys,
+                      config.crc_flip_budget) >= 0) {
+    res.crc_ok = true;
+    res.crc_repaired = true;
+  }
 }
 
 /// Per-lane parity check over lane-major APP state: ok[w] = 1 iff the

@@ -200,6 +200,10 @@ class StreamBatchEngineT {
 
   std::vector<T> raw_scratch_;  // per-lane staging, lane slots
   std::vector<double> acc_;     // LLR-deposit combining scratch
+  // CRC-aided stopping scratch: gathered payload decisions for the stop
+  // gate, |APP| reliability keys for the flip fallback.
+  std::vector<std::uint8_t> crc_scratch_;
+  std::vector<double> crc_keys_;
 };
 
 extern template class StreamBatchEngineT<std::int32_t>;

@@ -117,6 +117,8 @@ void BatchEngineT<T>::run(int frames, std::span<const int> order,
     res.iterations = 0;
     res.converged = false;
     res.early_terminated = false;
+    res.crc_ok = true;
+    res.crc_repaired = false;
     res.datapath_cycles = 0;
   }
 
@@ -148,8 +150,15 @@ void BatchEngineT<T>::run(int frames, std::span<const int> order,
       res.iterations = iter;
       res.datapath_cycles += cycles_per_iteration_;
 
-      const SoaStopVerdict stop =
+      SoaStopVerdict stop =
           soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
+      // CRC-aided stopping: a pending stop whose payload CRC fails is
+      // vetoed and the lane keeps iterating (soa_crc_gate — the scalar
+      // engine's rule, lane for lane).
+      if (stop.stopped &&
+          !soa_crc_gate(config_, *code_, l_soa_.data(), kLanes,
+                        hard_mask_.data(), w, crc_scratch_))
+        stop = {};
       if (stop.early_terminated) res.early_terminated = true;
       if (stop.stopped || last_iter) {
         if (config_.stop_on_codeword) {
@@ -164,6 +173,8 @@ void BatchEngineT<T>::run(int frames, std::span<const int> order,
                 l_soa_[v * kLanes + static_cast<std::size_t>(w)] < 0 ? 1 : 0;
         }
         res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
+        soa_finish_crc(config_, *code_, l_soa_.data(), kLanes, w, res,
+                       crc_keys_);
         active_[w] = 0;
         --live;
       }

@@ -1,0 +1,137 @@
+#include "ldpc/core/crc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ldpc::core {
+
+namespace {
+
+/// CRC-16/CCITT-FALSE over a bit stream: unreflected shift register, one
+/// bit per step (top = MSB xor input; shift; conditional poly xor).
+std::uint32_t crc16_bits(std::span<const std::uint8_t> bits) noexcept {
+  std::uint32_t crc = 0xFFFFu;
+  for (const std::uint8_t b : bits) {
+    const std::uint32_t top = (crc >> 15) & 1u;
+    crc = (crc << 1) & 0xFFFFu;
+    if (top != (b & 1u)) crc ^= 0x1021u;
+  }
+  return crc;
+}
+
+/// CRC-32/ISO-HDLC over a bit stream: reflected register, init/xorout
+/// 0xFFFFFFFF.
+std::uint32_t crc32_bits(std::span<const std::uint8_t> bits) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bits)
+    crc = (crc >> 1) ^ (((crc ^ b) & 1u) ? 0xEDB88320u : 0u);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Writes the register into the tail using the generator's natural bit
+/// order: MSB-first for the unreflected CRC-16, LSB-first for the
+/// reflected CRC-32. crc_check only requires append and check to agree.
+void store_tail(FrameCrc kind, std::uint32_t crc,
+                std::span<std::uint8_t> tail) noexcept {
+  if (kind == FrameCrc::kCrc16) {
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      tail[i] = static_cast<std::uint8_t>((crc >> (15 - i)) & 1u);
+  } else {
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      tail[i] = static_cast<std::uint8_t>((crc >> i) & 1u);
+  }
+}
+
+}  // namespace
+
+std::string to_string(FrameCrc kind) {
+  switch (kind) {
+    case FrameCrc::kCrc16:
+      return "crc16";
+    case FrameCrc::kCrc32:
+      return "crc32";
+    case FrameCrc::kNone:
+    default:
+      return "none";
+  }
+}
+
+int crc_bits(FrameCrc kind) noexcept {
+  switch (kind) {
+    case FrameCrc::kCrc16:
+      return 16;
+    case FrameCrc::kCrc32:
+      return 32;
+    case FrameCrc::kNone:
+    default:
+      return 0;
+  }
+}
+
+std::uint32_t crc_compute(FrameCrc kind, std::span<const std::uint8_t> bits) {
+  switch (kind) {
+    case FrameCrc::kCrc16:
+      return crc16_bits(bits);
+    case FrameCrc::kCrc32:
+      return crc32_bits(bits);
+    case FrameCrc::kNone:
+    default:
+      return 0;
+  }
+}
+
+void crc_append(FrameCrc kind, std::span<std::uint8_t> payload) {
+  if (kind == FrameCrc::kNone) return;
+  const auto nc = static_cast<std::size_t>(crc_bits(kind));
+  if (payload.size() <= nc)
+    throw std::invalid_argument("crc_append: payload not larger than CRC");
+  const std::uint32_t crc =
+      crc_compute(kind, payload.first(payload.size() - nc));
+  store_tail(kind, crc, payload.last(nc));
+}
+
+bool crc_check(FrameCrc kind, std::span<const std::uint8_t> payload) {
+  if (kind == FrameCrc::kNone) return true;
+  const auto nc = static_cast<std::size_t>(crc_bits(kind));
+  if (payload.size() <= nc) return false;
+  const std::uint32_t crc =
+      crc_compute(kind, payload.first(payload.size() - nc));
+  const std::span<const std::uint8_t> tail = payload.last(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::uint32_t bit = kind == FrameCrc::kCrc16
+                                  ? (crc >> (15 - i)) & 1u
+                                  : (crc >> i) & 1u;
+    if ((tail[i] & 1u) != bit) return false;
+  }
+  return true;
+}
+
+int crc_flip_repair(FrameCrc kind, std::span<std::uint8_t> payload,
+                    std::span<const double> mag_keys, int budget) {
+  if (kind == FrameCrc::kNone || budget <= 0) return -1;
+  if (mag_keys.size() != payload.size())
+    throw std::invalid_argument("crc_flip_repair: key size");
+  const int p = static_cast<int>(payload.size());
+  std::vector<int> order(static_cast<std::size_t>(p));
+  std::iota(order.begin(), order.end(), 0);
+  // Full deterministic order (key, then position): stable across lane
+  // types because the narrow-lane raw codes equal the int32 codes by
+  // containment, so the keys — and therefore the candidate order — match.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ka = mag_keys[static_cast<std::size_t>(a)];
+    const double kb = mag_keys[static_cast<std::size_t>(b)];
+    return ka < kb || (ka == kb && a < b);
+  });
+  const int tries = std::min(budget, p);
+  for (int t = 0; t < tries; ++t) {
+    const auto v = static_cast<std::size_t>(order[static_cast<std::size_t>(t)]);
+    payload[v] ^= 1u;
+    if (crc_check(kind, payload)) return static_cast<int>(v);
+    payload[v] ^= 1u;
+  }
+  return -1;
+}
+
+}  // namespace ldpc::core

@@ -207,6 +207,8 @@ void StreamBatchEngineT<T>::load_lane(int w, std::size_t f,
   res.iterations = 0;
   res.converged = false;
   res.early_terminated = false;
+  res.crc_ok = true;
+  res.crc_repaired = false;
   res.datapath_cycles = 0;
 }
 
@@ -289,8 +291,15 @@ void StreamBatchEngineT<T>::run_queue(std::span<const int> order,
       res.datapath_cycles += cycles_per_iteration_;
 
       const bool last_iter = lane.iterations == config_.max_iterations;
-      const SoaStopVerdict stop =
+      SoaStopVerdict stop =
           soa_stop_verdict(config_, et_fire_[w], cw_ok_[w]);
+      // CRC-aided stopping: a pending stop whose payload CRC fails is
+      // vetoed and the lane keeps iterating (soa_crc_gate — the scalar
+      // engine's rule, lane for lane).
+      if (stop.stopped &&
+          !soa_crc_gate(config_, *code_, l_soa_.data(), lanes_,
+                        hard_mask_.data(), w, crc_scratch_))
+        stop = {};
       if (stop.early_terminated) res.early_terminated = true;
       if (stop.stopped || last_iter) {
         retire_w[nretire] = w;
@@ -329,6 +338,8 @@ void StreamBatchEngineT<T>::run_queue(std::span<const int> order,
         LaneState& lane = lane_[static_cast<std::size_t>(w)];
         auto& res = results[static_cast<std::size_t>(lane.frame)];
         res.converged = soa_converged(config_, cw_ok_[w], *code_, res.bits);
+        soa_finish_crc(config_, *code_, l_soa_.data(), lanes_, w, res,
+                       crc_keys_);
         if (next < frames) {
           load_lane(w, next++, results);  // refill mid-flight
         } else {

@@ -1,0 +1,107 @@
+// NAND read-retry channel model: the storage-domain counterpart of the
+// wireless channel::Channel family, in the style of SimpleSSD's
+// runtime-configured LDPC error model.
+//
+// A cell stores bit b as the nominal level s = 1 - 2b (+1 / -1) and is
+// programmed with Gaussian spread sigma_p: v = s + N(0, sigma_p^2). The
+// programmed voltage v is a property of the CELL, so every read rung of a
+// frame re-derives the SAME v (from a dedicated substream of the frame's
+// content key) and adds its own fresh comparator noise: rung r observes
+// y = v + N(0, sigma_r^2).
+//
+// A rung senses y through L-1 evenly spaced thresholds (L "levels"): the
+// hard first read is a single zero-crossing (L = 2, a +/-constant LLR per
+// bit — the cheapest, coarsest read), and the escalating soft reads
+// (L = 3/5/7) bin y ever finer around the decision boundary. The per-bit
+// LLR is the EXACT log likelihood ratio of the observed bin,
+// log P(bin | s=+1) / P(bin | s=-1), under the total spread
+// sigma_tot = sqrt(sigma_p^2 + sigma_r^2) (Gaussian CDF differences,
+// clamped at +/-llr_clamp).
+//
+// Rungs are independent reads of the same cells, so the controller
+// Chase-combines them: rung LLRs are SUMMED in the double domain
+// (core::HarqSoftBuffer) and quantised ONCE per escalation — exactly the
+// HARQ combining discipline that keeps the int16/int8 fused datapaths
+// bit-identical to int32 (see DESIGN.md §10). Deeper ladders therefore
+// strictly refine the channel observation: the UBER-vs-latency curve is
+// monotone by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/codes/qc_code.hpp"
+#include "ldpc/stream/traffic.hpp"
+
+namespace ldpc::storage {
+
+/// One rung of the read-retry ladder: a sensing precision plus the
+/// modeled latency of issuing that read.
+struct ReadRung {
+  /// Sensing levels: 2 = hard read (one zero threshold), odd L >= 3 =
+  /// soft read through L-1 evenly spaced thresholds.
+  int levels = 2;
+  /// Comparator/read noise sigma of this rung (adds to the programmed
+  /// spread; re-reads draw it fresh, which is what retry ladders exploit).
+  double read_sigma = 0.25;
+  /// Thresholds span (-sense_span, +sense_span) symmetrically; ignored
+  /// for the hard read.
+  double sense_span = 1.2;
+  /// Modeled cycles this read occupies the channel/bus — the ladder
+  /// ledger's latency contribution of the rung.
+  long long latency_cycles = 1000;
+};
+
+/// Full ladder description: cell programming spread plus the escalation
+/// sequence, rung 0 (the hard first read) first.
+struct NandLadderConfig {
+  /// Programmed-cell voltage spread sigma_p (shared by every rung).
+  double program_sigma = 0.42;
+  /// Symmetric clamp on the per-bin LLR (keeps the exact-CDF computation
+  /// finite in the saturated bins).
+  double llr_clamp = 24.0;
+  std::vector<ReadRung> rungs;
+};
+
+/// The canonical escalation used by the bench and tests: hard read, then
+/// 3/5/7-level soft reads at increasing latency.
+NandLadderConfig default_ladder();
+
+/// Deterministic NAND read-retry ladder over degenerate-scheme codes
+/// (rungs Chase-combine across the whole codeword). Stateless per read:
+/// read() is pure in (code, codeword, content_key, rung), which is what
+/// lets both serving paths and every worker count synthesise identical
+/// rung frames.
+class NandReadLadder {
+ public:
+  /// Validates the config (>= 1 rung, levels 2 or odd >= 3, positive
+  /// sigmas/spans, non-negative latencies); throws std::invalid_argument.
+  explicit NandReadLadder(NandLadderConfig config);
+
+  const NandLadderConfig& config() const noexcept { return config_; }
+  /// Number of configured rungs (ladder depth).
+  int rungs() const noexcept {
+    return static_cast<int>(config_.rungs.size());
+  }
+  /// Modeled read cost of rung `rung` (bounds-checked).
+  long long rung_latency_cycles(int rung) const;
+
+  /// One read of the frame's cells at rung `rung`: returns
+  /// transmitted-length per-bit LLRs of THIS read alone (the caller
+  /// combines rungs). Throws std::invalid_argument for a non-degenerate
+  /// scheme or an out-of-range rung.
+  std::vector<double> read(const codes::QCCode& code,
+                           std::span<const std::uint8_t> codeword,
+                           std::uint64_t content_key, int rung) const;
+
+  /// Binds the ladder as a TrafficSource rung synthesiser (round r = read
+  /// rung r, clamped to the deepest configured rung so over-budget HARQ
+  /// rounds degrade to re-reads of the last rung).
+  stream::RungSynth synth() const;
+
+ private:
+  NandLadderConfig config_;
+};
+
+}  // namespace ldpc::storage

@@ -1,0 +1,151 @@
+// The storage read-path reference controller: decode -> CRC check ->
+// escalate-read -> redeposit, one frame at a time, over the modeled chip.
+//
+// A frame starts with the cheap hard read (rung 0). Each escalation adds
+// ONE new read at the next rung and Chase-combines it with everything
+// already sensed: rung LLRs accumulate in a core::HarqSoftBuffer (double
+// domain) and are quantised ONCE per escalation (sim::quantise_combined)
+// before redepositing into the decoder — the HARQ discipline that keeps
+// the fused int16/int8 datapaths bit-identical to int32. The frame is
+// delivered as soon as the decoder reports crc_ok && (converged ||
+// crc_repaired); a codeword whose CRC fails is NOT delivered (the CRC
+// veto keeps the decoder iterating, and a still-failing frame escalates
+// to the next rung). Frames that exhaust the ladder undelivered surface
+// their residual payload bit errors in the ledger — the UBER numerator.
+//
+// The controller is the single-frame reference model behind the streaming
+// drivers (storage_stream.hpp): run_frame is pure in (content_key) given
+// a fixed config/code, and its frame synthesis matches
+// stream::TrafficSource (content key -> payload bits -> CRC tail ->
+// encode), so per-(frame, rung) decode results agree bit-for-bit with
+// both serving paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ldpc/arch/frame_pipeline.hpp"
+#include "ldpc/core/harq.hpp"
+#include "ldpc/enc/encoder.hpp"
+#include "ldpc/storage/nand_channel.hpp"
+
+namespace ldpc::storage {
+
+/// Per-rung slice of the retry-ladder ledger.
+struct RungLedger {
+  /// Reads issued at this rung (a frame reaching rung r has issued one
+  /// read at each of rungs 0..r).
+  long long reads = 0;
+  /// Modeled read cost of those reads (reads * rung latency).
+  long long read_latency_cycles = 0;
+  /// Modeled decode cycles of the attempts at this rung (pipeline
+  /// elapsed cycles for the controller / modeled scheduler; the live
+  /// service leaves this 0 — its decode cost is wall-clock).
+  long long decode_cycles = 0;
+  /// Decoder iterations of the attempts at this rung (path-independent:
+  /// bit-identical between modeled and live serving).
+  long long decode_iterations = 0;
+  /// Attempts where the decoder converged to a codeword the CRC refused
+  /// to deliver — the miscorrections the outer CRC exists to catch.
+  long long crc_rejects = 0;
+  /// Frames delivered at this rung (first rung whose decode passed CRC).
+  long long delivered = 0;
+
+  void merge(const RungLedger& other) noexcept {
+    reads += other.reads;
+    read_latency_cycles += other.read_latency_cycles;
+    decode_cycles += other.decode_cycles;
+    decode_iterations += other.decode_iterations;
+    crc_rejects += other.crc_rejects;
+    delivered += other.delivered;
+  }
+};
+
+/// The retry-ladder ledger: per-rung read/decode costs plus frame-level
+/// delivery and residual-error totals. Conservation invariants (gated by
+/// the bench): sum(rungs[].delivered) == delivered, and
+/// read_latency_cycles == sum(rungs[].read_latency_cycles).
+struct RetryLadderLedger {
+  std::vector<RungLedger> rungs;  // indexed by read rung
+  long long frames = 0;           // frames entered
+  long long delivered = 0;        // frames delivered (CRC-clean)
+  long long repaired = 0;         // delivered via the bit-flip fallback
+  /// Payload bits across ALL frames (the outer-coded information block,
+  /// CRC tail included) — the UBER denominator.
+  long long payload_bits = 0;
+  /// Residual payload bit errors at each frame's FINAL state: undelivered
+  /// frames contribute their last decode's errors, delivered frames
+  /// contribute any undetected-error residue (normally 0).
+  long long bit_errors = 0;
+  /// Total modeled read cost (== sum over rungs).
+  long long read_latency_cycles = 0;
+
+  /// Uncorrectable bit error rate of the run: residual payload bit
+  /// errors per payload bit stored.
+  double uber() const {
+    return payload_bits ? static_cast<double>(bit_errors) /
+                              static_cast<double>(payload_bits)
+                        : 0.0;
+  }
+  /// Mean modeled read latency per frame (the ladder's cost axis).
+  double mean_read_latency_cycles() const {
+    return frames ? static_cast<double>(read_latency_cycles) /
+                        static_cast<double>(frames)
+                  : 0.0;
+  }
+  void merge(const RetryLadderLedger& other);
+};
+
+struct ReadRetryConfig {
+  NandLadderConfig ladder = default_ladder();
+  /// Decoder the modeled chip runs. frame_crc must not be kNone (the
+  /// controller's stop rule is CRC-aided by definition) and the datapath
+  /// must be quantized (the redeposit path is quantise-once).
+  core::DecoderConfig decoder;
+  arch::FramePipelineConfig pipeline;
+};
+
+/// Outcome of one frame's trip through the ladder.
+struct ReadRetryResult {
+  bool delivered = false;
+  bool repaired = false;   // delivered by the bit-flip fallback
+  int rungs_used = 0;      // reads issued (1 = hard read sufficed)
+  int iterations = 0;      // decoder iterations summed over attempts
+  long long read_latency_cycles = 0;
+  long long decode_cycles = 0;  // modeled pipeline cycles over attempts
+  int bit_errors = 0;      // residual payload errors of the final state
+};
+
+/// Single-frame read-retry driver over a modeled arch::DecoderChip.
+/// Not thread-safe; one controller per thread.
+class ReadRetryController {
+ public:
+  /// Throws std::invalid_argument for an invalid ladder, a kNone
+  /// frame_crc, or a decoder config the chip rejects.
+  explicit ReadRetryController(ReadRetryConfig config);
+
+  /// Binds the code (caller keeps it alive): requires a degenerate
+  /// transmission scheme and a payload larger than the CRC tail.
+  void attach(const codes::QCCode& code);
+
+  /// Runs one frame (payload derived from `content_key` exactly like
+  /// stream::TrafficSource's content substream) through the ladder,
+  /// folding costs into `ledger`. Requires attach() first.
+  ReadRetryResult run_frame(std::uint64_t content_key,
+                            RetryLadderLedger& ledger);
+
+  const NandReadLadder& ladder() const noexcept { return ladder_; }
+  const ReadRetryConfig& config() const noexcept { return config_; }
+
+ private:
+  ReadRetryConfig config_;
+  NandReadLadder ladder_;
+  std::unique_ptr<arch::DecoderChip> chip_;
+  std::unique_ptr<arch::FramePipeline> pipe_;
+  const codes::QCCode* code_ = nullptr;
+  std::unique_ptr<enc::Encoder> encoder_;
+  core::HarqSoftBuffer soft_;
+};
+
+}  // namespace ldpc::storage

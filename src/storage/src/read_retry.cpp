@@ -1,0 +1,110 @@
+#include "ldpc/storage/read_retry.hpp"
+
+#include <stdexcept>
+
+#include "ldpc/sim/simulator.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace ldpc::storage {
+
+void RetryLadderLedger::merge(const RetryLadderLedger& other) {
+  if (rungs.size() < other.rungs.size()) rungs.resize(other.rungs.size());
+  for (std::size_t r = 0; r < other.rungs.size(); ++r)
+    rungs[r].merge(other.rungs[r]);
+  frames += other.frames;
+  delivered += other.delivered;
+  repaired += other.repaired;
+  payload_bits += other.payload_bits;
+  bit_errors += other.bit_errors;
+  read_latency_cycles += other.read_latency_cycles;
+}
+
+ReadRetryController::ReadRetryController(ReadRetryConfig config)
+    : config_(std::move(config)), ladder_(config_.ladder) {
+  if (config_.decoder.frame_crc == core::FrameCrc::kNone)
+    throw std::invalid_argument(
+        "ReadRetryController: frame_crc must be set (the storage stop "
+        "rule is CRC-aided by definition)");
+  chip_ = std::make_unique<arch::DecoderChip>(
+      arch::ChipDimensions::universal(), config_.decoder);
+  pipe_ = std::make_unique<arch::FramePipeline>(*chip_, config_.pipeline);
+}
+
+void ReadRetryController::attach(const codes::QCCode& code) {
+  if (!code.scheme().is_degenerate())
+    throw std::invalid_argument(
+        "ReadRetryController: degenerate transmission scheme required");
+  if (code.payload_bits() <= core::crc_bits(config_.decoder.frame_crc))
+    throw std::invalid_argument(
+        "ReadRetryController: payload not larger than the CRC tail");
+  code_ = &code;
+  encoder_ = enc::make_encoder(code);
+}
+
+ReadRetryResult ReadRetryController::run_frame(std::uint64_t content_key,
+                                               RetryLadderLedger& ledger) {
+  if (!code_) throw std::logic_error("ReadRetryController: attach first");
+  const codes::QCCode& code = *code_;
+  if (ledger.rungs.size() < static_cast<std::size_t>(ladder_.rungs()))
+    ledger.rungs.resize(static_cast<std::size_t>(ladder_.rungs()));
+
+  // Frame synthesis mirrors stream::TrafficSource's content substream:
+  // random payload, CRC tail, systematic encode.
+  const auto payload = static_cast<std::size_t>(code.payload_bits());
+  std::vector<std::uint8_t> bits(payload);
+  util::Xoshiro256 rng(content_key);
+  enc::random_bits(rng, bits);
+  core::crc_append(config_.decoder.frame_crc, bits);
+  const std::vector<std::uint8_t> codeword = encoder_->encode(bits);
+
+  ReadRetryResult out;
+  soft_.reset(code);
+  core::FixedDecodeResult last;
+  for (int rung = 0; rung < ladder_.rungs(); ++rung) {
+    const std::vector<double> llrs =
+        ladder_.read(code, codeword, content_key, rung);
+    soft_.add_round(code, llrs, /*rv=*/0);
+    RungLedger& rl = ledger.rungs[static_cast<std::size_t>(rung)];
+    ++rl.reads;
+    const long long read_cost = ladder_.rung_latency_cycles(rung);
+    rl.read_latency_cycles += read_cost;
+    out.read_latency_cycles += read_cost;
+    ++out.rungs_used;
+
+    // Redeposit: quantise the combined soft state ONCE, decode through
+    // the modeled pipeline.
+    const core::QuantisedFrame frame =
+        sim::quantise_combined(code, config_.decoder, soft_);
+    const core::QuantisedFrame* fp = &frame;
+    arch::BurstDecodeResult burst =
+        pipe_->decode_burst_quantised(code, {&fp, 1});
+    last = std::move(burst.frames[0].functional);
+    rl.decode_cycles += burst.frame_elapsed_cycles[0];
+    out.decode_cycles += burst.frame_elapsed_cycles[0];
+    rl.decode_iterations += last.iterations;
+    out.iterations += last.iterations;
+    if (last.converged && !last.crc_ok) ++rl.crc_rejects;
+
+    if (last.crc_ok && (last.converged || last.crc_repaired)) {
+      out.delivered = true;
+      out.repaired = last.crc_repaired;
+      ++rl.delivered;
+      break;
+    }
+  }
+
+  for (std::size_t v = 0; v < payload; ++v)
+    out.bit_errors += last.bits[v] != codeword[v];
+
+  ++ledger.frames;
+  ledger.payload_bits += static_cast<long long>(payload);
+  ledger.bit_errors += out.bit_errors;
+  ledger.read_latency_cycles += out.read_latency_cycles;
+  if (out.delivered) {
+    ++ledger.delivered;
+    if (out.repaired) ++ledger.repaired;
+  }
+  return out;
+}
+
+}  // namespace ldpc::storage

@@ -63,8 +63,12 @@
 
 namespace ldpc::stream {
 
+/// What submit() does when the admission queue is full: kBlock
+/// backpressures the submitter until room frees up, kReject fails fast
+/// (the rejection is tallied in the report).
 enum class Admission { kBlock, kReject };
 
+/// Lower-case policy name ("block" / "reject") for tables and logs.
 std::string to_string(Admission admission);
 
 struct ServiceSlo {
@@ -76,10 +80,15 @@ struct ServiceSlo {
 };
 
 struct ServiceConfig {
+  /// Decoding threads, each owning one StreamBatchEngine (must be >= 1).
   int workers = 1;
   /// Central queue bound; 0 = rendezvous handoff (see BoundedMpmcQueue).
   std::size_t queue_capacity = 64;
+  /// Full-queue behaviour of submit(); see Admission.
   Admission admission = Admission::kBlock;
+  /// Idle workers steal single jobs from the back of a victim's parked
+  /// bin residue (results are bit-identical either way; this only moves
+  /// work between threads).
   bool work_stealing = true;
   /// Frames a worker decodes per engine dispatch. 0 = the engine's SIMD
   /// lane width (one full vector of frames).

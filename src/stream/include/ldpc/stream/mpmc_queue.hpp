@@ -45,6 +45,8 @@ namespace ldpc::stream {
 template <class T>
 class BoundedMpmcQueue {
  public:
+  /// `capacity` bounds the waiting items; 0 selects rendezvous mode (see
+  /// the header comment).
   explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {}
 
   BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
@@ -86,6 +88,7 @@ class BoundedMpmcQueue {
     return take_locked(0);
   }
 
+  /// Non-blocking: the oldest item, or nullopt when none is waiting.
   std::optional<T> try_pop() {
     std::unique_lock<std::mutex> lock(mu_);
     return take_locked(0);
@@ -151,16 +154,19 @@ class BoundedMpmcQueue {
     not_empty_.notify_all();
   }
 
+  /// True once close() has run (items may still be draining).
   bool closed() const {
     std::unique_lock<std::mutex> lock(mu_);
     return closed_;
   }
 
+  /// Items currently waiting (a snapshot — stale by the time it returns).
   std::size_t size() const {
     std::unique_lock<std::mutex> lock(mu_);
     return items_.size();
   }
 
+  /// size() == 0, same snapshot caveat.
   bool empty() const {
     std::unique_lock<std::mutex> lock(mu_);
     return items_.empty();

@@ -41,8 +41,11 @@ inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
 /// Service traffic classes for SLO-aware dispatch: kDeadline jobs carry a
 /// completion deadline and are served earliest-deadline-first ahead of
 /// best-effort traffic (which falls back to reconfiguration-aware
-/// binning). The modeled scheduler treats everything as best-effort.
-enum class TrafficClass { kBestEffort, kDeadline };
+/// binning). kStorage marks SSD read-path jobs (CRC-checked, rung-
+/// escalated by storage::run_storage_*); they dispatch like best-effort
+/// but are tallied separately. The modeled scheduler treats everything as
+/// best-effort.
+enum class TrafficClass { kBestEffort, kDeadline, kStorage };
 
 std::string to_string(TrafficClass cls);
 
@@ -79,9 +82,19 @@ struct StreamJob {
   int rv = 0;
   int iterations = 0;
   bool converged = false;
+  /// Payload tail CRC of the decode result (vacuously true when the mode
+  /// carries no CRC — see core::FrameCrc). The storage drivers deliver on
+  /// crc_ok && (converged || crc_repaired).
+  bool crc_ok = true;
+  /// crc_ok came from the decoder's bounded bit-flip fallback (the frame
+  /// never formed a codeword — see FixedDecodeResult::crc_repaired).
+  bool crc_repaired = false;
   /// Decoded information bits match the transmitted payload (only
   /// evaluated when the submitter supplied the expected payload).
   bool payload_ok = false;
+  /// Mismatching payload bits behind payload_ok (-1 = expected payload
+  /// unknown). The storage ledger's UBER numerator.
+  int payload_bit_errors = -1;
   /// FNV-1a over the n hard-decision bits: the per-frame decode identity
   /// the policy/worker-count/interleaving invariance tests compare.
   std::uint64_t decision_hash = 0;

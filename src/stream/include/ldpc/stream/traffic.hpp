@@ -19,7 +19,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ldpc/channel/channel.hpp"
@@ -69,6 +71,16 @@ struct JobFrame {
   core::QuantisedFrame quantised;
 };
 
+/// Custom per-round LLR synthesiser for modes whose channel is not one of
+/// the built-in wireless kinds (e.g. the NAND read-retry ladder): given
+/// the mode's code, the transmitted codeword, the session's content key
+/// and a 0-based round (read rung), returns that round's transmitted-
+/// length LLRs. Must be pure in its arguments — the determinism contracts
+/// (modeled == live, worker-count invariance) hang on it.
+using RungSynth = std::function<std::vector<double>(
+    const codes::QCCode&, std::span<const std::uint8_t>, std::uint64_t,
+    int)>;
+
 class TrafficSource {
  public:
   explicit TrafficSource(TrafficConfig config = {});
@@ -88,10 +100,25 @@ class TrafficSource {
   /// fades — see channel::make_channel).
   int add_mode(codes::QCCode code, double ebn0_db, double weight,
                channel::ChannelKind kind, int coherence_bits = 0);
+  /// Registers a mode whose per-round LLRs come from `synth` instead of a
+  /// built-in channel (the storage read-path hook: round r is read rung
+  /// r). `crc` is embedded in every frame's payload tail (crc_append
+  /// before encoding) so the decoder's CRC-aided stopping has something
+  /// to check. Requires a degenerate transmission scheme (rungs Chase-
+  /// combine over the full codeword); throws std::invalid_argument
+  /// otherwise or for a null synth.
+  int add_custom_mode(codes::QCCode code, double weight, RungSynth synth,
+                      core::FrameCrc crc = core::FrameCrc::kNone);
 
+  /// Number of registered modes (valid mode indices are 0..count-1).
   int mode_count() const noexcept;
+  /// The mode's code (throws std::out_of_range for a bad index).
   const codes::QCCode& code(int mode) const;
+  /// The mode's modeled channel quality (0 for custom-synth modes).
   double ebn0_db(int mode) const;
+  /// Outer payload CRC embedded in this mode's frames (kNone for the
+  /// wireless add_mode overloads).
+  core::FrameCrc frame_crc(int mode) const;
 
   /// The next job of the stream (sequential cursor; arrivals are
   /// monotone non-decreasing). Throws std::logic_error with no registered

@@ -278,11 +278,15 @@ void DecodeService::decode_bin(int index, std::vector<QueuedJob>& bin) {
     rec.rv = job.req.rv;
     rec.iterations = result.iterations;
     rec.converged = result.converged;
-    rec.payload_ok =
-        !job.req.expected_payload.empty() &&
-        std::equal(result.bits.begin(),
-                   result.bits.begin() + static_cast<std::ptrdiff_t>(payload),
-                   job.req.expected_payload.begin());
+    rec.crc_ok = result.crc_ok;
+    rec.crc_repaired = result.crc_repaired;
+    if (!job.req.expected_payload.empty()) {
+      rec.payload_bit_errors = 0;
+      for (std::size_t v = 0; v < payload; ++v)
+        rec.payload_bit_errors +=
+            result.bits[v] != job.req.expected_payload[v];
+      rec.payload_ok = rec.payload_bit_errors == 0;
+    }
     rec.decision_hash = fnv1a(result.bits);
     rec.cls = job.req.cls;
     rec.wall_submit_ns = job.submit_ns;

@@ -165,11 +165,13 @@ StreamReport StreamScheduler::run(long long njobs) {
       rec.rv = job.rv;
       rec.iterations = result.functional.iterations;
       rec.converged = result.functional.converged;
-      rec.payload_ok = std::equal(
-          result.functional.bits.begin(),
-          result.functional.bits.begin() +
-              static_cast<std::ptrdiff_t>(payload),
-          frames[f].codeword.begin());
+      rec.crc_ok = result.functional.crc_ok;
+      rec.crc_repaired = result.functional.crc_repaired;
+      rec.payload_bit_errors = 0;
+      for (std::size_t v = 0; v < payload; ++v)
+        rec.payload_bit_errors +=
+            result.functional.bits[v] != frames[f].codeword[v];
+      rec.payload_ok = rec.payload_bit_errors == 0;
       rec.decision_hash = fnv1a(result.functional.bits);
       rec.arrival_cycle = job.arrival_cycle;
       t = std::max(t, job.arrival_cycle);

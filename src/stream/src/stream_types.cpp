@@ -7,7 +7,15 @@
 namespace ldpc::stream {
 
 std::string to_string(TrafficClass cls) {
-  return cls == TrafficClass::kDeadline ? "deadline" : "best-effort";
+  switch (cls) {
+    case TrafficClass::kDeadline:
+      return "deadline";
+    case TrafficClass::kStorage:
+      return "storage";
+    case TrafficClass::kBestEffort:
+    default:
+      return "best-effort";
+  }
 }
 
 namespace {

@@ -31,6 +31,11 @@ struct TrafficSource::Mode {
   double weight = 1.0;
   double sigma = 0.0;
   std::unique_ptr<channel::Channel> channel;
+  /// Custom per-round LLR synthesiser (storage read rungs); when set, the
+  /// built-in channel is bypassed entirely and `channel` stays null.
+  RungSynth synth;
+  /// Outer CRC embedded in the payload tail before encoding.
+  core::FrameCrc crc = core::FrameCrc::kNone;
 
   Mode(codes::QCCode c, double ebn0, double w, channel::ChannelKind kind,
        int coherence_bits)
@@ -39,6 +44,10 @@ struct TrafficSource::Mode {
         sigma(channel::ebn0_to_sigma(ebn0, code.effective_rate(),
                                      channel::Modulation::kBpsk)),
         channel(channel::make_channel(kind, sigma, coherence_bits)) {}
+
+  Mode(codes::QCCode c, double w, RungSynth s, core::FrameCrc frame_crc)
+      : code(std::move(c)), encoder(enc::make_encoder(code)), weight(w),
+        synth(std::move(s)), crc(frame_crc) {}
 };
 
 TrafficSource::TrafficSource(TrafficConfig config) : config_(config) {
@@ -79,6 +88,30 @@ int TrafficSource::add_mode(codes::QCCode code, double ebn0_db,
   return static_cast<int>(modes_.size()) - 1;
 }
 
+int TrafficSource::add_custom_mode(codes::QCCode code, double weight,
+                                   RungSynth synth, core::FrameCrc crc) {
+  if (weight < 0.0 || !std::isfinite(weight))
+    throw std::invalid_argument("TrafficSource: weight");
+  if (!synth)
+    throw std::invalid_argument("TrafficSource::add_custom_mode: synth");
+  if (!code.scheme().is_degenerate())
+    throw std::invalid_argument(
+        "TrafficSource::add_custom_mode: custom modes Chase-combine over "
+        "the full codeword (degenerate scheme required)");
+  if (crc != core::FrameCrc::kNone &&
+      code.payload_bits() <= core::crc_bits(crc))
+    throw std::invalid_argument(
+        "TrafficSource::add_custom_mode: payload not larger than CRC");
+  if (cursor_ != 0)
+    throw std::logic_error(
+        "TrafficSource: register every mode before drawing jobs (the mode "
+        "mix is part of the stream's deterministic identity)");
+  modes_.push_back(std::make_unique<Mode>(std::move(code), weight,
+                                          std::move(synth), crc));
+  total_weight_ += weight;
+  return static_cast<int>(modes_.size()) - 1;
+}
+
 int TrafficSource::rv_for_round(int mode, int round) const {
   const Mode& m = *modes_.at(static_cast<std::size_t>(mode));
   if (m.code.scheme().is_degenerate()) return 0;  // Chase combining
@@ -112,6 +145,10 @@ const codes::QCCode& TrafficSource::code(int mode) const {
 
 double TrafficSource::ebn0_db(int mode) const {
   return modes_.at(static_cast<std::size_t>(mode))->ebn0_db;
+}
+
+core::FrameCrc TrafficSource::frame_crc(int mode) const {
+  return modes_.at(static_cast<std::size_t>(mode))->crc;
 }
 
 Job TrafficSource::next() {
@@ -179,13 +216,21 @@ JobFrame TrafficSource::make_frame(const Job& job) const {
   JobFrame frame;
   frame.payload.resize(static_cast<std::size_t>(m.code.payload_bits()));
   enc::random_bits(rng, frame.payload);
+  // Outer CRC: overwrite the payload tail with the CRC of the data prefix
+  // before encoding, so the codeword carries a checkable payload.
+  if (m.crc != core::FrameCrc::kNone) core::crc_append(m.crc, frame.payload);
   frame.codeword = m.encoder->encode(frame.payload);
   // Round 0's noise continues the content generator (the historical
   // stream); round q >= 1 draws from its own substream so any round's
-  // frame is synthesised without replaying the rounds before it.
+  // frame is synthesised without replaying the rounds before it. Custom
+  // modes route every round through their synthesiser instead (which
+  // derives its noise from content_key substreams internally).
   frame.llrs =
-      sim::transmit_llrs(m.code, frame.codeword, channel::Modulation::kBpsk,
-                         *m.channel, rng, rv_for_round(job.mode, 0));
+      m.synth
+          ? m.synth(m.code, frame.codeword, content_key, 0)
+          : sim::transmit_llrs(m.code, frame.codeword,
+                               channel::Modulation::kBpsk, *m.channel, rng,
+                               rv_for_round(job.mode, 0));
   if (job.round == 0) {
     if (emit_quantised_)
       frame.quantised =
@@ -201,13 +246,18 @@ JobFrame TrafficSource::make_frame(const Job& job) const {
   soft.reset(m.code);
   soft.add_round(m.code, frame.llrs, rv_for_round(job.mode, 0));
   for (int q = 1; q <= job.round; ++q) {
-    util::Xoshiro256 round_rng(
-        util::substream_seed(content_key, static_cast<std::uint64_t>(q)));
     const int rv = rv_for_round(job.mode, q);
-    auto round_llrs =
-        sim::transmit_llrs(m.code, frame.codeword,
-                           channel::Modulation::kBpsk, *m.channel,
-                           round_rng, rv);
+    std::vector<double> round_llrs;
+    if (m.synth) {
+      round_llrs = m.synth(m.code, frame.codeword, content_key, q);
+    } else {
+      util::Xoshiro256 round_rng(
+          util::substream_seed(content_key, static_cast<std::uint64_t>(q)));
+      round_llrs =
+          sim::transmit_llrs(m.code, frame.codeword,
+                             channel::Modulation::kBpsk, *m.channel,
+                             round_rng, rv);
+    }
     soft.add_round(m.code, round_llrs, rv);
     if (q == job.round) frame.llrs = std::move(round_llrs);
   }

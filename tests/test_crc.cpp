@@ -1,0 +1,170 @@
+// Outer frame CRC: the check-value locks against the published CRC
+// catalogue, the append/check tail convention, and the bounded bit-flip
+// near-miss fallback (ft8_lib's recovery idiom).
+//
+// Contracts:
+//   1. Golden check values: CRC-16/CCITT-FALSE("123456789") == 0x29B1
+//      (bits MSB-first per byte) and CRC-32/ISO-HDLC("123456789") ==
+//      0xCBF43926 (bits LSB-first per byte) — the catalogue vectors every
+//      independent implementation reproduces.
+//   2. crc_append establishes exactly what crc_check verifies, any single
+//      corrupted bit is detected, and the degenerate sizes (kNone,
+//      payload not larger than the tail) behave as documented.
+//   3. crc_flip_repair is bounded work: it repairs a single flipped bit
+//      only when that bit ranks within the budget least-reliable
+//      positions, restores the payload on failure, and breaks reliability
+//      ties by position.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/core/crc.hpp"
+#include "ldpc/util/rng.hpp"
+
+namespace {
+
+using namespace ldpc;
+using core::FrameCrc;
+
+std::vector<std::uint8_t> ascii_bits(const char* s, bool msb_first) {
+  std::vector<std::uint8_t> bits;
+  for (const char* p = s; *p; ++p)
+    for (int b = 0; b < 8; ++b) {
+      const int shift = msb_first ? 7 - b : b;
+      bits.push_back(static_cast<std::uint8_t>(
+          (static_cast<unsigned char>(*p) >> shift) & 1u));
+    }
+  return bits;
+}
+
+std::vector<std::uint8_t> random_payload(std::size_t size,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(size);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1u);
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// Contract 1: golden check values.
+
+TEST(Crc, Crc16GoldenCheckValue) {
+  EXPECT_EQ(core::crc_compute(FrameCrc::kCrc16,
+                              ascii_bits("123456789", /*msb_first=*/true)),
+            0x29B1u);
+}
+
+TEST(Crc, Crc32GoldenCheckValue) {
+  EXPECT_EQ(core::crc_compute(FrameCrc::kCrc32,
+                              ascii_bits("123456789", /*msb_first=*/false)),
+            0xCBF43926u);
+}
+
+TEST(Crc, Widths) {
+  EXPECT_EQ(core::crc_bits(FrameCrc::kNone), 0);
+  EXPECT_EQ(core::crc_bits(FrameCrc::kCrc16), 16);
+  EXPECT_EQ(core::crc_bits(FrameCrc::kCrc32), 32);
+  EXPECT_EQ(core::to_string(FrameCrc::kNone), "none");
+  EXPECT_EQ(core::to_string(FrameCrc::kCrc16), "crc16");
+  EXPECT_EQ(core::to_string(FrameCrc::kCrc32), "crc32");
+}
+
+// ---------------------------------------------------------------------------
+// Contract 2: append/check roundtrip and corruption detection.
+
+TEST(Crc, AppendCheckRoundtrip) {
+  for (const FrameCrc kind : {FrameCrc::kCrc16, FrameCrc::kCrc32}) {
+    auto payload = random_payload(200, 7);
+    EXPECT_FALSE(core::crc_check(kind, payload))
+        << "a random tail should not check out";
+    core::crc_append(kind, payload);
+    EXPECT_TRUE(core::crc_check(kind, payload));
+
+    // Every single-bit corruption — data or tail — is detected.
+    for (const std::size_t pos : {std::size_t{0}, std::size_t{97},
+                                  payload.size() - 1}) {
+      payload[pos] ^= 1u;
+      EXPECT_FALSE(core::crc_check(kind, payload)) << "bit " << pos;
+      payload[pos] ^= 1u;
+    }
+  }
+}
+
+TEST(Crc, DegenerateSizes) {
+  std::vector<std::uint8_t> tiny(16, 0);
+  EXPECT_THROW(core::crc_append(FrameCrc::kCrc16, tiny),
+               std::invalid_argument);
+  EXPECT_FALSE(core::crc_check(FrameCrc::kCrc16, tiny));
+
+  // kNone: append is a no-op, check vacuously true.
+  std::vector<std::uint8_t> bits = random_payload(10, 3);
+  const auto before = bits;
+  core::crc_append(FrameCrc::kNone, bits);
+  EXPECT_EQ(bits, before);
+  EXPECT_TRUE(core::crc_check(FrameCrc::kNone, bits));
+  EXPECT_TRUE(core::crc_check(FrameCrc::kNone, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Contract 3: bounded bit-flip repair.
+
+TEST(Crc, FlipRepairFindsTheLeastReliableError) {
+  auto payload = random_payload(120, 11);
+  core::crc_append(FrameCrc::kCrc16, payload);
+  const auto clean = payload;
+
+  const std::size_t bad = 55;
+  payload[bad] ^= 1u;
+  std::vector<double> keys(payload.size(), 10.0);
+  keys[bad] = 0.5;  // the error is the least-reliable bit
+
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys, 1),
+            static_cast<int>(bad));
+  EXPECT_EQ(payload, clean);
+  EXPECT_TRUE(core::crc_check(FrameCrc::kCrc16, payload));
+}
+
+TEST(Crc, FlipRepairIsBoundedWork) {
+  auto payload = random_payload(120, 13);
+  core::crc_append(FrameCrc::kCrc16, payload);
+
+  // The error ranks 4th in the reliability order: a budget of 3 must NOT
+  // find it (and must leave the payload untouched); a budget of 4 must.
+  const std::size_t bad = 70;
+  payload[bad] ^= 1u;
+  const auto corrupted = payload;
+  std::vector<double> keys(payload.size(), 10.0);
+  keys[5] = 0.1;
+  keys[6] = 0.2;
+  keys[7] = 0.3;
+  keys[bad] = 0.4;
+
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys, 3), -1);
+  EXPECT_EQ(payload, corrupted);
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys, 4),
+            static_cast<int>(bad));
+  EXPECT_TRUE(core::crc_check(FrameCrc::kCrc16, payload));
+
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys, 0), -1)
+      << "zero budget tries nothing (repair already clean is not found)";
+}
+
+TEST(Crc, FlipRepairBreaksTiesByPosition) {
+  auto payload = random_payload(64, 17);
+  core::crc_append(FrameCrc::kCrc16, payload);
+  const std::size_t bad = 20;
+  payload[bad] ^= 1u;
+
+  // All keys equal: candidates are tried in position order, so the error
+  // is only reachable with a budget covering positions 0..bad.
+  const std::vector<double> keys(payload.size(), 1.0);
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys,
+                                  static_cast<int>(bad)),
+            -1);
+  EXPECT_EQ(core::crc_flip_repair(FrameCrc::kCrc16, payload, keys,
+                                  static_cast<int>(bad) + 1),
+            static_cast<int>(bad));
+}
+
+}  // namespace

@@ -273,7 +273,9 @@ TEST(HarqLive, ClosedLoopMatchesModeledBitForBit) {
   }
   // The live payload check ran against the re-synthesised codewords.
   for (const auto& job : live.jobs) {
-    if (job.converged) EXPECT_TRUE(job.payload_ok) << job.id;
+    if (job.converged) {
+      EXPECT_TRUE(job.payload_ok) << job.id;
+    }
   }
 }
 
